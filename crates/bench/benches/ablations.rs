@@ -1,0 +1,58 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out:
+//! update-packet structure (§4.3.1), candidate channel overshoot, and
+//! the network contention model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus_bench::{contention_study, distribution_study, overshoot_study, structures_study};
+use locus_circuit::presets;
+use locus_msgpass::{run_msgpass, MsgPassConfig, PacketStructure, UpdateSchedule};
+
+fn bench(c: &mut Criterion) {
+    let circuit = presets::small();
+
+    println!("\nPacket structures (reduced: small circuit, 4 procs)");
+    for r in structures_study(&circuit, 4) {
+        println!(
+            "  {:<28} ht={:<4} MB={:.4} t={:.4} packets={}",
+            r.variant, r.ckt_ht, r.mbytes, r.time_s, r.packets
+        );
+    }
+    println!("Channel overshoot");
+    for r in overshoot_study(&circuit, 4) {
+        println!(
+            "  {:<28} ht={:<4} MB={:.4} t={:.4}",
+            r.variant, r.ckt_ht, r.mbytes, r.time_s
+        );
+    }
+    println!("Contention model");
+    for r in contention_study(&circuit, 4) {
+        println!(
+            "  {:<28} ht={:<4} MB={:.4} t={:.4}",
+            r.variant, r.ckt_ht, r.mbytes, r.time_s
+        );
+    }
+    println!("Wire distribution");
+    for r in distribution_study(&circuit, 4) {
+        println!(
+            "  {:<28} ht={:<4} MB={:.4} t={:.4} packets={}",
+            r.variant, r.ckt_ht, r.mbytes, r.time_s, r.packets
+        );
+    }
+
+    c.bench_function("msgpass_wire_based_structure_small_4p", |b| {
+        b.iter(|| {
+            run_msgpass(
+                &circuit,
+                MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 10))
+                    .with_structure(PacketStructure::WireBased),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

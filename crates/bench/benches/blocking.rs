@@ -1,0 +1,39 @@
+//! Bench `blocking`: blocking vs non-blocking receivers (paper §5.1.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus_bench::blocking_study;
+use locus_circuit::presets;
+use locus_msgpass::{run_msgpass, MsgPassConfig, UpdateSchedule};
+
+fn bench(c: &mut Criterion) {
+    let circuit = presets::small();
+    let rows = blocking_study(&circuit, 4);
+    println!("\nBlocking study (reduced: small circuit, 4 procs)");
+    for r in &rows {
+        println!(
+            "({},{}): ht {} vs {} | t {:.4}s vs {:.4}s",
+            r.schedule.0,
+            r.schedule.1,
+            r.ht_nonblocking,
+            r.ht_blocking,
+            r.time_nonblocking,
+            r.time_blocking
+        );
+    }
+
+    c.bench_function("msgpass_blocking_receiver_small_4p", |b| {
+        b.iter(|| {
+            run_msgpass(
+                &circuit,
+                MsgPassConfig::new(4, UpdateSchedule::receiver_initiated_blocking(1, 5)),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench `locality`: the §5.3.3 locality measure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus_bench::locality_study;
+use locus_circuit::presets;
+use locus_router::locality::locality_measure;
+use locus_router::{assign, AssignmentStrategy, RegionMap, RouterParams, SequentialRouter};
+
+fn bench(c: &mut Criterion) {
+    let circuit = presets::small();
+    let rows = locality_study(&[&circuit], &[4]);
+    println!("\nLocality measure (reduced: small circuit)");
+    for r in &rows {
+        println!(
+            "{:<8} {:<22} P={:<3} hops={:.2} owned={:.0}%",
+            r.circuit,
+            r.method,
+            r.procs,
+            r.mean_hops,
+            r.owned_fraction * 100.0
+        );
+    }
+
+    let solution = SequentialRouter::new(&circuit, RouterParams::default()).run();
+    let regions = RegionMap::new(circuit.channels, circuit.grids, 4);
+    let a = assign(&circuit, &regions, AssignmentStrategy::Locality { threshold_cost: None });
+    c.bench_function("locality_measure_small_4p", |b| {
+        b.iter(|| locality_measure(&solution.routes, &a.proc_of_wire, &regions))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

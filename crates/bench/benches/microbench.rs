@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the core building blocks: two-bend evaluation,
+//! cost-array updates, delta scans, region lookups, and the sequential
+//! router — the inner loops every experiment exercises.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus_circuit::{presets, GridCell, Pin, Rect};
+use locus_msgpass::DeltaArray;
+use locus_router::segment::Connection;
+use locus_router::twobend::best_route;
+use locus_router::{CostArray, RegionMap, RouterParams, SequentialRouter};
+
+fn bench(c: &mut Criterion) {
+    let circuit = presets::bnr_e();
+
+    c.bench_function("twobend_best_route_30x4_bbox", |b| {
+        let mut costs = CostArray::new(10, 341);
+        for x in 0..341 {
+            for ch in 0..10 {
+                costs.set(GridCell::new(ch, x), ((x as u32 * 7 + ch as u32) % 5) as u16);
+            }
+        }
+        let conn = Connection { from: Pin::new(2, 100), to: Pin::new(6, 130) };
+        b.iter(|| best_route(&costs, conn, 1))
+    });
+
+    c.bench_function("cost_array_add_remove_route", |b| {
+        let mut costs = CostArray::new(10, 341);
+        let eval = {
+            let conn = Connection { from: Pin::new(1, 10), to: Pin::new(8, 300) };
+            best_route(&costs, conn, 1)
+        };
+        b.iter(|| {
+            costs.add_route(&eval.route);
+            costs.remove_route(&eval.route);
+        })
+    });
+
+    c.bench_function("delta_scan_region_3x85", |b| {
+        let mut delta = DeltaArray::new(10, 341);
+        delta.record(GridCell::new(2, 40), 1);
+        delta.record(GridCell::new(4, 80), -1);
+        let region = Rect::new(2, 4, 0, 84);
+        b.iter(|| delta.changes_in(region))
+    });
+
+    c.bench_function("region_owner_lookup", |b| {
+        let m = RegionMap::new(10, 341, 16);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for x in (0..341).step_by(7) {
+                acc += m.owner_of(GridCell::new((x % 10) as u16, x as u16));
+            }
+            acc
+        })
+    });
+
+    c.bench_function("sequential_router_bnr_e", |b| {
+        b.iter(|| SequentialRouter::new(&circuit, RouterParams::default()).run())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench `mixed`: mixed sender+receiver schedules (paper §5.1.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus_bench::mixed_study;
+use locus_circuit::presets;
+use locus_msgpass::{run_msgpass, MsgPassConfig, UpdateSchedule};
+
+fn bench(c: &mut Criterion) {
+    let circuit = presets::small();
+    let rows = mixed_study(&circuit, 4);
+    println!("\nMixed-schedule study (reduced: small circuit, 4 procs)");
+    for r in &rows {
+        println!(
+            "{:<18} ht={:<4} occup={:<8} MB={:.4} t={:.4}",
+            r.label, r.ckt_ht, r.occupancy, r.mbytes, r.time_s
+        );
+    }
+
+    c.bench_function("msgpass_mixed_schedule_small_4p", |b| {
+        b.iter(|| run_msgpass(&circuit, MsgPassConfig::new(4, UpdateSchedule::mixed_paper())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench `speedup`: §5.4 speedup study plus real-thread wall clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus_bench::speedup_study;
+use locus_circuit::presets;
+use locus_shmem::{ShmemConfig, ThreadedRouter};
+
+fn bench(c: &mut Criterion) {
+    let circuit = presets::small();
+    let rows = speedup_study(&[&circuit], &[2, 4]);
+    println!("\nSpeedup study (reduced: small circuit)");
+    for r in &rows {
+        println!(
+            "{:<16} {:<8} P={:<3} t={:.4}s speedup={:.1}",
+            r.engine, r.circuit, r.procs, r.time_s, r.speedup
+        );
+    }
+
+    c.bench_function("threaded_router_small_4t", |b| {
+        b.iter(|| ThreadedRouter::new(&circuit, ShmemConfig::new(4)).run())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

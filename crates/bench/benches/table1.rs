@@ -1,0 +1,38 @@
+//! Bench `table1`: sender-initiated update sweep (paper Table 1).
+//!
+//! Prints the reproduced table at reduced scale, then benchmarks one
+//! representative run. Full-scale tables: `locus-experiments table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus_bench::table1;
+use locus_circuit::presets;
+use locus_msgpass::{run_msgpass, MsgPassConfig, UpdateSchedule};
+
+fn bench(c: &mut Criterion) {
+    let circuit = presets::small();
+    let rows = table1(&circuit, 4);
+    println!("\nTable 1 (reduced: small circuit, 4 procs)");
+    println!("{:>4} {:>4} {:>6} {:>9} {:>9} {:>9}", "rmt", "loc", "ht", "occup", "MB", "t(s)");
+    for r in &rows {
+        println!(
+            "{:>4} {:>4} {:>6} {:>9} {:>9.4} {:>9.4}",
+            r.a, r.b, r.ckt_ht, r.occupancy, r.mbytes, r.time_s
+        );
+    }
+
+    c.bench_function("msgpass_sender_initiated_small_4p", |b| {
+        b.iter(|| {
+            run_msgpass(
+                &circuit,
+                MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 10)),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

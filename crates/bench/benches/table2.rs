@@ -1,0 +1,35 @@
+//! Bench `table2`: receiver-initiated update sweep (paper Table 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus_bench::table2;
+use locus_circuit::presets;
+use locus_msgpass::{run_msgpass, MsgPassConfig, UpdateSchedule};
+
+fn bench(c: &mut Criterion) {
+    let circuit = presets::small();
+    let rows = table2(&circuit, 4);
+    println!("\nTable 2 (reduced: small circuit, 4 procs)");
+    println!("{:>4} {:>4} {:>6} {:>9} {:>9} {:>9}", "loc", "rmt", "ht", "occup", "MB", "t(s)");
+    for r in &rows {
+        println!(
+            "{:>4} {:>4} {:>6} {:>9} {:>9.4} {:>9.4}",
+            r.a, r.b, r.ckt_ht, r.occupancy, r.mbytes, r.time_s
+        );
+    }
+
+    c.bench_function("msgpass_receiver_initiated_small_4p", |b| {
+        b.iter(|| {
+            run_msgpass(
+                &circuit,
+                MsgPassConfig::new(4, UpdateSchedule::receiver_initiated(1, 5)),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

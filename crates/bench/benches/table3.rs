@@ -1,0 +1,28 @@
+//! Bench `table3`: coherence traffic vs cache line size (paper Table 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus_bench::{shared_memory_trace, table3};
+use locus_circuit::presets;
+use locus_coherence::{CoherenceConfig, CoherenceSim};
+
+fn bench(c: &mut Criterion) {
+    let circuit = presets::small();
+    let rows = table3(&circuit, 4, &[4, 8, 16, 32]);
+    println!("\nTable 3 (reduced: small circuit, 4 procs)");
+    println!("{:>5} {:>10} {:>8}", "line", "MB", "w-frac");
+    for r in &rows {
+        println!("{:>5} {:>10.4} {:>8.2}", r.line_size, r.mbytes, r.write_fraction);
+    }
+
+    let trace = shared_memory_trace(&circuit, 4);
+    c.bench_function("coherence_wbi_8B_small_trace", |b| {
+        b.iter(|| CoherenceSim::new(CoherenceConfig::with_line_size(8)).run(&trace))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench `table4`: locality in the message-passing version (paper Table 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus_bench::{table4, table46_schedule};
+use locus_circuit::presets;
+use locus_msgpass::{run_msgpass, MsgPassConfig};
+use locus_router::AssignmentStrategy;
+
+fn bench(c: &mut Criterion) {
+    let a = presets::small();
+    let rows = table4(&[&a], 4);
+    println!("\nTable 4 (reduced: small circuit, 4 procs)");
+    for r in &rows {
+        println!(
+            "{:<8} {:<22} ht={:<4} MB={:.4} t={:.4} MB(recv)={:.4}",
+            r.circuit, r.method, r.ckt_ht, r.mbytes, r.time_s, r.mbytes_receiver
+        );
+    }
+
+    c.bench_function("msgpass_round_robin_small_4p", |b| {
+        b.iter(|| {
+            run_msgpass(
+                &a,
+                MsgPassConfig::new(4, table46_schedule())
+                    .with_assignment(AssignmentStrategy::RoundRobin),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

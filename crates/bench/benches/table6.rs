@@ -1,0 +1,29 @@
+//! Bench `table6`: processor-count scaling (paper Table 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus_bench::{table46_schedule, table6};
+use locus_circuit::presets;
+use locus_msgpass::{run_msgpass, MsgPassConfig};
+
+fn bench(c: &mut Criterion) {
+    let circuit = presets::small();
+    let rows = table6(&circuit, &[2, 4]);
+    println!("\nTable 6 (reduced: small circuit)");
+    for r in &rows {
+        println!(
+            "P={:<3} ht={:<4} occup={:<8} MB={:.4} t={:.4} speedup={:.1}",
+            r.procs, r.ckt_ht, r.occupancy, r.mbytes, r.time_s, r.speedup
+        );
+    }
+
+    c.bench_function("msgpass_scaling_point_small_4p", |b| {
+        b.iter(|| run_msgpass(&circuit, MsgPassConfig::new(4, table46_schedule())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

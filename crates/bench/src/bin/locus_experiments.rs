@@ -1,0 +1,377 @@
+//! `locus-experiments` — regenerates every table and figure of
+//! Martonosi & Gupta (ICPP 1989) at the paper's full settings.
+//!
+//! Usage:
+//!
+//! ```text
+//! locus-experiments <table1|table2|table3|table4|table5|table6|
+//!                    blocking|mixed|locality|speedup|compare|
+//!                    figure1|figure2|figure3|all>
+//! ```
+//!
+//! Run with `--release`; the full suite takes a few minutes.
+
+use locus_bench::fmt::render_table;
+use locus_bench::*;
+use locus_circuit::presets;
+
+fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn run_table1() {
+    let c = presets::bnr_e();
+    let rows = table1(&c, PAPER_PROCS);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.a),
+                format!("{}", r.b),
+                format!("{}", r.ckt_ht),
+                format!("{}", r.occupancy),
+                f3(r.mbytes),
+                f3(r.time_s),
+            ]
+        })
+        .collect();
+    println!("Table 1: network traffic using sender initiated updates (bnrE, 16 procs)\n");
+    println!(
+        "{}",
+        render_table(
+            &["SendRmtData", "SendLocData", "Ckt Ht.", "Occup. Factor", "MBytes Xfrd.", "Time (s)"],
+            &data
+        )
+    );
+}
+
+fn run_table2() {
+    let c = presets::bnr_e();
+    let rows = table2(&c, PAPER_PROCS);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.a),
+                format!("{}", r.b),
+                format!("{}", r.ckt_ht),
+                format!("{}", r.occupancy),
+                f3(r.mbytes),
+                f3(r.time_s),
+            ]
+        })
+        .collect();
+    println!("Table 2: traffic using non-blocking receiver initiated updates (bnrE, 16 procs)\n");
+    println!(
+        "{}",
+        render_table(
+            &["ReqLocData", "ReqRmtData", "Ckt Ht.", "Occup. Factor", "MBytes Xfrd.", "Time (s)"],
+            &data
+        )
+    );
+}
+
+fn run_blocking() {
+    let c = presets::bnr_e();
+    let rows = blocking_study(&c, PAPER_PROCS);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("({},{})", r.schedule.0, r.schedule.1),
+                format!("{}", r.ht_nonblocking),
+                format!("{}", r.ht_blocking),
+                f3(r.time_nonblocking),
+                f3(r.time_blocking),
+                format!("{:+.1}%", (r.time_blocking / r.time_nonblocking - 1.0) * 100.0),
+            ]
+        })
+        .collect();
+    println!("§5.1.3: blocking vs non-blocking receiver initiated (bnrE, 16 procs)\n");
+    println!(
+        "{}",
+        render_table(
+            &["(ReqLoc,ReqRmt)", "Ht nonblk", "Ht blk", "T nonblk (s)", "T blk (s)", "T delta"],
+            &data
+        )
+    );
+}
+
+fn run_mixed() {
+    let c = presets::bnr_e();
+    let rows = mixed_study(&c, PAPER_PROCS);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{}", r.ckt_ht),
+                format!("{}", r.occupancy),
+                f3(r.mbytes),
+                f3(r.time_s),
+            ]
+        })
+        .collect();
+    println!("§5.1.3: mixed update schedules (bnrE, 16 procs)\n");
+    println!(
+        "{}",
+        render_table(
+            &["strategy", "Ckt Ht.", "Occup. Factor", "MBytes Xfrd.", "Time (s)"],
+            &data
+        )
+    );
+}
+
+fn run_table3() {
+    let c = presets::bnr_e();
+    let rows = table3(&c, PAPER_PROCS, &[4, 8, 16, 32]);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.line_size),
+                format!("{:.2}", r.mbytes),
+                format!("{:.0}%", r.write_fraction * 100.0),
+                format!("{}", r.invalidations),
+            ]
+        })
+        .collect();
+    println!("Table 3: shared-memory traffic vs cache line size (bnrE, 16 procs, WBI)\n");
+    println!(
+        "{}",
+        render_table(
+            &["Cache Line Size", "MBytes Transferred", "write-caused", "invalidations"],
+            &data
+        )
+    );
+}
+
+fn run_table4() {
+    let bnr = presets::bnr_e();
+    let mdc = presets::mdc();
+    let rows = table4(&[&bnr, &mdc], PAPER_PROCS);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.circuit.clone(),
+                r.method.clone(),
+                format!("{}", r.ckt_ht),
+                f3(r.mbytes),
+                f3(r.time_s),
+                f3(r.mbytes_receiver),
+            ]
+        })
+        .collect();
+    println!("Table 4: effect of locality, message passing (sender initiated; last column: receiver-initiated traffic)\n");
+    println!(
+        "{}",
+        render_table(
+            &["Ckt.", "Asmt. Method", "Ckt. Ht.", "MBytes Xfrd.", "Time (s)", "MB (recv-init)"],
+            &data
+        )
+    );
+}
+
+fn run_table5() {
+    let bnr = presets::bnr_e();
+    let mdc = presets::mdc();
+    let rows = table5(&[&bnr, &mdc], PAPER_PROCS);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.circuit.clone(),
+                r.method.clone(),
+                format!("{}", r.ckt_ht),
+                f3(r.mbytes),
+            ]
+        })
+        .collect();
+    println!("Table 5: effect of locality in shared memory version (8-byte lines)\n");
+    println!(
+        "{}",
+        render_table(&["Ckt.", "Asmt. Method", "Ckt. Height", "MBytes Xfrd."], &data)
+    );
+}
+
+fn run_table6() {
+    let c = presets::bnr_e();
+    let rows = table6(&c, &[2, 4, 9, 16]);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.procs),
+                format!("{}", r.ckt_ht),
+                format!("{}", r.occupancy),
+                f3(r.mbytes),
+                f3(r.time_s),
+                format!("{:.1}", r.speedup),
+            ]
+        })
+        .collect();
+    println!("Table 6: effect of number of processors (bnrE, sender initiated)\n");
+    println!(
+        "{}",
+        render_table(
+            &["Num Procs.", "Ckt. Ht.", "Occup. Factor", "MBytes Xfrd.", "Time (s)", "Speedup"],
+            &data
+        )
+    );
+}
+
+fn run_locality() {
+    let bnr = presets::bnr_e();
+    let mdc = presets::mdc();
+    let rows = locality_study(&[&bnr, &mdc], &[4, 9, 16]);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.circuit.clone(),
+                r.method.clone(),
+                format!("{}", r.procs),
+                format!("{:.2}", r.mean_hops),
+                format!("{:.0}%", r.owned_fraction * 100.0),
+            ]
+        })
+        .collect();
+    println!("§5.3.3: locality measure (mean hops routing proc -> owner)\n");
+    println!(
+        "{}",
+        render_table(&["Ckt.", "Asmt. Method", "Procs", "Mean hops", "Owned cells"], &data)
+    );
+}
+
+fn run_speedup() {
+    let bnr = presets::bnr_e();
+    let mdc = presets::mdc();
+    let rows = speedup_study(&[&bnr, &mdc], &[2, 4, 9, 16]);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.engine.clone(),
+                r.circuit.clone(),
+                format!("{}", r.procs),
+                format!("{:.4}", r.time_s),
+                format!("{:.1}", r.speedup),
+            ]
+        })
+        .collect();
+    println!("§5.4: speedup (relative to 2-processor run, x2)\n");
+    println!(
+        "{}",
+        render_table(&["engine", "Ckt.", "Procs", "Time (s)", "Speedup"], &data)
+    );
+}
+
+fn ablation_table(title: &str, rows: &[locus_bench::AblationRow]) {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                format!("{}", r.ckt_ht),
+                f3(r.mbytes),
+                f3(r.time_s),
+                format!("{}", r.packets),
+            ]
+        })
+        .collect();
+    println!("{title}\n");
+    println!(
+        "{}",
+        render_table(&["variant", "Ckt. Ht.", "MBytes Xfrd.", "Time (s)", "packets"], &data)
+    );
+}
+
+fn run_structures() {
+    let c = presets::bnr_e();
+    ablation_table(
+        "Ablation §4.3.1: update packet structures (bnrE, 16 procs, sender initiated)",
+        &structures_study(&c, PAPER_PROCS),
+    );
+}
+
+fn run_overshoot() {
+    let c = presets::bnr_e();
+    ablation_table(
+        "Ablation: two-bend candidate channel overshoot (bnrE, 16 procs)",
+        &overshoot_study(&c, PAPER_PROCS),
+    );
+}
+
+fn run_contention() {
+    let c = presets::bnr_e();
+    ablation_table(
+        "Ablation: network contention model on/off (bnrE, 16 procs, eager sender)",
+        &contention_study(&c, PAPER_PROCS),
+    );
+}
+
+fn run_distribution() {
+    let c = presets::bnr_e();
+    ablation_table(
+        "Ablation §4.2: static vs dynamic wire distribution (bnrE, 16 procs, 1 iteration)",
+        &distribution_study(&c, PAPER_PROCS),
+    );
+}
+
+fn run_compare() {
+    let c = presets::bnr_e();
+    let rows = compare_paradigms(&c, PAPER_PROCS);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.approach.clone(), format!("{}", r.ckt_ht), f3(r.mbytes)])
+        .collect();
+    println!("§5.2: shared memory vs message passing (bnrE, 16 procs)\n");
+    println!("{}", render_table(&["approach", "Ckt. Ht.", "MBytes Xfrd."], &data));
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let known: &[(&str, fn())] = &[
+        ("table1", run_table1),
+        ("table2", run_table2),
+        ("blocking", run_blocking),
+        ("mixed", run_mixed),
+        ("table3", run_table3),
+        ("table4", run_table4),
+        ("table5", run_table5),
+        ("table6", run_table6),
+        ("locality", run_locality),
+        ("speedup", run_speedup),
+        ("compare", run_compare),
+        ("structures", run_structures),
+        ("distribution", run_distribution),
+        ("overshoot", run_overshoot),
+        ("contention", run_contention),
+    ];
+    match arg.as_str() {
+        "figure1" => print!("{}", figure1()),
+        "figure2" => print!("{}", figure2(4)),
+        "figure3" => print!("{}", figure3()),
+        "all" => {
+            for (name, f) in known {
+                println!("==== {name} ====");
+                f();
+            }
+            print!("{}", figure1());
+            print!("{}", figure2(4));
+            print!("{}", figure3());
+        }
+        other => match known.iter().find(|(n, _)| *n == other) {
+            Some((_, f)) => f(),
+            None => {
+                eprintln!(
+                    "unknown experiment {other:?}; expected one of table1..table6, blocking, \
+                     mixed, locality, speedup, compare, structures, overshoot, contention, \
+                     figure1..figure3, all"
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}

@@ -1,0 +1,64 @@
+//! `probe` — calibration diagnostics: raw work counters, trace
+//! composition, and coherence breakdowns used to tune the timing model.
+
+use locus_bench::shared_memory_trace;
+use locus_circuit::presets;
+use locus_coherence::{traffic_by_line_size, RefKind};
+use locus_msgpass::{run_msgpass, MsgPassConfig, PacketKind, UpdateSchedule};
+use locus_router::{RouterParams, SequentialRouter};
+
+fn main() {
+    let c = presets::bnr_e();
+
+    let seq = SequentialRouter::new(&c, RouterParams::default()).run();
+    println!("sequential bnrE: height={} occupancy={}", seq.quality.circuit_height, seq.quality.occupancy_factor);
+    println!("  work: {:?}", seq.work);
+
+    let trace = shared_memory_trace(&c, 16);
+    let reads = trace.refs().iter().filter(|r| r.kind == RefKind::Read).count();
+    println!(
+        "trace: {} refs ({} reads, {} writes)",
+        trace.len(),
+        reads,
+        trace.write_count()
+    );
+    for (ls, st) in traffic_by_line_size(&trace, &[4, 8, 16, 32]) {
+        println!(
+            "  line {ls:>2}: total={:.3}MB fetches={} words={} invals={} refetch={} writefrac={:.2}",
+            st.mbytes(),
+            st.line_fetches,
+            st.word_writes,
+            st.invalidations,
+            st.refetches,
+            st.write_fraction()
+        );
+    }
+
+    for (label, schedule) in [
+        ("sender (2,1)", UpdateSchedule::sender_initiated(2, 1)),
+        ("sender (2,10)", UpdateSchedule::sender_initiated(2, 10)),
+        ("receiver (1,5)", UpdateSchedule::receiver_initiated(1, 5)),
+        ("receiver (1,30)", UpdateSchedule::receiver_initiated(1, 30)),
+        ("never", UpdateSchedule::never()),
+    ] {
+        let out = run_msgpass(&c, MsgPassConfig::new(16, schedule));
+        println!(
+            "msgpass {label}: ht={} occ={} mb={:.3} t={:.3}s packets={} diverg={:.3}",
+            out.quality.circuit_height,
+            out.quality.occupancy_factor,
+            out.mbytes,
+            out.time_secs,
+            out.packets.total_packets(),
+            out.replica_divergence
+        );
+        let mean_len: f64 = out.routes.iter().map(|r| r.len() as f64).sum::<f64>()
+            / out.routes.len() as f64;
+        println!("    mean route cells: {mean_len:.2}");
+        for kind in PacketKind::ALL {
+            let p = out.packets.packets(kind);
+            if p > 0 {
+                println!("    {kind:?}: {} packets, {} bytes", p, out.packets.bytes(kind));
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! `probe2` — circuit-population sweep used to pick the synthetic bnrE
+//! generator parameters (see DESIGN.md §5): for each candidate wire
+//! population, print every shape metric the reproduction must hit.
+
+use locus_circuit::{CircuitGenerator, GeneratorConfig};
+use locus_coherence::traffic_by_line_size;
+use locus_msgpass::{run_msgpass, MsgPassConfig, UpdateSchedule};
+use locus_router::locality::locality_measure;
+use locus_router::{assign, AssignmentStrategy, RegionMap, RouterParams, SequentialRouter};
+use locus_shmem::{ShmemConfig, ShmemEmulator};
+
+fn main() {
+    let variants: Vec<(&str, GeneratorConfig)> = vec![
+        ("s1", seeded(0x1989_0002)),
+        ("s2", seeded(0x1989_0003)),
+        ("s3", seeded(0x1989_0004)),
+        ("s4", seeded(0x1989_0005)),
+        ("s5", seeded(0x1989_0006)),
+        ("s6", seeded(0x1989_0007)),
+    ];
+    for (name, cfg) in variants {
+        let c = CircuitGenerator::new(cfg).generate();
+        let seq = SequentialRouter::new(&c, RouterParams::default()).run();
+        let regions = RegionMap::new(c.channels, c.grids, 16);
+        let local = assign(&c, &regions, AssignmentStrategy::Locality { threshold_cost: None });
+        let lm = locality_measure(&seq.routes, &local.proc_of_wire, &regions);
+
+        let shm = ShmemEmulator::new(&c, ShmemConfig::new(16).with_trace()).run();
+        let t8 = traffic_by_line_size(shm.trace.as_ref().unwrap(), &[4, 8, 32]);
+
+        let r5 = run_msgpass(&c, MsgPassConfig::new(16, UpdateSchedule::receiver_initiated(1, 5)));
+        let r30 =
+            run_msgpass(&c, MsgPassConfig::new(16, UpdateSchedule::receiver_initiated(1, 30)));
+        let never = run_msgpass(&c, MsgPassConfig::new(16, UpdateSchedule::never()));
+        let snd = run_msgpass(&c, MsgPassConfig::new(16, UpdateSchedule::sender_initiated(2, 10)));
+        let rr = run_msgpass(&c, MsgPassConfig::new(16, UpdateSchedule::sender_initiated(2, 10))
+            .with_assignment(AssignmentStrategy::RoundRobin));
+        let t30 = run_msgpass(&c, MsgPassConfig::new(16, UpdateSchedule::sender_initiated(2, 10))
+            .with_assignment(AssignmentStrategy::Locality { threshold_cost: Some(30) }));
+
+        println!(
+            "{name}: seq={} shm={} snd={} r5={} r30={} nvr={} rr={} t30={} | loc={:.2} | rr_t={:.2} t30_t={:.2} inf_t={:.2} | shm4/8/32={:.2}/{:.2}/{:.2} sndMB={:.3} r5MB={:.3} snd_t={:.2} r5_t={:.2}",
+            seq.quality.circuit_height,
+            shm.quality.circuit_height,
+            snd.quality.circuit_height,
+            r5.quality.circuit_height,
+            r30.quality.circuit_height,
+            never.quality.circuit_height,
+            rr.quality.circuit_height,
+            t30.quality.circuit_height,
+            lm.mean_hops,
+            rr.time_secs,
+            t30.time_secs,
+            snd.time_secs,
+            t8[0].1.mbytes(),
+            t8[1].1.mbytes(),
+            t8[2].1.mbytes(),
+            snd.mbytes,
+            r5.mbytes,
+            snd.time_secs,
+            r5.time_secs,
+        );
+    }
+}
+
+fn base(short_fraction: f64, long_max: f64, span: f64) -> GeneratorConfig {
+    let mut cfg = GeneratorConfig::for_surface("variant", 10, 341, 420, 0x1989_0001);
+    cfg.short_fraction = short_fraction;
+    cfg.long_max_fraction = long_max;
+    cfg.mean_channel_span = span;
+    cfg
+}
+
+fn seeded(seed: u64) -> GeneratorConfig {
+    let mut cfg = base(0.62, 0.75, 2.5);
+    cfg.seed = seed;
+    cfg
+}

@@ -1,0 +1,787 @@
+//! One function per experiment id (see `DESIGN.md` §3).
+//!
+//! Every function is deterministic and parameterized on the circuit and
+//! processor count so the Criterion benches can run reduced "quick"
+//! configurations while the CLI reproduces the full paper settings.
+
+use locus_circuit::Circuit;
+use locus_coherence::{traffic_by_line_size, Trace};
+use locus_msgpass::{run_msgpass, MsgPassConfig, PacketStructure, UpdateSchedule};
+use locus_router::locality::locality_measure;
+use locus_router::{
+    assign, AssignmentStrategy, RegionMap, RouterParams, SequentialRouter,
+};
+use locus_shmem::{ShmemConfig, ShmemEmulator, ThreadedRouter};
+
+/// The paper's default message-passing machine size.
+pub const PAPER_PROCS: usize = 16;
+
+/// The sender-initiated schedule the paper's Tables 4 and 6 use
+/// (`SendRmtData = 2`, `SendLocData = 10` — the Table 1 row whose traffic
+/// and time the other tables repeat).
+pub fn table46_schedule() -> UpdateSchedule {
+    UpdateSchedule::sender_initiated(2, 10)
+}
+
+/// A row of an update-frequency sweep (Tables 1 and 2).
+#[derive(Clone, Debug)]
+pub struct UpdateSweepRow {
+    /// First swept parameter (Table 1: SendRmtData; Table 2: ReqLocData).
+    pub a: u32,
+    /// Second swept parameter (Table 1: SendLocData; Table 2: ReqRmtData).
+    pub b: u32,
+    /// Circuit height.
+    pub ckt_ht: u64,
+    /// Occupancy factor.
+    pub occupancy: u64,
+    /// Payload megabytes transferred.
+    pub mbytes: f64,
+    /// Simulated execution time in seconds.
+    pub time_s: f64,
+}
+
+impl UpdateSweepRow {
+    fn from_outcome(a: u32, b: u32, out: &locus_msgpass::MsgPassOutcome) -> Self {
+        UpdateSweepRow {
+            a,
+            b,
+            ckt_ht: out.quality.circuit_height,
+            occupancy: out.quality.occupancy_factor,
+            mbytes: out.mbytes,
+            time_s: out.time_secs,
+        }
+    }
+}
+
+/// **Table 1** — network traffic and quality using sender-initiated
+/// updates: sweep `SendRmtData ∈ {2,5,10}` × `SendLocData ∈ {1,5,10,20}`.
+pub fn table1(circuit: &Circuit, n_procs: usize) -> Vec<UpdateSweepRow> {
+    let mut rows = Vec::new();
+    for &rmt in &[2u32, 5, 10] {
+        for &loc in &[1u32, 5, 10, 20] {
+            let cfg = MsgPassConfig::new(n_procs, UpdateSchedule::sender_initiated(rmt, loc));
+            let out = run_msgpass(circuit, cfg);
+            assert!(!out.deadlocked, "table1 run ({rmt},{loc}) deadlocked");
+            rows.push(UpdateSweepRow::from_outcome(rmt, loc, &out));
+        }
+    }
+    rows
+}
+
+/// **Table 2** — non-blocking receiver-initiated updates: sweep
+/// `ReqLocData ∈ {1,2,10}` × `ReqRmtData ∈ {5,10,30}`.
+pub fn table2(circuit: &Circuit, n_procs: usize) -> Vec<UpdateSweepRow> {
+    let mut rows = Vec::new();
+    for &loc in &[1u32, 2, 10] {
+        for &rmt in &[5u32, 10, 30] {
+            let cfg = MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated(loc, rmt));
+            let out = run_msgpass(circuit, cfg);
+            assert!(!out.deadlocked, "table2 run ({loc},{rmt}) deadlocked");
+            rows.push(UpdateSweepRow::from_outcome(loc, rmt, &out));
+        }
+    }
+    rows
+}
+
+/// A blocking-vs-non-blocking comparison row (§5.1.3).
+#[derive(Clone, Debug)]
+pub struct BlockingRow {
+    /// `(ReqLocData, ReqRmtData)` schedule.
+    pub schedule: (u32, u32),
+    /// Circuit height: non-blocking.
+    pub ht_nonblocking: u64,
+    /// Circuit height: blocking.
+    pub ht_blocking: u64,
+    /// Time (s): non-blocking.
+    pub time_nonblocking: f64,
+    /// Time (s): blocking.
+    pub time_blocking: f64,
+}
+
+/// **§5.1.3 (blocking)** — blocking vs non-blocking receiver-initiated
+/// strategies on the same update schedules: quality about equal, blocking
+/// execution time up to ~75% larger.
+pub fn blocking_study(circuit: &Circuit, n_procs: usize) -> Vec<BlockingRow> {
+    [(1u32, 5u32), (2, 10), (10, 30)]
+        .iter()
+        .map(|&(loc, rmt)| {
+            let nb = run_msgpass(
+                circuit,
+                MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated(loc, rmt)),
+            );
+            let bl = run_msgpass(
+                circuit,
+                MsgPassConfig::new(
+                    n_procs,
+                    UpdateSchedule::receiver_initiated_blocking(loc, rmt),
+                ),
+            );
+            assert!(!nb.deadlocked && !bl.deadlocked);
+            BlockingRow {
+                schedule: (loc, rmt),
+                ht_nonblocking: nb.quality.circuit_height,
+                ht_blocking: bl.quality.circuit_height,
+                time_nonblocking: nb.time_secs,
+                time_blocking: bl.time_secs,
+            }
+        })
+        .collect()
+}
+
+/// A mixed-schedule comparison row (§5.1.3).
+#[derive(Clone, Debug)]
+pub struct MixedRow {
+    /// Strategy label.
+    pub label: String,
+    /// Circuit height.
+    pub ckt_ht: u64,
+    /// Occupancy factor.
+    pub occupancy: u64,
+    /// Megabytes transferred.
+    pub mbytes: f64,
+    /// Execution time (s).
+    pub time_s: f64,
+}
+
+/// **§5.1.3 (mixed)** — the paper's mixed schedule
+/// (`SendLocData=5, SendRmtData=2, ReqLocData=1, ReqRmtData=5`) against
+/// pure sender- and pure receiver-initiated schedules: mixed should beat
+/// both on occupancy factor using roughly half the sender traffic.
+pub fn mixed_study(circuit: &Circuit, n_procs: usize) -> Vec<MixedRow> {
+    let cases: [(&str, UpdateSchedule); 3] = [
+        ("sender (2,5)", UpdateSchedule::sender_initiated(2, 5)),
+        ("receiver (1,5)", UpdateSchedule::receiver_initiated(1, 5)),
+        ("mixed (5,2,1,5)", UpdateSchedule::mixed_paper()),
+    ];
+    cases
+        .iter()
+        .map(|(label, schedule)| {
+            let out = run_msgpass(circuit, MsgPassConfig::new(n_procs, *schedule));
+            assert!(!out.deadlocked);
+            MixedRow {
+                label: label.to_string(),
+                ckt_ht: out.quality.circuit_height,
+                occupancy: out.quality.occupancy_factor,
+                mbytes: out.mbytes,
+                time_s: out.time_secs,
+            }
+        })
+        .collect()
+}
+
+/// A Table 3 row: coherence traffic at one cache line size.
+#[derive(Clone, Debug)]
+pub struct LineSizeRow {
+    /// Cache line size in bytes.
+    pub line_size: u32,
+    /// Megabytes transferred on the bus.
+    pub mbytes: f64,
+    /// Fraction of bytes caused by writes (§5.2 reports >0.8).
+    pub write_fraction: f64,
+    /// Invalidations performed.
+    pub invalidations: u64,
+}
+
+/// Collects the shared-memory reference trace the coherence analyses use.
+pub fn shared_memory_trace(circuit: &Circuit, n_procs: usize) -> Trace {
+    let out = ShmemEmulator::new(circuit, ShmemConfig::new(n_procs).with_trace()).run();
+    out.trace.expect("trace collection enabled")
+}
+
+/// **Table 3** — shared-memory bus traffic as a function of cache line
+/// size under Write-Back-with-Invalidate with infinite caches.
+pub fn table3(circuit: &Circuit, n_procs: usize, line_sizes: &[u32]) -> Vec<LineSizeRow> {
+    let trace = shared_memory_trace(circuit, n_procs);
+    traffic_by_line_size(&trace, line_sizes)
+        .into_iter()
+        .map(|(line_size, stats)| LineSizeRow {
+            line_size,
+            mbytes: stats.mbytes(),
+            write_fraction: stats.write_fraction(),
+            invalidations: stats.invalidations,
+        })
+        .collect()
+}
+
+/// A Table 4 row: message-passing locality sweep.
+#[derive(Clone, Debug)]
+pub struct Table4Row {
+    /// Circuit name.
+    pub circuit: String,
+    /// Assignment method label (paper wording).
+    pub method: String,
+    /// Circuit height.
+    pub ckt_ht: u64,
+    /// Megabytes transferred (sender-initiated schedule).
+    pub mbytes: f64,
+    /// Execution time (s).
+    pub time_s: f64,
+    /// Megabytes transferred under the receiver-initiated schedule
+    /// (§5.3.1's −63% observation concerns this strategy).
+    pub mbytes_receiver: f64,
+}
+
+/// **Table 4** — effect of the wire-assignment strategy on the
+/// message-passing implementation (both circuits, sender-initiated
+/// schedule, plus receiver-initiated traffic for the −63% comparison).
+pub fn table4(circuits: &[&Circuit], n_procs: usize) -> Vec<Table4Row> {
+    let mut rows = Vec::new();
+    for &circuit in circuits {
+        for (method, strategy) in AssignmentStrategy::table45_rows() {
+            let sender = run_msgpass(
+                circuit,
+                MsgPassConfig::new(n_procs, table46_schedule()).with_assignment(strategy),
+            );
+            let receiver = run_msgpass(
+                circuit,
+                MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated(1, 5))
+                    .with_assignment(strategy),
+            );
+            assert!(!sender.deadlocked && !receiver.deadlocked);
+            rows.push(Table4Row {
+                circuit: circuit.name.clone(),
+                method: method.to_string(),
+                ckt_ht: sender.quality.circuit_height,
+                mbytes: sender.mbytes,
+                time_s: sender.time_secs,
+                mbytes_receiver: receiver.mbytes,
+            });
+        }
+    }
+    rows
+}
+
+/// A Table 5 row: shared-memory locality sweep.
+#[derive(Clone, Debug)]
+pub struct Table5Row {
+    /// Circuit name.
+    pub circuit: String,
+    /// Assignment method label.
+    pub method: String,
+    /// Circuit height.
+    pub ckt_ht: u64,
+    /// Megabytes of bus traffic at 8-byte cache lines.
+    pub mbytes: f64,
+}
+
+/// **Table 5** — effect of the wire-assignment strategy on the
+/// shared-memory implementation (8-byte cache lines).
+pub fn table5(circuits: &[&Circuit], n_procs: usize) -> Vec<Table5Row> {
+    let mut rows = Vec::new();
+    for &circuit in circuits {
+        for (method, strategy) in AssignmentStrategy::table45_rows() {
+            let cfg = ShmemConfig::new(n_procs)
+                .with_trace()
+                .with_static_assignment(strategy);
+            let out = ShmemEmulator::new(circuit, cfg).run();
+            let trace = out.trace.expect("trace enabled");
+            let stats = traffic_by_line_size(&trace, &[8]).remove(0).1;
+            rows.push(Table5Row {
+                circuit: circuit.name.clone(),
+                method: method.to_string(),
+                ckt_ht: out.quality.circuit_height,
+                mbytes: stats.mbytes(),
+            });
+        }
+    }
+    rows
+}
+
+/// A Table 6 row: processor-count scaling.
+#[derive(Clone, Debug)]
+pub struct Table6Row {
+    /// Processor count.
+    pub procs: usize,
+    /// Circuit height.
+    pub ckt_ht: u64,
+    /// Occupancy factor.
+    pub occupancy: u64,
+    /// Megabytes transferred.
+    pub mbytes: f64,
+    /// Execution time (s).
+    pub time_s: f64,
+    /// Speedup, computed as the paper does: relative to the two-processor
+    /// run, multiplied by two.
+    pub speedup: f64,
+}
+
+/// **Table 6** — effect of the number of processors (sender-initiated
+/// schedule); quality degrades, time scales, traffic peaks then falls.
+pub fn table6(circuit: &Circuit, procs: &[usize]) -> Vec<Table6Row> {
+    let outcomes: Vec<(usize, locus_msgpass::MsgPassOutcome)> = procs
+        .iter()
+        .map(|&p| {
+            let out = run_msgpass(circuit, MsgPassConfig::new(p, table46_schedule()));
+            assert!(!out.deadlocked, "table6 run P={p} deadlocked");
+            (p, out)
+        })
+        .collect();
+    let t2 = outcomes
+        .iter()
+        .find(|(p, _)| *p == 2)
+        .map(|(_, o)| o.time_secs)
+        .unwrap_or_else(|| outcomes[0].1.time_secs);
+    outcomes
+        .into_iter()
+        .map(|(p, out)| Table6Row {
+            procs: p,
+            ckt_ht: out.quality.circuit_height,
+            occupancy: out.quality.occupancy_factor,
+            mbytes: out.mbytes,
+            time_s: out.time_secs,
+            speedup: t2 / out.time_secs * 2.0,
+        })
+        .collect()
+}
+
+/// A locality-measure row (§5.3.3).
+#[derive(Clone, Debug)]
+pub struct LocalityRow {
+    /// Circuit name.
+    pub circuit: String,
+    /// Assignment method label.
+    pub method: String,
+    /// Processor count.
+    pub procs: usize,
+    /// Mean hops between routing and owning processor (0 = perfect).
+    pub mean_hops: f64,
+    /// Fraction of route cells routed by their owner.
+    pub owned_fraction: f64,
+}
+
+/// **§5.3.3** — the locality measure over assignment strategies and
+/// processor counts (computed on the sequential routing solution, so the
+/// measure reflects the circuit + assignment, not update noise).
+pub fn locality_study(circuits: &[&Circuit], proc_counts: &[usize]) -> Vec<LocalityRow> {
+    let mut rows = Vec::new();
+    for &circuit in circuits {
+        let solution = SequentialRouter::new(circuit, RouterParams::default()).run();
+        for &p in proc_counts {
+            let regions = RegionMap::new(circuit.channels, circuit.grids, p);
+            for (method, strategy) in [
+                ("round robin", AssignmentStrategy::RoundRobin),
+                ("ThresholdCost = inf.", AssignmentStrategy::Locality { threshold_cost: None }),
+            ] {
+                let a = assign(circuit, &regions, strategy);
+                let lm = locality_measure(&solution.routes, &a.proc_of_wire, &regions);
+                rows.push(LocalityRow {
+                    circuit: circuit.name.clone(),
+                    method: method.to_string(),
+                    procs: p,
+                    mean_hops: lm.mean_hops,
+                    owned_fraction: lm.owned_fraction,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// A speedup row (§5.4).
+#[derive(Clone, Debug)]
+pub struct SpeedupRow {
+    /// Engine label ("message passing" or "threads").
+    pub engine: String,
+    /// Circuit name.
+    pub circuit: String,
+    /// Processor count.
+    pub procs: usize,
+    /// Time: simulated seconds (message passing) or wall seconds
+    /// (threads).
+    pub time_s: f64,
+    /// Speedup relative to the 2-processor run × 2 (paper convention).
+    pub speedup: f64,
+}
+
+/// **§5.4 (speedup)** — message-passing speedup on the simulator plus
+/// real-thread wall-clock speedup of the shared-memory router.
+pub fn speedup_study(circuits: &[&Circuit], proc_counts: &[usize]) -> Vec<SpeedupRow> {
+    let mut rows = Vec::new();
+    for &circuit in circuits {
+        // Message passing on the simulated mesh.
+        let times: Vec<(usize, f64)> = proc_counts
+            .iter()
+            .map(|&p| {
+                let out = run_msgpass(circuit, MsgPassConfig::new(p, table46_schedule()));
+                (p, out.time_secs)
+            })
+            .collect();
+        let t2 = times
+            .iter()
+            .find(|(p, _)| *p == 2)
+            .map(|&(_, t)| t)
+            .unwrap_or(times[0].1);
+        for &(p, t) in &times {
+            rows.push(SpeedupRow {
+                engine: "message passing".into(),
+                circuit: circuit.name.clone(),
+                procs: p,
+                time_s: t,
+                speedup: t2 / t * 2.0,
+            });
+        }
+        // Real threads (wall clock; nondeterministic, reported as-is).
+        let wall: Vec<(usize, f64)> = proc_counts
+            .iter()
+            .filter(|&&p| p <= 16)
+            .map(|&p| {
+                let out = ThreadedRouter::new(circuit, ShmemConfig::new(p)).run();
+                (p, out.wall.as_secs_f64())
+            })
+            .collect();
+        let w2 = wall.iter().find(|(p, _)| *p == 2).map(|&(_, t)| t).unwrap_or(wall[0].1);
+        for &(p, t) in &wall {
+            rows.push(SpeedupRow {
+                engine: "threads (wall)".into(),
+                circuit: circuit.name.clone(),
+                procs: p,
+                time_s: t,
+                speedup: w2 / t * 2.0,
+            });
+        }
+    }
+    rows
+}
+
+/// A paradigm-comparison row (§5.2).
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    /// Approach label.
+    pub approach: String,
+    /// Circuit height.
+    pub ckt_ht: u64,
+    /// Megabytes transferred (bus traffic at 8-byte lines for shared
+    /// memory; payload bytes for message passing).
+    pub mbytes: f64,
+}
+
+/// **§5.2** — the headline comparison: shared memory (best quality, most
+/// traffic) vs sender-initiated (≈10× less traffic) vs receiver-initiated
+/// (≈10× less again).
+pub fn compare_paradigms(circuit: &Circuit, n_procs: usize) -> Vec<CompareRow> {
+    let trace = shared_memory_trace(circuit, n_procs);
+    let shmem_stats = traffic_by_line_size(&trace, &[8]).remove(0).1;
+    let shmem =
+        ShmemEmulator::new(circuit, ShmemConfig::new(n_procs)).run();
+    let sender = run_msgpass(circuit, MsgPassConfig::new(n_procs, table46_schedule()));
+    let receiver = run_msgpass(
+        circuit,
+        MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated(1, 5)),
+    );
+    vec![
+        CompareRow {
+            approach: "shared memory (WBI, 8B lines)".into(),
+            ckt_ht: shmem.quality.circuit_height,
+            mbytes: shmem_stats.mbytes(),
+        },
+        CompareRow {
+            approach: "message passing, sender initiated (2,10)".into(),
+            ckt_ht: sender.quality.circuit_height,
+            mbytes: sender.mbytes,
+        },
+        CompareRow {
+            approach: "message passing, receiver initiated (1,5)".into(),
+            ckt_ht: receiver.quality.circuit_height,
+            mbytes: receiver.mbytes,
+        },
+    ]
+}
+
+/// An ablation row: one configuration variant of a design choice.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Circuit height.
+    pub ckt_ht: u64,
+    /// Megabytes transferred.
+    pub mbytes: f64,
+    /// Execution time (s).
+    pub time_s: f64,
+    /// Packets sent.
+    pub packets: u64,
+}
+
+fn ablation_row(variant: &str, out: &locus_msgpass::MsgPassOutcome) -> AblationRow {
+    AblationRow {
+        variant: variant.to_string(),
+        ckt_ht: out.quality.circuit_height,
+        mbytes: out.mbytes,
+        time_s: out.time_secs,
+        packets: out.packets.total_packets(),
+    }
+}
+
+/// **Ablation (§4.3.1)** — the three update-packet structures the paper
+/// discusses: bounding box (chosen), full region, wire-based events.
+pub fn structures_study(circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
+    let schedule = UpdateSchedule::sender_initiated(2, 10);
+    [
+        ("bounding box (paper's choice)", PacketStructure::BoundingBox),
+        ("full region", PacketStructure::FullRegion),
+        ("wire-based events", PacketStructure::WireBased),
+    ]
+    .into_iter()
+    .map(|(label, st)| {
+        let out =
+            run_msgpass(circuit, MsgPassConfig::new(n_procs, schedule).with_structure(st));
+        assert!(!out.deadlocked, "structure {label} deadlocked");
+        ablation_row(label, &out)
+    })
+    .collect()
+}
+
+/// **Ablation** — candidate channel overshoot: how far two-bend VHV
+/// candidates may detour outside the pin bounding box (DESIGN.md §6).
+pub fn overshoot_study(circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
+    [0u16, 1, 2]
+        .into_iter()
+        .map(|ov| {
+            let cfg = MsgPassConfig::new(n_procs, table46_schedule())
+                .with_params(RouterParams::default().with_channel_overshoot(ov));
+            let out = run_msgpass(circuit, cfg);
+            ablation_row(&format!("overshoot = {ov}"), &out)
+        })
+        .collect()
+}
+
+/// **Ablation** — network contention on vs off: how much of the
+/// execution time the wormhole channel-blocking model accounts for
+/// (evaluated on the chattiest sender schedule).
+pub fn contention_study(circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
+    let cfg = MsgPassConfig::new(n_procs, UpdateSchedule::sender_initiated(2, 1));
+    let with = run_msgpass(circuit, cfg);
+    let without = locus_msgpass::run_msgpass_with_mesh(
+        circuit,
+        cfg,
+        cfg.mesh_config().without_contention(),
+    );
+    vec![
+        ablation_row("contention modelled", &with),
+        ablation_row("contention disabled", &without),
+    ]
+}
+
+/// **Ablation (§4.2)** — static vs dynamic wire distribution: the paper
+/// rejected the dynamic scheme because wire requests are only served
+/// between wires; this measures what that choice cost.
+pub fn distribution_study(circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
+    let schedule = UpdateSchedule::sender_initiated(2, 10);
+    let params = RouterParams::default().with_iterations(1);
+    let stat = run_msgpass(
+        circuit,
+        MsgPassConfig::new(n_procs, schedule).with_params(params),
+    );
+    let dynamic =
+        run_msgpass(circuit, MsgPassConfig::new(n_procs, schedule).with_dynamic_wires());
+    vec![
+        ablation_row("static assignment (1 iter)", &stat),
+        ablation_row("dynamic distribution (1 iter)", &dynamic),
+    ]
+}
+
+/// **Figure 1** — a cost array with one wire's route highlighted.
+pub fn figure1() -> String {
+    use locus_router::render::render_cost_array;
+    let circuit = locus_circuit::presets::tiny();
+    let out = SequentialRouter::new(&circuit, RouterParams::default()).run();
+    let mut s = String::from("Figure 1: cost array with wire 0's route highlighted\n");
+    s.push_str(&render_cost_array(&out.cost, Some(&out.routes[0])));
+    s
+}
+
+/// **Figure 2** — the division of the cost array among processors.
+pub fn figure2(n_procs: usize) -> String {
+    use locus_router::render::render_regions;
+    let circuit = locus_circuit::presets::tiny();
+    let regions = RegionMap::new(circuit.channels, circuit.grids, n_procs);
+    let mut s = format!("Figure 2: cost-array division among {n_procs} processors\n");
+    s.push_str(&render_regions(&regions));
+    s
+}
+
+/// **Figure 3** — the update-transaction taxonomy.
+pub fn figure3() -> String {
+    "Figure 3: classification of update types\n\
+     \n\
+     updates\n\
+     ├── sender initiated\n\
+     │   ├── SendLocData  — absolute own-region data, pushed to N/S/E/W neighbours\n\
+     │   └── SendRmtData  — deltas pushed to the owning processor\n\
+     └── receiver initiated\n\
+         ├── ReqRmtData   — ask an owner for its region   (blocking | non-blocking)\n\
+         └── ReqLocData   — owner asks a writer for deltas (blocking | non-blocking)\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_circuit::presets;
+
+    const QUICK_PROCS: usize = 4;
+
+    #[test]
+    fn table1_shape_and_traffic_ordering() {
+        let c = presets::small();
+        let rows = table1(&c, QUICK_PROCS);
+        assert_eq!(rows.len(), 12);
+        // Within a SendRmtData group, traffic falls as SendLocData grows.
+        for g in rows.chunks(4) {
+            assert!(
+                g[0].mbytes >= g[3].mbytes,
+                "loc=1 traffic {} must be >= loc=20 traffic {}",
+                g[0].mbytes,
+                g[3].mbytes
+            );
+        }
+    }
+
+    #[test]
+    fn table2_shape() {
+        let c = presets::small();
+        let rows = table2(&c, QUICK_PROCS);
+        assert_eq!(rows.len(), 9);
+        // Traffic falls as ReqRmtData grows (fewer requests).
+        for g in rows.chunks(3) {
+            assert!(g[0].mbytes >= g[2].mbytes);
+        }
+    }
+
+    #[test]
+    fn blocking_study_blocking_never_faster() {
+        let c = presets::small();
+        for row in blocking_study(&c, QUICK_PROCS) {
+            assert!(
+                row.time_blocking >= row.time_nonblocking,
+                "schedule {:?}",
+                row.schedule
+            );
+        }
+    }
+
+    #[test]
+    fn table3_traffic_shape() {
+        let c = presets::small();
+        let rows = table3(&c, QUICK_PROCS, &[4, 8, 16, 32]);
+        assert_eq!(rows.len(), 4);
+        // The robust Table 3 properties on synthetic circuits: long lines
+        // cost more than mid-size lines (false-sharing growth), and the
+        // traffic is write-dominated (§5.2: >80% of bytes from writes).
+        // See EXPERIMENTS.md for why the 4-byte point can sit above the
+        // 8-byte point here (spatial merging of clustered route writes).
+        assert!(
+            rows[3].mbytes > rows[1].mbytes,
+            "32B lines {} must out-traffic 8B lines {}",
+            rows[3].mbytes,
+            rows[1].mbytes
+        );
+        for r in &rows {
+            assert!(
+                r.write_fraction > 0.6,
+                "line {}: write fraction {} too low",
+                r.line_size,
+                r.write_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn table4_and_5_cover_both_circuits_and_methods() {
+        let a = presets::small();
+        let b = presets::tiny();
+        let rows4 = table4(&[&a, &b], QUICK_PROCS);
+        assert_eq!(rows4.len(), 8);
+        let rows5 = table5(&[&a], QUICK_PROCS);
+        assert_eq!(rows5.len(), 4);
+    }
+
+    #[test]
+    fn table6_speedup_improves_with_processors() {
+        let c = presets::small();
+        let rows = table6(&c, &[2, 4]);
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].speedup - 2.0).abs() < 1e-9, "P=2 speedup is 2 by definition");
+        assert!(rows[1].time_s < rows[0].time_s, "4 procs must be faster than 2");
+        assert!(rows[1].speedup > 2.0);
+    }
+
+    #[test]
+    fn locality_study_round_robin_worse_than_local() {
+        let c = presets::small();
+        let rows = locality_study(&[&c], &[4]);
+        let rr = rows.iter().find(|r| r.method.contains("robin")).unwrap();
+        let local = rows.iter().find(|r| r.method.contains("inf")).unwrap();
+        assert!(local.mean_hops < rr.mean_hops);
+    }
+
+    #[test]
+    fn compare_paradigms_traffic_ordering() {
+        let c = presets::small();
+        let rows = compare_paradigms(&c, QUICK_PROCS);
+        assert_eq!(rows.len(), 3);
+        // Shared memory must move more bytes than sender-initiated, which
+        // must move more than receiver-initiated (§5.2, §6).
+        assert!(rows[0].mbytes > rows[1].mbytes);
+        assert!(rows[1].mbytes > rows[2].mbytes);
+    }
+
+    #[test]
+    fn structures_study_orders_traffic() {
+        let c = presets::small();
+        let rows = structures_study(&c, QUICK_PROCS);
+        assert_eq!(rows.len(), 3);
+        let bbox = &rows[0];
+        let full = &rows[1];
+        // §4.3.1: the full-region structure "uses a large number of
+        // bytes"; the bounding-box scheme reduces traffic relative to it.
+        assert!(full.mbytes > bbox.mbytes, "full {} vs bbox {}", full.mbytes, bbox.mbytes);
+    }
+
+    #[test]
+    fn overshoot_study_zero_examines_less_work() {
+        let c = presets::small();
+        let rows = overshoot_study(&c, QUICK_PROCS);
+        assert_eq!(rows.len(), 3);
+        // More overshoot = more candidates = more modelled time.
+        assert!(rows[0].time_s <= rows[2].time_s);
+    }
+
+    #[test]
+    fn contention_study_runs_and_contention_counter_responds() {
+        let c = presets::small();
+        let rows = contention_study(&c, QUICK_PROCS);
+        assert_eq!(rows.len(), 2);
+        // Message timing feeds back into the adaptive application, so
+        // total time and packet counts may move either way; the solid
+        // invariant is the contention counter itself.
+        let cfg = MsgPassConfig::new(QUICK_PROCS, UpdateSchedule::sender_initiated(2, 1));
+        let with = run_msgpass(&c, cfg);
+        let without = locus_msgpass::run_msgpass_with_mesh(
+            &c,
+            cfg,
+            cfg.mesh_config().without_contention(),
+        );
+        assert!(with.net.contention_ns > 0, "chatty schedule must contend");
+        assert_eq!(without.net.contention_ns, 0);
+    }
+
+    #[test]
+    fn distribution_study_dynamic_not_faster() {
+        let c = presets::small();
+        let rows = distribution_study(&c, QUICK_PROCS);
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[1].time_s >= rows[0].time_s * 0.9,
+            "dynamic should not significantly beat static: {rows:?}"
+        );
+        assert!(rows[1].packets > rows[0].packets, "requests/grants add packets");
+    }
+
+    #[test]
+    fn figures_render() {
+        assert!(figure1().contains('['));
+        assert!(figure2(4).contains("ch"));
+        assert!(figure3().contains("SendLocData"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Plain-text table rendering for experiment output.
+
+/// Builds an aligned text table from a header row and data rows.
+///
+/// Columns are right-aligned except the first, matching the look of the
+/// paper's tables in a terminal.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), n_cols, "row has wrong arity");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                out.push_str(&format!("{cell:<w$}"));
+            } else {
+                out.push_str(&format!("{cell:>w$}"));
+            }
+        }
+        out.push('\n');
+    };
+
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    fmt_row(&header_cells, &widths, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &widths, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let s = render_table(
+            &["name", "val"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        // Right-aligned value column.
+        assert!(lines[2].ends_with("    1"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn rejects_ragged_rows() {
+        let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,15 @@
+//! # locus-bench
+//!
+//! The experiment harness: one function per table/figure of Martonosi &
+//! Gupta (ICPP 1989), producing typed rows that the `locus-experiments`
+//! CLI and the Criterion benches render as the paper's tables.
+//!
+//! Absolute values are not expected to match the 1989 testbed; the
+//! *shape* of each result (orderings, ratios, crossovers) is the
+//! reproduction target. `EXPERIMENTS.md` records paper-vs-measured values
+//! for every experiment id.
+
+pub mod experiments;
+pub mod fmt;
+
+pub use experiments::*;

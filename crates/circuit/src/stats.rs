@@ -1,0 +1,113 @@
+//! Aggregate circuit statistics used for calibration and reporting.
+
+use crate::circuit::Circuit;
+
+/// Summary statistics of a circuit's wire population.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CircuitStats {
+    /// Number of wires.
+    pub wires: usize,
+    /// Total pins over all wires.
+    pub pins: usize,
+    /// Mean pins per wire.
+    pub mean_pins: f64,
+    /// Mean horizontal span in grid columns.
+    pub mean_x_span: f64,
+    /// Mean channel span.
+    pub mean_channel_span: f64,
+    /// Mean half-perimeter cost measure.
+    pub mean_cost_measure: f64,
+    /// Maximum horizontal span.
+    pub max_x_span: u32,
+    /// Histogram of horizontal spans in buckets of `span_bucket` columns.
+    pub span_histogram: Vec<usize>,
+    /// Width of each histogram bucket.
+    pub span_bucket: u32,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    pub fn of(circuit: &Circuit) -> Self {
+        let n = circuit.wire_count().max(1) as f64;
+        let pins = circuit.pin_count();
+        let spans: Vec<u32> = circuit.wires.iter().map(|w| w.x_span()).collect();
+        let max_x_span = spans.iter().copied().max().unwrap_or(0);
+        let span_bucket = (circuit.grids as u32 / 16).max(1);
+        let mut span_histogram = vec![0usize; (max_x_span / span_bucket + 1) as usize];
+        for &s in &spans {
+            span_histogram[(s / span_bucket) as usize] += 1;
+        }
+        CircuitStats {
+            wires: circuit.wire_count(),
+            pins,
+            mean_pins: pins as f64 / n,
+            mean_x_span: spans.iter().map(|&s| s as f64).sum::<f64>() / n,
+            mean_channel_span: circuit
+                .wires
+                .iter()
+                .map(|w| w.channel_span() as f64)
+                .sum::<f64>()
+                / n,
+            mean_cost_measure: circuit
+                .wires
+                .iter()
+                .map(|w| w.cost_measure() as f64)
+                .sum::<f64>()
+                / n,
+            max_x_span,
+            span_histogram,
+            span_bucket,
+        }
+    }
+
+    /// Renders a short human-readable report.
+    pub fn report(&self) -> String {
+        format!(
+            "wires={} pins={} mean_pins={:.2} mean_x_span={:.1} mean_channel_span={:.2} \
+             mean_cost={:.1} max_x_span={}",
+            self.wires,
+            self.pins,
+            self.mean_pins,
+            self.mean_x_span,
+            self.mean_channel_span,
+            self.mean_cost_measure,
+            self.max_x_span
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::wire::{Pin, Wire};
+
+    #[test]
+    fn stats_of_known_circuit() {
+        let wires = vec![
+            Wire::new(0, vec![Pin::new(0, 0), Pin::new(0, 9)]),
+            Wire::new(1, vec![Pin::new(1, 2), Pin::new(3, 2), Pin::new(2, 4)]),
+        ];
+        let c = Circuit::new("k", 4, 16, wires).unwrap();
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.wires, 2);
+        assert_eq!(s.pins, 5);
+        assert!((s.mean_pins - 2.5).abs() < 1e-12);
+        assert!((s.mean_x_span - (10.0 + 3.0) / 2.0).abs() < 1e-12);
+        assert!((s.mean_channel_span - (1.0 + 3.0) / 2.0).abs() < 1e-12);
+        assert_eq!(s.max_x_span, 10);
+    }
+
+    #[test]
+    fn histogram_counts_every_wire_once() {
+        let c = presets::bnr_e();
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.span_histogram.iter().sum::<usize>(), c.wire_count());
+    }
+
+    #[test]
+    fn report_is_nonempty_and_mentions_wire_count() {
+        let s = CircuitStats::of(&presets::tiny());
+        assert!(s.report().contains("wires=12"));
+    }
+}

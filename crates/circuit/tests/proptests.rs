@@ -1,0 +1,121 @@
+//! Property-based tests for the circuit model.
+
+use locus_circuit::format::{from_text, to_text};
+use locus_circuit::{Circuit, CircuitGenerator, GeneratorConfig, GridCell, Pin, Rect, Wire};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary valid rectangle within a 64x64 surface.
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0u16..64, 0u16..64, 0u16..64, 0u16..64).prop_map(|(c1, c2, x1, x2)| {
+        Rect::new(c1.min(c2), c1.max(c2), x1.min(x2), x1.max(x2))
+    })
+}
+
+/// Strategy: an arbitrary valid circuit (2..6 channels, 8..40 grids,
+/// 1..12 wires with 2..5 in-range pins).
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (2u16..6, 8u16..40).prop_flat_map(|(channels, grids)| {
+        let pin = (0..channels, 0..grids).prop_map(|(c, x)| Pin::new(c, x));
+        let wire = proptest::collection::vec(pin, 2..5);
+        proptest::collection::vec(wire, 1..12).prop_map(move |wires| {
+            let wires = wires
+                .into_iter()
+                .enumerate()
+                .map(|(id, pins)| Wire::new(id, pins))
+                .collect();
+            Circuit::new("prop", channels, grids, wires).expect("constructed valid")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn rect_intersection_is_contained_in_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            for cell in i.cells() {
+                prop_assert!(a.contains(cell) && b.contains(cell));
+            }
+            prop_assert!(i.area() <= a.area() && i.area() <= b.area());
+        }
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.area() >= a.area() && u.area() >= b.area());
+        for cell in a.cells().chain(b.cells()) {
+            prop_assert!(u.contains(cell));
+        }
+    }
+
+    #[test]
+    fn rect_area_equals_cell_count(a in arb_rect()) {
+        prop_assert_eq!(a.cells().count() as u64, a.area());
+    }
+
+    #[test]
+    fn rect_intersects_iff_intersection_exists(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersects(&b), a.intersection(&b).is_some());
+    }
+
+    #[test]
+    fn manhattan_is_symmetric_and_triangle(
+        a in (0u16..64, 0u16..64),
+        b in (0u16..64, 0u16..64),
+        c in (0u16..64, 0u16..64),
+    ) {
+        let (pa, pb, pc) = (
+            GridCell::new(a.0, a.1),
+            GridCell::new(b.0, b.1),
+            GridCell::new(c.0, c.1),
+        );
+        prop_assert_eq!(pa.manhattan(pb), pb.manhattan(pa));
+        prop_assert!(pa.manhattan(pc) <= pa.manhattan(pb) + pb.manhattan(pc));
+    }
+
+    #[test]
+    fn text_format_roundtrips(c in arb_circuit()) {
+        let text = to_text(&c);
+        let parsed = from_text(&text).expect("emitted text must parse");
+        prop_assert_eq!(parsed.channels, c.channels);
+        prop_assert_eq!(parsed.grids, c.grids);
+        prop_assert_eq!(parsed.wires, c.wires);
+    }
+
+    #[test]
+    fn wire_bounding_box_contains_all_pins(c in arb_circuit()) {
+        for wire in &c.wires {
+            let b = wire.bounding_box();
+            for pin in &wire.pins {
+                prop_assert!(b.contains(pin.cell()));
+            }
+            prop_assert!(b.contains(wire.leftmost_pin().cell()));
+            // No pin lies left of the leftmost pin.
+            for pin in &wire.pins {
+                prop_assert!(pin.x >= wire.leftmost_pin().x);
+            }
+        }
+    }
+
+    #[test]
+    fn generator_produces_valid_circuits(
+        channels in 3u16..12,
+        grids in 16u16..128,
+        n_wires in 1usize..80,
+        seed in any::<u64>(),
+    ) {
+        let cfg = GeneratorConfig::for_surface("prop", channels, grids, n_wires, seed);
+        let c = CircuitGenerator::new(cfg).generate();
+        prop_assert!(c.validate().is_ok());
+        prop_assert_eq!(c.wire_count(), n_wires);
+    }
+
+    #[test]
+    fn cost_measure_bounded_by_surface(c in arb_circuit()) {
+        for wire in &c.wires {
+            prop_assert!(
+                wire.cost_measure() <= (c.grids as u32 - 1) + (c.channels as u32 - 1)
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Trace analyses: the line-size sweep of Table 3.
+
+use crate::protocol::{CoherenceConfig, CoherenceSim, TrafficStats};
+use crate::trace::Trace;
+
+/// Runs the WBI protocol over `trace` once per line size and returns
+/// `(line_size, stats)` pairs — the rows of Table 3.
+pub fn traffic_by_line_size(trace: &Trace, line_sizes: &[u32]) -> Vec<(u32, TrafficStats)> {
+    line_sizes
+        .iter()
+        .map(|&ls| {
+            let stats = CoherenceSim::new(CoherenceConfig::with_line_size(ls)).run(trace);
+            (ls, stats)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{MemRef, RefKind};
+
+    /// A churn-heavy trace: several processors repeatedly read a region
+    /// that one processor keeps writing — the access pattern of the
+    /// unlocked shared cost array.
+    fn churn_trace() -> Trace {
+        let mut t = Trace::new();
+        let mut time = 0u64;
+        for round in 0..30u32 {
+            for p in 0..4u32 {
+                for cell in 0..32u32 {
+                    t.push(MemRef {
+                        time,
+                        proc: p,
+                        addr: cell * 2,
+                        kind: RefKind::Read,
+                    });
+                    time += 1;
+                }
+            }
+            // The "winning" processor updates a few cells.
+            for i in 0..6u32 {
+                t.push(MemRef {
+                    time,
+                    proc: round % 4,
+                    addr: ((round * 5 + i) % 32) * 2,
+                    kind: RefKind::Write,
+                });
+                time += 1;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn traffic_increases_with_line_size() {
+        // Table 3's headline effect: bigger lines, more bytes.
+        let trace = churn_trace();
+        let rows = traffic_by_line_size(&trace, &[4, 8, 16, 32]);
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].1.total_bytes > w[0].1.total_bytes,
+                "line {} -> {} bytes, line {} -> {} bytes",
+                w[0].0,
+                w[0].1.total_bytes,
+                w[1].0,
+                w[1].1.total_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let trace = churn_trace();
+        let a = traffic_by_line_size(&trace, &[4, 32]);
+        let b = traffic_by_line_size(&trace, &[4, 32]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_traffic() {
+        let rows = traffic_by_line_size(&Trace::new(), &[4, 8]);
+        for (_, stats) in rows {
+            assert_eq!(stats.total_bytes, 0);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # locus-coherence
+//!
+//! A Write-Back-with-Invalidate (WBI) cache-coherence and bus-traffic
+//! model in the style of Archibald & Baer (ACM TOCS 1986), as used for
+//! the shared-memory side of Martonosi & Gupta (ICPP 1989) §5.2.
+//!
+//! The model consumes **shared-data reference traces** (the output of the
+//! Tango-style tracer in `locus-shmem`): a time-ordered list of
+//! `(time, processor, address, read|write)` records. Caches are infinite
+//! (the paper's stated assumption), so all traffic is coherence traffic:
+//!
+//! 1. a processor's first access to a line misses and fetches it
+//!    (`line_size` bytes on the bus);
+//! 2. the first write to a clean line puts a word write on the bus
+//!    (`word_bytes`) and invalidates every other copy;
+//! 3. a processor re-accessing a line that was invalidated refetches it
+//!    (`line_size` bytes) — the dominant term under write churn, which is
+//!    why the paper measures >80% of bytes as write-caused.
+//!
+//! [`analyze::traffic_by_line_size`] reproduces Table 3's line-size sweep.
+
+pub mod analyze;
+pub mod protocol;
+pub mod trace;
+
+pub use analyze::traffic_by_line_size;
+pub use protocol::{CoherenceConfig, CoherenceSim, Protocol, TrafficStats};
+pub use trace::{MemRef, RefKind, Trace};

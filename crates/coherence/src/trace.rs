@@ -1,0 +1,133 @@
+//! Shared-data reference traces (the Tango interface, paper §2.2).
+//!
+//! "These traces contain all shared data references made by the program
+//! during execution. For each reference, the time, address, and
+//! referencing processor are recorded."
+
+/// Whether a reference reads or writes shared data.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum RefKind {
+    /// Load from shared memory.
+    Read,
+    /// Store to shared memory.
+    Write,
+}
+
+/// One shared-data reference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemRef {
+    /// Logical time of the reference (ns of the emulated execution).
+    pub time: u64,
+    /// Referencing processor.
+    pub proc: u32,
+    /// Byte address within the shared region.
+    pub addr: u32,
+    /// Read or write.
+    pub kind: RefKind,
+}
+
+/// A time-ordered sequence of shared references.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    refs: Vec<MemRef>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates a trace with pre-allocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Trace { refs: Vec::with_capacity(n) }
+    }
+
+    /// Appends a reference. References may be pushed out of order (the
+    /// emulator interleaves processors); call [`Self::sort_by_time`]
+    /// before analysis.
+    #[inline]
+    pub fn push(&mut self, r: MemRef) {
+        self.refs.push(r);
+    }
+
+    /// Stable-sorts the trace by time (ties keep insertion order, which
+    /// preserves each processor's program order).
+    pub fn sort_by_time(&mut self) {
+        self.refs.sort_by_key(|r| r.time);
+    }
+
+    /// Whether the trace is time-ordered.
+    pub fn is_sorted(&self) -> bool {
+        self.refs.windows(2).all(|w| w[0].time <= w[1].time)
+    }
+
+    /// Number of references.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// The references in order.
+    pub fn refs(&self) -> &[MemRef] {
+        &self.refs
+    }
+
+    /// Count of write references.
+    pub fn write_count(&self) -> usize {
+        self.refs.iter().filter(|r| r.kind == RefKind::Write).count()
+    }
+}
+
+impl FromIterator<MemRef> for Trace {
+    fn from_iter<T: IntoIterator<Item = MemRef>>(iter: T) -> Self {
+        Trace { refs: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(time: u64, proc: u32, addr: u32, kind: RefKind) -> MemRef {
+        MemRef { time, proc, addr, kind }
+    }
+
+    #[test]
+    fn push_and_sort() {
+        let mut t = Trace::new();
+        t.push(r(5, 0, 0, RefKind::Read));
+        t.push(r(1, 1, 4, RefKind::Write));
+        assert!(!t.is_sorted());
+        t.sort_by_time();
+        assert!(t.is_sorted());
+        assert_eq!(t.refs()[0].time, 1);
+    }
+
+    #[test]
+    fn stable_sort_preserves_program_order_at_equal_times() {
+        let mut t = Trace::new();
+        t.push(r(3, 0, 0, RefKind::Read));
+        t.push(r(3, 0, 4, RefKind::Write));
+        t.sort_by_time();
+        assert_eq!(t.refs()[0].addr, 0);
+        assert_eq!(t.refs()[1].addr, 4);
+    }
+
+    #[test]
+    fn write_count() {
+        let t: Trace = [
+            r(0, 0, 0, RefKind::Read),
+            r(1, 0, 0, RefKind::Write),
+            r(2, 1, 4, RefKind::Write),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.write_count(), 2);
+        assert_eq!(t.len(), 3);
+    }
+}

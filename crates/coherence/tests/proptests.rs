@@ -1,0 +1,119 @@
+//! Property-based tests for the WBI coherence model.
+
+use locus_coherence::{CoherenceConfig, CoherenceSim, MemRef, RefKind, Trace};
+use proptest::prelude::*;
+
+fn arb_trace(max_procs: u32, max_addr: u32) -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(
+        (0..max_procs, 0..max_addr, any::<bool>()),
+        0..400,
+    )
+    .prop_map(|refs| {
+        refs.into_iter()
+            .enumerate()
+            .map(|(i, (proc, addr, is_write))| MemRef {
+                time: i as u64,
+                proc,
+                // Word-align addresses like real cost-array accesses.
+                addr: addr * 2,
+                kind: if is_write { RefKind::Write } else { RefKind::Read },
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn byte_attribution_is_exhaustive(trace in arb_trace(8, 256), line in 0u32..4) {
+        let line_size = 4u32 << line; // 4, 8, 16, 32
+        let stats = CoherenceSim::new(CoherenceConfig::with_line_size(line_size)).run(&trace);
+        prop_assert_eq!(
+            stats.total_bytes,
+            stats.read_caused_bytes + stats.write_caused_bytes,
+            "every byte is read- or write-caused"
+        );
+    }
+
+    #[test]
+    fn transfer_counts_are_consistent(trace in arb_trace(8, 256), line in 0u32..4) {
+        let line_size = 4u32 << line;
+        let stats = CoherenceSim::new(CoherenceConfig::with_line_size(line_size)).run(&trace);
+        prop_assert_eq!(
+            stats.total_bytes,
+            stats.line_fetches * line_size as u64 + stats.word_writes * 4
+        );
+        prop_assert!(stats.refetches <= stats.line_fetches);
+        prop_assert!(stats.refetches <= stats.invalidations);
+    }
+
+    #[test]
+    fn model_is_deterministic(trace in arb_trace(8, 256)) {
+        let a = CoherenceSim::new(CoherenceConfig::with_line_size(8)).run(&trace);
+        let b = CoherenceSim::new(CoherenceConfig::with_line_size(8)).run(&trace);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_processor_never_invalidates(trace in arb_trace(1, 256), line in 0u32..4) {
+        let line_size = 4u32 << line;
+        let stats = CoherenceSim::new(CoherenceConfig::with_line_size(line_size)).run(&trace);
+        prop_assert_eq!(stats.invalidations, 0);
+        prop_assert_eq!(stats.refetches, 0);
+        // With an infinite cache, one processor fetches each line at most
+        // once.
+        let distinct_lines = {
+            let mut lines: Vec<u32> =
+                trace.refs().iter().map(|r| r.addr / line_size).collect();
+            lines.sort_unstable();
+            lines.dedup();
+            lines.len() as u64
+        };
+        prop_assert!(stats.line_fetches <= distinct_lines);
+    }
+
+    #[test]
+    fn doubling_line_size_never_increases_fetch_count(trace in arb_trace(8, 256)) {
+        // Fetch *count* (not bytes) is monotone non-increasing in line
+        // size: a larger line always covers a superset of addresses, so
+        // a hit at size L is still a hit at 2L under the same protocol
+        // events... which is not strictly true under invalidation, so we
+        // assert the weaker, always-true bound: at most the reference
+        // count.
+        let refs = trace.len() as u64;
+        for line_size in [4u32, 8, 16, 32] {
+            let stats =
+                CoherenceSim::new(CoherenceConfig::with_line_size(line_size)).run(&trace);
+            prop_assert!(stats.line_fetches <= refs);
+            prop_assert!(stats.word_writes <= trace.write_count() as u64);
+        }
+    }
+
+    #[test]
+    fn reads_alone_cost_one_fetch_per_line_per_proc(
+        procs in 1u32..8,
+        addrs in proptest::collection::vec(0u32..128, 1..100),
+    ) {
+        // A read-only workload has no coherence traffic beyond cold
+        // misses: fetches == distinct (proc, line) pairs.
+        let mut trace = Trace::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            trace.push(MemRef {
+                time: i as u64,
+                proc: i as u32 % procs,
+                addr: a * 2,
+                kind: RefKind::Read,
+            });
+        }
+        let stats = CoherenceSim::new(CoherenceConfig::with_line_size(8)).run(&trace);
+        let mut pairs: Vec<(u32, u32)> = trace
+            .refs()
+            .iter()
+            .map(|r| (r.proc, r.addr / 8))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        prop_assert_eq!(stats.line_fetches, pairs.len() as u64);
+        prop_assert_eq!(stats.word_writes, 0);
+        prop_assert_eq!(stats.write_caused_bytes, 0);
+    }
+}

@@ -1,0 +1,460 @@
+//! The discrete-event simulation kernel.
+//!
+//! Executes a set of [`Node`] actors on the mesh, modelling:
+//!
+//! * **message latency** — `2·ProcessTime + HopTime·(D + L)` uncontended;
+//! * **contention** — each unidirectional channel is reserved while a
+//!   packet's flit stream passes; a later packet's header stalls on a busy
+//!   channel (wormhole blocking approximated at packet granularity);
+//! * **processor occupancy** — a node is busy for its reported work time,
+//!   plus `ProcessTime` per packet sent, plus `ProcessTime` and a
+//!   per-byte disassembly cost per packet received.
+//!
+//! Event ordering is `(time, sequence-number)`, so runs are fully
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::config::MeshConfig;
+use crate::node::{Envelope, Node, Outbox, Step};
+use crate::stats::NetStats;
+use crate::time::SimTime;
+use crate::topology::{NodeId, Topology};
+
+enum EventKind<M> {
+    Wake,
+    Deliver(Envelope<M>),
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    node: NodeId,
+    kind: EventKind<M>,
+}
+
+// Order by (time, seq); BinaryHeap is a max-heap so invert.
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// A wake event for the node is in the queue.
+    Scheduled,
+    /// Waiting for a message.
+    Blocked,
+    /// Program complete.
+    Done,
+}
+
+/// Result of running a simulation to completion.
+#[derive(Debug)]
+pub struct SimOutcome<N> {
+    /// The node actors in their final state (carrying application
+    /// results: routed wires, per-node counters, …).
+    pub nodes: Vec<N>,
+    /// Network and timing statistics.
+    pub stats: NetStats,
+    /// Total events processed.
+    pub events_processed: u64,
+    /// True if the run stopped at the event limit rather than finishing.
+    pub event_limit_hit: bool,
+}
+
+/// The discrete-event simulator.
+pub struct Kernel<N: Node> {
+    config: MeshConfig,
+    topo: Topology,
+    nodes: Vec<N>,
+    status: Vec<Status>,
+    /// Earliest time each node may next be scheduled (it is busy before).
+    free_at: Vec<SimTime>,
+    inbox: Vec<Vec<Envelope<N::Msg>>>,
+    channel_free: Vec<SimTime>,
+    heap: BinaryHeap<Event<N::Msg>>,
+    seq: u64,
+    stats: NetStats,
+    event_limit: u64,
+}
+
+impl<N: Node> Kernel<N> {
+    /// Creates a kernel for `nodes` on the machine described by `config`.
+    ///
+    /// # Panics
+    /// Panics unless `nodes.len() == config.n_nodes()`.
+    pub fn new(config: MeshConfig, nodes: Vec<N>) -> Self {
+        assert_eq!(nodes.len(), config.n_nodes(), "one actor per mesh node");
+        let topo = Topology::new(config.rows, config.cols);
+        let n = nodes.len();
+        let mut kernel = Kernel {
+            config,
+            topo,
+            nodes,
+            status: vec![Status::Scheduled; n],
+            free_at: vec![SimTime::ZERO; n],
+            inbox: (0..n).map(|_| Vec::new()).collect(),
+            channel_free: vec![SimTime::ZERO; topo.n_channels()],
+            heap: BinaryHeap::new(),
+            seq: 0,
+            stats: NetStats::new(n),
+            event_limit: 200_000_000,
+        };
+        for node in 0..n {
+            kernel.push(SimTime::ZERO, node, EventKind::Wake);
+        }
+        kernel
+    }
+
+    /// Overrides the runaway-protection event limit.
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = limit;
+        self
+    }
+
+    fn push(&mut self, at: SimTime, node: NodeId, kind: EventKind<N::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { at, seq, node, kind });
+    }
+
+    /// Runs until every node is done, the event queue drains (deadlock),
+    /// or the event limit is hit.
+    pub fn run(mut self) -> SimOutcome<N> {
+        let mut events_processed = 0u64;
+        let mut event_limit_hit = false;
+
+        while let Some(ev) = self.heap.pop() {
+            events_processed += 1;
+            if events_processed > self.event_limit {
+                event_limit_hit = true;
+                break;
+            }
+            match ev.kind {
+                EventKind::Deliver(env) => self.on_deliver(ev.at, ev.node, env),
+                EventKind::Wake => self.on_wake(ev.at, ev.node),
+            }
+        }
+
+        let deadlocked =
+            event_limit_hit || self.status.iter().any(|&s| s != Status::Done);
+        self.stats.deadlocked = deadlocked;
+        self.stats.completion =
+            self.stats.done_at.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        SimOutcome {
+            nodes: self.nodes,
+            stats: self.stats,
+            events_processed,
+            event_limit_hit,
+        }
+    }
+
+    fn on_deliver(&mut self, at: SimTime, node: NodeId, env: Envelope<N::Msg>) {
+        self.inbox[node].push(env);
+        if self.status[node] == Status::Blocked {
+            // The node may still be draining its last busy period.
+            let wake_at = at.max(self.free_at[node]);
+            self.status[node] = Status::Scheduled;
+            self.push(wake_at, node, EventKind::Wake);
+        }
+    }
+
+    fn on_wake(&mut self, now: SimTime, node: NodeId) {
+        debug_assert_eq!(self.status[node], Status::Scheduled);
+
+        // Receive overhead: ProcessTime to copy each packet off the
+        // network plus per-byte disassembly.
+        let msgs = std::mem::take(&mut self.inbox[node]);
+        let mut recv_ns = 0u64;
+        for env in &msgs {
+            let wire = env.bytes as u64 + self.config.header_bytes as u64;
+            recv_ns += self.config.process_time_ns + self.config.recv_per_byte_ns * wire;
+        }
+
+        let mut outbox = Outbox::new();
+        let step = self.nodes[node].step(now, msgs, &mut outbox);
+
+        let busy_ns = match step {
+            Step::Continue { busy_ns } => busy_ns,
+            _ => 0,
+        };
+
+        // Application work happens after message processing; sends are
+        // issued serially after the work, each costing ProcessTime at the
+        // sender.
+        let send_base = now + recv_ns + busy_ns;
+        let n_sends = outbox.sends.len() as u64;
+        for (i, (to, bytes, msg)) in outbox.sends.into_iter().enumerate() {
+            assert_ne!(to, node, "node {node} attempted a self-send");
+            assert!(to < self.topo.n_nodes(), "send to nonexistent node {to}");
+            let start = send_base + (i as u64 + 1) * self.config.process_time_ns;
+            let arrival = self.inject(node, to, bytes, start);
+            self.push(
+                arrival,
+                to,
+                EventKind::Deliver(Envelope { from: node, bytes, sent_at: start, msg }),
+            );
+        }
+
+        let total_busy = recv_ns + busy_ns + n_sends * self.config.process_time_ns;
+        self.stats.busy_ns[node] += total_busy;
+        let free = now + total_busy;
+        self.free_at[node] = free;
+
+        match step {
+            Step::Continue { .. } => {
+                self.status[node] = Status::Scheduled;
+                self.push(free, node, EventKind::Wake);
+            }
+            Step::Block => {
+                if self.inbox[node].is_empty() {
+                    self.status[node] = Status::Blocked;
+                } else {
+                    // A message raced in while this step executed.
+                    self.status[node] = Status::Scheduled;
+                    self.push(free, node, EventKind::Wake);
+                }
+            }
+            Step::Done => {
+                self.status[node] = Status::Done;
+                self.stats.done_at[node] = free;
+            }
+        }
+    }
+
+    /// Injects a packet into the network at `start` (the moment the
+    /// sender's `ProcessTime` copy completes begins; the copy itself is
+    /// part of the latency law's first `ProcessTime`). Returns arrival
+    /// time at the destination node and updates channel reservations and
+    /// traffic statistics.
+    fn inject(&mut self, src: NodeId, dst: NodeId, payload: u32, start: SimTime) -> SimTime {
+        let wire = payload as u64 + self.config.header_bytes as u64;
+        let hops = self.topo.hops(src, dst) as u64;
+        self.stats.packets += 1;
+        self.stats.payload_bytes += payload as u64;
+        self.stats.wire_bytes += wire;
+        self.stats.byte_hops += wire * hops;
+
+        if !self.config.contention {
+            return start
+                + 2 * self.config.process_time_ns
+                + self.config.hop_time_ns * (hops + wire);
+        }
+
+        let h = self.config.hop_time_ns;
+        // Head leaves the source after the sender-side ProcessTime copy.
+        let mut t = start + self.config.process_time_ns;
+        let path = self.topo.route(src, dst);
+        for ch in path {
+            let free = self.channel_free[ch];
+            if free > t {
+                self.stats.contention_ns += (free - t).as_ns();
+                t = free;
+            }
+            t += h; // head advances one hop
+            // The channel stays busy until the tail flit passes.
+            self.channel_free[ch] = t + h * wire;
+        }
+        // Tail drains into the destination, then the receiver-side copy.
+        t + h * wire + self.config.process_time_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sends one `bytes`-sized packet to `to` at its first step, then
+    /// completes; the receiver completes after receiving `expect` packets.
+    struct OneShot {
+        to: Option<(NodeId, u32)>,
+        expect: usize,
+        received_at: Vec<SimTime>,
+        sent: bool,
+    }
+
+    impl OneShot {
+        fn sender(to: NodeId, bytes: u32) -> Self {
+            OneShot { to: Some((to, bytes)), expect: 0, received_at: Vec::new(), sent: false }
+        }
+        fn receiver(expect: usize) -> Self {
+            OneShot { to: None, expect, received_at: Vec::new(), sent: false }
+        }
+    }
+
+    impl Node for OneShot {
+        type Msg = ();
+
+        fn step(
+            &mut self,
+            now: SimTime,
+            inbox: Vec<Envelope<()>>,
+            outbox: &mut Outbox<()>,
+        ) -> Step {
+            for env in inbox {
+                let _ = env;
+                self.received_at.push(now);
+            }
+            if let Some((to, bytes)) = self.to.take() {
+                outbox.send(to, bytes, ());
+                self.sent = true;
+                return Step::Continue { busy_ns: 0 };
+            }
+            if self.received_at.len() >= self.expect {
+                Step::Done
+            } else {
+                Step::Block
+            }
+        }
+    }
+
+    fn two_node_config() -> MeshConfig {
+        MeshConfig { rows: 1, cols: 2, ..MeshConfig::ametek(1, 2) }
+    }
+
+    #[test]
+    fn latency_law_without_contention() {
+        let cfg = two_node_config().without_contention();
+        let nodes = vec![OneShot::sender(1, 12), OneShot::receiver(1)];
+        let out = Kernel::new(cfg, nodes).run();
+        assert!(!out.stats.deadlocked);
+        // Send starts after one ProcessTime of sender occupancy.
+        let start = cfg.process_time_ns;
+        let expected = start + cfg.uncontended_latency_ns(1, 12);
+        // The receiver's wake happens exactly at arrival.
+        assert_eq!(out.nodes[1].received_at, vec![SimTime::from_ns(expected)]);
+    }
+
+    #[test]
+    fn contended_latency_matches_law_when_alone() {
+        // With contention on but only one packet, the wormhole model must
+        // reduce to the same law.
+        let cfg = two_node_config();
+        let nodes = vec![OneShot::sender(1, 12), OneShot::receiver(1)];
+        let out = Kernel::new(cfg, nodes).run();
+        let start = cfg.process_time_ns;
+        let expected = start + cfg.uncontended_latency_ns(1, 12);
+        assert_eq!(out.nodes[1].received_at, vec![SimTime::from_ns(expected)]);
+        assert_eq!(out.stats.contention_ns, 0);
+    }
+
+    /// Two senders, one destination, shared final channel: the second
+    /// packet must stall.
+    #[test]
+    fn contention_serializes_shared_channel() {
+        // 1x3 mesh: nodes 0,1,2. Node 0 and node 1 both send to node 2;
+        // both packets use channel 1->2.
+        let cfg = MeshConfig { rows: 1, cols: 3, ..MeshConfig::ametek(1, 3) };
+        let nodes =
+            vec![OneShot::sender(2, 100), OneShot::sender(2, 100), OneShot::receiver(2)];
+        let out = Kernel::new(cfg, nodes).run();
+        assert!(!out.stats.deadlocked);
+        assert!(
+            out.stats.contention_ns > 0,
+            "expected contention on the shared channel into node 2"
+        );
+        assert_eq!(out.nodes[2].received_at.len(), 2);
+    }
+
+    #[test]
+    fn traffic_statistics_accumulate() {
+        let cfg = two_node_config();
+        let nodes = vec![OneShot::sender(1, 42), OneShot::receiver(1)];
+        let out = Kernel::new(cfg, nodes).run();
+        assert_eq!(out.stats.packets, 1);
+        assert_eq!(out.stats.payload_bytes, 42);
+        assert_eq!(out.stats.wire_bytes, 42 + cfg.header_bytes as u64);
+        assert_eq!(out.stats.byte_hops, (42 + cfg.header_bytes as u64) * 1);
+    }
+
+    #[test]
+    fn deadlock_detected_when_blocked_forever() {
+        let cfg = two_node_config();
+        // Both nodes wait for a message that never comes.
+        let nodes = vec![OneShot::receiver(1), OneShot::receiver(1)];
+        let out = Kernel::new(cfg, nodes).run();
+        assert!(out.stats.deadlocked);
+    }
+
+    #[test]
+    fn receiver_busy_time_includes_disassembly() {
+        let cfg = two_node_config().without_contention();
+        let nodes = vec![OneShot::sender(1, 50), OneShot::receiver(1)];
+        let out = Kernel::new(cfg, nodes).run();
+        let wire = 50 + cfg.header_bytes as u64;
+        let expected_recv = cfg.process_time_ns + cfg.recv_per_byte_ns * wire;
+        // Receiver busy = reception overhead only (no app work, no sends).
+        assert_eq!(out.stats.busy_ns[1], expected_recv);
+        // Sender busy = one ProcessTime for its single send.
+        assert_eq!(out.stats.busy_ns[0], cfg.process_time_ns);
+    }
+
+    #[test]
+    fn completion_is_latest_done() {
+        let cfg = two_node_config().without_contention();
+        let nodes = vec![OneShot::sender(1, 12), OneShot::receiver(1)];
+        let out = Kernel::new(cfg, nodes).run();
+        assert_eq!(
+            out.stats.completion,
+            *out.stats.done_at.iter().max().unwrap()
+        );
+        assert!(out.stats.completion > SimTime::ZERO);
+    }
+
+    #[test]
+    fn event_limit_stops_runaway() {
+        /// A node that spins forever.
+        struct Spinner;
+        impl Node for Spinner {
+            type Msg = ();
+            fn step(&mut self, _: SimTime, _: Vec<Envelope<()>>, _: &mut Outbox<()>) -> Step {
+                Step::Continue { busy_ns: 1 }
+            }
+        }
+        let cfg = two_node_config();
+        let out = Kernel::new(cfg, vec![Spinner, Spinner]).with_event_limit(1000).run();
+        assert!(out.event_limit_hit);
+        assert!(out.stats.deadlocked);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let cfg = MeshConfig { rows: 1, cols: 3, ..MeshConfig::ametek(1, 3) };
+        let mk = || {
+            vec![OneShot::sender(2, 100), OneShot::sender(2, 64), OneShot::receiver(2)]
+        };
+        let a = Kernel::new(cfg, mk()).run();
+        let b = Kernel::new(cfg, mk()).run();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.nodes[2].received_at, b.nodes[2].received_at);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send")]
+    fn self_send_panics() {
+        let cfg = two_node_config();
+        let nodes = vec![OneShot::sender(0, 1), OneShot::receiver(0)];
+        let _ = Kernel::new(cfg, nodes).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "one actor per mesh node")]
+    fn node_count_must_match_mesh() {
+        let cfg = two_node_config();
+        let _ = Kernel::new(cfg, vec![OneShot::receiver(0)]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Network and timing statistics.
+
+use crate::time::SimTime;
+
+/// Aggregate statistics of a simulation run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetStats {
+    /// Packets injected into the network.
+    pub packets: u64,
+    /// Total payload bytes sent (the "MBytes Xfrd." metric of the
+    /// paper's tables counts application bytes moved between processors).
+    pub payload_bytes: u64,
+    /// Total wire bytes (payload + framing).
+    pub wire_bytes: u64,
+    /// Σ over packets of `wire_bytes × hops` — channel occupancy.
+    pub byte_hops: u64,
+    /// Total time packets spent blocked on busy channels (contention).
+    pub contention_ns: u64,
+    /// Per-node busy time (application work + send/receive overheads).
+    pub busy_ns: Vec<u64>,
+    /// Time each node finished (`Step::Done`).
+    pub done_at: Vec<SimTime>,
+    /// Completion time of the whole program: max over nodes of `done_at`.
+    pub completion: SimTime,
+    /// True if the run ended with nodes blocked forever (deadlock) or
+    /// messages undeliverable.
+    pub deadlocked: bool,
+}
+
+impl NetStats {
+    /// Creates zeroed stats for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        NetStats {
+            busy_ns: vec![0; n],
+            done_at: vec![SimTime::ZERO; n],
+            ..Default::default()
+        }
+    }
+
+    /// Payload traffic in megabytes (10^6 bytes, as the paper reports).
+    pub fn mbytes_transferred(&self) -> f64 {
+        self.payload_bytes as f64 / 1e6
+    }
+
+    /// Mean node utilization: busy time / completion time.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.completion == SimTime::ZERO || self.busy_ns.is_empty() {
+            return 0.0;
+        }
+        let mean_busy = self.busy_ns.iter().sum::<u64>() as f64 / self.busy_ns.len() as f64;
+        mean_busy / self.completion.as_ns() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbytes_conversion() {
+        let mut s = NetStats::new(2);
+        s.payload_bytes = 1_400_000;
+        assert!((s.mbytes_transferred() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization() {
+        let mut s = NetStats::new(2);
+        s.completion = SimTime::from_ns(1000);
+        s.busy_ns = vec![600, 200];
+        assert!((s.mean_utilization() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_of_empty_run_is_zero() {
+        let s = NetStats::new(0);
+        assert_eq!(s.mean_utilization(), 0.0);
+    }
+}

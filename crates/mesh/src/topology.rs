@@ -1,0 +1,191 @@
+//! 2-D mesh topology and deterministic dimension-order routing.
+//!
+//! Processors are numbered row-major. Each node has up to four outgoing
+//! unidirectional channels (East, West, South, North). A packet routes
+//! X-first (along its row) then Y — the deterministic wormhole routing
+//! CBS simulates; dimension-order routing is deadlock-free on a mesh.
+
+/// Node identifier, `0..rows*cols`, row-major.
+pub type NodeId = usize;
+
+/// Directions of the four outgoing channels of a node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dir {
+    /// +x (toward higher column).
+    East = 0,
+    /// −x.
+    West = 1,
+    /// +row (toward higher row index).
+    South = 2,
+    /// −row.
+    North = 3,
+}
+
+/// Mesh shape plus routing helpers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// Mesh rows.
+    pub rows: usize,
+    /// Mesh columns.
+    pub cols: usize,
+}
+
+impl Topology {
+    /// Creates a `rows × cols` mesh.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be nonzero");
+        Topology { rows, cols }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of directed channel slots (4 per node; edge channels exist
+    /// as slots but are never used by in-bounds routes).
+    #[inline]
+    pub fn n_channels(&self) -> usize {
+        self.n_nodes() * 4
+    }
+
+    /// Mesh coordinates of `n`.
+    #[inline]
+    pub fn coords(&self, n: NodeId) -> (usize, usize) {
+        debug_assert!(n < self.n_nodes());
+        (n / self.cols, n % self.cols)
+    }
+
+    /// Node at `(row, col)`.
+    #[inline]
+    pub fn node_at(&self, row: usize, col: usize) -> NodeId {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Directed channel id leaving `n` in direction `dir`.
+    #[inline]
+    pub fn channel(&self, n: NodeId, dir: Dir) -> usize {
+        n * 4 + dir as usize
+    }
+
+    /// Hop count of the dimension-order route from `src` to `dst`.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        let (sr, sc) = self.coords(src);
+        let (dr, dc) = self.coords(dst);
+        (sr.abs_diff(dr) + sc.abs_diff(dc)) as u32
+    }
+
+    /// The directed channels traversed by the dimension-order (X then Y)
+    /// route from `src` to `dst`, in order. Empty for `src == dst`.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<usize> {
+        let (sr, sc) = self.coords(src);
+        let (dr, dc) = self.coords(dst);
+        let mut channels = Vec::with_capacity(self.hops(src, dst) as usize);
+        let (mut r, mut c) = (sr, sc);
+        // X dimension first.
+        while c != dc {
+            let dir = if dc > c { Dir::East } else { Dir::West };
+            channels.push(self.channel(self.node_at(r, c), dir));
+            c = if dc > c { c + 1 } else { c - 1 };
+        }
+        // Then Y.
+        while r != dr {
+            let dir = if dr > r { Dir::South } else { Dir::North };
+            channels.push(self.channel(self.node_at(r, c), dir));
+            r = if dr > r { r + 1 } else { r - 1 };
+        }
+        channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Topology::new(4, 4);
+        for n in 0..16 {
+            let (r, c) = t.coords(n);
+            assert_eq!(t.node_at(r, c), n);
+        }
+    }
+
+    #[test]
+    fn hops_are_manhattan() {
+        let t = Topology::new(4, 4);
+        assert_eq!(t.hops(0, 15), 6);
+        assert_eq!(t.hops(5, 5), 0);
+        assert_eq!(t.hops(0, 3), 3);
+        assert_eq!(t.hops(0, 12), 3);
+    }
+
+    #[test]
+    fn route_length_equals_hops() {
+        let t = Topology::new(4, 4);
+        for src in 0..16 {
+            for dst in 0..16 {
+                assert_eq!(t.route(src, dst).len() as u32, t.hops(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_x_first() {
+        let t = Topology::new(4, 4);
+        // 0 (0,0) -> 15 (3,3): 3 east channels then 3 south channels.
+        let r = t.route(0, 15);
+        assert_eq!(r.len(), 6);
+        // First three leave nodes 0,1,2 eastward.
+        assert_eq!(r[0], t.channel(0, Dir::East));
+        assert_eq!(r[1], t.channel(1, Dir::East));
+        assert_eq!(r[2], t.channel(2, Dir::East));
+        // Remaining three go south from column 3.
+        assert_eq!(r[3], t.channel(3, Dir::South));
+        assert_eq!(r[4], t.channel(7, Dir::South));
+        assert_eq!(r[5], t.channel(11, Dir::South));
+    }
+
+    #[test]
+    fn route_westward_and_northward() {
+        let t = Topology::new(3, 3);
+        // 8 (2,2) -> 0 (0,0): west, west, north, north.
+        let r = t.route(8, 0);
+        assert_eq!(r[0], t.channel(8, Dir::West));
+        assert_eq!(r[1], t.channel(7, Dir::West));
+        assert_eq!(r[2], t.channel(6, Dir::North));
+        assert_eq!(r[3], t.channel(3, Dir::North));
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let t = Topology::new(2, 2);
+        assert!(t.route(3, 3).is_empty());
+    }
+
+    #[test]
+    fn channel_ids_unique() {
+        let t = Topology::new(3, 3);
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..t.n_nodes() {
+            for dir in [Dir::East, Dir::West, Dir::South, Dir::North] {
+                assert!(seen.insert(t.channel(n, dir)));
+            }
+        }
+        assert_eq!(seen.len(), t.n_channels());
+    }
+
+    #[test]
+    fn deterministic_routes_share_channels() {
+        // Dimension-order routing: 0->5 and 0->6 share the first east hop.
+        let t = Topology::new(4, 4);
+        let a = t.route(0, 5);
+        let b = t.route(0, 6);
+        assert_eq!(a[0], b[0]);
+    }
+}

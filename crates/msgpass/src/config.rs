@@ -1,0 +1,227 @@
+//! Configuration of a message-passing routing run.
+
+use locus_mesh::MeshConfig;
+use locus_router::{mesh_dims, AssignmentStrategy, RouterParams};
+
+use crate::schedule::UpdateSchedule;
+
+/// The update-packet structure (§4.3.1). The paper describes three and
+/// chooses the third; the other two are provided for the ablation bench.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PacketStructure {
+    /// The paper's choice: scan the delta array and send the rectangular
+    /// bounding box of all changes in the target region (absolute data
+    /// for own-region pushes, deltas otherwise). Costs a scan at the
+    /// sender; minimizes bytes.
+    #[default]
+    BoundingBox,
+    /// Structure 2: updates carry an *entire region* — "simple for the
+    /// sender and receiver to process [...] on the other hand, it uses a
+    /// large number of bytes".
+    FullRegion,
+    /// Structure 1: updates carry the raw routing events — start/end
+    /// coordinates of each segment plus a routed/ripped-up flag. No
+    /// delta cancellation is possible, so rip-up + re-route of an
+    /// unchanged cell still crosses the network twice.
+    WireBased,
+}
+
+/// How processors obtain wires to route (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WireSource {
+    /// Static assignment computed before routing (the paper's choice).
+    #[default]
+    Static,
+    /// Dynamic distribution over the network: processors request wires
+    /// from an assignment processor (node 0), which also routes wires
+    /// itself and serves requests only between wires — the paper's first
+    /// §4.2 scheme, rejected because "a processor may have to wait for an
+    /// entire wire to be routed before the wire assignment processor even
+    /// retrieves the task request". Implemented for single-iteration runs
+    /// (re-routing a wire that a *different* processor routed last
+    /// iteration would require migrating its rip-up state, which the
+    /// static scheme exists to avoid).
+    Dynamic,
+}
+
+/// Everything that defines one message-passing experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MsgPassConfig {
+    /// Number of processors (arranged via [`mesh_dims`]).
+    pub n_procs: usize,
+    /// Update strategy and frequencies.
+    pub schedule: UpdateSchedule,
+    /// Static wire assignment strategy (§4.2).
+    pub assignment: AssignmentStrategy,
+    /// Core routing parameters (iterations, candidate overshoot).
+    pub params: RouterParams,
+    /// Modelled time to examine one cost-array cell during candidate
+    /// evaluation (ns). Calibrated so 16-processor bnrE runs land in the
+    /// paper's 1.1–2.5 s band (the MC68020-class node of §2.1).
+    pub cell_eval_ns: u64,
+    /// Modelled time to scan one delta-array cell when assembling an
+    /// update (ns) — the packet-assembly overhead of §5.1.1.
+    pub scan_per_cell_ns: u64,
+    /// Modelled time to write one cost-array cell (rip-up/route commit).
+    pub cell_write_ns: u64,
+    /// Modelled per-byte packet-assembly cost at the sender (ns/byte).
+    /// Together with the mesh's receive-side disassembly cost this
+    /// reproduces the paper's observation that packet handling reaches a
+    /// quarter of processing time under frequent updates (§5.1.1).
+    pub send_per_byte_ns: u64,
+    /// Per-byte disassembly cost at the receiver (ns/byte), installed
+    /// into the mesh config by the simulation driver.
+    pub recv_per_byte_ns: u64,
+    /// How many wires ahead receiver-initiated requests are issued; the
+    /// paper settles on five (§4.3.3).
+    pub request_ahead: u32,
+    /// Update-packet structure (§4.3.1); the paper's bounding-box scheme
+    /// by default.
+    pub structure: PacketStructure,
+    /// How wires reach processors (§4.2); static by default.
+    pub wire_source: WireSource,
+}
+
+impl MsgPassConfig {
+    /// Default experiment configuration for `n_procs` processors with the
+    /// given schedule: bnrE-scale calibration, locality assignment with
+    /// the paper's usual `ThresholdCost = 1000`.
+    pub fn new(n_procs: usize, schedule: UpdateSchedule) -> Self {
+        MsgPassConfig {
+            n_procs,
+            schedule,
+            assignment: AssignmentStrategy::Locality { threshold_cost: Some(1000) },
+            params: RouterParams::default(),
+            cell_eval_ns: 2_000,
+            scan_per_cell_ns: 60,
+            cell_write_ns: 500,
+            send_per_byte_ns: 10_000,
+            recv_per_byte_ns: 10_000,
+            request_ahead: 5,
+            structure: PacketStructure::BoundingBox,
+            wire_source: WireSource::Static,
+        }
+    }
+
+    /// The mesh machine for this configuration.
+    pub fn mesh_config(&self) -> MeshConfig {
+        let (rows, cols) = mesh_dims(self.n_procs);
+        let mut mesh = MeshConfig::ametek(rows, cols);
+        mesh.recv_per_byte_ns = self.recv_per_byte_ns;
+        mesh
+    }
+
+    /// Returns `self` with a different assignment strategy.
+    pub fn with_assignment(mut self, assignment: AssignmentStrategy) -> Self {
+        self.assignment = assignment;
+        self
+    }
+
+    /// Returns `self` with different router parameters.
+    pub fn with_params(mut self, params: RouterParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Returns `self` with a different update-packet structure.
+    pub fn with_structure(mut self, structure: PacketStructure) -> Self {
+        self.structure = structure;
+        self
+    }
+
+    /// Returns `self` with dynamic over-the-network wire distribution
+    /// (single-iteration runs only; see [`WireSource::Dynamic`]).
+    pub fn with_dynamic_wires(mut self) -> Self {
+        self.wire_source = WireSource::Dynamic;
+        self.params = self.params.with_iterations(1);
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_procs == 0 {
+            return Err("need at least one processor".into());
+        }
+        if self.request_ahead == 0 {
+            return Err("request_ahead must be >= 1".into());
+        }
+        if self.wire_source == WireSource::Dynamic {
+            if self.params.iterations != 1 {
+                return Err("dynamic wire distribution supports exactly one iteration".into());
+            }
+            if self.schedule.is_receiver_initiated() {
+                return Err(
+                    "dynamic wire distribution is incompatible with receiver-initiated \
+                     updates (request-ahead needs a static wire list)"
+                        .into(),
+                );
+            }
+            if self.n_procs < 2 {
+                return Err("dynamic wire distribution needs a worker besides the master".into());
+            }
+        }
+        if self.structure == PacketStructure::WireBased
+            && (self.schedule.send_rmt_data.is_none() || self.schedule.is_receiver_initiated())
+        {
+            return Err(
+                "the wire-based packet structure requires a pure sender-initiated schedule                  with send_rmt_data set (events are emitted on that cadence)"
+                    .into(),
+            );
+        }
+        self.schedule.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_paper_shaped() {
+        let c = MsgPassConfig::new(16, UpdateSchedule::sender_initiated(10, 10));
+        c.validate().unwrap();
+        let m = c.mesh_config();
+        assert_eq!((m.rows, m.cols), (4, 4));
+        assert_eq!(c.request_ahead, 5);
+    }
+
+    #[test]
+    fn wire_based_requires_pure_sender_schedule() {
+        let ok = MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 10))
+            .with_structure(PacketStructure::WireBased);
+        assert!(ok.validate().is_ok());
+        let bad = MsgPassConfig::new(4, UpdateSchedule::receiver_initiated(1, 5))
+            .with_structure(PacketStructure::WireBased);
+        assert!(bad.validate().is_err());
+        let mixed = MsgPassConfig::new(4, UpdateSchedule::mixed_paper())
+            .with_structure(PacketStructure::WireBased);
+        assert!(mixed.validate().is_err());
+    }
+
+    #[test]
+    fn dynamic_wire_source_constraints() {
+        let ok = MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 10))
+            .with_dynamic_wires();
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.params.iterations, 1);
+        let mut bad = ok;
+        bad.params = RouterParams::default().with_iterations(2);
+        assert!(bad.validate().is_err());
+        let bad = MsgPassConfig::new(4, UpdateSchedule::receiver_initiated(1, 5))
+            .with_dynamic_wires();
+        assert!(bad.validate().is_err());
+        let bad =
+            MsgPassConfig::new(1, UpdateSchedule::never()).with_dynamic_wires();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = MsgPassConfig::new(16, UpdateSchedule::sender_initiated(10, 10));
+        c.n_procs = 0;
+        assert!(c.validate().is_err());
+        let mut c = MsgPassConfig::new(4, UpdateSchedule::receiver_initiated(1, 5));
+        c.request_ahead = 0;
+        assert!(c.validate().is_err());
+    }
+}

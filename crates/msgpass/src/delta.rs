@@ -1,0 +1,156 @@
+//! The delta array (§4.1).
+//!
+//! "We add a new data structure, known as the delta array. The delta
+//! array has the same dimensions as the cost array, and keeps track of
+//! changes made to the cost array between updates."
+//!
+//! Rip-up decrements and re-route increments accumulate here; cells where
+//! they cancel hold zero and are not transmitted — the mechanism behind
+//! the paper's traffic cancellation argument (§5.2).
+
+use locus_circuit::{GridCell, Rect};
+
+/// A signed change overlay with the cost array's dimensions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaArray {
+    channels: u16,
+    grids: u16,
+    cells: Vec<i16>,
+}
+
+impl DeltaArray {
+    /// Creates a zeroed delta array.
+    pub fn new(channels: u16, grids: u16) -> Self {
+        assert!(channels > 0 && grids > 0, "delta array dimensions must be nonzero");
+        DeltaArray { channels, grids, cells: vec![0; channels as usize * grids as usize] }
+    }
+
+    #[inline]
+    fn index(&self, cell: GridCell) -> usize {
+        debug_assert!(cell.channel < self.channels && cell.x < self.grids);
+        cell.channel as usize * self.grids as usize + cell.x as usize
+    }
+
+    /// Records a change of `delta` at `cell`.
+    #[inline]
+    pub fn record(&mut self, cell: GridCell, delta: i16) {
+        let i = self.index(cell);
+        self.cells[i] += delta;
+    }
+
+    /// Current accumulated delta at `cell`.
+    #[inline]
+    pub fn get(&self, cell: GridCell) -> i16 {
+        self.cells[self.index(cell)]
+    }
+
+    /// Bounding box of all nonzero cells within `rect`, or `None` if the
+    /// region is clean. This is the scan the sending processor performs
+    /// before an update ("the sender scans the delta array for changes",
+    /// §4.3.1); the caller charges `rect.area()` cells of scan time.
+    pub fn changes_in(&self, rect: Rect) -> Option<Rect> {
+        let mut bbox: Option<Rect> = None;
+        for c in rect.c_lo..=rect.c_hi {
+            let base = c as usize * self.grids as usize;
+            for x in rect.x_lo..=rect.x_hi {
+                if self.cells[base + x as usize] != 0 {
+                    let cell = GridCell::new(c, x);
+                    match &mut bbox {
+                        Some(b) => b.expand_to(cell),
+                        None => bbox = Some(Rect::cell(cell)),
+                    }
+                }
+            }
+        }
+        bbox
+    }
+
+    /// Extracts the deltas inside `rect` (row-major) and zeroes them —
+    /// the payload of a `SendRmtData` packet or a `ReqLocData` response.
+    pub fn extract_and_clear(&mut self, rect: Rect) -> Vec<i16> {
+        let mut out = Vec::with_capacity(rect.area() as usize);
+        for cell in rect.cells() {
+            let i = self.index(cell);
+            out.push(self.cells[i]);
+            self.cells[i] = 0;
+        }
+        out
+    }
+
+    /// Whether every cell in `rect` is zero.
+    pub fn is_clean_in(&self, rect: Rect) -> bool {
+        self.changes_in(rect).is_none()
+    }
+
+    /// Whether the whole array is zero.
+    pub fn is_zero(&self) -> bool {
+        self.cells.iter().all(|&v| v == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(c: u16, x: u16) -> GridCell {
+        GridCell::new(c, x)
+    }
+
+    #[test]
+    fn record_and_cancel() {
+        let mut d = DeltaArray::new(4, 10);
+        d.record(cell(1, 3), 1);
+        d.record(cell(1, 3), -1);
+        assert!(d.is_zero(), "rip-up and re-route on the same cell must cancel");
+    }
+
+    #[test]
+    fn changes_in_finds_tight_bbox() {
+        let mut d = DeltaArray::new(4, 10);
+        d.record(cell(1, 3), 1);
+        d.record(cell(2, 7), -1);
+        let whole = Rect::new(0, 3, 0, 9);
+        assert_eq!(d.changes_in(whole), Some(Rect::new(1, 2, 3, 7)));
+    }
+
+    #[test]
+    fn changes_in_respects_rect_boundary() {
+        let mut d = DeltaArray::new(4, 10);
+        d.record(cell(0, 0), 1);
+        d.record(cell(3, 9), 1);
+        // Scanning only the middle region sees neither change.
+        assert_eq!(d.changes_in(Rect::new(1, 2, 2, 7)), None);
+        // Scanning the top-right region sees one.
+        assert_eq!(d.changes_in(Rect::new(2, 3, 5, 9)), Some(Rect::cell(cell(3, 9))));
+    }
+
+    #[test]
+    fn extract_and_clear_empties_the_rect() {
+        let mut d = DeltaArray::new(4, 10);
+        d.record(cell(1, 2), 3);
+        d.record(cell(1, 3), -2);
+        let rect = Rect::new(1, 1, 2, 3);
+        let vals = d.extract_and_clear(rect);
+        assert_eq!(vals, vec![3, -2]);
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    fn extract_preserves_outside_cells() {
+        let mut d = DeltaArray::new(4, 10);
+        d.record(cell(0, 0), 5);
+        d.record(cell(2, 2), 7);
+        let _ = d.extract_and_clear(Rect::new(0, 0, 0, 0));
+        assert_eq!(d.get(cell(2, 2)), 7);
+        assert_eq!(d.get(cell(0, 0)), 0);
+    }
+
+    #[test]
+    fn clean_region_reports_clean() {
+        let mut d = DeltaArray::new(4, 10);
+        assert!(d.is_clean_in(Rect::new(0, 3, 0, 9)));
+        d.record(cell(2, 2), 1);
+        assert!(!d.is_clean_in(Rect::new(0, 3, 0, 9)));
+        assert!(d.is_clean_in(Rect::new(0, 1, 0, 9)));
+    }
+}

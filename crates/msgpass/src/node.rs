@@ -1,0 +1,899 @@
+//! The per-processor router actor.
+//!
+//! Each mesh node runs one [`RouterNode`]: it routes its statically
+//! assigned wires against its local cost-array replica, keeps the delta
+//! array of changes it has made to foreign regions, emits and installs
+//! update packets according to the configured [`UpdateSchedule`], and
+//! participates in a simple termination protocol (every node reports
+//! `Finished` to node 0, which broadcasts `Terminate` once all reports
+//! are in — finished nodes keep serving requests until then).
+
+use std::sync::{Arc, Mutex};
+
+use locus_circuit::{Circuit, Rect, WireId};
+use locus_mesh::{Envelope, Node, Outbox, SimTime, Step};
+use locus_router::router::route_wire;
+use locus_router::{CostArray, ProcId, RegionMap, Route, WorkStats};
+
+use crate::config::{MsgPassConfig, PacketStructure, WireSource};
+use crate::delta::DeltaArray;
+use crate::packet::{Packet, PacketCounts, WireEvent};
+
+/// Coordinator node for the termination protocol.
+const COORDINATOR: ProcId = 0;
+
+/// One processor of the message-passing router.
+pub struct RouterNode {
+    proc: ProcId,
+    circuit: Arc<Circuit>,
+    regions: Arc<RegionMap>,
+    config: MsgPassConfig,
+    my_region: Rect,
+    mesh_neighbors: Vec<ProcId>,
+    my_wires: Vec<WireId>,
+
+    /// Metrics-only global truth, shared by every node and updated as
+    /// routes commit (the kernel steps nodes in simulated-time order).
+    /// Routing decisions never read it; it exists so the occupancy factor
+    /// can be measured against the *actual* congestion at routing time,
+    /// as the paper's §3 definition requires — a stale replica would
+    /// under-report exactly the congestion staleness causes.
+    oracle: Arc<Mutex<CostArray>>,
+
+    replica: CostArray,
+    delta: DeltaArray,
+    /// Bounding box of changes to the node's own region since its last
+    /// `SendLocData` (kept incrementally; no scan needed).
+    own_dirty: Option<Rect>,
+
+    routes: Vec<Option<Route>>,
+    iteration: usize,
+    wire_idx: usize,
+    wires_routed_count: u32,
+
+    /// Routing events accumulated since the last wire-based update
+    /// (only populated under [`PacketStructure::WireBased`]).
+    wire_events: Vec<WireEvent>,
+
+    // Dynamic wire distribution (§4.2).
+    /// Routes of dynamically granted wires.
+    dynamic_routes: Vec<(WireId, Route)>,
+    /// Master only: next wire id to hand out.
+    dyn_pool_next: usize,
+    /// Worker: a request is in flight.
+    awaiting_grant: bool,
+    /// Worker: a granted wire not yet routed.
+    granted: Option<WireId>,
+
+    // Receiver-initiated requester state.
+    request_cursor: usize,
+    touch_count: Vec<u32>,
+    touch_bbox: Vec<Option<Rect>>,
+    outstanding: u32,
+
+    // Owner-side ReqLocData trigger state.
+    reqs_from: Vec<u32>,
+
+    // Termination protocol.
+    finished_routing: bool,
+    finished_sent: bool,
+    finished_seen: usize,
+    terminate: bool,
+
+    // Metrics.
+    occupancy_current: u64,
+    occupancy_last: u64,
+    work: WorkStats,
+    sent: PacketCounts,
+}
+
+impl RouterNode {
+    /// Creates the actor for processor `proc` with its assigned wires.
+    /// All nodes of one run must share the same `oracle`.
+    pub fn new(
+        proc: ProcId,
+        circuit: Arc<Circuit>,
+        regions: Arc<RegionMap>,
+        config: MsgPassConfig,
+        my_wires: Vec<WireId>,
+        oracle: Arc<Mutex<CostArray>>,
+    ) -> Self {
+        let n_procs = regions.n_procs();
+        let (channels, grids) = regions.surface();
+        let n_wires = my_wires.len();
+        RouterNode {
+            proc,
+            my_region: regions.region(proc),
+            mesh_neighbors: regions.neighbors(proc),
+            oracle,
+            circuit,
+            regions,
+            config,
+            my_wires,
+            replica: CostArray::new(channels, grids),
+            delta: DeltaArray::new(channels, grids),
+            own_dirty: None,
+            routes: vec![None; n_wires],
+            iteration: 0,
+            wire_idx: 0,
+            wires_routed_count: 0,
+            wire_events: Vec::new(),
+            dynamic_routes: Vec::new(),
+            dyn_pool_next: 0,
+            awaiting_grant: false,
+            granted: None,
+            request_cursor: 0,
+            touch_count: vec![0; n_procs],
+            touch_bbox: vec![None; n_procs],
+            outstanding: 0,
+            reqs_from: vec![0; n_procs],
+            finished_routing: false,
+            finished_sent: false,
+            finished_seen: 0,
+            terminate: false,
+            occupancy_current: 0,
+            occupancy_last: 0,
+            work: WorkStats::default(),
+            sent: PacketCounts::default(),
+        }
+    }
+
+    /// Final routes with their wire ids (valid after the run completes).
+    pub fn routes(&self) -> impl Iterator<Item = (WireId, &Route)> + '_ {
+        self.my_wires
+            .iter()
+            .zip(&self.routes)
+            .filter_map(|(&w, r)| r.as_ref().map(|r| (w, r)))
+            .chain(self.dynamic_routes.iter().map(|(w, r)| (*w, r)))
+    }
+
+    /// Occupancy factor contribution of the final iteration.
+    pub fn occupancy_factor(&self) -> u64 {
+        self.occupancy_last
+    }
+
+    /// Work counters.
+    pub fn work(&self) -> &WorkStats {
+        &self.work
+    }
+
+    /// Per-kind packet counts sent by this node.
+    pub fn sent_counts(&self) -> &PacketCounts {
+        &self.sent
+    }
+
+    /// The node's final replica (for divergence diagnostics).
+    pub fn replica(&self) -> &CostArray {
+        &self.replica
+    }
+
+    /// Whether the node completed all its iterations.
+    pub fn finished(&self) -> bool {
+        self.finished_routing
+    }
+
+    /// Queues `packet` to `to`, recording stats; returns the modelled
+    /// packet-assembly time.
+    fn send(&mut self, outbox: &mut Outbox<Packet>, to: ProcId, packet: Packet) -> u64 {
+        debug_assert_ne!(to, self.proc);
+        let bytes = packet.payload_bytes();
+        self.sent.record(&packet);
+        outbox.send(to, bytes, packet);
+        bytes as u64 * self.config.send_per_byte_ns
+    }
+
+    /// Grows the own-region dirty box to include `rect`.
+    fn mark_own_dirty(&mut self, rect: Rect) {
+        self.own_dirty = Some(match self.own_dirty {
+            Some(d) => d.union(&rect),
+            None => rect,
+        });
+    }
+
+    /// Applies one routed/ripped cell change to local state: replicas
+    /// always change; foreign cells also enter the delta array, own cells
+    /// the dirty box.
+    fn apply_cell_change(&mut self, cell: locus_circuit::GridCell, delta: i32) {
+        self.replica.add(cell, delta);
+        if self.my_region.contains(cell) {
+            self.mark_own_dirty(Rect::cell(cell));
+        } else {
+            self.delta.record(cell, delta as i16);
+        }
+    }
+
+    /// Handles one received packet; returns modelled processing time and
+    /// queues any responses.
+    fn handle_packet(
+        &mut self,
+        from: ProcId,
+        packet: Packet,
+        outbox: &mut Outbox<Packet>,
+    ) -> u64 {
+        let mut busy = 0u64;
+        match packet {
+            Packet::LocData { rect, values, response } => {
+                // Absolute data for a region owned by the sender (or at
+                // least not by us): replace our stale view.
+                debug_assert!(
+                    !rect.intersects(&self.my_region),
+                    "node {} received absolute data for its own region",
+                    self.proc
+                );
+                self.replica.install(rect, &values);
+                // The owner's view cannot include changes we made but
+                // have not yet sent; re-apply our pending deltas so the
+                // install does not erase our own wires from our view.
+                for cell in rect.cells() {
+                    let d = self.delta.get(cell);
+                    if d != 0 {
+                        self.replica.add(cell, d as i32);
+                    }
+                }
+                busy += rect.area() * self.config.scan_per_cell_ns;
+                if response {
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                }
+            }
+            Packet::RmtData { rect, deltas, response: _ } => {
+                // Deltas applied by a remote processor to our region.
+                debug_assert!(
+                    self.my_region
+                        .intersection(&rect)
+                        .map_or(false, |i| i == rect),
+                    "RmtData rect {rect} not inside own region {}",
+                    self.my_region
+                );
+                self.replica.apply_deltas(rect, &deltas);
+                self.mark_own_dirty(rect);
+            }
+            Packet::ReqRmtData { rect } => {
+                // We are the owner: answer with absolute data.
+                let r = rect
+                    .intersection(&self.my_region)
+                    .expect("ReqRmtData must target the owner's region");
+                let values = self.replica.extract(r);
+                busy += r.area() * self.config.scan_per_cell_ns;
+                busy += self.send(
+                    outbox,
+                    from,
+                    Packet::LocData { rect: r, values, response: true },
+                );
+                // ReqLocData trigger: a processor that keeps requesting
+                // our region has been routing in it (§4.3.3).
+                if let Some(threshold) = self.config.schedule.req_loc_data {
+                    self.reqs_from[from] += 1;
+                    if self.reqs_from[from] >= threshold {
+                        self.reqs_from[from] = 0;
+                        busy += self.send(
+                            outbox,
+                            from,
+                            Packet::ReqLocData { rect: self.my_region },
+                        );
+                    }
+                }
+            }
+            Packet::ReqLocData { rect } => {
+                // The owner of `rect` wants the deltas we hold against it.
+                busy += rect.area() * self.config.scan_per_cell_ns;
+                if let Some(bbox) = self.delta.changes_in(rect) {
+                    let deltas = self.delta.extract_and_clear(bbox);
+                    busy += self.send(
+                        outbox,
+                        from,
+                        Packet::RmtData { rect: bbox, deltas, response: true },
+                    );
+                }
+            }
+            Packet::WireRequest => {
+                // We are the assignment processor: hand out the next
+                // wire, or report exhaustion. Requests are only seen
+                // between our own wires — the §4.2 latency the paper
+                // rejected this scheme over.
+                debug_assert_eq!(self.proc, COORDINATOR);
+                let wire = if self.dyn_pool_next < self.circuit.wire_count() {
+                    let w = self.dyn_pool_next as u32;
+                    self.dyn_pool_next += 1;
+                    Some(w)
+                } else {
+                    None
+                };
+                busy += self.send(outbox, from, Packet::WireGrant { wire });
+            }
+            Packet::WireGrant { wire } => {
+                self.awaiting_grant = false;
+                match wire {
+                    Some(w) => self.granted = Some(w as WireId),
+                    None => {
+                        self.finished_routing = true;
+                        self.occupancy_last = self.occupancy_current;
+                    }
+                }
+            }
+            Packet::WireData { events } => {
+                // Replay the sender's routing events against our view.
+                for ev in events {
+                    if !ev.ripped.is_empty() {
+                        let ripped = Route::from_segments(ev.ripped);
+                        for &cell in ripped.cells() {
+                            self.replica.add(cell, -1);
+                            if self.my_region.contains(cell) {
+                                self.mark_own_dirty(Rect::cell(cell));
+                            }
+                        }
+                    }
+                    let routed = Route::from_segments(ev.routed);
+                    for &cell in routed.cells() {
+                        self.replica.add(cell, 1);
+                        if self.my_region.contains(cell) {
+                            self.mark_own_dirty(Rect::cell(cell));
+                        }
+                    }
+                }
+            }
+            Packet::Finished => {
+                debug_assert_eq!(self.proc, COORDINATOR);
+                self.finished_seen += 1;
+            }
+            Packet::Terminate => {
+                self.terminate = true;
+            }
+        }
+        busy
+    }
+
+    /// Issues receiver-initiated `ReqRmtData` requests for the upcoming
+    /// window of wires (the paper requests five wires ahead, §4.3.3).
+    fn issue_requests(&mut self, outbox: &mut Outbox<Packet>) -> u64 {
+        let Some(threshold) = self.config.schedule.req_rmt_data else {
+            return 0;
+        };
+        let mut busy = 0u64;
+        let window_end =
+            (self.wire_idx + self.config.request_ahead as usize).min(self.my_wires.len());
+        while self.request_cursor < window_end {
+            let wire = self.circuit.wire(self.my_wires[self.request_cursor]);
+            let bbox = wire.bounding_box();
+            for p in self.regions.owners_intersecting(bbox) {
+                if p == self.proc {
+                    continue;
+                }
+                let in_region = bbox
+                    .intersection(&self.regions.region(p))
+                    .expect("owner intersects the bbox by construction");
+                self.touch_count[p] += 1;
+                self.touch_bbox[p] = Some(match self.touch_bbox[p] {
+                    Some(b) => b.union(&in_region),
+                    None => in_region,
+                });
+                if self.touch_count[p] >= threshold {
+                    let rect = self.touch_bbox[p].take().expect("bbox recorded with count");
+                    self.touch_count[p] = 0;
+                    busy += self.send(outbox, p, Packet::ReqRmtData { rect });
+                    self.outstanding += 1;
+                }
+            }
+            self.request_cursor += 1;
+        }
+        busy
+    }
+
+    /// Emits any due sender-initiated updates for the configured packet
+    /// structure; returns the modelled assembly time.
+    fn emit_sender_updates(&mut self, outbox: &mut Outbox<Packet>) -> u64 {
+        let mut busy = 0u64;
+        // Sender-initiated updates (§4.3.2): only if something changed.
+        // The payload depends on the configured packet structure
+        // (§4.3.1): bounding box (default), full region, or wire-based.
+        match self.config.structure {
+            PacketStructure::WireBased => {
+                // Events replace both SendLocData and SendRmtData; they
+                // are flushed on the SendRmtData cadence to every
+                // processor whose region any event touches.
+                let n = self
+                    .config
+                    .schedule
+                    .send_rmt_data
+                    .expect("validated: WireBased requires send_rmt_data");
+                if self.wires_routed_count % n == 0 && !self.wire_events.is_empty() {
+                    let events = std::mem::take(&mut self.wire_events);
+                    let mut bbox: Option<Rect> = None;
+                    for ev in &events {
+                        for seg in ev.ripped.iter().chain(&ev.routed) {
+                            let b = seg.bounding_box();
+                            bbox = Some(match bbox {
+                                Some(acc) => acc.union(&b),
+                                None => b,
+                            });
+                        }
+                    }
+                    let bbox = bbox.expect("events are non-empty");
+                    for p in self.regions.owners_intersecting(bbox) {
+                        if p == self.proc {
+                            continue;
+                        }
+                        busy += self.send(
+                            outbox,
+                            p,
+                            Packet::WireData { events: events.clone() },
+                        );
+                    }
+                }
+            }
+            PacketStructure::BoundingBox | PacketStructure::FullRegion => {
+                let full = self.config.structure == PacketStructure::FullRegion;
+                if let Some(n) = self.config.schedule.send_loc_data {
+                    if self.wires_routed_count % n == 0 {
+                        if let Some(dirty) = self.own_dirty.take() {
+                            let rect = if full { self.my_region } else { dirty };
+                            let values = self.replica.extract(rect);
+                            if !full {
+                                busy += rect.area() * self.config.scan_per_cell_ns;
+                            }
+                            for nb in self.mesh_neighbors.clone() {
+                                busy += self.send(
+                                    outbox,
+                                    nb,
+                                    Packet::LocData {
+                                        rect,
+                                        values: values.clone(),
+                                        response: false,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                if let Some(n) = self.config.schedule.send_rmt_data {
+                    if self.wires_routed_count % n == 0 {
+                        for p in 0..self.regions.n_procs() {
+                            if p == self.proc {
+                                continue;
+                            }
+                            let region = self.regions.region(p);
+                            if full {
+                                if !self.delta.is_clean_in(region) {
+                                    let deltas = self.delta.extract_and_clear(region);
+                                    busy += self.send(
+                                        outbox,
+                                        p,
+                                        Packet::RmtData {
+                                            rect: region,
+                                            deltas,
+                                            response: false,
+                                        },
+                                    );
+                                }
+                            } else {
+                                busy += region.area() * self.config.scan_per_cell_ns;
+                                if let Some(bbox) = self.delta.changes_in(region) {
+                                    let deltas = self.delta.extract_and_clear(bbox);
+                                    busy += self.send(
+                                        outbox,
+                                        p,
+                                        Packet::RmtData { rect: bbox, deltas, response: false },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        busy
+    }
+
+    /// Rips up (if re-routing) and routes the next wire; emits any due
+    /// sender-initiated updates. Returns modelled work time.
+    fn route_next_wire(&mut self, outbox: &mut Outbox<Packet>) -> u64 {
+        let mut busy = self.issue_requests(outbox);
+        let idx = self.wire_idx;
+
+        // Rip up the previous iteration's route (§3).
+        let mut ripped_segments: Vec<locus_router::Segment> = Vec::new();
+        if let Some(old) = self.routes[idx].take() {
+            busy += old.len() as u64 * self.config.cell_write_ns;
+            self.work.cells_written += old.len() as u64;
+            self.oracle.lock().expect("oracle lock").remove_route(&old);
+            if self.config.structure == PacketStructure::WireBased {
+                ripped_segments = old.segments().to_vec();
+            }
+            for &cell in old.cells().to_vec().iter() {
+                self.apply_cell_change(cell, -1);
+            }
+        }
+
+        // Evaluate against the (possibly stale) replica.
+        let wire_id = self.my_wires[idx];
+        let wire = self.circuit.wire(wire_id).clone();
+        let eval = route_wire(&self.replica, &wire, self.config.params.channel_overshoot);
+        busy += eval.cells_examined * self.config.cell_eval_ns;
+        busy += eval.route.len() as u64 * self.config.cell_write_ns;
+        {
+            // Occupancy factor: the chosen path's cost against the true
+            // global state at routing time (§3) — the decision above saw
+            // only the replica.
+            use locus_router::CostView;
+            let mut oracle = self.oracle.lock().expect("oracle lock");
+            self.occupancy_current += oracle.route_cost(&eval.route);
+            oracle.add_route(&eval.route);
+        }
+        self.work.wires_routed += 1;
+        self.work.connections += eval.connections;
+        self.work.candidates += eval.candidates;
+        self.work.cells_examined += eval.cells_examined;
+        self.work.cells_written += eval.route.len() as u64;
+
+        for &cell in eval.route.cells().to_vec().iter() {
+            self.apply_cell_change(cell, 1);
+        }
+        if self.config.structure == PacketStructure::WireBased {
+            self.wire_events.push(WireEvent {
+                ripped: ripped_segments,
+                routed: eval.route.segments().to_vec(),
+            });
+        }
+        self.routes[idx] = Some(eval.route);
+
+        self.wires_routed_count += 1;
+
+        busy += self.emit_sender_updates(outbox);
+
+        // Advance the program counter.
+        self.wire_idx += 1;
+        if self.wire_idx == self.my_wires.len() {
+            self.iteration += 1;
+            self.wire_idx = 0;
+            self.request_cursor = 0;
+            self.occupancy_last = self.occupancy_current;
+            if self.iteration == self.config.params.iterations {
+                self.finished_routing = true;
+            } else {
+                self.occupancy_current = 0;
+            }
+        }
+        busy
+    }
+}
+
+impl RouterNode {
+    /// Routes one dynamically granted wire (§4.2 dynamic scheme; single
+    /// iteration, so there is never a previous route to rip up).
+    fn route_granted_wire(&mut self, wire_id: WireId, outbox: &mut Outbox<Packet>) -> u64 {
+        let mut busy = 0u64;
+        let wire = self.circuit.wire(wire_id).clone();
+        let eval = route_wire(&self.replica, &wire, self.config.params.channel_overshoot);
+        busy += eval.cells_examined * self.config.cell_eval_ns;
+        busy += eval.route.len() as u64 * self.config.cell_write_ns;
+        {
+            use locus_router::CostView;
+            let mut oracle = self.oracle.lock().expect("oracle lock");
+            self.occupancy_current += oracle.route_cost(&eval.route);
+            oracle.add_route(&eval.route);
+        }
+        self.work.wires_routed += 1;
+        self.work.connections += eval.connections;
+        self.work.candidates += eval.candidates;
+        self.work.cells_examined += eval.cells_examined;
+        self.work.cells_written += eval.route.len() as u64;
+        for &cell in eval.route.cells().to_vec().iter() {
+            self.apply_cell_change(cell, 1);
+        }
+        if self.config.structure == PacketStructure::WireBased {
+            self.wire_events.push(WireEvent {
+                ripped: Vec::new(),
+                routed: eval.route.segments().to_vec(),
+            });
+        }
+        self.dynamic_routes.push((wire_id, eval.route));
+        self.wires_routed_count += 1;
+        busy += self.emit_sender_updates(outbox);
+        busy
+    }
+
+    /// One step of the dynamic-distribution protocol; returns the step
+    /// outcome directly.
+    fn dynamic_step(&mut self, mut busy: u64, outbox: &mut Outbox<Packet>) -> Step {
+        if self.proc == COORDINATOR {
+            // The assignment processor routes wires from the pool itself
+            // ("at a low priority": requests were already served during
+            // message processing at the top of this step).
+            if self.dyn_pool_next < self.circuit.wire_count() {
+                let w = self.dyn_pool_next;
+                self.dyn_pool_next += 1;
+                busy += self.route_granted_wire(w, outbox);
+            } else {
+                self.finished_routing = true;
+                self.occupancy_last = self.occupancy_current;
+            }
+            return Step::Continue { busy_ns: busy };
+        }
+        if let Some(w) = self.granted.take() {
+            busy += self.route_granted_wire(w, outbox);
+            // Pipeline the next request behind the routing work.
+            busy += self.send(outbox, COORDINATOR, Packet::WireRequest);
+            self.awaiting_grant = true;
+            return Step::Continue { busy_ns: busy };
+        }
+        if self.awaiting_grant {
+            return if busy > 0 { Step::Continue { busy_ns: busy } } else { Step::Block };
+        }
+        // First step: ask for work.
+        busy += self.send(outbox, COORDINATOR, Packet::WireRequest);
+        self.awaiting_grant = true;
+        Step::Continue { busy_ns: busy }
+    }
+}
+
+impl Node for RouterNode {
+    type Msg = Packet;
+
+    fn step(
+        &mut self,
+        _now: SimTime,
+        inbox: Vec<Envelope<Packet>>,
+        outbox: &mut Outbox<Packet>,
+    ) -> Step {
+        let mut busy = 0u64;
+        for env in inbox {
+            busy += self.handle_packet(env.from, env.msg, outbox);
+        }
+
+        // Termination protocol.
+        if self.finished_routing && !self.finished_sent {
+            self.finished_sent = true;
+            if self.proc != COORDINATOR {
+                busy += self.send(outbox, COORDINATOR, Packet::Finished);
+            }
+        }
+        if self.proc == COORDINATOR
+            && self.finished_routing
+            && !self.terminate
+            && self.finished_seen == self.regions.n_procs() - 1
+        {
+            for p in 1..self.regions.n_procs() {
+                busy += self.send(outbox, p, Packet::Terminate);
+            }
+            self.terminate = true;
+        }
+        if self.terminate {
+            return Step::Done;
+        }
+        if self.finished_routing {
+            // Keep serving requests until everyone is done.
+            return if busy > 0 { Step::Continue { busy_ns: busy } } else { Step::Block };
+        }
+
+        // Blocking receiver-initiated strategy: hold until responses land.
+        if self.config.schedule.blocking && self.outstanding > 0 {
+            return if busy > 0 { Step::Continue { busy_ns: busy } } else { Step::Block };
+        }
+
+        match self.config.wire_source {
+            WireSource::Static => {
+                busy += self.route_next_wire(outbox);
+                Step::Continue { busy_ns: busy }
+            }
+            WireSource::Dynamic => self.dynamic_step(busy, outbox),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::UpdateSchedule;
+    use locus_circuit::presets;
+    use locus_router::{assign, AssignmentStrategy};
+
+    fn make_node(schedule: UpdateSchedule, proc: ProcId, n_procs: usize) -> RouterNode {
+        let circuit = Arc::new(presets::small());
+        let regions = Arc::new(RegionMap::new(circuit.channels, circuit.grids, n_procs));
+        let assignment = assign(
+            &circuit,
+            &regions,
+            AssignmentStrategy::Locality { threshold_cost: Some(1000) },
+        );
+        let config = MsgPassConfig::new(n_procs, schedule);
+        let oracle = Arc::new(Mutex::new(CostArray::new(circuit.channels, circuit.grids)));
+        RouterNode::new(
+            proc,
+            circuit,
+            regions,
+            config,
+            assignment.wires_per_proc[proc].clone(),
+            oracle,
+        )
+    }
+
+    #[test]
+    fn node_routes_its_wires_standalone() {
+        // Without any updates, a node simply routes its wires to
+        // completion (single-processor semantics on its replica).
+        let mut node = make_node(UpdateSchedule::never(), 0, 4);
+        let n_wires = node.my_wires.len();
+        assert!(n_wires > 0);
+        let mut outbox = Outbox::new();
+        let mut steps = 0;
+        loop {
+            let step = node.step(SimTime::ZERO, Vec::new(), &mut outbox);
+            steps += 1;
+            if node.finished_routing {
+                break;
+            }
+            assert!(matches!(step, Step::Continue { .. }));
+            assert!(steps < 100_000, "node did not converge");
+        }
+        assert_eq!(node.routes().count(), n_wires);
+        assert!(node.occupancy_factor() > 0 || n_wires < 3);
+    }
+
+    #[test]
+    fn sender_initiated_node_emits_updates() {
+        let mut node = make_node(UpdateSchedule::sender_initiated(1, 1), 0, 4);
+        let mut outbox = Outbox::new();
+        // Route a few wires.
+        for _ in 0..6 {
+            let _ = node.step(SimTime::ZERO, Vec::new(), &mut outbox);
+        }
+        assert!(
+            !outbox.is_empty(),
+            "sender-initiated schedule must emit updates while routing"
+        );
+        use crate::packet::PacketKind;
+        assert!(node.sent_counts().packets(PacketKind::SendRmtData) > 0);
+    }
+
+    #[test]
+    fn req_rmt_data_is_answered_with_absolute_data() {
+        let mut owner = make_node(UpdateSchedule::receiver_initiated(1, 5), 0, 4);
+        let mut outbox = Outbox::new();
+        let rect = owner.my_region;
+        let busy = owner.handle_packet(1, Packet::ReqRmtData { rect }, &mut outbox);
+        assert!(busy > 0);
+        assert_eq!(outbox.len(), 2, "response plus ReqLocData (threshold 1)");
+        assert_eq!(outbox.sends()[0].0, 1);
+    }
+
+    #[test]
+    fn req_loc_data_returns_deltas_and_clears() {
+        let mut node = make_node(UpdateSchedule::receiver_initiated(1, 5), 0, 4);
+        // Fabricate a change to a foreign region (proc 3's region).
+        let foreign = node.regions.region(3);
+        let cell = locus_circuit::GridCell::new(foreign.c_lo, foreign.x_lo);
+        node.apply_cell_change(cell, 1);
+        let mut outbox = Outbox::new();
+        let _ = node.handle_packet(3, Packet::ReqLocData { rect: foreign }, &mut outbox);
+        assert_eq!(outbox.len(), 1);
+        match outbox.sends()[0].2.clone() {
+            Packet::RmtData { rect, deltas, response } => {
+                assert!(response);
+                assert_eq!(rect, Rect::cell(cell));
+                assert_eq!(deltas, vec![1i16]);
+            }
+            other => panic!("expected RmtData response, got {other:?}"),
+        }
+        assert!(node.delta.is_zero(), "answered deltas must be cleared");
+    }
+
+    #[test]
+    fn loc_data_installs_absolute_values() {
+        let mut node = make_node(UpdateSchedule::never(), 0, 4);
+        let foreign = node.regions.region(3);
+        let rect = Rect::new(foreign.c_lo, foreign.c_lo, foreign.x_lo, foreign.x_lo + 1);
+        let mut outbox = Outbox::new();
+        let _ = node.handle_packet(
+            3,
+            Packet::LocData { rect, values: vec![7, 9], response: false },
+            &mut outbox,
+        );
+        use locus_router::CostView;
+        assert_eq!(node.replica.cost_at(locus_circuit::GridCell::new(rect.c_lo, rect.x_lo)), 7);
+        assert_eq!(
+            node.replica.cost_at(locus_circuit::GridCell::new(rect.c_lo, rect.x_lo + 1)),
+            9
+        );
+    }
+
+    #[test]
+    fn rmt_data_applies_deltas_to_own_region() {
+        let mut node = make_node(UpdateSchedule::never(), 0, 4);
+        let own = node.my_region;
+        let rect = Rect::new(own.c_lo, own.c_lo, own.x_lo, own.x_lo);
+        let mut outbox = Outbox::new();
+        let _ = node.handle_packet(
+            1,
+            Packet::RmtData { rect, deltas: vec![3], response: false },
+            &mut outbox,
+        );
+        use locus_router::CostView;
+        assert_eq!(node.replica.cost_at(locus_circuit::GridCell::new(own.c_lo, own.x_lo)), 3);
+        assert!(node.own_dirty.is_some(), "remote change must dirty the own region");
+    }
+
+    #[test]
+    fn blocking_node_blocks_on_outstanding_requests() {
+        let mut node = make_node(UpdateSchedule::receiver_initiated_blocking(1, 1), 1, 4);
+        let mut outbox = Outbox::new();
+        // First step issues requests for the upcoming window and routes.
+        let _ = node.step(SimTime::ZERO, Vec::new(), &mut outbox);
+        if node.outstanding > 0 {
+            let step = node.step(SimTime::ZERO, Vec::new(), &mut Outbox::new());
+            assert_eq!(step, Step::Block, "must block while responses are outstanding");
+        }
+    }
+
+    #[test]
+    fn response_unblocks_blocking_node() {
+        let mut node = make_node(UpdateSchedule::receiver_initiated_blocking(1, 1), 1, 4);
+        let mut outbox = Outbox::new();
+        let _ = node.step(SimTime::ZERO, Vec::new(), &mut outbox);
+        let outstanding = node.outstanding;
+        if outstanding == 0 {
+            return; // this processor's first wires are fully local
+        }
+        // Answer every outstanding request with an empty-ish response.
+        let sends: Vec<_> = outbox.sends().to_vec();
+        for (to, _, packet) in sends {
+            if let Packet::ReqRmtData { rect } = packet {
+                let values = vec![0u16; rect.area() as usize];
+                let _ = node.handle_packet(
+                    to,
+                    Packet::LocData { rect, values, response: true },
+                    &mut Outbox::new(),
+                );
+            }
+        }
+        assert_eq!(node.outstanding, 0);
+        let step = node.step(SimTime::ZERO, Vec::new(), &mut Outbox::new());
+        assert!(matches!(step, Step::Continue { .. }), "node must resume after responses");
+    }
+
+    #[test]
+    fn coordinator_terminates_after_all_finished() {
+        let mut node = make_node(UpdateSchedule::never(), 0, 4);
+        // Drive the coordinator to finish its own routing.
+        let mut outbox = Outbox::new();
+        while !node.finished_routing {
+            let _ = node.step(SimTime::ZERO, Vec::new(), &mut outbox);
+        }
+        // It must not terminate before hearing from the other three.
+        let step = node.step(SimTime::ZERO, Vec::new(), &mut Outbox::new());
+        assert_ne!(step, Step::Done);
+        for _ in 0..3 {
+            let _ = node.handle_packet(1, Packet::Finished, &mut Outbox::new());
+        }
+        let mut outbox = Outbox::new();
+        let step = node.step(SimTime::ZERO, Vec::new(), &mut outbox);
+        assert_eq!(step, Step::Done);
+        assert_eq!(outbox.len(), 3, "terminate broadcast to the other nodes");
+    }
+
+    #[test]
+    fn worker_stops_on_terminate() {
+        let mut node = make_node(UpdateSchedule::never(), 1, 4);
+        let mut outbox = Outbox::new();
+        while !node.finished_routing {
+            let _ = node.step(SimTime::ZERO, Vec::new(), &mut outbox);
+        }
+        let _ = node.handle_packet(0, Packet::Terminate, &mut Outbox::new());
+        let step = node.step(SimTime::ZERO, Vec::new(), &mut Outbox::new());
+        assert_eq!(step, Step::Done);
+    }
+
+    #[test]
+    fn delta_cancellation_across_iterations() {
+        // Route all wires twice with no updates: any cell whose route did
+        // not move between iterations must hold delta <= 1 net change
+        // (rip-up cancels re-route).
+        let mut node = make_node(UpdateSchedule::never(), 0, 4);
+        let mut outbox = Outbox::new();
+        while !node.finished_routing {
+            let _ = node.step(SimTime::ZERO, Vec::new(), &mut outbox);
+        }
+        // The replica's total must equal the final routes' coverage that
+        // this node applied (its own wires only).
+        let coverage: u64 = node.routes().map(|(_, r)| r.len() as u64).sum();
+        assert_eq!(node.replica.total(), coverage);
+    }
+}

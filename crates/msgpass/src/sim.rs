@@ -1,0 +1,423 @@
+//! Simulation driver: runs a full message-passing routing experiment and
+//! gathers the paper's metrics.
+
+use std::sync::Arc;
+
+use locus_circuit::Circuit;
+use locus_mesh::{Kernel, NetStats};
+use locus_router::locality::{locality_measure, LocalityMeasure};
+use locus_router::{assign, CostArray, ProcId, QualityMetrics, RegionMap, Route, WorkStats};
+
+use crate::config::MsgPassConfig;
+use crate::node::RouterNode;
+use crate::packet::PacketCounts;
+
+/// Everything measured from one message-passing run — the columns of
+/// Tables 1, 2, 4 and 6 plus diagnostics.
+#[derive(Clone, Debug)]
+pub struct MsgPassOutcome {
+    /// Circuit height and occupancy factor.
+    pub quality: QualityMetrics,
+    /// Network statistics (packets, bytes, contention, completion time).
+    pub net: NetStats,
+    /// "Time (s)": simulated completion time.
+    pub time_secs: f64,
+    /// "MBytes Xfrd.": application payload megabytes moved.
+    pub mbytes: f64,
+    /// Final route of every wire.
+    pub routes: Vec<Route>,
+    /// Which processor routed each wire.
+    pub proc_of_wire: Vec<ProcId>,
+    /// Locality measure of the final solution (§5.3.3).
+    pub locality: LocalityMeasure,
+    /// Per-kind packet counts.
+    pub packets: PacketCounts,
+    /// Aggregate routing work.
+    pub work: WorkStats,
+    /// Mean absolute per-cell divergence between node replicas and the
+    /// true final cost array — how stale the views were at the end.
+    pub replica_divergence: f64,
+    /// Load imbalance of the static assignment (max/mean).
+    pub imbalance: f64,
+    /// True if the simulation did not terminate cleanly.
+    pub deadlocked: bool,
+}
+
+/// Runs the message-passing LocusRoute on `circuit` under `config`.
+///
+/// # Panics
+/// Panics if the configuration is invalid (see
+/// [`MsgPassConfig::validate`]).
+pub fn run_msgpass(circuit: &Circuit, config: MsgPassConfig) -> MsgPassOutcome {
+    let mesh = config.mesh_config();
+    run_msgpass_with_mesh(circuit, config, mesh)
+}
+
+/// Like [`run_msgpass`] but with an explicit mesh configuration —
+/// used by ablations (e.g. disabling contention, alternate timing).
+///
+/// # Panics
+/// Panics if the configuration is invalid or the mesh size does not
+/// match `config.n_procs`.
+pub fn run_msgpass_with_mesh(
+    circuit: &Circuit,
+    config: MsgPassConfig,
+    mesh: locus_mesh::MeshConfig,
+) -> MsgPassOutcome {
+    config.validate().expect("invalid message-passing configuration");
+    assert_eq!(mesh.n_nodes(), config.n_procs, "mesh size must match processor count");
+    let regions = Arc::new(RegionMap::new(circuit.channels, circuit.grids, config.n_procs));
+    let dynamic = config.wire_source == crate::config::WireSource::Dynamic;
+    // Under dynamic distribution the static assignment phase is skipped;
+    // wires flow over the network at run time.
+    let assignment = if dynamic {
+        locus_router::Assignment {
+            wires_per_proc: vec![Vec::new(); config.n_procs],
+            proc_of_wire: vec![0; circuit.wire_count()],
+        }
+    } else {
+        assign(circuit, &regions, config.assignment)
+    };
+    let imbalance = if dynamic { 1.0 } else { assignment.imbalance(circuit) };
+    let circuit_arc = Arc::new(circuit.clone());
+
+    let oracle = Arc::new(std::sync::Mutex::new(CostArray::new(
+        circuit.channels,
+        circuit.grids,
+    )));
+    let nodes: Vec<RouterNode> = (0..config.n_procs)
+        .map(|p| {
+            RouterNode::new(
+                p,
+                Arc::clone(&circuit_arc),
+                Arc::clone(&regions),
+                config,
+                assignment.wires_per_proc[p].clone(),
+                Arc::clone(&oracle),
+            )
+        })
+        .collect();
+
+    let outcome = Kernel::new(mesh, nodes).run();
+    let deadlocked = outcome.stats.deadlocked;
+
+    // Collect the final routes (the actual routed circuit).
+    let mut routes: Vec<Option<Route>> = vec![None; circuit.wire_count()];
+    let mut proc_of_wire = assignment.proc_of_wire.clone();
+    let mut occupancy = 0u64;
+    let mut work = WorkStats::default();
+    let mut packets = PacketCounts::default();
+    for (p, node) in outcome.nodes.iter().enumerate() {
+        occupancy += node.occupancy_factor();
+        work += *node.work();
+        packets.merge(node.sent_counts());
+        for (w, r) in node.routes() {
+            debug_assert!(routes[w].is_none(), "wire {w} routed by two processors");
+            routes[w] = Some(r.clone());
+            proc_of_wire[w] = p;
+        }
+    }
+    let routes: Vec<Route> = routes
+        .into_iter()
+        .enumerate()
+        .map(|(w, r)| r.unwrap_or_else(|| panic!("wire {w} was never routed")))
+        .collect();
+
+    // The true final cost array is determined by the routes themselves.
+    let mut truth = CostArray::new(circuit.channels, circuit.grids);
+    for r in &routes {
+        truth.add_route(r);
+    }
+    let quality = QualityMetrics::from_final_state(&truth, occupancy);
+
+    // Replica staleness diagnostic.
+    let n_cells = circuit.channels as u64 * circuit.grids as u64;
+    let mut divergence = 0.0;
+    for node in &outcome.nodes {
+        let mut diff = 0u64;
+        use locus_router::CostView;
+        for c in 0..circuit.channels {
+            for x in 0..circuit.grids {
+                let cell = locus_circuit::GridCell::new(c, x);
+                diff += (node.replica().cost_at(cell) as i64 - truth.cost_at(cell) as i64)
+                    .unsigned_abs();
+            }
+        }
+        divergence += diff as f64 / n_cells as f64;
+    }
+    divergence /= config.n_procs as f64;
+
+    let locality = locality_measure(&routes, &proc_of_wire, &regions);
+
+    MsgPassOutcome {
+        quality,
+        time_secs: outcome.stats.completion.as_secs_f64(),
+        mbytes: outcome.stats.mbytes_transferred(),
+        net: outcome.stats,
+        routes,
+        proc_of_wire,
+        locality,
+        packets,
+        work,
+        replica_divergence: divergence,
+        imbalance,
+        deadlocked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use crate::schedule::UpdateSchedule;
+    use locus_router::{AssignmentStrategy, RouterParams, SequentialRouter};
+
+    fn small_config(n_procs: usize, schedule: UpdateSchedule) -> MsgPassConfig {
+        MsgPassConfig::new(n_procs, schedule)
+    }
+
+    #[test]
+    fn four_proc_sender_initiated_completes() {
+        let c = locus_circuit::presets::small();
+        let out = run_msgpass(&c, small_config(4, UpdateSchedule::sender_initiated(2, 5)));
+        assert!(!out.deadlocked, "simulation must terminate cleanly");
+        assert_eq!(out.routes.len(), c.wire_count());
+        assert!(out.quality.circuit_height > 0);
+        assert!(out.time_secs > 0.0);
+        assert!(out.mbytes > 0.0);
+        assert!(out.packets.packets(PacketKind::SendRmtData) > 0);
+        assert_eq!(out.packets.packets(PacketKind::ReqRmtData), 0);
+    }
+
+    #[test]
+    fn four_proc_receiver_initiated_completes() {
+        let c = locus_circuit::presets::small();
+        let out = run_msgpass(&c, small_config(4, UpdateSchedule::receiver_initiated(2, 5)));
+        assert!(!out.deadlocked);
+        assert!(out.packets.packets(PacketKind::ReqRmtData) > 0);
+        assert!(out.packets.packets(PacketKind::ReqRmtDataResponse) > 0);
+        assert_eq!(out.packets.packets(PacketKind::SendLocData), 0);
+        assert_eq!(out.packets.packets(PacketKind::SendRmtData), 0);
+    }
+
+    #[test]
+    fn blocking_receiver_completes_and_is_slower() {
+        let c = locus_circuit::presets::small();
+        let nb = run_msgpass(&c, small_config(4, UpdateSchedule::receiver_initiated(2, 3)));
+        let bl = run_msgpass(
+            &c,
+            small_config(4, UpdateSchedule::receiver_initiated_blocking(2, 3)),
+        );
+        assert!(!nb.deadlocked && !bl.deadlocked);
+        assert!(
+            bl.time_secs >= nb.time_secs,
+            "blocking ({:.6}s) must not beat non-blocking ({:.6}s)",
+            bl.time_secs,
+            nb.time_secs
+        );
+    }
+
+    #[test]
+    fn single_processor_matches_sequential_router() {
+        let c = locus_circuit::presets::small();
+        let out = run_msgpass(&c, small_config(1, UpdateSchedule::never()));
+        let seq = SequentialRouter::new(&c, RouterParams::default()).run();
+        assert_eq!(out.quality, seq.quality, "P=1 must reduce to the sequential algorithm");
+        assert_eq!(out.routes, seq.routes);
+        assert_eq!(out.net.packets, 0, "a single node never uses the network");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let c = locus_circuit::presets::small();
+        let cfg = small_config(4, UpdateSchedule::sender_initiated(2, 5));
+        let a = run_msgpass(&c, cfg);
+        let b = run_msgpass(&c, cfg);
+        assert_eq!(a.quality, b.quality);
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.routes, b.routes);
+    }
+
+    #[test]
+    fn frequent_updates_reduce_replica_divergence() {
+        let c = locus_circuit::presets::small();
+        let frequent =
+            run_msgpass(&c, small_config(4, UpdateSchedule::sender_initiated(1, 1)));
+        let never = run_msgpass(&c, small_config(4, UpdateSchedule::never()));
+        assert!(
+            frequent.replica_divergence < never.replica_divergence,
+            "frequent updates {:.4} must track truth better than none {:.4}",
+            frequent.replica_divergence,
+            never.replica_divergence
+        );
+    }
+
+    #[test]
+    fn conservation_of_coverage() {
+        let c = locus_circuit::presets::small();
+        let out = run_msgpass(&c, small_config(4, UpdateSchedule::sender_initiated(2, 5)));
+        let mut truth = CostArray::new(c.channels, c.grids);
+        for r in &out.routes {
+            truth.add_route(r);
+        }
+        assert_eq!(truth.circuit_height(), out.quality.circuit_height);
+    }
+
+    #[test]
+    fn round_robin_assignment_works_end_to_end() {
+        let c = locus_circuit::presets::small();
+        let cfg = small_config(4, UpdateSchedule::sender_initiated(2, 5))
+            .with_assignment(AssignmentStrategy::RoundRobin);
+        let out = run_msgpass(&c, cfg);
+        assert!(!out.deadlocked);
+        // Round robin has worse locality than the default locality-based
+        // assignment used by `small_config`.
+        let local = run_msgpass(&c, small_config(4, UpdateSchedule::sender_initiated(2, 5)));
+        assert!(out.locality.mean_hops >= local.locality.mean_hops);
+    }
+
+    #[test]
+    fn wire_based_structure_completes_with_event_traffic_only() {
+        use crate::config::PacketStructure;
+        let c = locus_circuit::presets::small();
+        let schedule = UpdateSchedule::sender_initiated(2, 5);
+        let bbox = run_msgpass(&c, small_config(4, schedule));
+        let wire = run_msgpass(
+            &c,
+            small_config(4, schedule).with_structure(PacketStructure::WireBased),
+        );
+        assert!(!wire.deadlocked);
+        assert_eq!(wire.routes.len(), c.wire_count());
+        assert!(wire.packets.packets(PacketKind::WireData) > 0);
+        assert_eq!(wire.packets.packets(PacketKind::SendLocData), 0);
+        assert_eq!(wire.packets.packets(PacketKind::SendRmtData), 0);
+        // Event packets are byte-compact (they carry coordinates, not
+        // cell values) but flow even when rip-up and re-route cancel;
+        // they also keep replicas usefully fresh.
+        assert!(wire.net.payload_bytes > 0);
+        assert!(
+            wire.replica_divergence
+                < run_msgpass(&c, small_config(4, UpdateSchedule::never()))
+                    .replica_divergence,
+            "wire events must inform replicas"
+        );
+        // Both schemes deliver comparable solution quality.
+        let ratio = wire.quality.circuit_height as f64 / bbox.quality.circuit_height as f64;
+        assert!((0.8..=1.25).contains(&ratio), "quality ratio {ratio}");
+    }
+
+    #[test]
+    fn full_region_structure_completes_and_moves_more_bytes() {
+        use crate::config::PacketStructure;
+        let c = locus_circuit::presets::small();
+        let schedule = UpdateSchedule::sender_initiated(2, 5);
+        let bbox = run_msgpass(&c, small_config(4, schedule));
+        let full = run_msgpass(
+            &c,
+            small_config(4, schedule).with_structure(PacketStructure::FullRegion),
+        );
+        assert!(!full.deadlocked);
+        assert!(
+            full.net.payload_bytes > bbox.net.payload_bytes,
+            "full-region {} must exceed bounding-box {}",
+            full.net.payload_bytes,
+            bbox.net.payload_bytes
+        );
+        // Same transaction kinds, bigger payloads.
+        assert!(full.packets.packets(PacketKind::SendLocData) > 0);
+    }
+
+    #[test]
+    fn structures_route_to_comparable_quality() {
+        use crate::config::PacketStructure;
+        let c = locus_circuit::presets::small();
+        let schedule = UpdateSchedule::sender_initiated(2, 5);
+        let heights: Vec<u64> = [
+            PacketStructure::BoundingBox,
+            PacketStructure::FullRegion,
+            PacketStructure::WireBased,
+        ]
+        .into_iter()
+        .map(|st| {
+            run_msgpass(&c, small_config(4, schedule).with_structure(st))
+                .quality
+                .circuit_height
+        })
+        .collect();
+        let min = *heights.iter().min().unwrap() as f64;
+        let max = *heights.iter().max().unwrap() as f64;
+        assert!(
+            max / min < 1.2,
+            "packet structure changes information timing, not semantics: {heights:?}"
+        );
+    }
+
+    #[test]
+    fn dynamic_distribution_routes_every_wire() {
+        let c = locus_circuit::presets::small();
+        let out = run_msgpass(
+            &c,
+            small_config(4, UpdateSchedule::sender_initiated(2, 5)).with_dynamic_wires(),
+        );
+        assert!(!out.deadlocked, "dynamic run must terminate");
+        assert_eq!(out.routes.len(), c.wire_count());
+        // Wire requests/grants are visible as control traffic beyond the
+        // 6 termination packets.
+        assert!(out.packets.packets(PacketKind::Control) > 6);
+        // Every processor (including the master) routed something.
+        let mut counts = [0usize; 4];
+        for &p in &out.proc_of_wire {
+            counts[p] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn dynamic_distribution_is_deterministic() {
+        let c = locus_circuit::presets::small();
+        let cfg =
+            small_config(4, UpdateSchedule::sender_initiated(2, 5)).with_dynamic_wires();
+        let a = run_msgpass(&c, cfg);
+        let b = run_msgpass(&c, cfg);
+        assert_eq!(a.quality, b.quality);
+        assert_eq!(a.proc_of_wire, b.proc_of_wire);
+        assert_eq!(a.net, b.net);
+    }
+
+    #[test]
+    fn dynamic_distribution_pays_request_latency() {
+        // §4.2: a worker "may have to wait for an entire wire to be
+        // routed before the wire assignment processor even retrieves the
+        // task request" — dynamic distribution must not beat the static
+        // assignment on time for the same single-iteration schedule.
+        let c = locus_circuit::presets::small();
+        let params = RouterParams::default().with_iterations(1);
+        let stat = run_msgpass(
+            &c,
+            small_config(4, UpdateSchedule::sender_initiated(2, 5)).with_params(params),
+        );
+        let dynamic = run_msgpass(
+            &c,
+            small_config(4, UpdateSchedule::sender_initiated(2, 5)).with_dynamic_wires(),
+        );
+        assert!(
+            dynamic.time_secs >= stat.time_secs * 0.9,
+            "dynamic {:.4}s should not significantly beat static {:.4}s",
+            dynamic.time_secs,
+            stat.time_secs
+        );
+    }
+
+    #[test]
+    fn never_schedule_sends_only_control_traffic() {
+        let c = locus_circuit::presets::small();
+        let out = run_msgpass(&c, small_config(4, UpdateSchedule::never()));
+        assert_eq!(
+            out.packets.total_packets(),
+            out.packets.packets(PacketKind::Control),
+            "only Finished/Terminate expected"
+        );
+        // 3 Finished + 3 Terminate on 4 processors.
+        assert_eq!(out.packets.packets(PacketKind::Control), 6);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the message-passing building blocks.
+
+use locus_circuit::{GridCell, Rect};
+use locus_msgpass::{DeltaArray, Packet, UpdateSchedule};
+use proptest::prelude::*;
+
+const CHANNELS: u16 = 8;
+const GRIDS: u16 = 32;
+
+fn arb_cell() -> impl Strategy<Value = GridCell> {
+    (0u16..CHANNELS, 0u16..GRIDS).prop_map(|(c, x)| GridCell::new(c, x))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0u16..CHANNELS, 0u16..CHANNELS, 0u16..GRIDS, 0u16..GRIDS).prop_map(|(c1, c2, x1, x2)| {
+        Rect::new(c1.min(c2), c1.max(c2), x1.min(x2), x1.max(x2))
+    })
+}
+
+proptest! {
+    /// Recording a set of changes and their exact negations leaves the
+    /// delta array clean — the §5.2 cancellation mechanism.
+    #[test]
+    fn delta_cancellation(ops in proptest::collection::vec((arb_cell(), 1i16..4), 0..60)) {
+        let mut d = DeltaArray::new(CHANNELS, GRIDS);
+        for &(cell, v) in &ops {
+            d.record(cell, v);
+        }
+        for &(cell, v) in &ops {
+            d.record(cell, -v);
+        }
+        prop_assert!(d.is_zero());
+    }
+
+    /// `changes_in` returns the tight bounding box: every nonzero cell in
+    /// the scan rect is inside it, and its edges touch nonzero cells.
+    #[test]
+    fn changes_bbox_is_tight(
+        ops in proptest::collection::vec((arb_cell(), -3i16..=3), 1..40),
+        scan in arb_rect(),
+    ) {
+        let mut d = DeltaArray::new(CHANNELS, GRIDS);
+        for &(cell, v) in &ops {
+            d.record(cell, v);
+        }
+        match d.changes_in(scan) {
+            None => {
+                for cell in scan.cells() {
+                    prop_assert_eq!(d.get(cell), 0);
+                }
+            }
+            Some(bbox) => {
+                prop_assert!(scan.intersection(&bbox) == Some(bbox), "bbox inside scan");
+                for cell in scan.cells() {
+                    if d.get(cell) != 0 {
+                        prop_assert!(bbox.contains(cell), "{cell} outside bbox {bbox}");
+                    }
+                }
+                // Each boundary row/column holds at least one change.
+                let row_has = |c: u16| (bbox.x_lo..=bbox.x_hi)
+                    .any(|x| d.get(GridCell::new(c, x)) != 0);
+                let col_has = |x: u16| (bbox.c_lo..=bbox.c_hi)
+                    .any(|c| d.get(GridCell::new(c, x)) != 0);
+                prop_assert!(row_has(bbox.c_lo) && row_has(bbox.c_hi));
+                prop_assert!(col_has(bbox.x_lo) && col_has(bbox.x_hi));
+            }
+        }
+    }
+
+    /// Extract-and-clear returns exactly the recorded values and zeroes
+    /// the rectangle while leaving everything outside untouched.
+    #[test]
+    fn extract_and_clear_is_local(
+        ops in proptest::collection::vec((arb_cell(), -3i16..=3), 0..40),
+        rect in arb_rect(),
+    ) {
+        let mut d = DeltaArray::new(CHANNELS, GRIDS);
+        for &(cell, v) in &ops {
+            d.record(cell, v);
+        }
+        let before: Vec<i16> = Rect::new(0, CHANNELS - 1, 0, GRIDS - 1)
+            .cells()
+            .map(|c| d.get(c))
+            .collect();
+        let vals = d.extract_and_clear(rect);
+        prop_assert_eq!(vals.len() as u64, rect.area());
+        for (i, cell) in Rect::new(0, CHANNELS - 1, 0, GRIDS - 1).cells().enumerate() {
+            if rect.contains(cell) {
+                prop_assert_eq!(d.get(cell), 0);
+            } else {
+                prop_assert_eq!(d.get(cell), before[i]);
+            }
+        }
+    }
+
+    /// Packet payload accounting: data packets grow linearly with their
+    /// payload and never undercut the header.
+    #[test]
+    fn packet_sizes_are_consistent(rect in arb_rect()) {
+        let n = rect.area() as usize;
+        let loc = Packet::LocData { rect, values: vec![0; n], response: false };
+        let rmt = Packet::RmtData { rect, deltas: vec![0; n], response: false };
+        prop_assert_eq!(loc.payload_bytes(), 9 + 2 * n as u32);
+        prop_assert_eq!(rmt.payload_bytes(), 9 + n as u32);
+        let req = Packet::ReqRmtData { rect };
+        prop_assert!(req.payload_bytes() < loc.payload_bytes() || n == 0);
+    }
+
+    /// Schedule validation accepts all nonzero frequencies and rejects
+    /// any zero.
+    #[test]
+    fn schedule_validation(a in 0u32..4, b in 0u32..4, c in 0u32..4, d in 0u32..4) {
+        let schedule = UpdateSchedule {
+            send_loc_data: (a > 0).then_some(a),
+            send_rmt_data: (b > 0).then_some(b),
+            req_loc_data: (c > 0).then_some(c),
+            req_rmt_data: (d > 0).then_some(d),
+            blocking: false,
+        };
+        prop_assert!(schedule.validate().is_ok());
+        let zeroed = UpdateSchedule { send_loc_data: Some(0), ..schedule };
+        prop_assert!(zeroed.validate().is_err());
+    }
+}

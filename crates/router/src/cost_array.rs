@@ -1,0 +1,288 @@
+//! The cost array: LocusRoute's central data structure.
+//!
+//! "LocusRoute's central data structure is a cost array that keeps a record
+//! of the number of wires running through each routing grid of the circuit.
+//! The vertical dimension of the array is the number of routing channels
+//! [...] and the horizontal dimension is the number of routing grids"
+//! (paper §3, Figure 1).
+
+use locus_circuit::{GridCell, Rect};
+
+use crate::route::Route;
+
+/// Read access to cost-array state.
+///
+/// Route evaluation is generic over this trait so the same two-bend
+/// evaluator serves three masters:
+///
+/// * the sequential router (reads the one true array),
+/// * the shared-memory emulator (reads through an instrumented view that
+///   records a Tango-style reference trace), and
+/// * the message-passing nodes (read their possibly stale local replica).
+pub trait CostView {
+    /// Number of channels (rows).
+    fn channels(&self) -> u16;
+    /// Number of grid columns.
+    fn grids(&self) -> u16;
+    /// Current cost at `cell`.
+    fn cost_at(&self, cell: GridCell) -> u32;
+
+    /// Sum of costs along a route (each covered cell counted once).
+    fn route_cost(&self, route: &Route) -> u64 {
+        route.cells().iter().map(|&c| self.cost_at(c) as u64).sum()
+    }
+}
+
+/// A dense `channels × grids` array of wire-occupancy counts.
+///
+/// Values are `u16`: even a pathological routing never stacks anywhere
+/// near 65 535 wires on one grid cell for circuits of this class; the
+/// debug-mode arithmetic checks would catch overflow regardless.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CostArray {
+    channels: u16,
+    grids: u16,
+    cells: Vec<u16>,
+}
+
+impl CostArray {
+    /// Creates a zeroed array for a `channels × grids` surface.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(channels: u16, grids: u16) -> Self {
+        assert!(channels > 0 && grids > 0, "cost array dimensions must be nonzero");
+        CostArray { channels, grids, cells: vec![0; channels as usize * grids as usize] }
+    }
+
+    /// Flat index of `cell`, row(channel)-major.
+    #[inline]
+    fn index(&self, cell: GridCell) -> usize {
+        debug_assert!(cell.channel < self.channels && cell.x < self.grids, "{cell} out of range");
+        cell.channel as usize * self.grids as usize + cell.x as usize
+    }
+
+    /// Current value at `cell`.
+    #[inline]
+    pub fn get(&self, cell: GridCell) -> u16 {
+        self.cells[self.index(cell)]
+    }
+
+    /// Sets `cell` to `value` (used when installing update packets).
+    #[inline]
+    pub fn set(&mut self, cell: GridCell, value: u16) {
+        let i = self.index(cell);
+        self.cells[i] = value;
+    }
+
+    /// Adds a (possibly negative) delta to `cell`, saturating at zero.
+    ///
+    /// Saturation mirrors the paper's tolerance of stale data in the
+    /// message-passing version: a replica can receive a decrement for a
+    /// route increment it never saw. The owner's authoritative copy never
+    /// saturates in a correct execution (asserted in debug builds).
+    #[inline]
+    pub fn add(&mut self, cell: GridCell, delta: i32) {
+        let i = self.index(cell);
+        let v = self.cells[i] as i32 + delta;
+        self.cells[i] = v.max(0) as u16;
+    }
+
+    /// Increments every cell of `route` by one (the wire is *routed*).
+    pub fn add_route(&mut self, route: &Route) {
+        for &cell in route.cells() {
+            self.add(cell, 1);
+        }
+    }
+
+    /// Decrements every cell of `route` by one (the wire is *ripped up*).
+    pub fn remove_route(&mut self, route: &Route) {
+        for &cell in route.cells() {
+            self.add(cell, -1);
+        }
+    }
+
+    /// Maximum value in channel row `c` — the number of routing tracks
+    /// the channel requires (§3).
+    pub fn channel_tracks(&self, c: u16) -> u16 {
+        let base = c as usize * self.grids as usize;
+        self.cells[base..base + self.grids as usize]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum over channels of [`Self::channel_tracks`] — the **circuit
+    /// height** quality measure (§3).
+    pub fn circuit_height(&self) -> u64 {
+        (0..self.channels).map(|c| self.channel_tracks(c) as u64).sum()
+    }
+
+    /// Sum of every cell (used by conservation tests: equals the total
+    /// routed cell coverage).
+    pub fn total(&self) -> u64 {
+        self.cells.iter().map(|&v| v as u64).sum()
+    }
+
+    /// Whether every cell is zero.
+    pub fn is_zero(&self) -> bool {
+        self.cells.iter().all(|&v| v == 0)
+    }
+
+    /// Copies the values inside `rect` into a fresh vector, row-major
+    /// within the rectangle (the payload of a `SendLocData` update).
+    pub fn extract(&self, rect: Rect) -> Vec<u16> {
+        let mut out = Vec::with_capacity(rect.area() as usize);
+        for cell in rect.cells() {
+            out.push(self.get(cell));
+        }
+        out
+    }
+
+    /// Overwrites the values inside `rect` from `values` (installing a
+    /// `SendLocData`/`ReqRmtData`-response payload).
+    ///
+    /// # Panics
+    /// Panics if `values.len() != rect.area()`.
+    pub fn install(&mut self, rect: Rect, values: &[u16]) {
+        assert_eq!(values.len() as u64, rect.area(), "payload size mismatch for {rect}");
+        for (cell, &v) in rect.cells().zip(values) {
+            self.set(cell, v);
+        }
+    }
+
+    /// Applies signed deltas to the values inside `rect` (installing a
+    /// `SendRmtData` payload).
+    ///
+    /// # Panics
+    /// Panics if `deltas.len() != rect.area()`.
+    pub fn apply_deltas(&mut self, rect: Rect, deltas: &[i16]) {
+        assert_eq!(deltas.len() as u64, rect.area(), "payload size mismatch for {rect}");
+        for (cell, &d) in rect.cells().zip(deltas) {
+            self.add(cell, d as i32);
+        }
+    }
+}
+
+impl CostView for CostArray {
+    fn channels(&self) -> u16 {
+        self.channels
+    }
+    fn grids(&self) -> u16 {
+        self.grids
+    }
+    #[inline]
+    fn cost_at(&self, cell: GridCell) -> u32 {
+        self.get(cell) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{Route, Segment};
+
+    fn cell(c: u16, x: u16) -> GridCell {
+        GridCell::new(c, x)
+    }
+
+    #[test]
+    fn new_array_is_zero() {
+        let a = CostArray::new(4, 10);
+        assert!(a.is_zero());
+        assert_eq!(a.circuit_height(), 0);
+        assert_eq!(a.total(), 0);
+    }
+
+    #[test]
+    fn add_and_remove_route_are_inverses() {
+        let mut a = CostArray::new(4, 10);
+        let r = Route::from_segments(vec![
+            Segment::horizontal(1, 2, 6),
+            Segment::vertical(6, 1, 3),
+            Segment::horizontal(3, 6, 8),
+        ]);
+        a.add_route(&r);
+        assert_eq!(a.total(), r.cells().len() as u64);
+        assert_eq!(a.get(cell(1, 2)), 1);
+        assert_eq!(a.get(cell(2, 6)), 1);
+        a.remove_route(&r);
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn corner_cells_counted_once() {
+        let mut a = CostArray::new(4, 10);
+        let r = Route::from_segments(vec![
+            Segment::horizontal(1, 2, 6),
+            Segment::vertical(6, 1, 3),
+        ]);
+        a.add_route(&r);
+        // (1,6) is covered by both segments but must be incremented once.
+        assert_eq!(a.get(cell(1, 6)), 1);
+    }
+
+    #[test]
+    fn channel_tracks_and_height() {
+        let mut a = CostArray::new(3, 8);
+        a.set(cell(0, 1), 2);
+        a.set(cell(0, 5), 7);
+        a.set(cell(2, 0), 3);
+        assert_eq!(a.channel_tracks(0), 7);
+        assert_eq!(a.channel_tracks(1), 0);
+        assert_eq!(a.channel_tracks(2), 3);
+        assert_eq!(a.circuit_height(), 10);
+    }
+
+    #[test]
+    fn add_saturates_at_zero() {
+        let mut a = CostArray::new(2, 2);
+        a.add(cell(0, 0), -5);
+        assert_eq!(a.get(cell(0, 0)), 0);
+        a.add(cell(0, 0), 3);
+        a.add(cell(0, 0), -1);
+        assert_eq!(a.get(cell(0, 0)), 2);
+    }
+
+    #[test]
+    fn extract_install_roundtrip() {
+        let mut a = CostArray::new(4, 10);
+        a.set(cell(1, 2), 5);
+        a.set(cell(2, 3), 9);
+        let rect = Rect::new(1, 2, 2, 3);
+        let vals = a.extract(rect);
+        assert_eq!(vals, vec![5, 0, 0, 9]);
+        let mut b = CostArray::new(4, 10);
+        b.install(rect, &vals);
+        assert_eq!(b.get(cell(1, 2)), 5);
+        assert_eq!(b.get(cell(2, 3)), 9);
+        assert_eq!(b.get(cell(1, 3)), 0);
+    }
+
+    #[test]
+    fn apply_deltas_adds_signed_values() {
+        let mut a = CostArray::new(2, 4);
+        a.set(cell(0, 0), 3);
+        let rect = Rect::new(0, 0, 0, 1);
+        a.apply_deltas(rect, &[-2, 4]);
+        assert_eq!(a.get(cell(0, 0)), 1);
+        assert_eq!(a.get(cell(0, 1)), 4);
+    }
+
+    #[test]
+    fn route_cost_via_view() {
+        let mut a = CostArray::new(4, 10);
+        a.set(cell(1, 2), 3);
+        a.set(cell(1, 3), 4);
+        let r = Route::from_segments(vec![Segment::horizontal(1, 2, 3)]);
+        assert_eq!(a.route_cost(&r), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload size mismatch")]
+    fn install_rejects_wrong_size() {
+        let mut a = CostArray::new(4, 10);
+        a.install(Rect::new(0, 1, 0, 1), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Solution-quality measures (paper §3).
+//!
+//! * **Circuit height**: for each channel, the number of routing tracks it
+//!   requires is the maximum number of wires running through it at any
+//!   point; circuit height is the sum over channels. Proportional to
+//!   circuit area — lower is better.
+//! * **Occupancy factor**: the sum, over all wires, of the chosen path's
+//!   cost at the moment the wire was routed. Captures how congested the
+//!   chosen paths looked when they were picked — lower is better.
+
+use crate::cost_array::CostArray;
+
+/// The two quality measures reported throughout the paper's tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct QualityMetrics {
+    /// Total routing tracks over all channels (lower = smaller circuit).
+    pub circuit_height: u64,
+    /// Sum of path costs at routing time over the final iteration.
+    pub occupancy_factor: u64,
+}
+
+impl QualityMetrics {
+    /// Builds metrics from the final cost array and the accumulated
+    /// occupancy of the last routing iteration.
+    pub fn from_final_state(cost: &CostArray, occupancy_factor: u64) -> Self {
+        QualityMetrics { circuit_height: cost.circuit_height(), occupancy_factor }
+    }
+
+    /// Relative circuit-height degradation versus `baseline` in percent
+    /// (positive = worse than baseline).
+    pub fn height_degradation_pct(&self, baseline: &QualityMetrics) -> f64 {
+        if baseline.circuit_height == 0 {
+            return 0.0;
+        }
+        (self.circuit_height as f64 - baseline.circuit_height as f64)
+            / baseline.circuit_height as f64
+            * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_circuit::GridCell;
+
+    #[test]
+    fn from_final_state_reads_height() {
+        let mut a = CostArray::new(3, 8);
+        a.set(GridCell::new(0, 2), 4);
+        a.set(GridCell::new(2, 7), 2);
+        let q = QualityMetrics::from_final_state(&a, 123);
+        assert_eq!(q.circuit_height, 6);
+        assert_eq!(q.occupancy_factor, 123);
+    }
+
+    #[test]
+    fn degradation_percentage() {
+        let base = QualityMetrics { circuit_height: 100, occupancy_factor: 0 };
+        let worse = QualityMetrics { circuit_height: 108, occupancy_factor: 0 };
+        assert!((worse.height_degradation_pct(&base) - 8.0).abs() < 1e-12);
+        let better = QualityMetrics { circuit_height: 95, occupancy_factor: 0 };
+        assert!((better.height_degradation_pct(&base) + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_degradation_is_zero() {
+        let zero = QualityMetrics::default();
+        let q = QualityMetrics { circuit_height: 10, occupancy_factor: 0 };
+        assert_eq!(q.height_degradation_pct(&zero), 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Division of the cost array into per-processor owned regions (§4.1).
+//!
+//! "The cost array is divided into sections, and each processor is the
+//! owner of one section. However, each processor has a view of the whole
+//! cost array." The processors themselves sit on a 2-D mesh; regions are
+//! assigned so that mesh-adjacent processors own adjacent regions
+//! (Figure 2), which is what makes the *send only to N/S/E/W neighbours*
+//! optimization of `SendLocData` meaningful.
+
+use locus_circuit::{GridCell, Rect};
+
+/// Processor identifier, `0..n_procs`, row-major over the processor mesh.
+pub type ProcId = usize;
+
+/// Chooses the processor-mesh shape for `p` processors: the factoring
+/// `rows × cols = p` with `rows ≤ cols` and `rows` as close to `√p` as
+/// possible (16 → 4×4, 9 → 3×3, 4 → 2×2, 2 → 1×2, 6 → 2×3).
+pub fn mesh_dims(p: usize) -> (usize, usize) {
+    assert!(p >= 1, "need at least one processor");
+    let mut rows = (p as f64).sqrt() as usize;
+    while rows > 1 && p % rows != 0 {
+        rows -= 1;
+    }
+    (rows.max(1), p / rows.max(1))
+}
+
+/// The partition of a `channels × grids` cost array among a
+/// `proc_rows × proc_cols` processor mesh.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionMap {
+    channels: u16,
+    grids: u16,
+    proc_rows: usize,
+    proc_cols: usize,
+    /// `channel_starts[i]` is the first channel of processor-row `i`;
+    /// one extra sentinel entry equal to `channels`.
+    channel_starts: Vec<u16>,
+    /// Likewise for grid columns.
+    grid_starts: Vec<u16>,
+}
+
+impl RegionMap {
+    /// Partitions a surface among `n_procs` processors using
+    /// [`mesh_dims`].
+    ///
+    /// # Panics
+    /// Panics if the surface is smaller than the processor mesh in either
+    /// dimension (a processor would own an empty region).
+    pub fn new(channels: u16, grids: u16, n_procs: usize) -> Self {
+        let (proc_rows, proc_cols) = mesh_dims(n_procs);
+        assert!(
+            channels as usize >= proc_rows && grids as usize >= proc_cols,
+            "surface {channels}x{grids} too small for a {proc_rows}x{proc_cols} processor mesh"
+        );
+        let channel_starts = even_splits(channels, proc_rows);
+        let grid_starts = even_splits(grids, proc_cols);
+        RegionMap { channels, grids, proc_rows, proc_cols, channel_starts, grid_starts }
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn n_procs(&self) -> usize {
+        self.proc_rows * self.proc_cols
+    }
+
+    /// Processor mesh shape `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.proc_rows, self.proc_cols)
+    }
+
+    /// Mesh coordinates of processor `p`.
+    #[inline]
+    pub fn coords(&self, p: ProcId) -> (usize, usize) {
+        debug_assert!(p < self.n_procs());
+        (p / self.proc_cols, p % self.proc_cols)
+    }
+
+    /// Processor at mesh coordinates `(row, col)`.
+    #[inline]
+    pub fn proc_at(&self, row: usize, col: usize) -> ProcId {
+        debug_assert!(row < self.proc_rows && col < self.proc_cols);
+        row * self.proc_cols + col
+    }
+
+    /// Manhattan distance between two processors on the mesh — the hop
+    /// count used by the locality measure (§5.3.3).
+    pub fn mesh_distance(&self, a: ProcId, b: ProcId) -> u32 {
+        let (ar, ac) = self.coords(a);
+        let (br, bc) = self.coords(b);
+        (ar.abs_diff(br) + ac.abs_diff(bc)) as u32
+    }
+
+    /// The owned region of processor `p`.
+    pub fn region(&self, p: ProcId) -> Rect {
+        let (row, col) = self.coords(p);
+        Rect::new(
+            self.channel_starts[row],
+            self.channel_starts[row + 1] - 1,
+            self.grid_starts[col],
+            self.grid_starts[col + 1] - 1,
+        )
+    }
+
+    /// The processor owning `cell`.
+    pub fn owner_of(&self, cell: GridCell) -> ProcId {
+        debug_assert!(cell.channel < self.channels && cell.x < self.grids);
+        let row = self.channel_starts[1..].partition_point(|&s| s <= cell.channel);
+        let col = self.grid_starts[1..].partition_point(|&s| s <= cell.x);
+        self.proc_at(row, col)
+    }
+
+    /// The N/S/E/W mesh neighbours of `p` (2–4 entries).
+    ///
+    /// `SendLocData` packets are sent only to these processors (§4.3.2).
+    pub fn neighbors(&self, p: ProcId) -> Vec<ProcId> {
+        let (row, col) = self.coords(p);
+        let mut out = Vec::with_capacity(4);
+        if row > 0 {
+            out.push(self.proc_at(row - 1, col));
+        }
+        if row + 1 < self.proc_rows {
+            out.push(self.proc_at(row + 1, col));
+        }
+        if col > 0 {
+            out.push(self.proc_at(row, col - 1));
+        }
+        if col + 1 < self.proc_cols {
+            out.push(self.proc_at(row, col + 1));
+        }
+        out
+    }
+
+    /// Every processor whose owned region intersects `rect`.
+    pub fn owners_intersecting(&self, rect: Rect) -> Vec<ProcId> {
+        let mut out = Vec::new();
+        for p in 0..self.n_procs() {
+            if self.region(p).intersects(&rect) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Surface dimensions `(channels, grids)`.
+    pub fn surface(&self) -> (u16, u16) {
+        (self.channels, self.grids)
+    }
+}
+
+/// `parts + 1` boundaries splitting `0..total` as evenly as possible.
+fn even_splits(total: u16, parts: usize) -> Vec<u16> {
+    (0..=parts)
+        .map(|i| ((i as u64 * total as u64) / parts as u64) as u16)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_dims_match_paper_configs() {
+        assert_eq!(mesh_dims(2), (1, 2));
+        assert_eq!(mesh_dims(4), (2, 2));
+        assert_eq!(mesh_dims(9), (3, 3));
+        assert_eq!(mesh_dims(16), (4, 4));
+        assert_eq!(mesh_dims(1), (1, 1));
+        assert_eq!(mesh_dims(6), (2, 3));
+        assert_eq!(mesh_dims(7), (1, 7));
+    }
+
+    #[test]
+    fn regions_tile_the_surface_exactly() {
+        let m = RegionMap::new(10, 341, 16);
+        let mut covered = 0u64;
+        for p in 0..m.n_procs() {
+            covered += m.region(p).area();
+        }
+        assert_eq!(covered, 10 * 341);
+        // Every cell is owned by exactly the region that contains it.
+        for c in 0..10u16 {
+            for x in 0..341u16 {
+                let cell = GridCell::new(c, x);
+                let owner = m.owner_of(cell);
+                assert!(m.region(owner).contains(cell), "{cell} not in region of {owner}");
+            }
+        }
+    }
+
+    #[test]
+    fn owner_lookup_matches_region_scan() {
+        let m = RegionMap::new(12, 386, 9);
+        for c in (0..12).step_by(3) {
+            for x in (0..386).step_by(17) {
+                let cell = GridCell::new(c, x);
+                let by_lookup = m.owner_of(cell);
+                let by_scan = (0..m.n_procs())
+                    .find(|&p| m.region(p).contains(cell))
+                    .unwrap();
+                assert_eq!(by_lookup, by_scan);
+            }
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = RegionMap::new(10, 341, 16);
+        for p in 0..16 {
+            let (r, c) = m.coords(p);
+            assert_eq!(m.proc_at(r, c), p);
+        }
+    }
+
+    #[test]
+    fn mesh_distance_is_manhattan() {
+        let m = RegionMap::new(10, 341, 16);
+        // 4x4 mesh: proc 0 at (0,0), proc 15 at (3,3).
+        assert_eq!(m.mesh_distance(0, 15), 6);
+        assert_eq!(m.mesh_distance(5, 5), 0);
+        assert_eq!(m.mesh_distance(0, 1), 1);
+        assert_eq!(m.mesh_distance(0, 4), 1);
+    }
+
+    #[test]
+    fn neighbors_are_adjacent_and_correct_count() {
+        let m = RegionMap::new(10, 341, 16);
+        assert_eq!(m.neighbors(0).len(), 2); // corner
+        assert_eq!(m.neighbors(1).len(), 3); // edge
+        assert_eq!(m.neighbors(5).len(), 4); // interior
+        for p in 0..16 {
+            for n in m.neighbors(p) {
+                assert_eq!(m.mesh_distance(p, n), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn owners_intersecting_finds_spanning_rect() {
+        let m = RegionMap::new(10, 340, 4); // 2x2 mesh
+        let all = m.owners_intersecting(Rect::new(0, 9, 0, 339));
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        let region0 = m.region(0);
+        assert_eq!(m.owners_intersecting(region0), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_surface_smaller_than_mesh() {
+        let _ = RegionMap::new(2, 341, 16); // needs 4 channel bands
+    }
+
+    #[test]
+    fn two_proc_split_is_horizontal() {
+        // 1x2 mesh: the array splits into left/right halves.
+        let m = RegionMap::new(10, 341, 2);
+        assert_eq!(m.region(0), Rect::new(0, 9, 0, 169));
+        assert_eq!(m.region(1), Rect::new(0, 9, 170, 340));
+    }
+}

@@ -1,0 +1,94 @@
+//! ASCII renderings of the paper's explanatory figures.
+//!
+//! * [`render_cost_array`] reproduces **Figure 1**: a cost array with one
+//!   wire's chosen route highlighted.
+//! * [`render_regions`] reproduces **Figure 2**: the division of the cost
+//!   array among processors, owned regions labelled.
+//!
+//! These exist for documentation, examples and debugging; the experiment
+//! harness prints them from `locus-experiments figure1|figure2`.
+
+use locus_circuit::GridCell;
+
+use crate::cost_array::CostArray;
+use crate::region::RegionMap;
+use crate::route::Route;
+
+/// Renders the cost array as digit cells (values clamped to 9), with the
+/// cells of `highlight` wrapped in `[ ]` — the Figure 1 view.
+pub fn render_cost_array(cost: &CostArray, highlight: Option<&Route>) -> String {
+    use crate::cost_array::CostView;
+    let mut out = String::new();
+    let on_route = |cell: GridCell| -> bool {
+        highlight.map_or(false, |r| r.cells().binary_search(&cell).is_ok())
+    };
+    // Channel 0 is the bottom channel; print top-down like the figure.
+    for c in (0..cost.channels()).rev() {
+        out.push_str(&format!("ch{c:>2} |"));
+        for x in 0..cost.grids() {
+            let cell = GridCell::new(c, x);
+            let v = cost.cost_at(cell).min(9);
+            if on_route(cell) {
+                out.push('[');
+                out.push((b'0' + v as u8) as char);
+                out.push(']');
+            } else {
+                out.push(' ');
+                out.push((b'0' + v as u8) as char);
+                out.push(' ');
+            }
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Renders the owned-region division: each cell shows its owner processor
+/// as a base-36 digit — the Figure 2 view.
+pub fn render_regions(regions: &RegionMap) -> String {
+    const DIGITS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    let (channels, grids) = regions.surface();
+    let mut out = String::new();
+    for c in (0..channels).rev() {
+        out.push_str(&format!("ch{c:>2} |"));
+        for x in 0..grids {
+            let p = regions.owner_of(GridCell::new(c, x));
+            out.push(DIGITS[p % 36] as char);
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::Segment;
+
+    #[test]
+    fn cost_render_has_one_line_per_channel() {
+        let cost = CostArray::new(4, 8);
+        let s = render_cost_array(&cost, None);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.starts_with("ch 3"));
+    }
+
+    #[test]
+    fn highlighted_route_is_bracketed() {
+        let mut cost = CostArray::new(4, 8);
+        let r = Route::from_segments(vec![Segment::horizontal(1, 2, 4)]);
+        cost.add_route(&r);
+        let s = render_cost_array(&cost, Some(&r));
+        assert!(s.contains("[1]"), "route cells should be bracketed:\n{s}");
+    }
+
+    #[test]
+    fn region_render_labels_every_owner() {
+        let m = RegionMap::new(4, 16, 4);
+        let s = render_regions(&m);
+        assert_eq!(s.lines().count(), 4);
+        for d in ['0', '1', '2', '3'] {
+            assert!(s.contains(d), "missing owner {d}:\n{s}");
+        }
+    }
+}

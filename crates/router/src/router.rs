@@ -1,0 +1,211 @@
+//! The reference sequential router and the shared per-wire routing step.
+
+use locus_circuit::{Circuit, Wire};
+
+use crate::cost_array::{CostArray, CostView};
+use crate::params::RouterParams;
+use crate::quality::QualityMetrics;
+use crate::route::Route;
+use crate::segment::decompose;
+use crate::twobend::best_route;
+use crate::work::WorkStats;
+
+/// Result of evaluating one wire against a cost view (without mutating it).
+#[derive(Clone, Debug)]
+pub struct WireEvaluation {
+    /// The union route over all of the wire's two-pin connections.
+    pub route: Route,
+    /// Sum of the connections' path costs at evaluation time — the wire's
+    /// contribution to the occupancy factor.
+    pub cost: u64,
+    /// Candidate routes examined.
+    pub candidates: u64,
+    /// Cost-array cells examined.
+    pub cells_examined: u64,
+    /// Number of two-pin connections.
+    pub connections: u64,
+}
+
+/// Routes `wire` against `view`: decomposes it into two-pin connections,
+/// picks the best two-bend route for each, and merges them into one
+/// deduplicated route.
+///
+/// The caller is responsible for applying the result to whatever array it
+/// owns — the sequential router to the global array, a message-passing
+/// node to its replica and delta array, the shared-memory emulator to the
+/// (instrumented) shared array.
+pub fn route_wire<V: CostView + ?Sized>(view: &V, wire: &Wire, overshoot: u16) -> WireEvaluation {
+    let mut segments = Vec::new();
+    let mut cost = 0u64;
+    let mut candidates = 0u64;
+    let mut cells_examined = 0u64;
+    let connections = decompose(wire);
+    let n = connections.len() as u64;
+    for conn in connections {
+        let eval = best_route(view, conn, overshoot);
+        cost += eval.cost;
+        candidates += eval.candidates as u64;
+        cells_examined += eval.cells_examined;
+        segments.extend_from_slice(eval.route.segments());
+    }
+    WireEvaluation {
+        route: Route::from_segments(segments),
+        cost,
+        candidates,
+        cells_examined,
+        connections: n,
+    }
+}
+
+/// Outcome of a complete routing run.
+#[derive(Clone, Debug)]
+pub struct RouteOutcome {
+    /// Final quality measures.
+    pub quality: QualityMetrics,
+    /// Work performed.
+    pub work: WorkStats,
+    /// The final route of every wire (indexed by wire id).
+    pub routes: Vec<Route>,
+    /// Final cost-array state.
+    pub cost: CostArray,
+    /// Occupancy factor accumulated in each iteration (the last entry is
+    /// the reported occupancy factor).
+    pub occupancy_by_iteration: Vec<u64>,
+}
+
+/// Single-processor LocusRoute: the algorithm of §3 with no concurrency.
+///
+/// Serves as the quality baseline (equivalent to a 1-processor run of
+/// either parallel version, which see the cost array with perfect
+/// consistency) and as the reference implementation the parallel versions
+/// are tested against.
+pub struct SequentialRouter<'a> {
+    circuit: &'a Circuit,
+    params: RouterParams,
+}
+
+impl<'a> SequentialRouter<'a> {
+    /// Creates a router over `circuit`.
+    pub fn new(circuit: &'a Circuit, params: RouterParams) -> Self {
+        SequentialRouter { circuit, params }
+    }
+
+    /// Runs all iterations and returns the outcome.
+    pub fn run(self) -> RouteOutcome {
+        let mut cost = CostArray::new(self.circuit.channels, self.circuit.grids);
+        let mut routes: Vec<Option<Route>> = vec![None; self.circuit.wire_count()];
+        let mut work = WorkStats::default();
+        let mut occupancy_by_iteration = Vec::with_capacity(self.params.iterations);
+
+        for _iteration in 0..self.params.iterations {
+            let mut occupancy = 0u64;
+            for wire in &self.circuit.wires {
+                // Rip up the previous route before re-routing (§3).
+                if let Some(old) = routes[wire.id].take() {
+                    cost.remove_route(&old);
+                    work.cells_written += old.len() as u64;
+                }
+                let eval = route_wire(&cost, wire, self.params.channel_overshoot);
+                // Occupancy: the merged route's cost at routing time (§3).
+                // Using the merged route (not the per-connection sum)
+                // counts overlap cells once, matching the parallel
+                // engines' definition exactly.
+                occupancy += cost.route_cost(&eval.route);
+                cost.add_route(&eval.route);
+                work.wires_routed += 1;
+                work.connections += eval.connections;
+                work.candidates += eval.candidates;
+                work.cells_examined += eval.cells_examined;
+                work.cells_written += eval.route.len() as u64;
+                routes[wire.id] = Some(eval.route);
+            }
+            occupancy_by_iteration.push(occupancy);
+        }
+
+        let routes: Vec<Route> =
+            routes.into_iter().map(|r| r.expect("every wire routed")).collect();
+        let quality =
+            QualityMetrics::from_final_state(&cost, *occupancy_by_iteration.last().unwrap());
+        RouteOutcome { quality, work, routes, cost, occupancy_by_iteration }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_circuit::presets;
+
+    #[test]
+    fn routes_every_wire_and_conserves_coverage() {
+        let c = presets::tiny();
+        let out = SequentialRouter::new(&c, RouterParams::default()).run();
+        assert_eq!(out.routes.len(), c.wire_count());
+        let coverage: u64 = out.routes.iter().map(|r| r.len() as u64).sum();
+        assert_eq!(out.cost.total(), coverage, "cost array must equal sum of final routes");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let c = presets::small();
+        let a = SequentialRouter::new(&c, RouterParams::default()).run();
+        let b = SequentialRouter::new(&c, RouterParams::default()).run();
+        assert_eq!(a.quality, b.quality);
+        assert_eq!(a.routes, b.routes);
+    }
+
+    #[test]
+    fn iterations_do_not_hurt_quality_much() {
+        let c = presets::small();
+        let one = SequentialRouter::new(&c, RouterParams::default().with_iterations(1)).run();
+        let four = SequentialRouter::new(&c, RouterParams::default().with_iterations(4)).run();
+        // Re-routing against a populated array should improve (or at worst
+        // roughly preserve) circuit height — §3's motivation for iterating.
+        assert!(
+            four.quality.circuit_height <= one.quality.circuit_height,
+            "4 iters {} vs 1 iter {}",
+            four.quality.circuit_height,
+            one.quality.circuit_height
+        );
+    }
+
+    #[test]
+    fn ripup_restores_empty_array() {
+        let c = presets::tiny();
+        let out = SequentialRouter::new(&c, RouterParams::default()).run();
+        let mut cost = out.cost.clone();
+        for r in &out.routes {
+            cost.remove_route(r);
+        }
+        assert!(cost.is_zero(), "removing every final route must zero the array");
+    }
+
+    #[test]
+    fn work_counters_are_plausible() {
+        let c = presets::tiny();
+        let params = RouterParams::default();
+        let out = SequentialRouter::new(&c, params).run();
+        assert_eq!(out.work.wires_routed, (c.wire_count() * params.iterations) as u64);
+        assert!(out.work.connections >= out.work.wires_routed);
+        assert!(out.work.candidates >= out.work.connections);
+        assert!(out.work.cells_examined >= out.work.candidates);
+    }
+
+    #[test]
+    fn occupancy_recorded_per_iteration() {
+        let c = presets::tiny();
+        let out = SequentialRouter::new(&c, RouterParams::default().with_iterations(3)).run();
+        assert_eq!(out.occupancy_by_iteration.len(), 3);
+        assert_eq!(out.quality.occupancy_factor, out.occupancy_by_iteration[2]);
+        // First iteration routes onto a progressively filling array; the
+        // occupancy is positive for any non-trivial circuit.
+        assert!(out.occupancy_by_iteration[0] > 0);
+    }
+
+    #[test]
+    fn bnr_e_scale_run_completes() {
+        let c = presets::bnr_e();
+        let out = SequentialRouter::new(&c, RouterParams::default()).run();
+        assert!(out.quality.circuit_height > 0);
+        assert!(out.quality.occupancy_factor > 0);
+    }
+}

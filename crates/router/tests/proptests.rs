@@ -1,0 +1,169 @@
+//! Property-based tests for the routing core.
+
+use locus_circuit::{GridCell, Pin, Wire};
+use locus_router::router::route_wire;
+use locus_router::segment::Connection;
+use locus_router::twobend::best_route;
+use locus_router::{CostArray, CostView, RegionMap, Route, Segment};
+use proptest::prelude::*;
+
+const CHANNELS: u16 = 6;
+const GRIDS: u16 = 32;
+
+fn arb_pin() -> impl Strategy<Value = Pin> {
+    (0u16..CHANNELS, 0u16..GRIDS).prop_map(|(c, x)| Pin::new(c, x))
+}
+
+fn arb_cost_array() -> impl Strategy<Value = CostArray> {
+    proptest::collection::vec(0u16..8, (CHANNELS as usize) * (GRIDS as usize)).prop_map(|v| {
+        let mut a = CostArray::new(CHANNELS, GRIDS);
+        let mut i = 0;
+        for c in 0..CHANNELS {
+            for x in 0..GRIDS {
+                a.set(GridCell::new(c, x), v[i]);
+                i += 1;
+            }
+        }
+        a
+    })
+}
+
+fn arb_route() -> impl Strategy<Value = Route> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u16..CHANNELS, 0u16..GRIDS, 0u16..GRIDS)
+                .prop_map(|(c, a, b)| Segment::horizontal(c, a, b)),
+            (0u16..GRIDS, 0u16..CHANNELS, 0u16..CHANNELS)
+                .prop_map(|(x, a, b)| Segment::vertical(x, a, b)),
+        ],
+        1..5,
+    )
+    .prop_map(Route::from_segments)
+}
+
+proptest! {
+    #[test]
+    fn best_route_connects_the_pins(a in arb_pin(), b in arb_pin(), costs in arb_cost_array()) {
+        let eval = best_route(&costs, Connection { from: a, to: b }, 1);
+        let cells = eval.route.cells();
+        prop_assert!(cells.binary_search(&a.cell()).is_ok(), "route misses pin {a:?}");
+        prop_assert!(cells.binary_search(&b.cell()).is_ok(), "route misses pin {b:?}");
+    }
+
+    #[test]
+    fn best_route_cost_matches_cells(a in arb_pin(), b in arb_pin(), costs in arb_cost_array()) {
+        let eval = best_route(&costs, Connection { from: a, to: b }, 0);
+        let recomputed: u64 =
+            eval.route.cells().iter().map(|&c| costs.cost_at(c) as u64).sum();
+        prop_assert_eq!(eval.cost, recomputed);
+    }
+
+    #[test]
+    fn best_route_stays_within_overshoot_bounds(
+        a in arb_pin(),
+        b in arb_pin(),
+        overshoot in 0u16..3,
+    ) {
+        let costs = CostArray::new(CHANNELS, GRIDS);
+        let eval = best_route(&costs, Connection { from: a, to: b }, overshoot);
+        let bbox = eval.route.bounding_box();
+        let c_lo = a.channel.min(b.channel).saturating_sub(overshoot);
+        let c_hi = (a.channel.max(b.channel) + overshoot).min(CHANNELS - 1);
+        prop_assert!(bbox.c_lo >= c_lo && bbox.c_hi <= c_hi, "route escaped channel window");
+        prop_assert!(bbox.x_lo >= a.x.min(b.x) && bbox.x_hi <= a.x.max(b.x));
+    }
+
+    #[test]
+    fn best_route_is_no_worse_than_l_routes(
+        a in arb_pin(),
+        b in arb_pin(),
+        costs in arb_cost_array(),
+    ) {
+        // The two L-shaped routes are always in the candidate set, so the
+        // winner can never cost more than either.
+        let eval = best_route(&costs, Connection { from: a, to: b }, 0);
+        if a.channel != b.channel && a.x != b.x {
+            let l1 = Route::from_segments(vec![
+                Segment::horizontal(a.channel, a.x, b.x),
+                Segment::vertical(b.x, a.channel, b.channel),
+            ]);
+            let l2 = Route::from_segments(vec![
+                Segment::vertical(a.x, a.channel, b.channel),
+                Segment::horizontal(b.channel, a.x, b.x),
+            ]);
+            prop_assert!(eval.cost <= costs.route_cost(&l1));
+            prop_assert!(eval.cost <= costs.route_cost(&l2));
+        }
+    }
+
+    #[test]
+    fn add_remove_route_restores_array(base in arb_cost_array(), route in arb_route()) {
+        let mut a = base.clone();
+        a.add_route(&route);
+        for &cell in route.cells() {
+            prop_assert_eq!(a.get(cell), base.get(cell) + 1);
+        }
+        a.remove_route(&route);
+        prop_assert_eq!(a, base);
+    }
+
+    #[test]
+    fn route_cells_are_sorted_and_unique(route in arb_route()) {
+        let cells = route.cells();
+        prop_assert!(cells.windows(2).all(|w| w[0] < w[1]));
+        // Every segment cell appears in the deduplicated cover.
+        for s in route.segments() {
+            for cell in s.cells() {
+                prop_assert!(cells.binary_search(&cell).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn route_wire_covers_every_pin(
+        pins in proptest::collection::vec(arb_pin(), 2..6),
+        costs in arb_cost_array(),
+    ) {
+        let wire = Wire::new(0, pins.clone());
+        let eval = route_wire(&costs, &wire, 1);
+        for pin in &pins {
+            prop_assert!(
+                eval.route.cells().binary_search(&pin.cell()).is_ok(),
+                "pin {pin:?} not covered"
+            );
+        }
+    }
+
+    #[test]
+    fn region_map_partitions_exactly(
+        channels in 4u16..16,
+        grids in 8u16..64,
+        procs in 1usize..8,
+    ) {
+        prop_assume!(channels as usize >= procs && grids as usize >= procs);
+        let m = RegionMap::new(channels, grids, procs);
+        let mut covered = 0u64;
+        for p in 0..m.n_procs() {
+            covered += m.region(p).area();
+            // The region's cells all map back to p.
+            let r = m.region(p);
+            prop_assert_eq!(m.owner_of(GridCell::new(r.c_lo, r.x_lo)), p);
+            prop_assert_eq!(m.owner_of(GridCell::new(r.c_hi, r.x_hi)), p);
+        }
+        prop_assert_eq!(covered, channels as u64 * grids as u64);
+    }
+
+    #[test]
+    fn mesh_distance_zero_iff_same_proc(
+        procs in 2usize..10,
+    ) {
+        let m = RegionMap::new(16, 64, procs);
+        for a in 0..m.n_procs() {
+            for b in 0..m.n_procs() {
+                let d = m.mesh_distance(a, b);
+                prop_assert_eq!(d == 0, a == b);
+                prop_assert_eq!(d, m.mesh_distance(b, a));
+            }
+        }
+    }
+}

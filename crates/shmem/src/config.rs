@@ -1,0 +1,102 @@
+//! Shared-memory run configuration.
+
+use locus_router::{AssignmentStrategy, RouterParams};
+
+/// How wires are handed to processors (§3, §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduling {
+    /// The original "distributed loop": a shared counter hands out the
+    /// next wire to whichever processor asks first.
+    DynamicLoop,
+    /// Static assignment computed before routing (round robin or
+    /// locality/ThresholdCost — the Table 5 sweep).
+    Static(AssignmentStrategy),
+}
+
+/// Parameters of a shared-memory routing run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShmemConfig {
+    /// Number of (logical or real) processors.
+    pub n_procs: usize,
+    /// Core routing parameters.
+    pub params: RouterParams,
+    /// Wire distribution strategy.
+    pub scheduling: Scheduling,
+    /// Modelled time to examine one cost-array cell (ns); the Multimax
+    /// NS32032-class node of §2.1.
+    pub cell_eval_ns: u64,
+    /// Modelled time to write one cell (rip-up / commit).
+    pub cell_write_ns: u64,
+    /// Modelled overhead of fetching a wire index from the distributed
+    /// loop (one shared counter RMW).
+    pub dispatch_ns: u64,
+    /// Whether the emulator records a Tango-style reference trace.
+    pub collect_trace: bool,
+}
+
+impl ShmemConfig {
+    /// Default configuration for `n_procs` processors: dynamic loop, no
+    /// trace collection.
+    pub fn new(n_procs: usize) -> Self {
+        ShmemConfig {
+            n_procs,
+            params: RouterParams::default(),
+            scheduling: Scheduling::DynamicLoop,
+            cell_eval_ns: 4_000,
+            cell_write_ns: 500,
+            dispatch_ns: 2_000,
+            collect_trace: false,
+        }
+    }
+
+    /// Enables Tango trace collection.
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
+    }
+
+    /// Uses a static assignment instead of the distributed loop.
+    pub fn with_static_assignment(mut self, strategy: AssignmentStrategy) -> Self {
+        self.scheduling = Scheduling::Static(strategy);
+        self
+    }
+
+    /// Overrides the router parameters.
+    pub fn with_params(mut self, params: RouterParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_procs == 0 {
+            return Err("need at least one processor".into());
+        }
+        if self.n_procs > 64 {
+            return Err("coherence directory supports at most 64 processors".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = ShmemConfig::new(16)
+            .with_trace()
+            .with_static_assignment(AssignmentStrategy::RoundRobin);
+        assert!(c.collect_trace);
+        assert_eq!(c.scheduling, Scheduling::Static(AssignmentStrategy::RoundRobin));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_bounds_processors() {
+        assert!(ShmemConfig::new(0).validate().is_err());
+        assert!(ShmemConfig::new(65).validate().is_err());
+        assert!(ShmemConfig::new(64).validate().is_ok());
+    }
+}

@@ -1,0 +1,400 @@
+//! The deterministic shared-memory concurrency emulator with Tango-style
+//! trace collection.
+//!
+//! Logical processors are multiplexed with per-processor logical clocks
+//! (the Tango methodology, §2.2: traces "are generated on a uniprocessor
+//! by spawning the specified number of processes and multiplexing their
+//! execution"). The concurrency semantics captured are exactly those of
+//! the unlocked shared cost array (§3):
+//!
+//! * a processor **evaluates** a wire against the shared array as it
+//!   stands when the evaluation begins (reads recorded at fine grain as
+//!   the candidate sweep progresses);
+//! * its increments **commit** only after the modelled routing time has
+//!   elapsed, so wires being routed simultaneously on other processors do
+//!   not see them — the staleness that degrades quality as P grows;
+//! * processors meet at a **barrier** between iterations (§3: "processes
+//!   are blocked at a barrier until all the processors are finished").
+
+use std::cell::{Cell, RefCell};
+
+use locus_circuit::{Circuit, GridCell, WireId};
+use locus_coherence::{MemRef, RefKind, Trace};
+use locus_router::router::route_wire;
+use locus_router::{
+    assign, CostArray, CostView, ProcId, QualityMetrics, RegionMap, Route, WorkStats,
+};
+
+use crate::cell_addr;
+use crate::config::{Scheduling, ShmemConfig};
+
+/// Result of an emulated shared-memory run.
+#[derive(Clone, Debug)]
+pub struct ShmemOutcome {
+    /// Circuit height and occupancy factor.
+    pub quality: QualityMetrics,
+    /// Modelled execution time (max logical clock).
+    pub time_secs: f64,
+    /// Final route of every wire.
+    pub routes: Vec<Route>,
+    /// Processor that routed each wire in the final iteration.
+    pub proc_of_wire: Vec<ProcId>,
+    /// Aggregate routing work.
+    pub work: WorkStats,
+    /// The shared-reference trace, when collection was enabled.
+    pub trace: Option<Trace>,
+}
+
+/// A cost-array view that records read references as candidate evaluation
+/// sweeps cells, advancing the processor's logical clock per read.
+struct TracedView<'a> {
+    cost: &'a CostArray,
+    trace: Option<&'a RefCell<Trace>>,
+    clock: Cell<u64>,
+    step_ns: u64,
+    proc: u32,
+}
+
+impl CostView for TracedView<'_> {
+    fn channels(&self) -> u16 {
+        self.cost.channels()
+    }
+    fn grids(&self) -> u16 {
+        self.cost.grids()
+    }
+    #[inline]
+    fn cost_at(&self, cell: GridCell) -> u32 {
+        let t = self.clock.get();
+        if let Some(trace) = self.trace {
+            trace.borrow_mut().push(MemRef {
+                time: t,
+                proc: self.proc,
+                addr: cell_addr(cell.channel, cell.x, self.cost.grids()),
+                kind: RefKind::Read,
+            });
+        }
+        self.clock.set(t + self.step_ns);
+        self.cost.cost_at(cell)
+    }
+}
+
+/// An in-flight wire: evaluated, not yet committed.
+struct Pending {
+    wire: WireId,
+    route: Route,
+    cost: u64,
+    commit_at: u64,
+}
+
+struct ProcState {
+    clock: u64,
+    pending: Option<Pending>,
+    queue_pos: usize,
+    at_barrier: bool,
+}
+
+/// The emulator; see [module docs](self).
+pub struct ShmemEmulator<'a> {
+    circuit: &'a Circuit,
+    config: ShmemConfig,
+}
+
+impl<'a> ShmemEmulator<'a> {
+    /// Creates an emulator.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(circuit: &'a Circuit, config: ShmemConfig) -> Self {
+        config.validate().expect("invalid shared-memory configuration");
+        ShmemEmulator { circuit, config }
+    }
+
+    /// Runs all iterations and returns the outcome.
+    pub fn run(self) -> ShmemOutcome {
+        let n_procs = self.config.n_procs;
+        let n_wires = self.circuit.wire_count();
+        let cfg = &self.config;
+
+        // Static assignment, if requested. The region map used for
+        // locality-based assignment matches the message-passing mesh.
+        let static_lists: Option<Vec<Vec<WireId>>> = match cfg.scheduling {
+            Scheduling::DynamicLoop => None,
+            Scheduling::Static(strategy) => {
+                let regions =
+                    RegionMap::new(self.circuit.channels, self.circuit.grids, n_procs);
+                Some(assign(self.circuit, &regions, strategy).wires_per_proc)
+            }
+        };
+
+        let trace_cell = cfg.collect_trace.then(|| {
+            RefCell::new(Trace::with_capacity(n_wires * 64 * cfg.params.iterations))
+        });
+
+        let mut shared = CostArray::new(self.circuit.channels, self.circuit.grids);
+        let mut routes: Vec<Option<Route>> = vec![None; n_wires];
+        let mut proc_of_wire: Vec<ProcId> = vec![0; n_wires];
+        let mut procs: Vec<ProcState> = (0..n_procs)
+            .map(|_| ProcState { clock: 0, pending: None, queue_pos: 0, at_barrier: false })
+            .collect();
+        let mut work = WorkStats::default();
+        let mut occupancy_last = 0u64;
+
+        for iteration in 0..cfg.params.iterations {
+            let last_iteration = iteration + 1 == cfg.params.iterations;
+            let mut occupancy = 0u64;
+            let mut counter = 0usize; // distributed loop
+            for p in procs.iter_mut() {
+                p.queue_pos = 0;
+                p.at_barrier = false;
+            }
+
+            loop {
+                // Pick the processor with the earliest next event:
+                // a pending commit, or a ready pick.
+                let mut best: Option<(u64, ProcId)> = None;
+                for (p, st) in procs.iter().enumerate() {
+                    let key = match &st.pending {
+                        Some(pend) => pend.commit_at,
+                        None if !st.at_barrier => st.clock,
+                        None => continue,
+                    };
+                    if best.map_or(true, |(k, _)| key < k) {
+                        best = Some((key, p));
+                    }
+                }
+                let Some((_, p)) = best else {
+                    break; // everyone is at the barrier
+                };
+
+                if let Some(pend) = procs[p].pending.take() {
+                    // Commit: apply the increments the other processors
+                    // could not see during evaluation.
+                    let mut t = pend.commit_at;
+                    for &cell in pend.route.cells() {
+                        shared.add(cell, 1);
+                        if let Some(trace) = &trace_cell {
+                            trace.borrow_mut().push(MemRef {
+                                time: t,
+                                proc: p as u32,
+                                addr: cell_addr(cell.channel, cell.x, self.circuit.grids),
+                                kind: RefKind::Write,
+                            });
+                        }
+                        t += cfg.cell_write_ns;
+                    }
+                    work.cells_written += pend.route.len() as u64;
+                    procs[p].clock = t;
+                    if last_iteration {
+                        occupancy += pend.cost;
+                        proc_of_wire[pend.wire] = p;
+                    }
+                    routes[pend.wire] = Some(pend.route);
+                    continue;
+                }
+
+                // Pick the next wire.
+                let wire_id = match &static_lists {
+                    None => {
+                        if counter >= n_wires {
+                            procs[p].at_barrier = true;
+                            continue;
+                        }
+                        let w = counter;
+                        counter += 1;
+                        w
+                    }
+                    Some(lists) => {
+                        if procs[p].queue_pos >= lists[p].len() {
+                            procs[p].at_barrier = true;
+                            continue;
+                        }
+                        let w = lists[p][procs[p].queue_pos];
+                        procs[p].queue_pos += 1;
+                        w
+                    }
+                };
+                procs[p].clock += cfg.dispatch_ns;
+
+                // Rip up the previous route (§3), visible immediately.
+                if let Some(old) = routes[wire_id].take() {
+                    let mut t = procs[p].clock;
+                    for &cell in old.cells() {
+                        shared.add(cell, -1);
+                        if let Some(trace) = &trace_cell {
+                            trace.borrow_mut().push(MemRef {
+                                time: t,
+                                proc: p as u32,
+                                addr: cell_addr(cell.channel, cell.x, self.circuit.grids),
+                                kind: RefKind::Write,
+                            });
+                        }
+                        t += cfg.cell_write_ns;
+                    }
+                    work.cells_written += old.len() as u64;
+                    procs[p].clock = t;
+                }
+
+                // Evaluate against the shared array as of this instant.
+                let view = TracedView {
+                    cost: &shared,
+                    trace: trace_cell.as_ref(),
+                    clock: Cell::new(procs[p].clock),
+                    step_ns: cfg.cell_eval_ns,
+                    proc: p as u32,
+                };
+                let eval = route_wire(&view, self.circuit.wire(wire_id), cfg.params.channel_overshoot);
+                let eval_end = view.clock.get();
+                work.wires_routed += 1;
+                work.connections += eval.connections;
+                work.candidates += eval.candidates;
+                work.cells_examined += eval.cells_examined;
+                // Occupancy: the merged route's cost against the shared
+                // array at decision time (uninstrumented read — the
+                // metric is not part of the application's references).
+                let cost_at_decision = shared.route_cost(&eval.route);
+                procs[p].pending = Some(Pending {
+                    wire: wire_id,
+                    route: eval.route,
+                    cost: cost_at_decision,
+                    commit_at: eval_end,
+                });
+            }
+
+            // Barrier: everyone waits for the slowest processor.
+            let max_clock = procs.iter().map(|s| s.clock).max().unwrap_or(0);
+            for st in procs.iter_mut() {
+                st.clock = max_clock;
+            }
+            occupancy_last = occupancy;
+        }
+
+        let routes: Vec<Route> =
+            routes.into_iter().map(|r| r.expect("every wire routed")).collect();
+        let quality = QualityMetrics::from_final_state(&shared, occupancy_last);
+        let completion = procs.iter().map(|s| s.clock).max().unwrap_or(0);
+
+        let trace = trace_cell.map(|t| {
+            let mut trace = t.into_inner();
+            trace.sort_by_time();
+            trace
+        });
+
+        ShmemOutcome {
+            quality,
+            time_secs: completion as f64 / 1e9,
+            routes,
+            proc_of_wire,
+            work,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_circuit::presets;
+    use locus_router::{AssignmentStrategy, RouterParams, SequentialRouter};
+
+    #[test]
+    fn single_processor_matches_sequential_router() {
+        let c = presets::small();
+        let out = ShmemEmulator::new(&c, ShmemConfig::new(1)).run();
+        let seq = SequentialRouter::new(&c, RouterParams::default()).run();
+        assert_eq!(out.quality, seq.quality, "P=1 emulation must equal the sequential run");
+        assert_eq!(out.routes, seq.routes);
+    }
+
+    #[test]
+    fn emulation_is_deterministic() {
+        let c = presets::small();
+        let a = ShmemEmulator::new(&c, ShmemConfig::new(4)).run();
+        let b = ShmemEmulator::new(&c, ShmemConfig::new(4)).run();
+        assert_eq!(a.quality, b.quality);
+        assert_eq!(a.routes, b.routes);
+        assert_eq!(a.time_secs, b.time_secs);
+    }
+
+    #[test]
+    fn conservation_of_coverage() {
+        let c = presets::small();
+        let out = ShmemEmulator::new(&c, ShmemConfig::new(4)).run();
+        let mut truth = CostArray::new(c.channels, c.grids);
+        for r in &out.routes {
+            truth.add_route(r);
+        }
+        assert_eq!(truth.circuit_height(), out.quality.circuit_height);
+    }
+
+    #[test]
+    fn more_processors_run_faster_but_route_worse_or_equal() {
+        let c = presets::bnr_e();
+        let p1 = ShmemEmulator::new(&c, ShmemConfig::new(1)).run();
+        let p16 = ShmemEmulator::new(&c, ShmemConfig::new(16)).run();
+        assert!(
+            p16.time_secs < p1.time_secs / 4.0,
+            "16 processors must be much faster: {} vs {}",
+            p16.time_secs,
+            p1.time_secs
+        );
+        assert!(
+            p16.quality.circuit_height >= p1.quality.circuit_height,
+            "staleness cannot improve quality: {} vs {}",
+            p16.quality.circuit_height,
+            p1.quality.circuit_height
+        );
+    }
+
+    #[test]
+    fn trace_collection_records_reads_and_writes() {
+        let c = presets::tiny();
+        let out = ShmemEmulator::new(&c, ShmemConfig::new(2).with_trace()).run();
+        let trace = out.trace.expect("trace requested");
+        assert!(trace.is_sorted());
+        assert!(trace.len() as u64 >= out.work.cells_examined);
+        let writes = trace.write_count();
+        assert_eq!(writes as u64, out.work.cells_written);
+        // Addresses must stay within the shared cost array.
+        let max_addr = (c.channels as u32 * c.grids as u32) * 2;
+        assert!(trace.refs().iter().all(|r| r.addr < max_addr));
+    }
+
+    #[test]
+    fn no_trace_by_default() {
+        let c = presets::tiny();
+        let out = ShmemEmulator::new(&c, ShmemConfig::new(2)).run();
+        assert!(out.trace.is_none());
+    }
+
+    #[test]
+    fn static_assignment_routes_every_wire() {
+        let c = presets::small();
+        let cfg = ShmemConfig::new(4)
+            .with_static_assignment(AssignmentStrategy::Locality { threshold_cost: Some(30) });
+        let out = ShmemEmulator::new(&c, cfg).run();
+        assert_eq!(out.routes.len(), c.wire_count());
+        let mut truth = CostArray::new(c.channels, c.grids);
+        for r in &out.routes {
+            truth.add_route(r);
+        }
+        assert_eq!(truth.circuit_height(), out.quality.circuit_height);
+    }
+
+    #[test]
+    fn proc_of_wire_is_populated_for_static_runs() {
+        let c = presets::small();
+        let cfg = ShmemConfig::new(4).with_static_assignment(AssignmentStrategy::RoundRobin);
+        let out = ShmemEmulator::new(&c, cfg).run();
+        // Round robin: wire i routed by proc i mod 4 in every iteration.
+        for (w, &p) in out.proc_of_wire.iter().enumerate() {
+            assert_eq!(p, w % 4);
+        }
+    }
+
+    #[test]
+    fn occupancy_positive_on_contended_circuit() {
+        let c = presets::small();
+        let out = ShmemEmulator::new(&c, ShmemConfig::new(4)).run();
+        assert!(out.quality.occupancy_factor > 0);
+    }
+}

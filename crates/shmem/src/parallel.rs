@@ -1,0 +1,241 @@
+//! The real multithreaded shared-memory router.
+//!
+//! This is the §3 implementation run on actual hardware threads: the cost
+//! array lives in atomics and is read and written **without locks**
+//! ("accesses to the cost array are not locked" — collisions are rare and
+//! the algorithm tolerates them), wires are handed out by a
+//! distributed-loop shared counter or a static assignment, and processors
+//! meet at a barrier between iterations.
+//!
+//! Thread interleavings make runs nondeterministic, so this engine backs
+//! the wall-clock speedup demonstration only; all table values come from
+//! the deterministic emulator in [`crate::emul`].
+
+use std::sync::atomic::{AtomicU16, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use locus_circuit::{Circuit, GridCell, WireId};
+use locus_router::router::route_wire;
+use locus_router::{assign, CostArray, CostView, QualityMetrics, RegionMap, Route};
+use parking_lot::Mutex;
+
+use crate::config::{Scheduling, ShmemConfig};
+
+/// The shared cost array in atomics; plain `Relaxed` loads and stores —
+/// the data-race-free Rust rendering of the paper's unlocked array.
+struct AtomicCostArray {
+    channels: u16,
+    grids: u16,
+    cells: Vec<AtomicU16>,
+}
+
+impl AtomicCostArray {
+    fn new(channels: u16, grids: u16) -> Self {
+        let n = channels as usize * grids as usize;
+        let mut cells = Vec::with_capacity(n);
+        cells.resize_with(n, || AtomicU16::new(0));
+        AtomicCostArray { channels, grids, cells }
+    }
+
+    #[inline]
+    fn index(&self, cell: GridCell) -> usize {
+        cell.channel as usize * self.grids as usize + cell.x as usize
+    }
+
+    fn add_route(&self, route: &Route) {
+        for &cell in route.cells() {
+            self.cells[self.index(cell)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn remove_route(&self, route: &Route) {
+        for &cell in route.cells() {
+            self.cells[self.index(cell)].fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl CostView for AtomicCostArray {
+    fn channels(&self) -> u16 {
+        self.channels
+    }
+    fn grids(&self) -> u16 {
+        self.grids
+    }
+    #[inline]
+    fn cost_at(&self, cell: GridCell) -> u32 {
+        self.cells[self.index(cell)].load(Ordering::Relaxed) as u32
+    }
+}
+
+/// Result of a threaded run.
+#[derive(Clone, Debug)]
+pub struct ThreadedOutcome {
+    /// Circuit height and occupancy factor of the routed result.
+    pub quality: QualityMetrics,
+    /// Wall-clock duration of the routing phase.
+    pub wall: Duration,
+    /// Final route of every wire.
+    pub routes: Vec<Route>,
+}
+
+/// Real-thread executor; see [module docs](self).
+pub struct ThreadedRouter<'a> {
+    circuit: &'a Circuit,
+    config: ShmemConfig,
+}
+
+impl<'a> ThreadedRouter<'a> {
+    /// Creates an executor (`config.n_procs` = thread count; the
+    /// emulator-only timing fields are ignored).
+    pub fn new(circuit: &'a Circuit, config: ShmemConfig) -> Self {
+        config.validate().expect("invalid shared-memory configuration");
+        ThreadedRouter { circuit, config }
+    }
+
+    /// Routes the circuit on `n_procs` OS threads.
+    pub fn run(self) -> ThreadedOutcome {
+        let n_threads = self.config.n_procs;
+        let n_wires = self.circuit.wire_count();
+        let iterations = self.config.params.iterations;
+        let overshoot = self.config.params.channel_overshoot;
+
+        let static_lists: Option<Vec<Vec<WireId>>> = match self.config.scheduling {
+            Scheduling::DynamicLoop => None,
+            Scheduling::Static(strategy) => {
+                let regions =
+                    RegionMap::new(self.circuit.channels, self.circuit.grids, n_threads);
+                Some(assign(self.circuit, &regions, strategy).wires_per_proc)
+            }
+        };
+
+        let shared = AtomicCostArray::new(self.circuit.channels, self.circuit.grids);
+        let routes: Vec<Mutex<Option<Route>>> =
+            (0..n_wires).map(|_| Mutex::new(None)).collect();
+        let occupancy = AtomicU64::new(0);
+        let counters: Vec<AtomicUsize> =
+            (0..iterations).map(|_| AtomicUsize::new(0)).collect();
+        let barrier = Barrier::new(n_threads);
+
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..n_threads {
+                let shared = &shared;
+                let routes = &routes;
+                let occupancy = &occupancy;
+                let counters = &counters;
+                let barrier = &barrier;
+                let circuit = self.circuit;
+                let static_lists = static_lists.as_ref();
+                scope.spawn(move || {
+                    for iter in 0..iterations {
+                        let last = iter + 1 == iterations;
+                        let mut local_pos = 0usize;
+                        loop {
+                            // Distributed loop or static list.
+                            let wire_id = match static_lists {
+                                None => {
+                                    let w = counters[iter].fetch_add(1, Ordering::Relaxed);
+                                    if w >= n_wires {
+                                        break;
+                                    }
+                                    w
+                                }
+                                Some(lists) => {
+                                    if local_pos >= lists[t].len() {
+                                        break;
+                                    }
+                                    let w = lists[t][local_pos];
+                                    local_pos += 1;
+                                    w
+                                }
+                            };
+
+                            let mut slot = routes[wire_id].lock();
+                            if let Some(old) = slot.take() {
+                                shared.remove_route(&old);
+                            }
+                            let eval = route_wire(shared, circuit.wire(wire_id), overshoot);
+                            if last {
+                                // Same occupancy definition as the other
+                                // engines: merged-route cost at routing
+                                // time (concurrent writes make this
+                                // approximate, like everything here).
+                                occupancy
+                                    .fetch_add(shared.route_cost(&eval.route), Ordering::Relaxed);
+                            }
+                            shared.add_route(&eval.route);
+                            *slot = Some(eval.route);
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        let wall = start.elapsed();
+
+        let routes: Vec<Route> = routes
+            .into_iter()
+            .map(|m| m.into_inner().expect("every wire routed"))
+            .collect();
+        let mut truth = CostArray::new(self.circuit.channels, self.circuit.grids);
+        for r in &routes {
+            truth.add_route(r);
+        }
+        let quality =
+            QualityMetrics::from_final_state(&truth, occupancy.load(Ordering::Relaxed));
+        ThreadedOutcome { quality, wall, routes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_circuit::presets;
+    use locus_router::{AssignmentStrategy, RouterParams, SequentialRouter};
+
+    #[test]
+    fn one_thread_matches_sequential_router() {
+        let c = presets::small();
+        let out = ThreadedRouter::new(&c, ShmemConfig::new(1)).run();
+        let seq = SequentialRouter::new(&c, RouterParams::default()).run();
+        assert_eq!(out.quality, seq.quality);
+        assert_eq!(out.routes, seq.routes);
+    }
+
+    #[test]
+    fn four_threads_route_everything_conservatively() {
+        let c = presets::small();
+        let out = ThreadedRouter::new(&c, ShmemConfig::new(4)).run();
+        assert_eq!(out.routes.len(), c.wire_count());
+        let mut truth = CostArray::new(c.channels, c.grids);
+        for r in &out.routes {
+            truth.add_route(r);
+        }
+        assert_eq!(truth.circuit_height(), out.quality.circuit_height);
+        assert!(out.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn quality_stays_in_a_sane_band_under_races() {
+        let c = presets::bnr_e();
+        let seq = SequentialRouter::new(&c, RouterParams::default()).run();
+        let out = ThreadedRouter::new(&c, ShmemConfig::new(4)).run();
+        // Concurrency costs quality but not catastrophically (§5.4 sees
+        // 5–10% degradation at 16 processors).
+        let h = out.quality.circuit_height as f64;
+        let hs = seq.quality.circuit_height as f64;
+        assert!(h <= hs * 1.5, "threaded height {h} vs sequential {hs}");
+        assert!(h >= hs * 0.8, "threaded height {h} suspiciously better than {hs}");
+    }
+
+    #[test]
+    fn static_assignment_runs_on_threads() {
+        let c = presets::small();
+        let cfg = ShmemConfig::new(4)
+            .with_static_assignment(AssignmentStrategy::Locality { threshold_cost: Some(30) });
+        let out = ThreadedRouter::new(&c, cfg).run();
+        assert_eq!(out.routes.len(), c.wire_count());
+    }
+}

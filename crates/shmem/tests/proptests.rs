@@ -1,0 +1,68 @@
+//! Property-based tests for the shared-memory engines over arbitrary
+//! generated circuits.
+
+use locus_circuit::{CircuitGenerator, GeneratorConfig};
+use locus_router::{CostArray, RouterParams, SequentialRouter};
+use locus_shmem::{ShmemConfig, ShmemEmulator};
+use proptest::prelude::*;
+
+fn arb_circuit() -> impl Strategy<Value = locus_circuit::Circuit> {
+    (3u16..7, 16u16..64, 4usize..30, any::<u64>()).prop_map(|(channels, grids, wires, seed)| {
+        CircuitGenerator::new(GeneratorConfig::for_surface("prop", channels, grids, wires, seed))
+            .generate()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The emulator conserves coverage on any circuit and processor
+    /// count: the shared array equals the sum of the final routes.
+    #[test]
+    fn emulator_conserves_coverage(circuit in arb_circuit(), procs in 1usize..5) {
+        let out = ShmemEmulator::new(&circuit, ShmemConfig::new(procs)).run();
+        prop_assert_eq!(out.routes.len(), circuit.wire_count());
+        let mut truth = CostArray::new(circuit.channels, circuit.grids);
+        for r in &out.routes {
+            truth.add_route(r);
+        }
+        prop_assert_eq!(truth.circuit_height(), out.quality.circuit_height);
+    }
+
+    /// P=1 emulation equals the sequential router for any circuit.
+    #[test]
+    fn emulator_single_proc_equivalence(circuit in arb_circuit()) {
+        let out = ShmemEmulator::new(&circuit, ShmemConfig::new(1)).run();
+        let seq = SequentialRouter::new(&circuit, RouterParams::default()).run();
+        prop_assert_eq!(out.quality, seq.quality);
+        prop_assert_eq!(out.routes, seq.routes);
+    }
+
+    /// Traces are time-sorted, stay within the shared region, and count
+    /// exactly the work the emulator reports.
+    #[test]
+    fn trace_invariants(circuit in arb_circuit(), procs in 1usize..4) {
+        let out = ShmemEmulator::new(&circuit, ShmemConfig::new(procs).with_trace()).run();
+        let trace = out.trace.expect("trace requested");
+        prop_assert!(trace.is_sorted());
+        prop_assert_eq!(trace.write_count() as u64, out.work.cells_written);
+        prop_assert_eq!(
+            (trace.len() - trace.write_count()) as u64,
+            out.work.cells_examined
+        );
+        let limit = circuit.channels as u32 * circuit.grids as u32 * 2;
+        for r in trace.refs() {
+            prop_assert!(r.addr < limit);
+            prop_assert!((r.proc as usize) < procs);
+        }
+    }
+
+    /// Emulated time shrinks (weakly) as processors are added — the
+    /// barrier waits for the slowest, but total work is divided.
+    #[test]
+    fn emulated_time_monotone_in_procs(circuit in arb_circuit()) {
+        let t1 = ShmemEmulator::new(&circuit, ShmemConfig::new(1)).run().time_secs;
+        let t4 = ShmemEmulator::new(&circuit, ShmemConfig::new(4)).run().time_secs;
+        prop_assert!(t4 <= t1 * 1.05, "t4 {t4} vs t1 {t1}");
+    }
+}

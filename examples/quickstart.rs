@@ -1,0 +1,51 @@
+//! Quickstart: route a small circuit three ways and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use locusroute::prelude::*;
+use locusroute::router::render::render_cost_array;
+
+fn main() {
+    // A tiny 4-channel x 24-grid synthetic circuit with 12 wires.
+    let circuit = locusroute::circuit::presets::tiny();
+    println!(
+        "circuit {:?}: {} channels x {} grids, {} wires\n",
+        circuit.name,
+        circuit.channels,
+        circuit.grids,
+        circuit.wire_count()
+    );
+
+    // 1. The sequential reference router.
+    let seq = SequentialRouter::new(&circuit, RouterParams::default()).run();
+    println!(
+        "sequential:      height={:<4} occupancy={}",
+        seq.quality.circuit_height, seq.quality.occupancy_factor
+    );
+
+    // 2. The shared-memory implementation, emulated on 4 processors.
+    let shm = ShmemEmulator::new(&circuit, ShmemConfig::new(4)).run();
+    println!(
+        "shared memory:   height={:<4} occupancy={}  (4 procs, {:.4}s modelled)",
+        shm.quality.circuit_height, shm.quality.occupancy_factor, shm.time_secs
+    );
+
+    // 3. The message-passing implementation on a simulated 2x2 mesh with
+    //    sender-initiated updates.
+    let cfg = MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 5));
+    let msg = run_msgpass(&circuit, cfg);
+    println!(
+        "message passing: height={:<4} occupancy={}  ({:.4} MB moved, {:.4}s modelled)",
+        msg.quality.circuit_height,
+        msg.quality.occupancy_factor,
+        msg.mbytes,
+        msg.time_secs
+    );
+
+    // Show the final cost array with wire 0's route highlighted (the
+    // paper's Figure 1 view).
+    println!("\nfinal cost array (sequential), wire 0 highlighted:");
+    print!("{}", render_cost_array(&seq.cost, Some(&seq.routes[0])));
+}

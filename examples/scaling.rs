@@ -1,0 +1,63 @@
+//! Scaling study: what happens as processors are added (paper §5.4).
+//!
+//! Sweeps the processor count for the message-passing router and the
+//! shared-memory emulator, reporting quality degradation, traffic and
+//! speedup — Table 6 plus the shared-memory side the paper describes in
+//! prose.
+//!
+//! ```text
+//! cargo run --release --example scaling
+//! ```
+
+use locusroute::prelude::*;
+
+fn main() {
+    let circuit = locusroute::circuit::presets::bnr_e();
+    let procs = [1usize, 2, 4, 9, 16];
+
+    println!("message passing (sender initiated, rmt=2 loc=10):");
+    println!(
+        "  {:>5} {:>7} {:>10} {:>8} {:>9} {:>8}",
+        "procs", "height", "occupancy", "MBytes", "time (s)", "speedup"
+    );
+    let mut t2 = None;
+    for &p in &procs {
+        let out = run_msgpass(
+            &circuit,
+            MsgPassConfig::new(p, UpdateSchedule::sender_initiated(2, 10)),
+        );
+        assert!(!out.deadlocked);
+        if p == 2 {
+            t2 = Some(out.time_secs);
+        }
+        let speedup = t2.map(|t| t / out.time_secs * 2.0);
+        println!(
+            "  {:>5} {:>7} {:>10} {:>8.3} {:>9.3} {:>8}",
+            p,
+            out.quality.circuit_height,
+            out.quality.occupancy_factor,
+            out.mbytes,
+            out.time_secs,
+            speedup.map_or("-".to_string(), |s| format!("{s:.1}"))
+        );
+    }
+
+    println!("\nshared memory (emulated, dynamic distributed loop):");
+    println!("  {:>5} {:>7} {:>10} {:>9}", "procs", "height", "occupancy", "time (s)");
+    for &p in &procs {
+        let out = ShmemEmulator::new(&circuit, ShmemConfig::new(p)).run();
+        println!(
+            "  {:>5} {:>7} {:>10} {:>9.3}",
+            p, out.quality.circuit_height, out.quality.occupancy_factor, out.time_secs
+        );
+    }
+
+    println!(
+        "\nBoth paradigms lose a few percent of quality on the way to 16\n\
+         processors — more wires are in flight simultaneously, so each routing\n\
+         decision sees a less accurate cost array (§5.4). Message-passing\n\
+         traffic peaks near 4 processors and then *falls*: smaller owned\n\
+         regions make the change bounding boxes tighter, not communication\n\
+         cheaper."
+    );
+}

@@ -1,0 +1,55 @@
+//! Tuning the update strategy of the message-passing router.
+//!
+//! The scenario: you are porting LocusRoute to a message-passing machine
+//! and must pick how replicas of the cost array are kept consistent.
+//! This example sweeps the main options of paper §4.3 on the bnrE-shaped
+//! benchmark and prints the quality/traffic/time trade-off so you can
+//! pick a point on the curve.
+//!
+//! ```text
+//! cargo run --release --example update_strategies
+//! ```
+
+use locusroute::prelude::*;
+
+fn main() {
+    let circuit = locusroute::circuit::presets::bnr_e();
+    let n_procs = 16;
+
+    let strategies: Vec<(&str, UpdateSchedule)> = vec![
+        ("sender, eager   (rmt=2, loc=1)", UpdateSchedule::sender_initiated(2, 1)),
+        ("sender, relaxed (rmt=2, loc=10)", UpdateSchedule::sender_initiated(2, 10)),
+        ("sender, lazy    (rmt=10, loc=20)", UpdateSchedule::sender_initiated(10, 20)),
+        ("receiver, eager (loc=1, rmt=5)", UpdateSchedule::receiver_initiated(1, 5)),
+        ("receiver, lazy  (loc=10, rmt=30)", UpdateSchedule::receiver_initiated(10, 30)),
+        ("receiver, blocking (loc=1, rmt=5)", UpdateSchedule::receiver_initiated_blocking(1, 5)),
+        ("mixed (paper §5.1.3)", UpdateSchedule::mixed_paper()),
+        ("no updates at all", UpdateSchedule::never()),
+    ];
+
+    println!(
+        "{:<36} {:>7} {:>10} {:>9} {:>9} {:>9}",
+        "strategy", "height", "occupancy", "MBytes", "time (s)", "packets"
+    );
+    for (label, schedule) in strategies {
+        let out = run_msgpass(&circuit, MsgPassConfig::new(n_procs, schedule));
+        assert!(!out.deadlocked);
+        println!(
+            "{:<36} {:>7} {:>10} {:>9.3} {:>9.3} {:>9}",
+            label,
+            out.quality.circuit_height,
+            out.quality.occupancy_factor,
+            out.mbytes,
+            out.time_secs,
+            out.packets.total_packets()
+        );
+    }
+
+    println!(
+        "\nReading the table: eager sender-initiated schedules buy the best circuit\n\
+         height at the highest traffic and time; receiver-initiated schedules cut\n\
+         traffic by an order of magnitude at a few percent quality cost; blocking\n\
+         trades time for nothing (paper §5.1.3); and no updates at all leaves every\n\
+         processor blind to its neighbours' congestion."
+    );
+}

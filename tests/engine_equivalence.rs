@@ -1,0 +1,105 @@
+//! Cross-engine equivalence: with one processor there is no concurrency,
+//! so every engine must reduce to the identical sequential algorithm —
+//! same routes, same quality, bit for bit.
+
+use locusroute::prelude::*;
+
+#[test]
+fn all_four_engines_agree_at_one_processor() {
+    let circuit = locusroute::circuit::presets::small();
+    let params = RouterParams::default();
+
+    let seq = SequentialRouter::new(&circuit, params).run();
+    let emul = ShmemEmulator::new(&circuit, ShmemConfig::new(1)).run();
+    let threads = ThreadedRouter::new(&circuit, ShmemConfig::new(1)).run();
+    let msg = run_msgpass(&circuit, MsgPassConfig::new(1, UpdateSchedule::never()));
+
+    assert_eq!(seq.quality, emul.quality, "emulator != sequential");
+    assert_eq!(seq.quality, threads.quality, "threads != sequential");
+    assert_eq!(seq.quality, msg.quality, "message passing != sequential");
+    assert_eq!(seq.routes, emul.routes);
+    assert_eq!(seq.routes, threads.routes);
+    assert_eq!(seq.routes, msg.routes);
+}
+
+#[test]
+fn single_proc_equivalence_holds_across_iteration_counts() {
+    let circuit = locusroute::circuit::presets::tiny();
+    for iterations in [1usize, 2, 4] {
+        let params = RouterParams::default().with_iterations(iterations);
+        let seq = SequentialRouter::new(&circuit, params).run();
+        let emul =
+            ShmemEmulator::new(&circuit, ShmemConfig::new(1).with_params(params)).run();
+        let msg = run_msgpass(
+            &circuit,
+            MsgPassConfig::new(1, UpdateSchedule::never()).with_params(params),
+        );
+        assert_eq!(seq.quality, emul.quality, "iterations={iterations}");
+        assert_eq!(seq.quality, msg.quality, "iterations={iterations}");
+    }
+}
+
+#[test]
+fn deterministic_engines_are_bitwise_repeatable() {
+    let circuit = locusroute::circuit::presets::small();
+
+    let m1 = run_msgpass(&circuit, MsgPassConfig::new(4, UpdateSchedule::mixed_paper()));
+    let m2 = run_msgpass(&circuit, MsgPassConfig::new(4, UpdateSchedule::mixed_paper()));
+    assert_eq!(m1.quality, m2.quality);
+    assert_eq!(m1.routes, m2.routes);
+    assert_eq!(m1.net, m2.net);
+
+    let e1 = ShmemEmulator::new(&circuit, ShmemConfig::new(4).with_trace()).run();
+    let e2 = ShmemEmulator::new(&circuit, ShmemConfig::new(4).with_trace()).run();
+    assert_eq!(e1.quality, e2.quality);
+    assert_eq!(e1.trace, e2.trace);
+}
+
+#[test]
+fn conservation_holds_in_every_engine() {
+    use locusroute::router::CostArray;
+    let circuit = locusroute::circuit::presets::small();
+
+    let check = |routes: &[locusroute::router::Route], height: u64, label: &str| {
+        let mut truth = CostArray::new(circuit.channels, circuit.grids);
+        for r in routes {
+            truth.add_route(r);
+        }
+        assert_eq!(truth.circuit_height(), height, "{label}: height mismatch");
+        let coverage: u64 = routes.iter().map(|r| r.len() as u64).sum();
+        assert_eq!(truth.total(), coverage, "{label}: coverage mismatch");
+    };
+
+    let seq = SequentialRouter::new(&circuit, RouterParams::default()).run();
+    check(&seq.routes, seq.quality.circuit_height, "sequential");
+
+    let emul = ShmemEmulator::new(&circuit, ShmemConfig::new(4)).run();
+    check(&emul.routes, emul.quality.circuit_height, "emulator");
+
+    let threads = ThreadedRouter::new(&circuit, ShmemConfig::new(4)).run();
+    check(&threads.routes, threads.quality.circuit_height, "threads");
+
+    let msg = run_msgpass(
+        &circuit,
+        MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 5)),
+    );
+    check(&msg.routes, msg.quality.circuit_height, "message passing");
+}
+
+#[test]
+fn every_route_covers_its_wire_pins() {
+    let circuit = locusroute::circuit::presets::small();
+    let msg = run_msgpass(
+        &circuit,
+        MsgPassConfig::new(4, UpdateSchedule::receiver_initiated(1, 5)),
+    );
+    for (wire, route) in circuit.wires.iter().zip(&msg.routes) {
+        for pin in &wire.pins {
+            assert!(
+                route.cells().binary_search(&pin.cell()).is_ok(),
+                "wire {} pin {pin:?} not covered by its route",
+                wire.id
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! End-to-end pipeline tests: generate → serialize → parse → route →
+//! assign → simulate → analyze, crossing every crate boundary.
+
+use locusroute::circuit::format;
+use locusroute::circuit::stats::CircuitStats;
+use locusroute::prelude::*;
+
+#[test]
+fn generated_circuit_survives_the_full_pipeline() {
+    // Generate a fresh circuit (not a preset).
+    let cfg = GeneratorConfig::for_surface("pipeline", 6, 96, 60, 0xDEAD_BEEF);
+    let circuit = CircuitGenerator::new(cfg).generate();
+    circuit.validate().unwrap();
+
+    // Serialize and re-parse; the parsed circuit routes identically.
+    let parsed = format::from_text(&format::to_text(&circuit)).unwrap();
+    let a = SequentialRouter::new(&circuit, RouterParams::default()).run();
+    let b = SequentialRouter::new(&parsed, RouterParams::default()).run();
+    assert_eq!(a.quality, b.quality);
+    assert_eq!(a.routes, b.routes);
+
+    // Partition, assign, and run the message-passing simulation.
+    let msg = run_msgpass(
+        &parsed,
+        MsgPassConfig::new(4, UpdateSchedule::mixed_paper()),
+    );
+    assert!(!msg.deadlocked);
+    assert_eq!(msg.routes.len(), parsed.wire_count());
+
+    // Collect a trace and push it through the coherence model.
+    let shm = ShmemEmulator::new(&parsed, ShmemConfig::new(4).with_trace()).run();
+    let rows = traffic_by_line_size(shm.trace.as_ref().unwrap(), &[4, 8, 16, 32]);
+    assert_eq!(rows.len(), 4);
+    assert!(rows.iter().all(|(_, s)| s.total_bytes > 0));
+}
+
+#[test]
+fn circuit_stats_describe_presets() {
+    for circuit in [
+        locusroute::circuit::presets::bnr_e(),
+        locusroute::circuit::presets::mdc(),
+    ] {
+        let stats = CircuitStats::of(&circuit);
+        assert_eq!(stats.wires, circuit.wire_count());
+        assert!(stats.mean_pins >= 2.0);
+        assert!(stats.mean_x_span > 1.0);
+        assert!(stats.max_x_span as u64 <= circuit.grids as u64);
+        assert!(!stats.report().is_empty());
+    }
+}
+
+#[test]
+fn region_map_and_assignment_compose_for_all_paper_sizes() {
+    let circuit = locusroute::circuit::presets::bnr_e();
+    for procs in [1usize, 2, 4, 9, 16] {
+        let regions = RegionMap::new(circuit.channels, circuit.grids, procs);
+        assert_eq!(regions.n_procs(), procs);
+        for strategy in [
+            AssignmentStrategy::RoundRobin,
+            AssignmentStrategy::Locality { threshold_cost: Some(30) },
+            AssignmentStrategy::Locality { threshold_cost: None },
+        ] {
+            let a = assign(&circuit, &regions, strategy);
+            assert_eq!(
+                a.wires_per_proc.iter().map(Vec::len).sum::<usize>(),
+                circuit.wire_count()
+            );
+        }
+    }
+}
+
+#[test]
+fn mdc_preset_runs_the_message_passing_pipeline() {
+    // The second benchmark circuit exercises non-square-ish dimensions
+    // (12 channels) end to end at the paper's processor count.
+    let circuit = locusroute::circuit::presets::mdc();
+    let out = run_msgpass(
+        &circuit,
+        MsgPassConfig::new(16, UpdateSchedule::sender_initiated(2, 10)),
+    );
+    assert!(!out.deadlocked);
+    assert_eq!(out.routes.len(), 573);
+    assert!(out.quality.circuit_height > 0);
+    assert!(out.mbytes > 0.0);
+}
+
+#[test]
+fn emulated_trace_addresses_match_cost_array_layout() {
+    let circuit = locusroute::circuit::presets::tiny();
+    let shm = ShmemEmulator::new(&circuit, ShmemConfig::new(2).with_trace()).run();
+    let trace = shm.trace.unwrap();
+    let n_cells = circuit.channels as u32 * circuit.grids as u32;
+    for r in trace.refs() {
+        assert!(r.addr < n_cells * 2, "address {} beyond the shared region", r.addr);
+        assert_eq!(r.addr % 2, 0, "cost array cells are u16-aligned");
+        assert!((r.proc as usize) < 2);
+    }
+}
