@@ -19,17 +19,11 @@ fn bench(c: &mut Criterion) {
     }
     println!("Channel overshoot");
     for r in overshoot_study(&circuit, 4) {
-        println!(
-            "  {:<28} ht={:<4} MB={:.4} t={:.4}",
-            r.variant, r.ckt_ht, r.mbytes, r.time_s
-        );
+        println!("  {:<28} ht={:<4} MB={:.4} t={:.4}", r.variant, r.ckt_ht, r.mbytes, r.time_s);
     }
     println!("Contention model");
     for r in contention_study(&circuit, 4) {
-        println!(
-            "  {:<28} ht={:<4} MB={:.4} t={:.4}",
-            r.variant, r.ckt_ht, r.mbytes, r.time_s
-        );
+        println!("  {:<28} ht={:<4} MB={:.4} t={:.4}", r.variant, r.ckt_ht, r.mbytes, r.time_s);
     }
     println!("Wire distribution");
     for r in distribution_study(&circuit, 4) {

@@ -22,10 +22,7 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("msgpass_sender_initiated_small_4p", |b| {
         b.iter(|| {
-            run_msgpass(
-                &circuit,
-                MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 10)),
-            )
+            run_msgpass(&circuit, MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 10)))
         })
     });
 }

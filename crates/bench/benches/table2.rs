@@ -19,10 +19,7 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("msgpass_receiver_initiated_small_4p", |b| {
         b.iter(|| {
-            run_msgpass(
-                &circuit,
-                MsgPassConfig::new(4, UpdateSchedule::receiver_initiated(1, 5)),
-            )
+            run_msgpass(&circuit, MsgPassConfig::new(4, UpdateSchedule::receiver_initiated(1, 5)))
         })
     });
 }

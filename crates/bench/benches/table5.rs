@@ -18,11 +18,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             ShmemEmulator::new(
                 &a,
-                ShmemConfig::new(4)
-                    .with_trace()
-                    .with_static_assignment(AssignmentStrategy::Locality {
-                        threshold_cost: Some(30),
-                    }),
+                ShmemConfig::new(4).with_trace().with_static_assignment(
+                    AssignmentStrategy::Locality { threshold_cost: Some(30) },
+                ),
             )
             .run()
         })

@@ -7,7 +7,13 @@
 //! locus-experiments <table1|table2|table3|table4|table5|table6|
 //!                    blocking|mixed|locality|speedup|compare|
 //!                    figure1|figure2|figure3|all>
+//!                   [--trace-out <file>] [--metrics-out <file>]
 //! ```
+//!
+//! `--trace-out` writes a Chrome trace-event JSON (load it at
+//! `chrome://tracing`) and `--metrics-out` a flat metrics JSON, both
+//! captured from one instrumented paper-settings message-passing run
+//! (bnrE, 16 processors, sender-initiated updates).
 //!
 //! Run with `--release`; the full suite takes a few minutes.
 
@@ -115,10 +121,7 @@ fn run_mixed() {
     println!("§5.1.3: mixed update schedules (bnrE, 16 procs)\n");
     println!(
         "{}",
-        render_table(
-            &["strategy", "Ckt Ht.", "Occup. Factor", "MBytes Xfrd.", "Time (s)"],
-            &data
-        )
+        render_table(&["strategy", "Ckt Ht.", "Occup. Factor", "MBytes Xfrd.", "Time (s)"], &data)
     );
 }
 
@@ -179,20 +182,10 @@ fn run_table5() {
     let rows = table5(&[&bnr, &mdc], PAPER_PROCS);
     let data: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![
-                r.circuit.clone(),
-                r.method.clone(),
-                format!("{}", r.ckt_ht),
-                f3(r.mbytes),
-            ]
-        })
+        .map(|r| vec![r.circuit.clone(), r.method.clone(), format!("{}", r.ckt_ht), f3(r.mbytes)])
         .collect();
     println!("Table 5: effect of locality in shared memory version (8-byte lines)\n");
-    println!(
-        "{}",
-        render_table(&["Ckt.", "Asmt. Method", "Ckt. Height", "MBytes Xfrd."], &data)
-    );
+    println!("{}", render_table(&["Ckt.", "Asmt. Method", "Ckt. Height", "MBytes Xfrd."], &data));
 }
 
 fn run_table6() {
@@ -261,10 +254,7 @@ fn run_speedup() {
         })
         .collect();
     println!("§5.4: speedup (relative to 2-processor run, x2)\n");
-    println!(
-        "{}",
-        render_table(&["engine", "Ckt.", "Procs", "Time (s)", "Speedup"], &data)
-    );
+    println!("{}", render_table(&["engine", "Ckt.", "Procs", "Time (s)", "Speedup"], &data));
 }
 
 fn ablation_table(title: &str, rows: &[locus_bench::AblationRow]) {
@@ -330,8 +320,55 @@ fn run_compare() {
     println!("{}", render_table(&["approach", "Ckt. Ht.", "MBytes Xfrd."], &data));
 }
 
+/// Removes `--flag <value>` from `args` and returns the value, if present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a file argument");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+/// Runs one instrumented paper-settings run and writes the requested
+/// trace / metrics exports.
+fn write_observability(trace_out: Option<String>, metrics_out: Option<String>) {
+    use locus_obs::export;
+    let c = presets::bnr_e();
+    eprintln!("observability: instrumented msgpass run (bnrE, {PAPER_PROCS} procs)...");
+    let run = observed_paper_run(&c, PAPER_PROCS);
+    if let Some(path) = trace_out {
+        let json = export::chrome_trace(&run.events);
+        export::validate_json(&json).expect("chrome trace must be valid JSON");
+        write_or_die(&path, &json);
+        eprintln!("observability: wrote {} events to {path} (chrome://tracing)", run.events.len());
+    }
+    if let Some(path) = metrics_out {
+        let json = export::metrics_json(&run.metrics);
+        export::validate_json(&json).expect("metrics must be valid JSON");
+        write_or_die(&path, &json);
+        eprintln!("observability: wrote metrics to {path}");
+    }
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = take_flag(&mut args, "--trace-out");
+    let metrics_out = take_flag(&mut args, "--metrics-out");
+    if let Some(bad) = args.iter().find(|a| a.starts_with("--")) {
+        eprintln!("unknown flag {bad}; expected --trace-out FILE or --metrics-out FILE");
+        std::process::exit(2);
+    }
+    let arg = args.first().cloned().unwrap_or_else(|| "all".to_string());
     let known: &[(&str, fn())] = &[
         ("table1", run_table1),
         ("table2", run_table2),
@@ -373,5 +410,8 @@ fn main() {
                 std::process::exit(2);
             }
         },
+    }
+    if trace_out.is_some() || metrics_out.is_some() {
+        write_observability(trace_out, metrics_out);
     }
 }

@@ -11,17 +11,15 @@ fn main() {
     let c = presets::bnr_e();
 
     let seq = SequentialRouter::new(&c, RouterParams::default()).run();
-    println!("sequential bnrE: height={} occupancy={}", seq.quality.circuit_height, seq.quality.occupancy_factor);
+    println!(
+        "sequential bnrE: height={} occupancy={}",
+        seq.quality.circuit_height, seq.quality.occupancy_factor
+    );
     println!("  work: {:?}", seq.work);
 
     let trace = shared_memory_trace(&c, 16);
     let reads = trace.refs().iter().filter(|r| r.kind == RefKind::Read).count();
-    println!(
-        "trace: {} refs ({} reads, {} writes)",
-        trace.len(),
-        reads,
-        trace.write_count()
-    );
+    println!("trace: {} refs ({} reads, {} writes)", trace.len(), reads, trace.write_count());
     for (ls, st) in traffic_by_line_size(&trace, &[4, 8, 16, 32]) {
         println!(
             "  line {ls:>2}: total={:.3}MB fetches={} words={} invals={} refetch={} writefrac={:.2}",
@@ -51,8 +49,8 @@ fn main() {
             out.packets.total_packets(),
             out.replica_divergence
         );
-        let mean_len: f64 = out.routes.iter().map(|r| r.len() as f64).sum::<f64>()
-            / out.routes.len() as f64;
+        let mean_len: f64 =
+            out.routes.iter().map(|r| r.len() as f64).sum::<f64>() / out.routes.len() as f64;
         println!("    mean route cells: {mean_len:.2}");
         for kind in PacketKind::ALL {
             let p = out.packets.packets(kind);

@@ -33,10 +33,16 @@ fn main() {
             run_msgpass(&c, MsgPassConfig::new(16, UpdateSchedule::receiver_initiated(1, 30)));
         let never = run_msgpass(&c, MsgPassConfig::new(16, UpdateSchedule::never()));
         let snd = run_msgpass(&c, MsgPassConfig::new(16, UpdateSchedule::sender_initiated(2, 10)));
-        let rr = run_msgpass(&c, MsgPassConfig::new(16, UpdateSchedule::sender_initiated(2, 10))
-            .with_assignment(AssignmentStrategy::RoundRobin));
-        let t30 = run_msgpass(&c, MsgPassConfig::new(16, UpdateSchedule::sender_initiated(2, 10))
-            .with_assignment(AssignmentStrategy::Locality { threshold_cost: Some(30) }));
+        let rr = run_msgpass(
+            &c,
+            MsgPassConfig::new(16, UpdateSchedule::sender_initiated(2, 10))
+                .with_assignment(AssignmentStrategy::RoundRobin),
+        );
+        let t30 = run_msgpass(
+            &c,
+            MsgPassConfig::new(16, UpdateSchedule::sender_initiated(2, 10))
+                .with_assignment(AssignmentStrategy::Locality { threshold_cost: Some(30) }),
+        );
 
         println!(
             "{name}: seq={} shm={} snd={} r5={} r30={} nvr={} rr={} t30={} | loc={:.2} | rr_t={:.2} t30_t={:.2} inf_t={:.2} | shm4/8/32={:.2}/{:.2}/{:.2} sndMB={:.3} r5MB={:.3} snd_t={:.2} r5_t={:.2}",

@@ -6,11 +6,13 @@
 
 use locus_circuit::Circuit;
 use locus_coherence::{traffic_by_line_size, Trace};
-use locus_msgpass::{run_msgpass, MsgPassConfig, PacketStructure, UpdateSchedule};
-use locus_router::locality::locality_measure;
-use locus_router::{
-    assign, AssignmentStrategy, RegionMap, RouterParams, SequentialRouter,
+use locus_msgpass::{
+    run_msgpass, run_msgpass_observed, MsgPassConfig, MsgPassOutcome, PacketStructure,
+    UpdateSchedule,
 };
+use locus_obs::{Event, MetricsSnapshot, SharedSink};
+use locus_router::locality::locality_measure;
+use locus_router::{assign, AssignmentStrategy, RegionMap, RouterParams, SequentialRouter};
 use locus_shmem::{ShmemConfig, ShmemEmulator, ThreadedRouter};
 
 /// The paper's default message-passing machine size.
@@ -111,10 +113,7 @@ pub fn blocking_study(circuit: &Circuit, n_procs: usize) -> Vec<BlockingRow> {
             );
             let bl = run_msgpass(
                 circuit,
-                MsgPassConfig::new(
-                    n_procs,
-                    UpdateSchedule::receiver_initiated_blocking(loc, rmt),
-                ),
+                MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated_blocking(loc, rmt)),
             );
             assert!(!nb.deadlocked && !bl.deadlocked);
             BlockingRow {
@@ -270,9 +269,7 @@ pub fn table5(circuits: &[&Circuit], n_procs: usize) -> Vec<Table5Row> {
     let mut rows = Vec::new();
     for &circuit in circuits {
         for (method, strategy) in AssignmentStrategy::table45_rows() {
-            let cfg = ShmemConfig::new(n_procs)
-                .with_trace()
-                .with_static_assignment(strategy);
+            let cfg = ShmemConfig::new(n_procs).with_trace().with_static_assignment(strategy);
             let out = ShmemEmulator::new(circuit, cfg).run();
             let trace = out.trace.expect("trace enabled");
             let stats = traffic_by_line_size(&trace, &[8]).remove(0).1;
@@ -406,11 +403,7 @@ pub fn speedup_study(circuits: &[&Circuit], proc_counts: &[usize]) -> Vec<Speedu
                 (p, out.time_secs)
             })
             .collect();
-        let t2 = times
-            .iter()
-            .find(|(p, _)| *p == 2)
-            .map(|&(_, t)| t)
-            .unwrap_or(times[0].1);
+        let t2 = times.iter().find(|(p, _)| *p == 2).map(|&(_, t)| t).unwrap_or(times[0].1);
         for &(p, t) in &times {
             rows.push(SpeedupRow {
                 engine: "message passing".into(),
@@ -461,13 +454,10 @@ pub struct CompareRow {
 pub fn compare_paradigms(circuit: &Circuit, n_procs: usize) -> Vec<CompareRow> {
     let trace = shared_memory_trace(circuit, n_procs);
     let shmem_stats = traffic_by_line_size(&trace, &[8]).remove(0).1;
-    let shmem =
-        ShmemEmulator::new(circuit, ShmemConfig::new(n_procs)).run();
+    let shmem = ShmemEmulator::new(circuit, ShmemConfig::new(n_procs)).run();
     let sender = run_msgpass(circuit, MsgPassConfig::new(n_procs, table46_schedule()));
-    let receiver = run_msgpass(
-        circuit,
-        MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated(1, 5)),
-    );
+    let receiver =
+        run_msgpass(circuit, MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated(1, 5)));
     vec![
         CompareRow {
             approach: "shared memory (WBI, 8B lines)".into(),
@@ -523,8 +513,7 @@ pub fn structures_study(circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
     ]
     .into_iter()
     .map(|(label, st)| {
-        let out =
-            run_msgpass(circuit, MsgPassConfig::new(n_procs, schedule).with_structure(st));
+        let out = run_msgpass(circuit, MsgPassConfig::new(n_procs, schedule).with_structure(st));
         assert!(!out.deadlocked, "structure {label} deadlocked");
         ablation_row(label, &out)
     })
@@ -551,15 +540,9 @@ pub fn overshoot_study(circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
 pub fn contention_study(circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
     let cfg = MsgPassConfig::new(n_procs, UpdateSchedule::sender_initiated(2, 1));
     let with = run_msgpass(circuit, cfg);
-    let without = locus_msgpass::run_msgpass_with_mesh(
-        circuit,
-        cfg,
-        cfg.mesh_config().without_contention(),
-    );
-    vec![
-        ablation_row("contention modelled", &with),
-        ablation_row("contention disabled", &without),
-    ]
+    let without =
+        locus_msgpass::run_msgpass_with_mesh(circuit, cfg, cfg.mesh_config().without_contention());
+    vec![ablation_row("contention modelled", &with), ablation_row("contention disabled", &without)]
 }
 
 /// **Ablation (§4.2)** — static vs dynamic wire distribution: the paper
@@ -568,12 +551,8 @@ pub fn contention_study(circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
 pub fn distribution_study(circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
     let schedule = UpdateSchedule::sender_initiated(2, 10);
     let params = RouterParams::default().with_iterations(1);
-    let stat = run_msgpass(
-        circuit,
-        MsgPassConfig::new(n_procs, schedule).with_params(params),
-    );
-    let dynamic =
-        run_msgpass(circuit, MsgPassConfig::new(n_procs, schedule).with_dynamic_wires());
+    let stat = run_msgpass(circuit, MsgPassConfig::new(n_procs, schedule).with_params(params));
+    let dynamic = run_msgpass(circuit, MsgPassConfig::new(n_procs, schedule).with_dynamic_wires());
     vec![
         ablation_row("static assignment (1 iter)", &stat),
         ablation_row("dynamic distribution (1 iter)", &dynamic),
@@ -652,11 +631,7 @@ mod tests {
     fn blocking_study_blocking_never_faster() {
         let c = presets::small();
         for row in blocking_study(&c, QUICK_PROCS) {
-            assert!(
-                row.time_blocking >= row.time_nonblocking,
-                "schedule {:?}",
-                row.schedule
-            );
+            assert!(row.time_blocking >= row.time_nonblocking, "schedule {:?}", row.schedule);
         }
     }
 
@@ -757,11 +732,8 @@ mod tests {
         // invariant is the contention counter itself.
         let cfg = MsgPassConfig::new(QUICK_PROCS, UpdateSchedule::sender_initiated(2, 1));
         let with = run_msgpass(&c, cfg);
-        let without = locus_msgpass::run_msgpass_with_mesh(
-            &c,
-            cfg,
-            cfg.mesh_config().without_contention(),
-        );
+        let without =
+            locus_msgpass::run_msgpass_with_mesh(&c, cfg, cfg.mesh_config().without_contention());
         assert!(with.net.contention_ns > 0, "chatty schedule must contend");
         assert_eq!(without.net.contention_ns, 0);
     }
@@ -784,4 +756,26 @@ mod tests {
         assert!(figure2(4).contains("ch"));
         assert!(figure3().contains("SendLocData"));
     }
+}
+
+/// An instrumented run: the outcome plus everything the sink captured.
+#[derive(Clone, Debug)]
+pub struct ObservedRun {
+    /// The ordinary simulation outcome.
+    pub outcome: MsgPassOutcome,
+    /// The recorded event stream (bounded by the ring-buffer capacity).
+    pub events: Vec<Event>,
+    /// Counter/histogram snapshot (exact even if the ring wrapped).
+    pub metrics: MetricsSnapshot,
+}
+
+/// Runs the paper-settings message-passing router (sender-initiated
+/// Table 4/6 schedule) with observability on. Backs the CLI's
+/// `--trace-out` / `--metrics-out` flags.
+pub fn observed_paper_run(circuit: &Circuit, n_procs: usize) -> ObservedRun {
+    let sink = SharedSink::new();
+    let cfg = MsgPassConfig::new(n_procs, table46_schedule());
+    let outcome = run_msgpass_observed(circuit, cfg, sink.clone());
+    assert!(!outcome.deadlocked, "observed run deadlocked");
+    ObservedRun { outcome, events: sink.snapshot_events(), metrics: sink.metrics_snapshot() }
 }

@@ -48,10 +48,7 @@ mod tests {
     fn renders_aligned_columns() {
         let s = render_table(
             &["name", "val"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer".into(), "12345".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "12345".into()]],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -118,10 +118,7 @@ mod tests {
     #[test]
     fn rejects_out_of_range_channel() {
         let err = Circuit::new("t", 4, 16, vec![wire(0, &[(0, 0), (4, 5)])]).unwrap_err();
-        assert_eq!(
-            err,
-            CircuitError::ChannelOutOfRange { wire: 0, channel: 4, channels: 4 }
-        );
+        assert_eq!(err, CircuitError::ChannelOutOfRange { wire: 0, channel: 4, channels: 4 });
     }
 
     #[test]

@@ -28,12 +28,8 @@ use crate::wire::{Pin, Wire};
 pub fn to_text(circuit: &Circuit) -> String {
     use std::fmt::Write;
     let mut out = String::with_capacity(circuit.wire_count() * 32 + 64);
-    writeln!(
-        out,
-        "circuit {} channels {} grids {}",
-        circuit.name, circuit.channels, circuit.grids
-    )
-    .expect("write to String cannot fail");
+    writeln!(out, "circuit {} channels {} grids {}", circuit.name, circuit.channels, circuit.grids)
+        .expect("write to String cannot fail");
     for wire in &circuit.wires {
         write!(out, "wire {} :", wire.id).expect("write to String cannot fail");
         for pin in &wire.pins {
@@ -102,8 +98,7 @@ pub fn from_text(text: &str) -> Result<Circuit, CircuitError> {
         }
     }
 
-    let (name, channels, grids) =
-        header.ok_or_else(|| parse_error(0, "missing circuit header"))?;
+    let (name, channels, grids) = header.ok_or_else(|| parse_error(0, "missing circuit header"))?;
     Circuit::new(name, channels, grids, wires)
 }
 
@@ -115,12 +110,9 @@ fn parse_pin(tok: &str, line: usize) -> Result<Pin, CircuitError> {
     let (c, x) = inner
         .split_once(',')
         .ok_or_else(|| parse_error(line, &format!("malformed pin {tok:?}")))?;
-    let channel = c
-        .parse::<u16>()
-        .map_err(|_| parse_error(line, &format!("bad pin channel {c:?}")))?;
-    let x = x
-        .parse::<u16>()
-        .map_err(|_| parse_error(line, &format!("bad pin column {x:?}")))?;
+    let channel =
+        c.parse::<u16>().map_err(|_| parse_error(line, &format!("bad pin channel {c:?}")))?;
+    let x = x.parse::<u16>().map_err(|_| parse_error(line, &format!("bad pin column {x:?}")))?;
     Ok(Pin::new(channel, x))
 }
 
@@ -187,15 +179,13 @@ mod tests {
 
     #[test]
     fn rejects_malformed_pin() {
-        let err =
-            from_text("circuit d channels 4 grids 24\nwire 0 : (0,1) 3,20\n").unwrap_err();
+        let err = from_text("circuit d channels 4 grids 24\nwire 0 : (0,1) 3,20\n").unwrap_err();
         assert!(matches!(err, CircuitError::Parse { line: 2, .. }), "{err}");
     }
 
     #[test]
     fn rejects_out_of_order_wire_ids() {
-        let err =
-            from_text("circuit d channels 4 grids 24\nwire 1 : (0,1) (1,2)\n").unwrap_err();
+        let err = from_text("circuit d channels 4 grids 24\nwire 1 : (0,1) (1,2)\n").unwrap_err();
         assert!(matches!(err, CircuitError::Parse { line: 2, .. }), "{err}");
     }
 

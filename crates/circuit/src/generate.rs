@@ -84,13 +84,9 @@ impl CircuitGenerator {
     pub fn generate(mut self) -> Circuit {
         let rows = self.place_rows();
         let wires = self.draw_wires();
-        let mut circuit = Circuit::new(
-            self.config.name.clone(),
-            self.config.channels,
-            self.config.grids,
-            wires,
-        )
-        .expect("generator produced invalid circuit");
+        let mut circuit =
+            Circuit::new(self.config.name.clone(), self.config.channels, self.config.grids, wires)
+                .expect("generator produced invalid circuit");
         circuit.rows = rows;
         circuit
     }

@@ -114,8 +114,9 @@ mod tests {
     fn mdc_population_is_tighter_than_bnr_e() {
         let b = bnr_e();
         let m = mdc();
-        let mean =
-            |c: &Circuit| c.wires.iter().map(|w| w.x_span() as f64).sum::<f64>() / c.wire_count() as f64;
+        let mean = |c: &Circuit| {
+            c.wires.iter().map(|w| w.x_span() as f64).sum::<f64>() / c.wire_count() as f64
+        };
         // Normalize by surface width; MDC wires should be relatively shorter.
         assert!(mean(&m) / (m.grids as f64) < mean(&b) / (b.grids as f64));
     }

@@ -42,17 +42,9 @@ impl CircuitStats {
             pins,
             mean_pins: pins as f64 / n,
             mean_x_span: spans.iter().map(|&s| s as f64).sum::<f64>() / n,
-            mean_channel_span: circuit
-                .wires
-                .iter()
-                .map(|w| w.channel_span() as f64)
-                .sum::<f64>()
+            mean_channel_span: circuit.wires.iter().map(|w| w.channel_span() as f64).sum::<f64>()
                 / n,
-            mean_cost_measure: circuit
-                .wires
-                .iter()
-                .map(|w| w.cost_measure() as f64)
-                .sum::<f64>()
+            mean_cost_measure: circuit.wires.iter().map(|w| w.cost_measure() as f64).sum::<f64>()
                 / n,
             max_x_span,
             span_histogram,

@@ -57,11 +57,7 @@ impl Wire {
     /// The locality-based assignment heuristic of §4.2 assigns a wire to
     /// the owner processor of its *leftmost pin*.
     pub fn leftmost_pin(&self) -> Pin {
-        *self
-            .pins
-            .iter()
-            .min_by_key(|p| (p.x, p.channel))
-            .expect("wire has pins")
+        *self.pins.iter().min_by_key(|p| (p.x, p.channel)).expect("wire has pins")
     }
 
     /// Bounding box of all pins.

@@ -6,9 +6,8 @@ use proptest::prelude::*;
 
 /// Strategy: an arbitrary valid rectangle within a 64x64 surface.
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (0u16..64, 0u16..64, 0u16..64, 0u16..64).prop_map(|(c1, c2, x1, x2)| {
-        Rect::new(c1.min(c2), c1.max(c2), x1.min(x2), x1.max(x2))
-    })
+    (0u16..64, 0u16..64, 0u16..64, 0u16..64)
+        .prop_map(|(c1, c2, x1, x2)| Rect::new(c1.min(c2), c1.max(c2), x1.min(x2), x1.max(x2)))
 }
 
 /// Strategy: an arbitrary valid circuit (2..6 channels, 8..40 grids,
@@ -18,11 +17,8 @@ fn arb_circuit() -> impl Strategy<Value = Circuit> {
         let pin = (0..channels, 0..grids).prop_map(|(c, x)| Pin::new(c, x));
         let wire = proptest::collection::vec(pin, 2..5);
         proptest::collection::vec(wire, 1..12).prop_map(move |wires| {
-            let wires = wires
-                .into_iter()
-                .enumerate()
-                .map(|(id, pins)| Wire::new(id, pins))
-                .collect();
+            let wires =
+                wires.into_iter().enumerate().map(|(id, pins)| Wire::new(id, pins)).collect();
             Circuit::new("prop", channels, grids, wires).expect("constructed valid")
         })
     })

@@ -29,12 +29,7 @@ mod tests {
         for round in 0..30u32 {
             for p in 0..4u32 {
                 for cell in 0..32u32 {
-                    t.push(MemRef {
-                        time,
-                        proc: p,
-                        addr: cell * 2,
-                        kind: RefKind::Read,
-                    });
+                    t.push(MemRef { time, proc: p, addr: cell * 2, kind: RefKind::Read });
                     time += 1;
                 }
             }

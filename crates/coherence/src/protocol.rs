@@ -3,6 +3,8 @@
 
 use std::collections::HashMap;
 
+use locus_obs::{Event as ObsEvent, EventKind as ObsKind, NullSink, Sink};
+
 use crate::trace::{RefKind, Trace};
 
 /// The coherence protocol family to simulate.
@@ -109,12 +111,32 @@ pub struct CoherenceSim {
     config: CoherenceConfig,
     lines: HashMap<u32, LineState>,
     stats: TrafficStats,
+    sink: Box<dyn Sink>,
+    obs_on: bool,
+    /// Timestamp for emitted events: the current reference's trace time
+    /// when driven by [`CoherenceSim::run`], else an access counter.
+    tick: u64,
 }
 
 impl CoherenceSim {
     /// Creates a simulator.
     pub fn new(config: CoherenceConfig) -> Self {
-        CoherenceSim { config, lines: HashMap::new(), stats: TrafficStats::default() }
+        CoherenceSim {
+            config,
+            lines: HashMap::new(),
+            stats: TrafficStats::default(),
+            sink: Box::new(NullSink),
+            obs_on: false,
+            tick: 0,
+        }
+    }
+
+    /// Routes protocol events (cache misses, invalidations, bus
+    /// transfers) into `sink`, stamped with trace reference times.
+    pub fn with_sink(mut self, sink: Box<dyn Sink>) -> Self {
+        self.obs_on = sink.enabled();
+        self.sink = sink;
+        self
     }
 
     /// Processes a single reference.
@@ -134,6 +156,18 @@ impl CoherenceSim {
                 // line becomes shared-clean (memory updated in passing).
                 self.stats.line_fetches += 1;
                 self.stats.total_bytes += line_bytes;
+                if self.obs_on {
+                    self.sink.record(ObsEvent {
+                        at_ns: self.tick,
+                        node: proc,
+                        kind: ObsKind::CacheMiss { addr, line_bytes: self.config.line_size },
+                    });
+                    self.sink.record(ObsEvent {
+                        at_ns: self.tick,
+                        node: proc,
+                        kind: ObsKind::BusTransfer { bytes: self.config.line_size },
+                    });
+                }
                 st.dirty = None;
                 if st.invalidated & pbit != 0 {
                     st.invalidated &= !pbit;
@@ -157,12 +191,41 @@ impl CoherenceSim {
                             st.invalidated &= !pbit;
                             self.stats.refetches += 1;
                         }
+                        if self.obs_on {
+                            self.sink.record(ObsEvent {
+                                at_ns: self.tick,
+                                node: proc,
+                                kind: ObsKind::CacheMiss {
+                                    addr,
+                                    line_bytes: self.config.line_size,
+                                },
+                            });
+                            self.sink.record(ObsEvent {
+                                at_ns: self.tick,
+                                node: proc,
+                                kind: ObsKind::BusTransfer { bytes: self.config.line_size },
+                            });
+                        }
                     }
                     self.stats.word_writes += 1;
                     self.stats.total_bytes += self.config.word_bytes as u64;
                     self.stats.write_caused_bytes += self.config.word_bytes as u64;
                     let others = st.holders & !pbit;
                     self.stats.invalidations += others.count_ones() as u64;
+                    if self.obs_on {
+                        self.sink.record(ObsEvent {
+                            at_ns: self.tick,
+                            node: proc,
+                            kind: ObsKind::BusTransfer { bytes: self.config.word_bytes },
+                        });
+                        if others != 0 {
+                            self.sink.record(ObsEvent {
+                                at_ns: self.tick,
+                                node: proc,
+                                kind: ObsKind::Invalidation { addr, copies: others.count_ones() },
+                            });
+                        }
+                    }
                     st.invalidated |= others;
                     st.holders = pbit;
                     st.dirty = None;
@@ -181,6 +244,18 @@ impl CoherenceSim {
                         self.stats.refetches += 1;
                     }
                     st.holders |= pbit;
+                    if self.obs_on {
+                        self.sink.record(ObsEvent {
+                            at_ns: self.tick,
+                            node: proc,
+                            kind: ObsKind::CacheMiss { addr, line_bytes: self.config.line_size },
+                        });
+                        self.sink.record(ObsEvent {
+                            at_ns: self.tick,
+                            node: proc,
+                            kind: ObsKind::BusTransfer { bytes: self.config.line_size },
+                        });
+                    }
                 }
                 // First write to a clean copy: bus word write announces it
                 // and every other copy is invalidated.
@@ -189,6 +264,20 @@ impl CoherenceSim {
                 self.stats.write_caused_bytes += self.config.word_bytes as u64;
                 let others = st.holders & !pbit;
                 self.stats.invalidations += others.count_ones() as u64;
+                if self.obs_on {
+                    self.sink.record(ObsEvent {
+                        at_ns: self.tick,
+                        node: proc,
+                        kind: ObsKind::BusTransfer { bytes: self.config.word_bytes },
+                    });
+                    if others != 0 {
+                        self.sink.record(ObsEvent {
+                            at_ns: self.tick,
+                            node: proc,
+                            kind: ObsKind::Invalidation { addr, copies: others.count_ones() },
+                        });
+                    }
+                }
                 st.invalidated |= others;
                 st.holders = pbit;
                 st.dirty = Some(proc);
@@ -200,6 +289,7 @@ impl CoherenceSim {
     pub fn run(mut self, trace: &Trace) -> TrafficStats {
         debug_assert!(trace.is_sorted(), "trace must be time-ordered");
         for r in trace.refs() {
+            self.tick = r.time;
             self.access(r.proc, r.addr, r.kind);
         }
         self.stats
@@ -322,15 +412,36 @@ mod tests {
         // One cold read, then a long write ping-pong.
         t.push(MemRef { time: 0, proc: 0, addr: 0, kind: RefKind::Read });
         for i in 0..100u64 {
-            t.push(MemRef {
-                time: i + 1,
-                proc: (i % 2) as u32,
-                addr: 0,
-                kind: RefKind::Write,
-            });
+            t.push(MemRef { time: i + 1, proc: (i % 2) as u32, addr: 0, kind: RefKind::Write });
         }
         let stats = CoherenceSim::new(CoherenceConfig::with_line_size(8)).run(&t);
         assert!(stats.write_fraction() > 0.8, "churn trace must be write-dominated");
+    }
+
+    #[test]
+    fn sink_counters_cross_check_traffic_stats() {
+        use locus_obs::{names, SharedSink};
+        let mut t = Trace::new();
+        for i in 0..200u64 {
+            t.push(MemRef {
+                time: i,
+                proc: (i % 4) as u32,
+                addr: ((i * 7) % 96) as u32,
+                kind: if i % 3 == 0 { RefKind::Read } else { RefKind::Write },
+            });
+        }
+        for wt in [false, true] {
+            let mut cfg = CoherenceConfig::with_line_size(8);
+            if wt {
+                cfg = cfg.write_through();
+            }
+            let sink = SharedSink::new();
+            let stats = CoherenceSim::new(cfg).with_sink(Box::new(sink.clone())).run(&t);
+            let m = sink.metrics_snapshot();
+            assert_eq!(m.counter(names::BUS_BYTES), stats.total_bytes, "wt={wt}");
+            assert_eq!(m.counter(names::CACHE_MISSES), stats.line_fetches, "wt={wt}");
+            assert_eq!(m.counter(names::INVALIDATIONS), stats.invalidations, "wt={wt}");
+        }
     }
 
     #[test]

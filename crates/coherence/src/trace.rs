@@ -120,13 +120,10 @@ mod tests {
 
     #[test]
     fn write_count() {
-        let t: Trace = [
-            r(0, 0, 0, RefKind::Read),
-            r(1, 0, 0, RefKind::Write),
-            r(2, 1, 4, RefKind::Write),
-        ]
-        .into_iter()
-        .collect();
+        let t: Trace =
+            [r(0, 0, 0, RefKind::Read), r(1, 0, 0, RefKind::Write), r(2, 1, 4, RefKind::Write)]
+                .into_iter()
+                .collect();
         assert_eq!(t.write_count(), 2);
         assert_eq!(t.len(), 3);
     }

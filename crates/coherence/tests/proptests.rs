@@ -4,11 +4,7 @@ use locus_coherence::{CoherenceConfig, CoherenceSim, MemRef, RefKind, Trace};
 use proptest::prelude::*;
 
 fn arb_trace(max_procs: u32, max_addr: u32) -> impl Strategy<Value = Trace> {
-    proptest::collection::vec(
-        (0..max_procs, 0..max_addr, any::<bool>()),
-        0..400,
-    )
-    .prop_map(|refs| {
+    proptest::collection::vec((0..max_procs, 0..max_addr, any::<bool>()), 0..400).prop_map(|refs| {
         refs.into_iter()
             .enumerate()
             .map(|(i, (proc, addr, is_write))| MemRef {

@@ -16,6 +16,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use locus_obs::{Event as ObsEvent, EventKind as ObsKind, NullSink, Sink};
+
 use crate::config::MeshConfig;
 use crate::node::{Envelope, Node, Outbox, Step};
 use crate::stats::NetStats;
@@ -90,6 +92,10 @@ pub struct Kernel<N: Node> {
     seq: u64,
     stats: NetStats,
     event_limit: u64,
+    sink: Box<dyn Sink>,
+    /// Cached `sink.enabled()`: instrumentation sites check this one
+    /// branch and skip event construction entirely when recording is off.
+    obs_on: bool,
 }
 
 impl<N: Node> Kernel<N> {
@@ -113,6 +119,8 @@ impl<N: Node> Kernel<N> {
             seq: 0,
             stats: NetStats::new(n),
             event_limit: 200_000_000,
+            sink: Box::new(NullSink),
+            obs_on: false,
         };
         for node in 0..n {
             kernel.push(SimTime::ZERO, node, EventKind::Wake);
@@ -124,6 +132,20 @@ impl<N: Node> Kernel<N> {
     pub fn with_event_limit(mut self, limit: u64) -> Self {
         self.event_limit = limit;
         self
+    }
+
+    /// Routes observability events (packet injections, deliveries,
+    /// channel stalls) into `sink`. Pass a `SharedSink` clone to read
+    /// the data back after the run.
+    pub fn with_sink(mut self, sink: Box<dyn Sink>) -> Self {
+        self.obs_on = sink.enabled();
+        self.sink = sink;
+        self
+    }
+
+    #[inline]
+    fn emit(&mut self, at: SimTime, node: NodeId, kind: ObsKind) {
+        self.sink.record(ObsEvent { at_ns: at.as_ns(), node: node as u32, kind });
     }
 
     fn push(&mut self, at: SimTime, node: NodeId, kind: EventKind<N::Msg>) {
@@ -150,20 +172,24 @@ impl<N: Node> Kernel<N> {
             }
         }
 
-        let deadlocked =
-            event_limit_hit || self.status.iter().any(|&s| s != Status::Done);
+        let deadlocked = event_limit_hit || self.status.iter().any(|&s| s != Status::Done);
         self.stats.deadlocked = deadlocked;
         self.stats.completion =
             self.stats.done_at.iter().copied().fold(SimTime::ZERO, SimTime::max);
-        SimOutcome {
-            nodes: self.nodes,
-            stats: self.stats,
-            events_processed,
-            event_limit_hit,
-        }
+        self.stats.debug_assert_consistent();
+        SimOutcome { nodes: self.nodes, stats: self.stats, events_processed, event_limit_hit }
     }
 
     fn on_deliver(&mut self, at: SimTime, node: NodeId, env: Envelope<N::Msg>) {
+        if self.obs_on {
+            let kind = ObsKind::PacketDelivered {
+                src: env.from as u32,
+                payload_bytes: env.bytes,
+                latency_ns: (at - env.sent_at).as_ns(),
+                queue_depth: self.inbox[node].len() as u32 + 1,
+            };
+            self.emit(at, node, kind);
+        }
         self.inbox[node].push(env);
         if self.status[node] == Status::Blocked {
             // The node may still be draining its last busy period.
@@ -244,10 +270,16 @@ impl<N: Node> Kernel<N> {
     fn inject(&mut self, src: NodeId, dst: NodeId, payload: u32, start: SimTime) -> SimTime {
         let wire = payload as u64 + self.config.header_bytes as u64;
         let hops = self.topo.hops(src, dst) as u64;
-        self.stats.packets += 1;
-        self.stats.payload_bytes += payload as u64;
-        self.stats.wire_bytes += wire;
-        self.stats.byte_hops += wire * hops;
+        self.stats.record_packet(src, payload as u64, wire, hops);
+        if self.obs_on {
+            let kind = ObsKind::PacketSent {
+                dst: dst as u32,
+                payload_bytes: payload,
+                wire_bytes: wire as u32,
+                hops: hops as u16,
+            };
+            self.emit(start, src, kind);
+        }
 
         if !self.config.contention {
             return start
@@ -262,11 +294,16 @@ impl<N: Node> Kernel<N> {
         for ch in path {
             let free = self.channel_free[ch];
             if free > t {
-                self.stats.contention_ns += (free - t).as_ns();
+                let stall_ns = (free - t).as_ns();
+                self.stats.add_contention(stall_ns);
+                if self.obs_on {
+                    let kind = ObsKind::ChannelContended { channel: ch as u32, stall_ns };
+                    self.emit(t, src, kind);
+                }
                 t = free;
             }
             t += h; // head advances one hop
-            // The channel stays busy until the tail flit passes.
+                    // The channel stays busy until the tail flit passes.
             self.channel_free[ch] = t + h * wire;
         }
         // Tail drains into the destination, then the receiver-side copy.
@@ -359,8 +396,7 @@ mod tests {
         // 1x3 mesh: nodes 0,1,2. Node 0 and node 1 both send to node 2;
         // both packets use channel 1->2.
         let cfg = MeshConfig { rows: 1, cols: 3, ..MeshConfig::ametek(1, 3) };
-        let nodes =
-            vec![OneShot::sender(2, 100), OneShot::sender(2, 100), OneShot::receiver(2)];
+        let nodes = vec![OneShot::sender(2, 100), OneShot::sender(2, 100), OneShot::receiver(2)];
         let out = Kernel::new(cfg, nodes).run();
         assert!(!out.stats.deadlocked);
         assert!(
@@ -408,10 +444,7 @@ mod tests {
         let cfg = two_node_config().without_contention();
         let nodes = vec![OneShot::sender(1, 12), OneShot::receiver(1)];
         let out = Kernel::new(cfg, nodes).run();
-        assert_eq!(
-            out.stats.completion,
-            *out.stats.done_at.iter().max().unwrap()
-        );
+        assert_eq!(out.stats.completion, *out.stats.done_at.iter().max().unwrap());
         assert!(out.stats.completion > SimTime::ZERO);
     }
 
@@ -434,13 +467,27 @@ mod tests {
     #[test]
     fn determinism_across_runs() {
         let cfg = MeshConfig { rows: 1, cols: 3, ..MeshConfig::ametek(1, 3) };
-        let mk = || {
-            vec![OneShot::sender(2, 100), OneShot::sender(2, 64), OneShot::receiver(2)]
-        };
+        let mk = || vec![OneShot::sender(2, 100), OneShot::sender(2, 64), OneShot::receiver(2)];
         let a = Kernel::new(cfg, mk()).run();
         let b = Kernel::new(cfg, mk()).run();
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.nodes[2].received_at, b.nodes[2].received_at);
+    }
+
+    #[test]
+    fn sink_observes_sends_deliveries_and_contention() {
+        use locus_obs::{names, SharedSink};
+        let cfg = MeshConfig { rows: 1, cols: 3, ..MeshConfig::ametek(1, 3) };
+        let sink = SharedSink::new();
+        let nodes = vec![OneShot::sender(2, 100), OneShot::sender(2, 64), OneShot::receiver(2)];
+        let out = Kernel::new(cfg, nodes).with_sink(Box::new(sink.clone())).run();
+        let m = sink.metrics_snapshot();
+        assert_eq!(m.counter(names::PACKETS_SENT), out.stats.packets);
+        assert_eq!(m.counter(names::BYTES_SENT), out.stats.payload_bytes);
+        assert_eq!(m.counter(names::WIRE_BYTES_SENT), out.stats.wire_bytes);
+        assert_eq!(m.counter(names::PACKETS_DELIVERED), out.stats.packets);
+        assert_eq!(m.counter(names::CONTENTION_NS), out.stats.contention_ns);
+        assert!(m.counter(names::CONTENTION_NS) > 0, "shared channel must stall");
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub struct Outbox<M> {
     pub(crate) sends: Vec<(NodeId, u32, M)>,
 }
 
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<M> Outbox<M> {
     /// Creates an empty outbox (public so application crates can unit-test
     /// their nodes outside the kernel).

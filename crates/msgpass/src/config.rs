@@ -150,11 +150,9 @@ impl MsgPassConfig {
                 return Err("dynamic wire distribution supports exactly one iteration".into());
             }
             if self.schedule.is_receiver_initiated() {
-                return Err(
-                    "dynamic wire distribution is incompatible with receiver-initiated \
+                return Err("dynamic wire distribution is incompatible with receiver-initiated \
                      updates (request-ahead needs a static wire list)"
-                        .into(),
-                );
+                    .into());
             }
             if self.n_procs < 2 {
                 return Err("dynamic wire distribution needs a worker besides the master".into());
@@ -200,18 +198,17 @@ mod tests {
 
     #[test]
     fn dynamic_wire_source_constraints() {
-        let ok = MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 10))
-            .with_dynamic_wires();
+        let ok =
+            MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 10)).with_dynamic_wires();
         assert!(ok.validate().is_ok());
         assert_eq!(ok.params.iterations, 1);
         let mut bad = ok;
         bad.params = RouterParams::default().with_iterations(2);
         assert!(bad.validate().is_err());
-        let bad = MsgPassConfig::new(4, UpdateSchedule::receiver_initiated(1, 5))
-            .with_dynamic_wires();
-        assert!(bad.validate().is_err());
         let bad =
-            MsgPassConfig::new(1, UpdateSchedule::never()).with_dynamic_wires();
+            MsgPassConfig::new(4, UpdateSchedule::receiver_initiated(1, 5)).with_dynamic_wires();
+        assert!(bad.validate().is_err());
+        let bad = MsgPassConfig::new(1, UpdateSchedule::never()).with_dynamic_wires();
         assert!(bad.validate().is_err());
     }
 

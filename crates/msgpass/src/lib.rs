@@ -40,4 +40,7 @@ pub use delta::DeltaArray;
 pub use node::RouterNode;
 pub use packet::{Packet, PacketCounts, PacketKind, WireEvent};
 pub use schedule::UpdateSchedule;
-pub use sim::{run_msgpass, run_msgpass_with_mesh, MsgPassOutcome};
+pub use sim::{
+    run_msgpass, run_msgpass_observed, run_msgpass_with_mesh, run_msgpass_with_mesh_observed,
+    MsgPassOutcome,
+};

@@ -12,6 +12,7 @@ use std::sync::{Arc, Mutex};
 
 use locus_circuit::{Circuit, Rect, WireId};
 use locus_mesh::{Envelope, Node, Outbox, SimTime, Step};
+use locus_obs::{Event as ObsEvent, EventKind as ObsKind, SharedSink, Sink};
 use locus_router::router::route_wire;
 use locus_router::{CostArray, ProcId, RegionMap, Route, WorkStats};
 
@@ -85,6 +86,13 @@ pub struct RouterNode {
     occupancy_last: u64,
     work: WorkStats,
     sent: PacketCounts,
+
+    // Observability: routing events (rip-ups, commits, iteration
+    // phases) flow into the shared sink; `None` means disabled and
+    // costs one branch per site.
+    obs: Option<SharedSink>,
+    /// Simulated time of the step being executed (for event stamps).
+    now_ns: u64,
 }
 
 impl RouterNode {
@@ -135,6 +143,22 @@ impl RouterNode {
             occupancy_last: 0,
             work: WorkStats::default(),
             sent: PacketCounts::default(),
+            obs: None,
+            now_ns: 0,
+        }
+    }
+
+    /// Routes this node's routing events (wire commits, rip-ups,
+    /// iteration phases) into `sink`.
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        self.obs = Some(sink);
+        self
+    }
+
+    #[inline]
+    fn emit(&mut self, kind: ObsKind) {
+        if let Some(sink) = &mut self.obs {
+            sink.record(ObsEvent { at_ns: self.now_ns, node: self.proc as u32, kind });
         }
     }
 
@@ -204,12 +228,7 @@ impl RouterNode {
 
     /// Handles one received packet; returns modelled processing time and
     /// queues any responses.
-    fn handle_packet(
-        &mut self,
-        from: ProcId,
-        packet: Packet,
-        outbox: &mut Outbox<Packet>,
-    ) -> u64 {
+    fn handle_packet(&mut self, from: ProcId, packet: Packet, outbox: &mut Outbox<Packet>) -> u64 {
         let mut busy = 0u64;
         match packet {
             Packet::LocData { rect, values, response } => {
@@ -238,9 +257,7 @@ impl RouterNode {
             Packet::RmtData { rect, deltas, response: _ } => {
                 // Deltas applied by a remote processor to our region.
                 debug_assert!(
-                    self.my_region
-                        .intersection(&rect)
-                        .map_or(false, |i| i == rect),
+                    self.my_region.intersection(&rect) == Some(rect),
                     "RmtData rect {rect} not inside own region {}",
                     self.my_region
                 );
@@ -254,22 +271,16 @@ impl RouterNode {
                     .expect("ReqRmtData must target the owner's region");
                 let values = self.replica.extract(r);
                 busy += r.area() * self.config.scan_per_cell_ns;
-                busy += self.send(
-                    outbox,
-                    from,
-                    Packet::LocData { rect: r, values, response: true },
-                );
+                busy +=
+                    self.send(outbox, from, Packet::LocData { rect: r, values, response: true });
                 // ReqLocData trigger: a processor that keeps requesting
                 // our region has been routing in it (§4.3.3).
                 if let Some(threshold) = self.config.schedule.req_loc_data {
                     self.reqs_from[from] += 1;
                     if self.reqs_from[from] >= threshold {
                         self.reqs_from[from] = 0;
-                        busy += self.send(
-                            outbox,
-                            from,
-                            Packet::ReqLocData { rect: self.my_region },
-                        );
+                        busy +=
+                            self.send(outbox, from, Packet::ReqLocData { rect: self.my_region });
                     }
                 }
             }
@@ -395,7 +406,7 @@ impl RouterNode {
                     .schedule
                     .send_rmt_data
                     .expect("validated: WireBased requires send_rmt_data");
-                if self.wires_routed_count % n == 0 && !self.wire_events.is_empty() {
+                if self.wires_routed_count.is_multiple_of(n) && !self.wire_events.is_empty() {
                     let events = std::mem::take(&mut self.wire_events);
                     let mut bbox: Option<Rect> = None;
                     for ev in &events {
@@ -412,18 +423,14 @@ impl RouterNode {
                         if p == self.proc {
                             continue;
                         }
-                        busy += self.send(
-                            outbox,
-                            p,
-                            Packet::WireData { events: events.clone() },
-                        );
+                        busy += self.send(outbox, p, Packet::WireData { events: events.clone() });
                     }
                 }
             }
             PacketStructure::BoundingBox | PacketStructure::FullRegion => {
                 let full = self.config.structure == PacketStructure::FullRegion;
                 if let Some(n) = self.config.schedule.send_loc_data {
-                    if self.wires_routed_count % n == 0 {
+                    if self.wires_routed_count.is_multiple_of(n) {
                         if let Some(dirty) = self.own_dirty.take() {
                             let rect = if full { self.my_region } else { dirty };
                             let values = self.replica.extract(rect);
@@ -445,7 +452,7 @@ impl RouterNode {
                     }
                 }
                 if let Some(n) = self.config.schedule.send_rmt_data {
-                    if self.wires_routed_count % n == 0 {
+                    if self.wires_routed_count.is_multiple_of(n) {
                         for p in 0..self.regions.n_procs() {
                             if p == self.proc {
                                 continue;
@@ -457,11 +464,7 @@ impl RouterNode {
                                     busy += self.send(
                                         outbox,
                                         p,
-                                        Packet::RmtData {
-                                            rect: region,
-                                            deltas,
-                                            response: false,
-                                        },
+                                        Packet::RmtData { rect: region, deltas, response: false },
                                     );
                                 }
                             } else {
@@ -488,6 +491,10 @@ impl RouterNode {
     fn route_next_wire(&mut self, outbox: &mut Outbox<Packet>) -> u64 {
         let mut busy = self.issue_requests(outbox);
         let idx = self.wire_idx;
+        let wire_id = self.my_wires[idx];
+        if idx == 0 {
+            self.emit(ObsKind::PhaseBegin { name: "iteration" });
+        }
 
         // Rip up the previous iteration's route (§3).
         let mut ripped_segments: Vec<locus_router::Segment> = Vec::new();
@@ -498,13 +505,14 @@ impl RouterNode {
             if self.config.structure == PacketStructure::WireBased {
                 ripped_segments = old.segments().to_vec();
             }
+            let cells = old.len() as u32;
             for &cell in old.cells().to_vec().iter() {
                 self.apply_cell_change(cell, -1);
             }
+            self.emit(ObsKind::RipUp { wire: wire_id as u32, cells });
         }
 
         // Evaluate against the (possibly stale) replica.
-        let wire_id = self.my_wires[idx];
         let wire = self.circuit.wire(wire_id).clone();
         let eval = route_wire(&self.replica, &wire, self.config.params.channel_overshoot);
         busy += eval.cells_examined * self.config.cell_eval_ns;
@@ -533,7 +541,9 @@ impl RouterNode {
                 routed: eval.route.segments().to_vec(),
             });
         }
+        let route_cells = eval.route.len() as u32;
         self.routes[idx] = Some(eval.route);
+        self.emit(ObsKind::WireRouted { wire: wire_id as u32, cells: route_cells });
 
         self.wires_routed_count += 1;
 
@@ -542,6 +552,7 @@ impl RouterNode {
         // Advance the program counter.
         self.wire_idx += 1;
         if self.wire_idx == self.my_wires.len() {
+            self.emit(ObsKind::PhaseEnd { name: "iteration" });
             self.iteration += 1;
             self.wire_idx = 0;
             self.request_cursor = 0;
@@ -580,11 +591,11 @@ impl RouterNode {
             self.apply_cell_change(cell, 1);
         }
         if self.config.structure == PacketStructure::WireBased {
-            self.wire_events.push(WireEvent {
-                ripped: Vec::new(),
-                routed: eval.route.segments().to_vec(),
-            });
+            self.wire_events
+                .push(WireEvent { ripped: Vec::new(), routed: eval.route.segments().to_vec() });
         }
+        let route_cells = eval.route.len() as u32;
+        self.emit(ObsKind::WireRouted { wire: wire_id as u32, cells: route_cells });
         self.dynamic_routes.push((wire_id, eval.route));
         self.wires_routed_count += 1;
         busy += self.emit_sender_updates(outbox);
@@ -630,10 +641,11 @@ impl Node for RouterNode {
 
     fn step(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         inbox: Vec<Envelope<Packet>>,
         outbox: &mut Outbox<Packet>,
     ) -> Step {
+        self.now_ns = now.as_ns();
         let mut busy = 0u64;
         for env in inbox {
             busy += self.handle_packet(env.from, env.msg, outbox);
@@ -689,11 +701,8 @@ mod tests {
     fn make_node(schedule: UpdateSchedule, proc: ProcId, n_procs: usize) -> RouterNode {
         let circuit = Arc::new(presets::small());
         let regions = Arc::new(RegionMap::new(circuit.channels, circuit.grids, n_procs));
-        let assignment = assign(
-            &circuit,
-            &regions,
-            AssignmentStrategy::Locality { threshold_cost: Some(1000) },
-        );
+        let assignment =
+            assign(&circuit, &regions, AssignmentStrategy::Locality { threshold_cost: Some(1000) });
         let config = MsgPassConfig::new(n_procs, schedule);
         let oracle = Arc::new(Mutex::new(CostArray::new(circuit.channels, circuit.grids)));
         RouterNode::new(
@@ -732,14 +741,11 @@ mod tests {
     fn sender_initiated_node_emits_updates() {
         let mut node = make_node(UpdateSchedule::sender_initiated(1, 1), 0, 4);
         let mut outbox = Outbox::new();
-        // Route a few wires.
-        for _ in 0..6 {
+        // Route a few wires (enough to touch a neighbouring region).
+        for _ in 0..12 {
             let _ = node.step(SimTime::ZERO, Vec::new(), &mut outbox);
         }
-        assert!(
-            !outbox.is_empty(),
-            "sender-initiated schedule must emit updates while routing"
-        );
+        assert!(!outbox.is_empty(), "sender-initiated schedule must emit updates while routing");
         use crate::packet::PacketKind;
         assert!(node.sent_counts().packets(PacketKind::SendRmtData) > 0);
     }
@@ -789,10 +795,7 @@ mod tests {
         );
         use locus_router::CostView;
         assert_eq!(node.replica.cost_at(locus_circuit::GridCell::new(rect.c_lo, rect.x_lo)), 7);
-        assert_eq!(
-            node.replica.cost_at(locus_circuit::GridCell::new(rect.c_lo, rect.x_lo + 1)),
-            9
-        );
+        assert_eq!(node.replica.cost_at(locus_circuit::GridCell::new(rect.c_lo, rect.x_lo + 1)), 9);
     }
 
     #[test]

@@ -102,9 +102,7 @@ impl Packet {
     /// Application payload size on the wire in bytes.
     pub fn payload_bytes(&self) -> u32 {
         match self {
-            Packet::LocData { values, .. } => {
-                PACKET_OVERHEAD_BYTES + 2 * values.len() as u32
-            }
+            Packet::LocData { values, .. } => PACKET_OVERHEAD_BYTES + 2 * values.len() as u32,
             Packet::RmtData { deltas, .. } => PACKET_OVERHEAD_BYTES + deltas.len() as u32,
             Packet::ReqRmtData { .. } | Packet::ReqLocData { .. } => PACKET_OVERHEAD_BYTES,
             Packet::WireData { events } => {

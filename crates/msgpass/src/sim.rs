@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use locus_circuit::Circuit;
 use locus_mesh::{Kernel, NetStats};
+use locus_obs::SharedSink;
 use locus_router::locality::{locality_measure, LocalityMeasure};
 use locus_router::{assign, CostArray, ProcId, QualityMetrics, RegionMap, Route, WorkStats};
 
@@ -53,6 +54,21 @@ pub fn run_msgpass(circuit: &Circuit, config: MsgPassConfig) -> MsgPassOutcome {
     run_msgpass_with_mesh(circuit, config, mesh)
 }
 
+/// Like [`run_msgpass`] but recording every routing and network event
+/// into `sink`; read results back through the caller's clone of the
+/// sink after the run.
+///
+/// # Panics
+/// Panics if the configuration is invalid.
+pub fn run_msgpass_observed(
+    circuit: &Circuit,
+    config: MsgPassConfig,
+    sink: SharedSink,
+) -> MsgPassOutcome {
+    let mesh = config.mesh_config();
+    run_inner(circuit, config, mesh, Some(sink))
+}
+
 /// Like [`run_msgpass`] but with an explicit mesh configuration —
 /// used by ablations (e.g. disabling contention, alternate timing).
 ///
@@ -63,6 +79,29 @@ pub fn run_msgpass_with_mesh(
     circuit: &Circuit,
     config: MsgPassConfig,
     mesh: locus_mesh::MeshConfig,
+) -> MsgPassOutcome {
+    run_inner(circuit, config, mesh, None)
+}
+
+/// Observed variant of [`run_msgpass_with_mesh`].
+///
+/// # Panics
+/// Panics if the configuration is invalid or the mesh size does not
+/// match `config.n_procs`.
+pub fn run_msgpass_with_mesh_observed(
+    circuit: &Circuit,
+    config: MsgPassConfig,
+    mesh: locus_mesh::MeshConfig,
+    sink: SharedSink,
+) -> MsgPassOutcome {
+    run_inner(circuit, config, mesh, Some(sink))
+}
+
+fn run_inner(
+    circuit: &Circuit,
+    config: MsgPassConfig,
+    mesh: locus_mesh::MeshConfig,
+    sink: Option<SharedSink>,
 ) -> MsgPassOutcome {
     config.validate().expect("invalid message-passing configuration");
     assert_eq!(mesh.n_nodes(), config.n_procs, "mesh size must match processor count");
@@ -81,24 +120,29 @@ pub fn run_msgpass_with_mesh(
     let imbalance = if dynamic { 1.0 } else { assignment.imbalance(circuit) };
     let circuit_arc = Arc::new(circuit.clone());
 
-    let oracle = Arc::new(std::sync::Mutex::new(CostArray::new(
-        circuit.channels,
-        circuit.grids,
-    )));
+    let oracle = Arc::new(std::sync::Mutex::new(CostArray::new(circuit.channels, circuit.grids)));
     let nodes: Vec<RouterNode> = (0..config.n_procs)
         .map(|p| {
-            RouterNode::new(
+            let node = RouterNode::new(
                 p,
                 Arc::clone(&circuit_arc),
                 Arc::clone(&regions),
                 config,
                 assignment.wires_per_proc[p].clone(),
                 Arc::clone(&oracle),
-            )
+            );
+            match &sink {
+                Some(s) => node.with_sink(s.clone()),
+                None => node,
+            }
         })
         .collect();
 
-    let outcome = Kernel::new(mesh, nodes).run();
+    let mut kernel = Kernel::new(mesh, nodes);
+    if let Some(s) = &sink {
+        kernel = kernel.with_sink(Box::new(s.clone()));
+    }
+    let outcome = kernel.run();
     let deadlocked = outcome.stats.deadlocked;
 
     // Collect the final routes (the actual routed circuit).
@@ -204,10 +248,8 @@ mod tests {
     fn blocking_receiver_completes_and_is_slower() {
         let c = locus_circuit::presets::small();
         let nb = run_msgpass(&c, small_config(4, UpdateSchedule::receiver_initiated(2, 3)));
-        let bl = run_msgpass(
-            &c,
-            small_config(4, UpdateSchedule::receiver_initiated_blocking(2, 3)),
-        );
+        let bl =
+            run_msgpass(&c, small_config(4, UpdateSchedule::receiver_initiated_blocking(2, 3)));
         assert!(!nb.deadlocked && !bl.deadlocked);
         assert!(
             bl.time_secs >= nb.time_secs,
@@ -241,8 +283,7 @@ mod tests {
     #[test]
     fn frequent_updates_reduce_replica_divergence() {
         let c = locus_circuit::presets::small();
-        let frequent =
-            run_msgpass(&c, small_config(4, UpdateSchedule::sender_initiated(1, 1)));
+        let frequent = run_msgpass(&c, small_config(4, UpdateSchedule::sender_initiated(1, 1)));
         let never = run_msgpass(&c, small_config(4, UpdateSchedule::never()));
         assert!(
             frequent.replica_divergence < never.replica_divergence,
@@ -282,10 +323,8 @@ mod tests {
         let c = locus_circuit::presets::small();
         let schedule = UpdateSchedule::sender_initiated(2, 5);
         let bbox = run_msgpass(&c, small_config(4, schedule));
-        let wire = run_msgpass(
-            &c,
-            small_config(4, schedule).with_structure(PacketStructure::WireBased),
-        );
+        let wire =
+            run_msgpass(&c, small_config(4, schedule).with_structure(PacketStructure::WireBased));
         assert!(!wire.deadlocked);
         assert_eq!(wire.routes.len(), c.wire_count());
         assert!(wire.packets.packets(PacketKind::WireData) > 0);
@@ -297,8 +336,7 @@ mod tests {
         assert!(wire.net.payload_bytes > 0);
         assert!(
             wire.replica_divergence
-                < run_msgpass(&c, small_config(4, UpdateSchedule::never()))
-                    .replica_divergence,
+                < run_msgpass(&c, small_config(4, UpdateSchedule::never())).replica_divergence,
             "wire events must inform replicas"
         );
         // Both schemes deliver comparable solution quality.
@@ -312,10 +350,8 @@ mod tests {
         let c = locus_circuit::presets::small();
         let schedule = UpdateSchedule::sender_initiated(2, 5);
         let bbox = run_msgpass(&c, small_config(4, schedule));
-        let full = run_msgpass(
-            &c,
-            small_config(4, schedule).with_structure(PacketStructure::FullRegion),
-        );
+        let full =
+            run_msgpass(&c, small_config(4, schedule).with_structure(PacketStructure::FullRegion));
         assert!(!full.deadlocked);
         assert!(
             full.net.payload_bytes > bbox.net.payload_bytes,
@@ -332,18 +368,15 @@ mod tests {
         use crate::config::PacketStructure;
         let c = locus_circuit::presets::small();
         let schedule = UpdateSchedule::sender_initiated(2, 5);
-        let heights: Vec<u64> = [
-            PacketStructure::BoundingBox,
-            PacketStructure::FullRegion,
-            PacketStructure::WireBased,
-        ]
-        .into_iter()
-        .map(|st| {
-            run_msgpass(&c, small_config(4, schedule).with_structure(st))
-                .quality
-                .circuit_height
-        })
-        .collect();
+        let heights: Vec<u64> =
+            [PacketStructure::BoundingBox, PacketStructure::FullRegion, PacketStructure::WireBased]
+                .into_iter()
+                .map(|st| {
+                    run_msgpass(&c, small_config(4, schedule).with_structure(st))
+                        .quality
+                        .circuit_height
+                })
+                .collect();
         let min = *heights.iter().min().unwrap() as f64;
         let max = *heights.iter().max().unwrap() as f64;
         assert!(
@@ -375,8 +408,7 @@ mod tests {
     #[test]
     fn dynamic_distribution_is_deterministic() {
         let c = locus_circuit::presets::small();
-        let cfg =
-            small_config(4, UpdateSchedule::sender_initiated(2, 5)).with_dynamic_wires();
+        let cfg = small_config(4, UpdateSchedule::sender_initiated(2, 5)).with_dynamic_wires();
         let a = run_msgpass(&c, cfg);
         let b = run_msgpass(&c, cfg);
         assert_eq!(a.quality, b.quality);

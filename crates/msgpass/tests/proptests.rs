@@ -12,9 +12,8 @@ fn arb_cell() -> impl Strategy<Value = GridCell> {
 }
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (0u16..CHANNELS, 0u16..CHANNELS, 0u16..GRIDS, 0u16..GRIDS).prop_map(|(c1, c2, x1, x2)| {
-        Rect::new(c1.min(c2), c1.max(c2), x1.min(x2), x1.max(x2))
-    })
+    (0u16..CHANNELS, 0u16..CHANNELS, 0u16..GRIDS, 0u16..GRIDS)
+        .prop_map(|(c1, c2, x1, x2)| Rect::new(c1.min(c2), c1.max(c2), x1.min(x2), x1.max(x2)))
 }
 
 proptest! {

@@ -1,0 +1,129 @@
+//! The typed event vocabulary shared by every simulator layer.
+//!
+//! One `Event` is one observable occurrence: a packet entering the mesh,
+//! a wire committing to the cost array, a cache line bouncing between
+//! processors. Every event is stamped with the layer's notion of time
+//! (simulated nanoseconds for the mesh and emulators, wall nanoseconds
+//! for the threaded executor, work-units for the sequential router) and
+//! the node/processor it happened on, so traces from different engines
+//! render the same way.
+
+/// Identifies a mesh node, logical processor, or OS thread.
+pub type NodeId = u32;
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A packet was injected into the network by `Event::node`.
+    PacketSent {
+        /// Destination node.
+        dst: NodeId,
+        /// Application payload bytes.
+        payload_bytes: u32,
+        /// Payload plus framing as it travels the wire.
+        wire_bytes: u32,
+        /// Mesh distance to the destination.
+        hops: u16,
+    },
+    /// A packet arrived at `Event::node`.
+    PacketDelivered {
+        /// Sending node.
+        src: NodeId,
+        /// Application payload bytes.
+        payload_bytes: u32,
+        /// Injection-to-arrival time.
+        latency_ns: u64,
+        /// Inbox depth at the receiver after this packet was queued.
+        queue_depth: u32,
+    },
+    /// A packet's header stalled on a busy channel (wormhole blocking).
+    ChannelContended {
+        /// The contended unidirectional channel.
+        channel: u32,
+        /// How long the header waited.
+        stall_ns: u64,
+    },
+    /// A wire's route was committed by `Event::node`.
+    WireRouted {
+        /// Wire id.
+        wire: u32,
+        /// Cells the committed route covers.
+        cells: u32,
+    },
+    /// A previous route was ripped up before re-routing.
+    RipUp {
+        /// Wire id.
+        wire: u32,
+        /// Cells the removed route covered.
+        cells: u32,
+    },
+    /// A cache miss forced a line fetch for `Event::node`.
+    CacheMiss {
+        /// Word address of the access.
+        addr: u32,
+        /// Bytes moved to service the miss.
+        line_bytes: u32,
+    },
+    /// A write invalidated other processors' copies of a line.
+    Invalidation {
+        /// Word address of the write.
+        addr: u32,
+        /// Copies invalidated.
+        copies: u32,
+    },
+    /// Bytes crossed the shared bus.
+    BusTransfer {
+        /// Bytes moved.
+        bytes: u32,
+    },
+    /// A named phase (iteration, assignment, …) began on `Event::node`.
+    PhaseBegin {
+        /// Phase name; rendered as a duration slice in Chrome traces.
+        name: &'static str,
+    },
+    /// The matching phase ended.
+    PhaseEnd {
+        /// Phase name.
+        name: &'static str,
+    },
+}
+
+impl EventKind {
+    /// Short stable name of the kind (used by exporters).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::PacketSent { .. } => "PacketSent",
+            EventKind::PacketDelivered { .. } => "PacketDelivered",
+            EventKind::ChannelContended { .. } => "ChannelContended",
+            EventKind::WireRouted { .. } => "WireRouted",
+            EventKind::RipUp { .. } => "RipUp",
+            EventKind::CacheMiss { .. } => "CacheMiss",
+            EventKind::Invalidation { .. } => "Invalidation",
+            EventKind::BusTransfer { .. } => "BusTransfer",
+            EventKind::PhaseBegin { .. } => "PhaseBegin",
+            EventKind::PhaseEnd { .. } => "PhaseEnd",
+        }
+    }
+}
+
+/// A timestamped, node-attributed occurrence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// When it happened, in the emitting layer's time base (ns).
+    pub at_ns: u64,
+    /// The mesh node / logical processor / thread it happened on.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(EventKind::BusTransfer { bytes: 1 }.name(), "BusTransfer");
+        assert_eq!(EventKind::PhaseBegin { name: "x" }.name(), "PhaseBegin");
+    }
+}

@@ -1,0 +1,41 @@
+//! # locus-obs — unified observability for the locusroute simulators
+//!
+//! Every simulator layer (mesh kernel, message-passing nodes, shared-
+//! memory emulator and threaded executor, coherence protocol, sequential
+//! router) emits the same typed [`Event`]s through the same [`Sink`]
+//! trait. One vocabulary, three sinks, three exporters:
+//!
+//! * [`NullSink`] — recording off; instrumentation costs one predictable
+//!   branch per site and never constructs an event.
+//! * [`RingBufferSink`] — bounded in-memory buffer feeding a [`Metrics`]
+//!   registry (named counters + log₂ histograms with snapshot/diff).
+//! * [`SharedSink`] — clonable `Arc<Mutex<RingBufferSink>>` handle for
+//!   the threaded executor and for callers that need the data back after
+//!   an engine consumed its sink.
+//!
+//! Exporters ([`export`]): Chrome `chrome://tracing` trace-event JSON,
+//! flat metrics JSON, and an ASCII per-node timeline — all hand-rolled
+//! (the workspace omits `serde`, DESIGN §7).
+//!
+//! ```
+//! use locus_obs::{Event, EventKind, RingBufferSink, Sink};
+//!
+//! let mut sink = RingBufferSink::new();
+//! sink.record(Event {
+//!     at_ns: 125,
+//!     node: 0,
+//!     kind: EventKind::PacketSent { dst: 1, payload_bytes: 40, wire_bytes: 44, hops: 2 },
+//! });
+//! assert_eq!(sink.metrics().counter(locus_obs::names::BYTES_SENT), 40);
+//! let trace = locus_obs::export::chrome_trace(&sink.to_vec());
+//! locus_obs::export::validate_json(&trace).unwrap();
+//! ```
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{Event, EventKind, NodeId};
+pub use metrics::{hists, names, Histogram, Metrics, MetricsSnapshot};
+pub use sink::{NullSink, RingBufferSink, SharedSink, Sink};

@@ -1,0 +1,427 @@
+//! The metrics registry: named counters and log-scale histograms with a
+//! snapshot/diff API.
+//!
+//! Counter and histogram names are `&'static str` so registering is
+//! allocation-free on the hot path after the first observation of each
+//! name. The standard event-to-metric mapping lives in
+//! [`Metrics::observe`], so every sink that feeds a registry produces the
+//! same counters — this is what lets obs counters cross-check exactly
+//! against the engines' own `NetStats`/`PacketCounts` accounting.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+
+/// Well-known counter names produced by [`Metrics::observe`].
+pub mod names {
+    /// Packets injected into the mesh.
+    pub const PACKETS_SENT: &str = "packets_sent";
+    /// Application payload bytes injected (matches `NetStats::payload_bytes`).
+    pub const BYTES_SENT: &str = "bytes_sent";
+    /// Payload plus framing bytes injected (matches `NetStats::wire_bytes`).
+    pub const WIRE_BYTES_SENT: &str = "wire_bytes_sent";
+    /// Packets delivered to their destination.
+    pub const PACKETS_DELIVERED: &str = "packets_delivered";
+    /// Payload bytes delivered.
+    pub const BYTES_DELIVERED: &str = "bytes_delivered";
+    /// Header stalls on busy channels.
+    pub const CONTENTION_EVENTS: &str = "contention_events";
+    /// Total stall time (matches `NetStats::contention_ns`).
+    pub const CONTENTION_NS: &str = "contention_ns";
+    /// Routes committed.
+    pub const WIRES_ROUTED: &str = "wires_routed";
+    /// Cells covered by committed routes.
+    pub const ROUTE_CELLS: &str = "route_cells";
+    /// Routes ripped up.
+    pub const RIP_UPS: &str = "rip_ups";
+    /// Cells uncovered by rip-ups.
+    pub const RIPPED_CELLS: &str = "ripped_cells";
+    /// Cache line fetches.
+    pub const CACHE_MISSES: &str = "cache_misses";
+    /// Bytes moved by line fetches.
+    pub const CACHE_MISS_BYTES: &str = "cache_miss_bytes";
+    /// Copies invalidated in other caches.
+    pub const INVALIDATIONS: &str = "invalidations";
+    /// Individual bus transactions.
+    pub const BUS_TRANSFERS: &str = "bus_transfers";
+    /// Bytes moved on the bus (matches `TrafficStats::total_bytes`).
+    pub const BUS_BYTES: &str = "bus_bytes";
+    /// Phases begun.
+    pub const PHASES_BEGUN: &str = "phases_begun";
+    /// Phases ended.
+    pub const PHASES_ENDED: &str = "phases_ended";
+}
+
+/// Well-known histogram names produced by [`Metrics::observe`].
+pub mod hists {
+    /// Payload size of sent packets (bytes).
+    pub const PACKET_SIZE: &str = "packet_size_bytes";
+    /// Mesh distance of sent packets (hops).
+    pub const HOP_DISTANCE: &str = "hop_distance";
+    /// Injection-to-arrival latency of delivered packets (ns).
+    pub const LATENCY_NS: &str = "latency_ns";
+    /// Receiver inbox depth at delivery.
+    pub const QUEUE_DEPTH: &str = "queue_depth";
+    /// Channel stall durations (ns).
+    pub const STALL_NS: &str = "stall_ns";
+    /// Cells per committed route.
+    pub const ROUTE_CELLS: &str = "route_cells";
+}
+
+/// Number of log₂ buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`, and `u64::MAX` lands in bucket 64.
+pub const N_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; N_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; N_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+/// The bucket index of `v`: 0 for 0, otherwise `⌊log₂ v⌋ + 1`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The smallest value bucket `i` can hold.
+pub fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// The largest value bucket `i` can hold.
+pub fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; N_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper bound of the bucket where the cumulative count reaches
+    /// `q · count` — a log₂-resolution quantile estimate. Returns 0 for
+    /// an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = target.max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_hi(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Bucket-wise difference `self − earlier` (counts saturate at 0).
+    /// `min`/`max` are taken from `self`: the bucket layout cannot
+    /// recover the extremes of just the new samples.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut out = self.clone();
+        for (b, e) in out.buckets.iter_mut().zip(earlier.buckets.iter()) {
+            *b = b.saturating_sub(*e);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+}
+
+/// A registry of named counters and histograms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the counter `name` (saturating).
+    #[inline]
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        let c = self.counters.entry(name).or_insert(0);
+        *c = c.saturating_add(delta);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `value` into histogram `name`.
+    #[inline]
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// The histogram `name`, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Applies the standard event-to-metric mapping for `event`.
+    pub fn observe(&mut self, event: &Event) {
+        match event.kind {
+            EventKind::PacketSent { payload_bytes, wire_bytes, hops, .. } => {
+                self.add(names::PACKETS_SENT, 1);
+                self.add(names::BYTES_SENT, payload_bytes as u64);
+                self.add(names::WIRE_BYTES_SENT, wire_bytes as u64);
+                self.record(hists::PACKET_SIZE, payload_bytes as u64);
+                self.record(hists::HOP_DISTANCE, hops as u64);
+            }
+            EventKind::PacketDelivered { payload_bytes, latency_ns, queue_depth, .. } => {
+                self.add(names::PACKETS_DELIVERED, 1);
+                self.add(names::BYTES_DELIVERED, payload_bytes as u64);
+                self.record(hists::LATENCY_NS, latency_ns);
+                self.record(hists::QUEUE_DEPTH, queue_depth as u64);
+            }
+            EventKind::ChannelContended { stall_ns, .. } => {
+                self.add(names::CONTENTION_EVENTS, 1);
+                self.add(names::CONTENTION_NS, stall_ns);
+                self.record(hists::STALL_NS, stall_ns);
+            }
+            EventKind::WireRouted { cells, .. } => {
+                self.add(names::WIRES_ROUTED, 1);
+                self.add(names::ROUTE_CELLS, cells as u64);
+                self.record(hists::ROUTE_CELLS, cells as u64);
+            }
+            EventKind::RipUp { cells, .. } => {
+                self.add(names::RIP_UPS, 1);
+                self.add(names::RIPPED_CELLS, cells as u64);
+            }
+            EventKind::CacheMiss { line_bytes, .. } => {
+                self.add(names::CACHE_MISSES, 1);
+                self.add(names::CACHE_MISS_BYTES, line_bytes as u64);
+            }
+            EventKind::Invalidation { copies, .. } => {
+                self.add(names::INVALIDATIONS, copies as u64);
+            }
+            EventKind::BusTransfer { bytes } => {
+                self.add(names::BUS_TRANSFERS, 1);
+                self.add(names::BUS_BYTES, bytes as u64);
+            }
+            EventKind::PhaseBegin { .. } => self.add(names::PHASES_BEGUN, 1),
+            EventKind::PhaseEnd { .. } => self.add(names::PHASES_ENDED, 1),
+        }
+    }
+
+    /// A point-in-time copy of the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot { counters: self.counters.clone(), histograms: self.histograms.clone() }
+    }
+}
+
+/// An immutable snapshot of a [`Metrics`] registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values at snapshot time.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histogram state at snapshot time.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// What happened between `earlier` and `self`: counters and histogram
+    /// buckets subtracted (saturating). Names only present in `earlier`
+    /// keep a 0 entry.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut counters = BTreeMap::new();
+        for (&name, &v) in &self.counters {
+            counters.insert(name, v.saturating_sub(earlier.counter(name)));
+        }
+        for &name in earlier.counters.keys() {
+            counters.entry(name).or_insert(0);
+        }
+        let mut histograms = BTreeMap::new();
+        for (&name, h) in &self.histograms {
+            match earlier.histograms.get(name) {
+                Some(e) => histograms.insert(name, h.diff(e)),
+                None => histograms.insert(name, h.clone()),
+            };
+        }
+        MetricsSnapshot { counters, histograms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_range() {
+        assert_eq!((bucket_lo(0), bucket_hi(0)), (0, 0));
+        assert_eq!((bucket_lo(1), bucket_hi(1)), (1, 1));
+        assert_eq!((bucket_lo(2), bucket_hi(2)), (2, 3));
+        assert_eq!((bucket_lo(10), bucket_hi(10)), (512, 1023));
+        assert_eq!(bucket_hi(64), u64::MAX);
+        for i in 1..64 {
+            assert_eq!(bucket_lo(i + 1), bucket_hi(i) + 1, "gap after bucket {i}");
+        }
+        // Every value lands inside its bucket's bounds.
+        for v in [0u64, 1, 2, 3, 5, 100, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lo(i) <= v && v <= bucket_hi(i), "value {v} bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_summary_stats() {
+        let mut h = Histogram::default();
+        assert_eq!(h.min(), None);
+        for v in [3u64, 9, 0, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1012);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean() - 253.0).abs() < 1e-9);
+        assert_eq!(h.buckets()[bucket_index(0)], 1);
+        assert_eq!(h.buckets()[bucket_index(3)], 1);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded() {
+        let mut h = Histogram::default();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert!(h.quantile(0.5) <= h.quantile(0.9));
+        assert!(h.quantile(0.9) <= h.quantile(1.0));
+        assert_eq!(h.quantile(1.0), 99);
+        // p50 of 0..100 lies in the bucket containing ~50.
+        let p50 = h.quantile(0.5);
+        assert!((32..=127).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut m = Metrics::new();
+        m.add("x", u64::MAX);
+        m.add("x", 10);
+        assert_eq!(m.counter("x"), u64::MAX);
+        assert_eq!(m.counter("never"), 0);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_the_delta() {
+        let mut m = Metrics::new();
+        m.add("a", 5);
+        m.record("h", 7);
+        let before = m.snapshot();
+        m.add("a", 3);
+        m.add("b", 2);
+        m.record("h", 9);
+        let after = m.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counter("a"), 3);
+        assert_eq!(d.counter("b"), 2);
+        let h = &d.histograms["h"];
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 9);
+    }
+
+    #[test]
+    fn observe_maps_packet_events_to_byte_counters() {
+        let mut m = Metrics::new();
+        let ev = Event {
+            at_ns: 10,
+            node: 1,
+            kind: EventKind::PacketSent { dst: 2, payload_bytes: 40, wire_bytes: 44, hops: 3 },
+        };
+        m.observe(&ev);
+        m.observe(&ev);
+        assert_eq!(m.counter(names::PACKETS_SENT), 2);
+        assert_eq!(m.counter(names::BYTES_SENT), 80);
+        assert_eq!(m.counter(names::WIRE_BYTES_SENT), 88);
+        assert_eq!(m.histogram(hists::HOP_DISTANCE).unwrap().count(), 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! Event sinks: where instrumented layers send their events.
+//!
+//! The contract every instrumented layer follows is:
+//!
+//! ```ignore
+//! if obs_on {            // cached `sink.enabled()` — one predictable branch
+//!     sink.record(ev);   // only then is the event even constructed
+//! }
+//! ```
+//!
+//! so a [`NullSink`] costs one never-taken branch per instrumentation
+//! point and zero allocations — the zero-cost-when-disabled guarantee
+//! the `table1` benchmarks rely on.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::event::Event;
+use crate::metrics::{Metrics, MetricsSnapshot};
+
+/// Receives events from instrumented layers.
+///
+/// `Send` so boxed sinks can ride inside engines that move across
+/// threads; thread-*shared* recording goes through [`SharedSink`].
+pub trait Sink: Send {
+    /// Whether recording is on. Layers cache this once and skip event
+    /// construction entirely when false.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&mut self, event: Event);
+}
+
+/// The disabled sink: reports `enabled() == false` and drops everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn record(&mut self, _event: Event) {}
+}
+
+/// Default event capacity of a [`RingBufferSink`] (~32 MB of events).
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// A bounded in-memory sink: keeps the most recent `capacity` events in
+/// arrival order and feeds every event (kept or not) into a [`Metrics`]
+/// registry, so counters stay exact even when the ring wraps.
+#[derive(Clone, Debug)]
+pub struct RingBufferSink {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+    metrics: Metrics,
+}
+
+impl Default for RingBufferSink {
+    fn default() -> Self {
+        RingBufferSink::new()
+    }
+}
+
+impl RingBufferSink {
+    /// Creates a sink with the [default capacity](DEFAULT_CAPACITY).
+    pub fn new() -> Self {
+        RingBufferSink::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a sink keeping at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBufferSink { events: VecDeque::new(), capacity, dropped: 0, metrics: Metrics::new() }
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Retained events as a vector, oldest first.
+    pub fn to_vec(&self) -> Vec<Event> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The metrics registry fed by every recorded event.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+impl Sink for RingBufferSink {
+    #[inline]
+    fn record(&mut self, event: Event) {
+        self.metrics.observe(&event);
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// A thread-safe, cheaply clonable handle to a shared [`RingBufferSink`].
+///
+/// Every clone records into the same buffer; the real threaded executor
+/// hands one clone to each worker thread, and single-threaded engines
+/// use it so the caller can keep a handle and read the results after the
+/// engine consumed its own clone.
+#[derive(Clone, Debug, Default)]
+pub struct SharedSink {
+    inner: Arc<Mutex<RingBufferSink>>,
+}
+
+impl SharedSink {
+    /// Creates a shared sink with the default capacity.
+    pub fn new() -> Self {
+        SharedSink::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a shared sink keeping at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedSink { inner: Arc::new(Mutex::new(RingBufferSink::with_capacity(capacity))) }
+    }
+
+    /// Locks the underlying buffer for inspection.
+    pub fn lock(&self) -> MutexGuard<'_, RingBufferSink> {
+        self.inner.lock()
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn snapshot_events(&self) -> Vec<Event> {
+        self.inner.lock().to_vec()
+    }
+
+    /// Snapshot of the metrics registry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().metrics().snapshot()
+    }
+}
+
+impl Sink for SharedSink {
+    #[inline]
+    fn record(&mut self, event: Event) {
+        self.inner.lock().record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::metrics::names;
+
+    fn ev(at_ns: u64, bytes: u32) -> Event {
+        Event {
+            at_ns,
+            node: 0,
+            kind: EventKind::PacketSent {
+                dst: 1,
+                payload_bytes: bytes,
+                wire_bytes: bytes + 4,
+                hops: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(ev(0, 1)); // no-op
+    }
+
+    #[test]
+    fn ring_preserves_arrival_order() {
+        let mut s = RingBufferSink::with_capacity(10);
+        for i in 0..5 {
+            s.record(ev(i, i as u32));
+        }
+        let times: Vec<u64> = s.iter().map(|e| e.at_ns).collect();
+        assert_eq!(times, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_keeps_exact_metrics() {
+        let mut s = RingBufferSink::with_capacity(3);
+        for i in 0..5 {
+            s.record(ev(i, 10));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        assert_eq!(s.iter().next().unwrap().at_ns, 2, "oldest evicted first");
+        // Metrics saw all five events despite the eviction.
+        assert_eq!(s.metrics().counter(names::PACKETS_SENT), 5);
+        assert_eq!(s.metrics().counter(names::BYTES_SENT), 50);
+    }
+
+    #[test]
+    fn shared_sink_clones_share_the_buffer() {
+        let sink = SharedSink::with_capacity(100);
+        let mut a = sink.clone();
+        let mut b = sink.clone();
+        a.record(ev(1, 1));
+        b.record(ev(2, 2));
+        assert_eq!(sink.snapshot_events().len(), 2);
+        assert_eq!(sink.metrics_snapshot().counter(names::PACKETS_SENT), 2);
+    }
+
+    #[test]
+    fn shared_sink_records_from_threads() {
+        let sink = SharedSink::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let mut s = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        s.record(ev(t * 1000 + i, 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.snapshot_events().len(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = RingBufferSink::with_capacity(0);
+    }
+}

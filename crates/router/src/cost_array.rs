@@ -106,11 +106,7 @@ impl CostArray {
     /// the channel requires (§3).
     pub fn channel_tracks(&self, c: u16) -> u16 {
         let base = c as usize * self.grids as usize;
-        self.cells[base..base + self.grids as usize]
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0)
+        self.cells[base..base + self.grids as usize].iter().copied().max().unwrap_or(0)
     }
 
     /// Sum over channels of [`Self::channel_tracks`] — the **circuit
@@ -214,10 +210,8 @@ mod tests {
     #[test]
     fn corner_cells_counted_once() {
         let mut a = CostArray::new(4, 10);
-        let r = Route::from_segments(vec![
-            Segment::horizontal(1, 2, 6),
-            Segment::vertical(6, 1, 3),
-        ]);
+        let r =
+            Route::from_segments(vec![Segment::horizontal(1, 2, 6), Segment::vertical(6, 1, 3)]);
         a.add_route(&r);
         // (1,6) is covered by both segments but must be incremented once.
         assert_eq!(a.get(cell(1, 6)), 1);

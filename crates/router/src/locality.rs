@@ -72,7 +72,7 @@ mod tests {
     #[test]
     fn all_local_routes_measure_zero() {
         let m = RegionMap::new(10, 340, 4); // 2x2 mesh
-        // A route fully inside processor 0's region, routed by 0.
+                                            // A route fully inside processor 0's region, routed by 0.
         let region = m.region(0);
         let route = Route::from_segments(vec![Segment::horizontal(
             region.c_lo,
@@ -87,10 +87,9 @@ mod tests {
     #[test]
     fn remote_route_measures_distance() {
         let m = RegionMap::new(10, 340, 4); // 2x2 mesh: procs 0,1 / 2,3
-        // A route fully inside processor 3's region, routed by 0 (2 hops).
+                                            // A route fully inside processor 3's region, routed by 0 (2 hops).
         let r3 = m.region(3);
-        let route =
-            Route::from_segments(vec![Segment::horizontal(r3.c_lo, r3.x_lo, r3.x_lo + 4)]);
+        let route = Route::from_segments(vec![Segment::horizontal(r3.c_lo, r3.x_lo, r3.x_lo + 4)]);
         let lm = locality_measure(&[route], &[0], &m);
         assert_eq!(lm.mean_hops, 2.0);
         assert_eq!(lm.owned_fraction, 0.0);

@@ -18,7 +18,7 @@ pub type ProcId = usize;
 pub fn mesh_dims(p: usize) -> (usize, usize) {
     assert!(p >= 1, "need at least one processor");
     let mut rows = (p as f64).sqrt() as usize;
-    while rows > 1 && p % rows != 0 {
+    while rows > 1 && !p.is_multiple_of(rows) {
         rows -= 1;
     }
     (rows.max(1), p / rows.max(1))
@@ -150,9 +150,7 @@ impl RegionMap {
 
 /// `parts + 1` boundaries splitting `0..total` as evenly as possible.
 fn even_splits(total: u16, parts: usize) -> Vec<u16> {
-    (0..=parts)
-        .map(|i| ((i as u64 * total as u64) / parts as u64) as u16)
-        .collect()
+    (0..=parts).map(|i| ((i as u64 * total as u64) / parts as u64) as u16).collect()
 }
 
 #[cfg(test)]
@@ -195,9 +193,7 @@ mod tests {
             for x in (0..386).step_by(17) {
                 let cell = GridCell::new(c, x);
                 let by_lookup = m.owner_of(cell);
-                let by_scan = (0..m.n_procs())
-                    .find(|&p| m.region(p).contains(cell))
-                    .unwrap();
+                let by_scan = (0..m.n_procs()).find(|&p| m.region(p).contains(cell)).unwrap();
                 assert_eq!(by_lookup, by_scan);
             }
         }

@@ -20,7 +20,7 @@ pub fn render_cost_array(cost: &CostArray, highlight: Option<&Route>) -> String 
     use crate::cost_array::CostView;
     let mut out = String::new();
     let on_route = |cell: GridCell| -> bool {
-        highlight.map_or(false, |r| r.cells().binary_search(&cell).is_ok())
+        highlight.is_some_and(|r| r.cells().binary_search(&cell).is_ok())
     };
     // Channel 0 is the bottom channel; print top-down like the figure.
     for c in (0..cost.channels()).rev() {

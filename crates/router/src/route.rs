@@ -153,12 +153,15 @@ mod tests {
         assert_eq!(h.cells().len(), 4);
         let v = Segment::vertical(7, 0, 3);
         assert_eq!(v.len(), 4);
-        assert_eq!(v.cells(), vec![
-            GridCell::new(0, 7),
-            GridCell::new(1, 7),
-            GridCell::new(2, 7),
-            GridCell::new(3, 7),
-        ]);
+        assert_eq!(
+            v.cells(),
+            vec![
+                GridCell::new(0, 7),
+                GridCell::new(1, 7),
+                GridCell::new(2, 7),
+                GridCell::new(3, 7),
+            ]
+        );
     }
 
     #[test]
@@ -174,10 +177,8 @@ mod tests {
 
     #[test]
     fn route_bounding_box_spans_segments() {
-        let r = Route::from_segments(vec![
-            Segment::horizontal(1, 2, 6),
-            Segment::vertical(6, 1, 3),
-        ]);
+        let r =
+            Route::from_segments(vec![Segment::horizontal(1, 2, 6), Segment::vertical(6, 1, 3)]);
         assert_eq!(r.bounding_box(), Rect::new(1, 3, 2, 6));
     }
 

@@ -1,6 +1,7 @@
 //! The reference sequential router and the shared per-wire routing step.
 
 use locus_circuit::{Circuit, Wire};
+use locus_obs::{Event as ObsEvent, EventKind as ObsKind, NullSink, Sink};
 
 use crate::cost_array::{CostArray, CostView};
 use crate::params::RouterParams;
@@ -82,30 +83,57 @@ pub struct RouteOutcome {
 pub struct SequentialRouter<'a> {
     circuit: &'a Circuit,
     params: RouterParams,
+    sink: Box<dyn Sink>,
+    obs_on: bool,
 }
 
 impl<'a> SequentialRouter<'a> {
     /// Creates a router over `circuit`.
     pub fn new(circuit: &'a Circuit, params: RouterParams) -> Self {
-        SequentialRouter { circuit, params }
+        SequentialRouter { circuit, params, sink: Box::new(NullSink), obs_on: false }
+    }
+
+    /// Routes routing events (wire commits, rip-ups, iteration phases)
+    /// into `sink`. There is no clock in the sequential algorithm, so
+    /// events are stamped with cumulative cells examined — a
+    /// deterministic pseudo-time proportional to work done.
+    pub fn with_sink(mut self, sink: Box<dyn Sink>) -> Self {
+        self.obs_on = sink.enabled();
+        self.sink = sink;
+        self
     }
 
     /// Runs all iterations and returns the outcome.
     pub fn run(self) -> RouteOutcome {
-        let mut cost = CostArray::new(self.circuit.channels, self.circuit.grids);
-        let mut routes: Vec<Option<Route>> = vec![None; self.circuit.wire_count()];
+        let SequentialRouter { circuit, params, mut sink, obs_on } = self;
+        let mut cost = CostArray::new(circuit.channels, circuit.grids);
+        let mut routes: Vec<Option<Route>> = vec![None; circuit.wire_count()];
         let mut work = WorkStats::default();
-        let mut occupancy_by_iteration = Vec::with_capacity(self.params.iterations);
+        let mut occupancy_by_iteration = Vec::with_capacity(params.iterations);
 
-        for _iteration in 0..self.params.iterations {
+        for _iteration in 0..params.iterations {
             let mut occupancy = 0u64;
-            for wire in &self.circuit.wires {
+            if obs_on {
+                sink.record(ObsEvent {
+                    at_ns: work.cells_examined,
+                    node: 0,
+                    kind: ObsKind::PhaseBegin { name: "iteration" },
+                });
+            }
+            for wire in &circuit.wires {
                 // Rip up the previous route before re-routing (§3).
                 if let Some(old) = routes[wire.id].take() {
                     cost.remove_route(&old);
                     work.cells_written += old.len() as u64;
+                    if obs_on {
+                        sink.record(ObsEvent {
+                            at_ns: work.cells_examined,
+                            node: 0,
+                            kind: ObsKind::RipUp { wire: wire.id as u32, cells: old.len() as u32 },
+                        });
+                    }
                 }
-                let eval = route_wire(&cost, wire, self.params.channel_overshoot);
+                let eval = route_wire(&cost, wire, params.channel_overshoot);
                 // Occupancy: the merged route's cost at routing time (§3).
                 // Using the merged route (not the per-connection sum)
                 // counts overlap cells once, matching the parallel
@@ -117,7 +145,24 @@ impl<'a> SequentialRouter<'a> {
                 work.candidates += eval.candidates;
                 work.cells_examined += eval.cells_examined;
                 work.cells_written += eval.route.len() as u64;
+                if obs_on {
+                    sink.record(ObsEvent {
+                        at_ns: work.cells_examined,
+                        node: 0,
+                        kind: ObsKind::WireRouted {
+                            wire: wire.id as u32,
+                            cells: eval.route.len() as u32,
+                        },
+                    });
+                }
                 routes[wire.id] = Some(eval.route);
+            }
+            if obs_on {
+                sink.record(ObsEvent {
+                    at_ns: work.cells_examined,
+                    node: 0,
+                    kind: ObsKind::PhaseEnd { name: "iteration" },
+                });
             }
             occupancy_by_iteration.push(occupancy);
         }

@@ -29,9 +29,7 @@ pub fn decompose(wire: &Wire) -> Vec<Connection> {
     if pins.len() == 1 {
         return vec![Connection { from: pins[0], to: pins[0] }];
     }
-    pins.windows(2)
-        .map(|w| Connection { from: w[0], to: w[1] })
-        .collect()
+    pins.windows(2).map(|w| Connection { from: w[0], to: w[1] }).collect()
 }
 
 #[cfg(test)]

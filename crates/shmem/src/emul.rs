@@ -20,6 +20,7 @@ use std::cell::{Cell, RefCell};
 
 use locus_circuit::{Circuit, GridCell, WireId};
 use locus_coherence::{MemRef, RefKind, Trace};
+use locus_obs::{Event as ObsEvent, EventKind as ObsKind, NullSink, Sink};
 use locus_router::router::route_wire;
 use locus_router::{
     assign, CostArray, CostView, ProcId, QualityMetrics, RegionMap, Route, WorkStats,
@@ -97,6 +98,8 @@ struct ProcState {
 pub struct ShmemEmulator<'a> {
     circuit: &'a Circuit,
     config: ShmemConfig,
+    sink: Box<dyn Sink>,
+    obs_on: bool,
 }
 
 impl<'a> ShmemEmulator<'a> {
@@ -106,31 +109,39 @@ impl<'a> ShmemEmulator<'a> {
     /// Panics if the configuration is invalid.
     pub fn new(circuit: &'a Circuit, config: ShmemConfig) -> Self {
         config.validate().expect("invalid shared-memory configuration");
-        ShmemEmulator { circuit, config }
+        ShmemEmulator { circuit, config, sink: Box::new(NullSink), obs_on: false }
+    }
+
+    /// Routes emulation events (wire commits, rip-ups, iteration
+    /// phases, stamped with logical-clock times) into `sink`.
+    pub fn with_sink(mut self, sink: Box<dyn Sink>) -> Self {
+        self.obs_on = sink.enabled();
+        self.sink = sink;
+        self
     }
 
     /// Runs all iterations and returns the outcome.
     pub fn run(self) -> ShmemOutcome {
-        let n_procs = self.config.n_procs;
-        let n_wires = self.circuit.wire_count();
-        let cfg = &self.config;
+        let ShmemEmulator { circuit, config, mut sink, obs_on } = self;
+        let n_procs = config.n_procs;
+        let n_wires = circuit.wire_count();
+        let cfg = &config;
 
         // Static assignment, if requested. The region map used for
         // locality-based assignment matches the message-passing mesh.
         let static_lists: Option<Vec<Vec<WireId>>> = match cfg.scheduling {
             Scheduling::DynamicLoop => None,
             Scheduling::Static(strategy) => {
-                let regions =
-                    RegionMap::new(self.circuit.channels, self.circuit.grids, n_procs);
-                Some(assign(self.circuit, &regions, strategy).wires_per_proc)
+                let regions = RegionMap::new(circuit.channels, circuit.grids, n_procs);
+                Some(assign(circuit, &regions, strategy).wires_per_proc)
             }
         };
 
-        let trace_cell = cfg.collect_trace.then(|| {
-            RefCell::new(Trace::with_capacity(n_wires * 64 * cfg.params.iterations))
-        });
+        let trace_cell = cfg
+            .collect_trace
+            .then(|| RefCell::new(Trace::with_capacity(n_wires * 64 * cfg.params.iterations)));
 
-        let mut shared = CostArray::new(self.circuit.channels, self.circuit.grids);
+        let mut shared = CostArray::new(circuit.channels, circuit.grids);
         let mut routes: Vec<Option<Route>> = vec![None; n_wires];
         let mut proc_of_wire: Vec<ProcId> = vec![0; n_wires];
         let mut procs: Vec<ProcState> = (0..n_procs)
@@ -141,6 +152,14 @@ impl<'a> ShmemEmulator<'a> {
 
         for iteration in 0..cfg.params.iterations {
             let last_iteration = iteration + 1 == cfg.params.iterations;
+            if obs_on {
+                let at = procs.iter().map(|s| s.clock).min().unwrap_or(0);
+                sink.record(ObsEvent {
+                    at_ns: at,
+                    node: 0,
+                    kind: ObsKind::PhaseBegin { name: "iteration" },
+                });
+            }
             let mut occupancy = 0u64;
             let mut counter = 0usize; // distributed loop
             for p in procs.iter_mut() {
@@ -158,7 +177,7 @@ impl<'a> ShmemEmulator<'a> {
                         None if !st.at_barrier => st.clock,
                         None => continue,
                     };
-                    if best.map_or(true, |(k, _)| key < k) {
+                    if best.is_none_or(|(k, _)| key < k) {
                         best = Some((key, p));
                     }
                 }
@@ -176,7 +195,7 @@ impl<'a> ShmemEmulator<'a> {
                             trace.borrow_mut().push(MemRef {
                                 time: t,
                                 proc: p as u32,
-                                addr: cell_addr(cell.channel, cell.x, self.circuit.grids),
+                                addr: cell_addr(cell.channel, cell.x, circuit.grids),
                                 kind: RefKind::Write,
                             });
                         }
@@ -187,6 +206,16 @@ impl<'a> ShmemEmulator<'a> {
                     if last_iteration {
                         occupancy += pend.cost;
                         proc_of_wire[pend.wire] = p;
+                    }
+                    if obs_on {
+                        sink.record(ObsEvent {
+                            at_ns: pend.commit_at,
+                            node: p as u32,
+                            kind: ObsKind::WireRouted {
+                                wire: pend.wire as u32,
+                                cells: pend.route.len() as u32,
+                            },
+                        });
                     }
                     routes[pend.wire] = Some(pend.route);
                     continue;
@@ -218,13 +247,20 @@ impl<'a> ShmemEmulator<'a> {
                 // Rip up the previous route (§3), visible immediately.
                 if let Some(old) = routes[wire_id].take() {
                     let mut t = procs[p].clock;
+                    if obs_on {
+                        sink.record(ObsEvent {
+                            at_ns: t,
+                            node: p as u32,
+                            kind: ObsKind::RipUp { wire: wire_id as u32, cells: old.len() as u32 },
+                        });
+                    }
                     for &cell in old.cells() {
                         shared.add(cell, -1);
                         if let Some(trace) = &trace_cell {
                             trace.borrow_mut().push(MemRef {
                                 time: t,
                                 proc: p as u32,
-                                addr: cell_addr(cell.channel, cell.x, self.circuit.grids),
+                                addr: cell_addr(cell.channel, cell.x, circuit.grids),
                                 kind: RefKind::Write,
                             });
                         }
@@ -242,7 +278,7 @@ impl<'a> ShmemEmulator<'a> {
                     step_ns: cfg.cell_eval_ns,
                     proc: p as u32,
                 };
-                let eval = route_wire(&view, self.circuit.wire(wire_id), cfg.params.channel_overshoot);
+                let eval = route_wire(&view, circuit.wire(wire_id), cfg.params.channel_overshoot);
                 let eval_end = view.clock.get();
                 work.wires_routed += 1;
                 work.connections += eval.connections;
@@ -264,6 +300,13 @@ impl<'a> ShmemEmulator<'a> {
             let max_clock = procs.iter().map(|s| s.clock).max().unwrap_or(0);
             for st in procs.iter_mut() {
                 st.clock = max_clock;
+            }
+            if obs_on {
+                sink.record(ObsEvent {
+                    at_ns: max_clock,
+                    node: 0,
+                    kind: ObsKind::PhaseEnd { name: "iteration" },
+                });
             }
             occupancy_last = occupancy;
         }
@@ -389,6 +432,21 @@ mod tests {
         for (w, &p) in out.proc_of_wire.iter().enumerate() {
             assert_eq!(p, w % 4);
         }
+    }
+
+    #[test]
+    fn sink_observes_every_commit_and_ripup() {
+        use locus_obs::{names, SharedSink};
+        let c = presets::small();
+        let sink = SharedSink::new();
+        let out =
+            ShmemEmulator::new(&c, ShmemConfig::new(4)).with_sink(Box::new(sink.clone())).run();
+        let m = sink.metrics_snapshot();
+        assert_eq!(m.counter(names::WIRES_ROUTED), out.work.wires_routed);
+        // Iterations ≥ 2, so every wire from iteration 1 is ripped up.
+        assert!(m.counter(names::RIP_UPS) > 0);
+        assert_eq!(m.counter(names::PHASES_BEGUN), ShmemConfig::new(4).params.iterations as u64);
+        assert_eq!(m.counter(names::PHASES_BEGUN), m.counter(names::PHASES_ENDED));
     }
 
     #[test]

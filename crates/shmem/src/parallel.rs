@@ -16,6 +16,7 @@ use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use locus_circuit::{Circuit, GridCell, WireId};
+use locus_obs::{Event as ObsEvent, EventKind as ObsKind, SharedSink, Sink};
 use locus_router::router::route_wire;
 use locus_router::{assign, CostArray, CostView, QualityMetrics, RegionMap, Route};
 use parking_lot::Mutex;
@@ -84,6 +85,7 @@ pub struct ThreadedOutcome {
 pub struct ThreadedRouter<'a> {
     circuit: &'a Circuit,
     config: ShmemConfig,
+    obs: Option<SharedSink>,
 }
 
 impl<'a> ThreadedRouter<'a> {
@@ -91,7 +93,15 @@ impl<'a> ThreadedRouter<'a> {
     /// emulator-only timing fields are ignored).
     pub fn new(circuit: &'a Circuit, config: ShmemConfig) -> Self {
         config.validate().expect("invalid shared-memory configuration");
-        ThreadedRouter { circuit, config }
+        ThreadedRouter { circuit, config, obs: None }
+    }
+
+    /// Routes per-thread events (wire commits, rip-ups, iteration
+    /// phases, stamped with wall-clock nanoseconds since run start)
+    /// into `sink`. Each thread records through its own clone.
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        self.obs = Some(sink);
+        self
     }
 
     /// Routes the circuit on `n_procs` OS threads.
@@ -104,18 +114,15 @@ impl<'a> ThreadedRouter<'a> {
         let static_lists: Option<Vec<Vec<WireId>>> = match self.config.scheduling {
             Scheduling::DynamicLoop => None,
             Scheduling::Static(strategy) => {
-                let regions =
-                    RegionMap::new(self.circuit.channels, self.circuit.grids, n_threads);
+                let regions = RegionMap::new(self.circuit.channels, self.circuit.grids, n_threads);
                 Some(assign(self.circuit, &regions, strategy).wires_per_proc)
             }
         };
 
         let shared = AtomicCostArray::new(self.circuit.channels, self.circuit.grids);
-        let routes: Vec<Mutex<Option<Route>>> =
-            (0..n_wires).map(|_| Mutex::new(None)).collect();
+        let routes: Vec<Mutex<Option<Route>>> = (0..n_wires).map(|_| Mutex::new(None)).collect();
         let occupancy = AtomicU64::new(0);
-        let counters: Vec<AtomicUsize> =
-            (0..iterations).map(|_| AtomicUsize::new(0)).collect();
+        let counters: Vec<AtomicUsize> = (0..iterations).map(|_| AtomicUsize::new(0)).collect();
         let barrier = Barrier::new(n_threads);
 
         let start = Instant::now();
@@ -128,15 +135,28 @@ impl<'a> ThreadedRouter<'a> {
                 let barrier = &barrier;
                 let circuit = self.circuit;
                 let static_lists = static_lists.as_ref();
+                let mut obs = self.obs.clone();
                 scope.spawn(move || {
-                    for iter in 0..iterations {
+                    let mut emit = |kind: ObsKind| {
+                        if let Some(sink) = &mut obs {
+                            sink.record(ObsEvent {
+                                at_ns: start.elapsed().as_nanos() as u64,
+                                node: t as u32,
+                                kind,
+                            });
+                        }
+                    };
+                    for (iter, counter) in counters.iter().enumerate() {
                         let last = iter + 1 == iterations;
                         let mut local_pos = 0usize;
+                        if t == 0 {
+                            emit(ObsKind::PhaseBegin { name: "iteration" });
+                        }
                         loop {
                             // Distributed loop or static list.
                             let wire_id = match static_lists {
                                 None => {
-                                    let w = counters[iter].fetch_add(1, Ordering::Relaxed);
+                                    let w = counter.fetch_add(1, Ordering::Relaxed);
                                     if w >= n_wires {
                                         break;
                                     }
@@ -154,6 +174,10 @@ impl<'a> ThreadedRouter<'a> {
 
                             let mut slot = routes[wire_id].lock();
                             if let Some(old) = slot.take() {
+                                emit(ObsKind::RipUp {
+                                    wire: wire_id as u32,
+                                    cells: old.len() as u32,
+                                });
                                 shared.remove_route(&old);
                             }
                             let eval = route_wire(shared, circuit.wire(wire_id), overshoot);
@@ -166,25 +190,29 @@ impl<'a> ThreadedRouter<'a> {
                                     .fetch_add(shared.route_cost(&eval.route), Ordering::Relaxed);
                             }
                             shared.add_route(&eval.route);
+                            emit(ObsKind::WireRouted {
+                                wire: wire_id as u32,
+                                cells: eval.route.len() as u32,
+                            });
                             *slot = Some(eval.route);
                         }
                         barrier.wait();
+                        if t == 0 {
+                            emit(ObsKind::PhaseEnd { name: "iteration" });
+                        }
                     }
                 });
             }
         });
         let wall = start.elapsed();
 
-        let routes: Vec<Route> = routes
-            .into_iter()
-            .map(|m| m.into_inner().expect("every wire routed"))
-            .collect();
+        let routes: Vec<Route> =
+            routes.into_iter().map(|m| m.into_inner().expect("every wire routed")).collect();
         let mut truth = CostArray::new(self.circuit.channels, self.circuit.grids);
         for r in &routes {
             truth.add_route(r);
         }
-        let quality =
-            QualityMetrics::from_final_state(&truth, occupancy.load(Ordering::Relaxed));
+        let quality = QualityMetrics::from_final_state(&truth, occupancy.load(Ordering::Relaxed));
         ThreadedOutcome { quality, wall, routes }
     }
 }
@@ -228,6 +256,21 @@ mod tests {
         let hs = seq.quality.circuit_height as f64;
         assert!(h <= hs * 1.5, "threaded height {h} vs sequential {hs}");
         assert!(h >= hs * 0.8, "threaded height {h} suspiciously better than {hs}");
+    }
+
+    #[test]
+    fn threads_share_one_sink() {
+        use locus_obs::{names, SharedSink};
+        let c = presets::small();
+        let sink = SharedSink::new();
+        let out = ThreadedRouter::new(&c, ShmemConfig::new(4)).with_sink(sink.clone()).run();
+        assert_eq!(out.routes.len(), c.wire_count());
+        let m = sink.metrics_snapshot();
+        let iterations = ShmemConfig::new(4).params.iterations as u64;
+        // Every iteration routes every wire exactly once, across threads.
+        assert_eq!(m.counter(names::WIRES_ROUTED), c.wire_count() as u64 * iterations);
+        assert_eq!(m.counter(names::PHASES_BEGUN), iterations);
+        assert_eq!(m.counter(names::PHASES_ENDED), iterations);
     }
 
     #[test]

@@ -38,10 +38,7 @@ fn main() {
     let msg = run_msgpass(&circuit, cfg);
     println!(
         "message passing: height={:<4} occupancy={}  ({:.4} MB moved, {:.4}s modelled)",
-        msg.quality.circuit_height,
-        msg.quality.occupancy_factor,
-        msg.mbytes,
-        msg.time_secs
+        msg.quality.circuit_height, msg.quality.occupancy_factor, msg.mbytes, msg.time_secs
     );
 
     // Show the final cost array with wire 0's route highlighted (the

@@ -22,10 +22,8 @@ fn main() {
     );
     let mut t2 = None;
     for &p in &procs {
-        let out = run_msgpass(
-            &circuit,
-            MsgPassConfig::new(p, UpdateSchedule::sender_initiated(2, 10)),
-        );
+        let out =
+            run_msgpass(&circuit, MsgPassConfig::new(p, UpdateSchedule::sender_initiated(2, 10)));
         assert!(!out.deadlocked);
         if p == 2 {
             t2 = Some(out.time_secs);

@@ -37,10 +37,8 @@ fn main() {
     let shm_mb = traffic_by_line_size(trace, &[8])[0].1.mbytes();
 
     // Message passing: two representative schedules.
-    let sender = run_msgpass(
-        &circuit,
-        MsgPassConfig::new(n_procs, UpdateSchedule::sender_initiated(2, 10)),
-    );
+    let sender =
+        run_msgpass(&circuit, MsgPassConfig::new(n_procs, UpdateSchedule::sender_initiated(2, 10)));
     let receiver = run_msgpass(
         &circuit,
         MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated(1, 5)),
@@ -54,15 +52,11 @@ fn main() {
     );
     println!(
         "  {:<34} {:>7} {:>9.3}",
-        "message passing, sender initiated",
-        sender.quality.circuit_height,
-        sender.mbytes
+        "message passing, sender initiated", sender.quality.circuit_height, sender.mbytes
     );
     println!(
         "  {:<34} {:>7} {:>9.3}",
-        "message passing, receiver initiated",
-        receiver.quality.circuit_height,
-        receiver.mbytes
+        "message passing, receiver initiated", receiver.quality.circuit_height, receiver.mbytes
     );
 
     // And a genuine parallel run on real threads.

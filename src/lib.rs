@@ -17,6 +17,8 @@
 //! * [`shmem`] — the shared-memory implementation (traced emulator and
 //!   real threaded executor).
 //! * [`coherence`] — Write-Back-with-Invalidate bus-traffic model.
+//! * [`obs`] — unified observability: typed events, metrics registry,
+//!   Chrome-trace / metrics-JSON / ASCII-timeline exporters.
 //!
 //! ## Quickstart
 //!
@@ -39,17 +41,23 @@ pub use locus_circuit as circuit;
 pub use locus_coherence as coherence;
 pub use locus_mesh as mesh;
 pub use locus_msgpass as msgpass;
+pub use locus_obs as obs;
 pub use locus_router as router;
 pub use locus_shmem as shmem;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use locus_circuit::{Circuit, CircuitGenerator, GeneratorConfig, GridCell, Pin, Rect, Wire};
+    pub use locus_circuit::{
+        Circuit, CircuitGenerator, GeneratorConfig, GridCell, Pin, Rect, Wire,
+    };
     pub use locus_coherence::{
         traffic_by_line_size, CoherenceConfig, CoherenceSim, MemRef, RefKind, Trace,
     };
     pub use locus_mesh::{MeshConfig, SimTime};
-    pub use locus_msgpass::{run_msgpass, MsgPassConfig, MsgPassOutcome, UpdateSchedule};
+    pub use locus_msgpass::{
+        run_msgpass, run_msgpass_observed, MsgPassConfig, MsgPassOutcome, UpdateSchedule,
+    };
+    pub use locus_obs::{Event, EventKind, Metrics, NullSink, RingBufferSink, SharedSink, Sink};
     pub use locus_router::{
         assign, AssignmentStrategy, QualityMetrics, RegionMap, RouterParams, SequentialRouter,
     };

@@ -28,8 +28,7 @@ fn single_proc_equivalence_holds_across_iteration_counts() {
     for iterations in [1usize, 2, 4] {
         let params = RouterParams::default().with_iterations(iterations);
         let seq = SequentialRouter::new(&circuit, params).run();
-        let emul =
-            ShmemEmulator::new(&circuit, ShmemConfig::new(1).with_params(params)).run();
+        let emul = ShmemEmulator::new(&circuit, ShmemConfig::new(1).with_params(params)).run();
         let msg = run_msgpass(
             &circuit,
             MsgPassConfig::new(1, UpdateSchedule::never()).with_params(params),
@@ -79,20 +78,15 @@ fn conservation_holds_in_every_engine() {
     let threads = ThreadedRouter::new(&circuit, ShmemConfig::new(4)).run();
     check(&threads.routes, threads.quality.circuit_height, "threads");
 
-    let msg = run_msgpass(
-        &circuit,
-        MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 5)),
-    );
+    let msg = run_msgpass(&circuit, MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 5)));
     check(&msg.routes, msg.quality.circuit_height, "message passing");
 }
 
 #[test]
 fn every_route_covers_its_wire_pins() {
     let circuit = locusroute::circuit::presets::small();
-    let msg = run_msgpass(
-        &circuit,
-        MsgPassConfig::new(4, UpdateSchedule::receiver_initiated(1, 5)),
-    );
+    let msg =
+        run_msgpass(&circuit, MsgPassConfig::new(4, UpdateSchedule::receiver_initiated(1, 5)));
     for (wire, route) in circuit.wires.iter().zip(&msg.routes) {
         for pin in &wire.pins {
             assert!(

@@ -1,0 +1,62 @@
+//! Cross-checks the observability subsystem against the engines' own
+//! statistics: the sink-derived counters must agree *exactly* with
+//! `NetStats`, and the exporters must emit valid JSON.
+
+use locusroute::msgpass::{run_msgpass_observed, MsgPassConfig, UpdateSchedule};
+use locusroute::obs::{export, names, SharedSink};
+
+#[test]
+fn obs_counters_match_netstats_on_16_proc_bnr_e() {
+    let circuit = locusroute::circuit::presets::bnr_e();
+    let cfg = MsgPassConfig::new(16, UpdateSchedule::sender_initiated(2, 10));
+    let sink = SharedSink::new();
+    let out = run_msgpass_observed(&circuit, cfg, sink.clone());
+    assert!(!out.deadlocked);
+
+    let m = sink.metrics_snapshot();
+    // The exact identity the subsystem is built around: payload bytes
+    // counted by PacketSent events equal the network layer's own total.
+    assert_eq!(m.counter(names::BYTES_SENT), out.net.payload_bytes);
+    assert_eq!(m.counter(names::PACKETS_SENT), out.net.packets);
+    assert_eq!(m.counter(names::WIRE_BYTES_SENT), out.net.wire_bytes);
+    assert_eq!(m.counter(names::CONTENTION_NS), out.net.contention_ns);
+    // Every injected packet is eventually delivered (clean termination).
+    assert_eq!(m.counter(names::PACKETS_DELIVERED), out.net.packets);
+    assert_eq!(m.counter(names::BYTES_DELIVERED), out.net.payload_bytes);
+    // Routing-layer events flow through the same sink.
+    assert_eq!(m.counter(names::WIRES_ROUTED), out.work.wires_routed);
+}
+
+#[test]
+fn observed_run_matches_unobserved_run() {
+    // Instrumentation must never perturb the simulation.
+    let circuit = locusroute::circuit::presets::small();
+    let cfg = MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 5));
+    let plain = locusroute::msgpass::run_msgpass(&circuit, cfg);
+    let observed = run_msgpass_observed(&circuit, cfg, SharedSink::new());
+    assert_eq!(plain.quality, observed.quality);
+    assert_eq!(plain.routes, observed.routes);
+    assert_eq!(plain.net, observed.net);
+}
+
+#[test]
+fn exporters_emit_valid_json() {
+    let circuit = locusroute::circuit::presets::small();
+    let cfg = MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 5));
+    let sink = SharedSink::new();
+    let out = run_msgpass_observed(&circuit, cfg, sink.clone());
+    assert!(!out.deadlocked);
+
+    let events = sink.snapshot_events();
+    assert!(!events.is_empty());
+    let trace = export::chrome_trace(&events);
+    export::validate_json(&trace).expect("chrome trace must be valid JSON");
+    assert!(trace.starts_with('['), "trace-event format is a JSON array");
+
+    let metrics = export::metrics_json(&sink.metrics_snapshot());
+    export::validate_json(&metrics).expect("metrics must be valid JSON");
+
+    // The ASCII timeline renders one row per active node.
+    let timeline = export::ascii_timeline(&events, 72);
+    assert!(timeline.contains("node"));
+}

@@ -20,10 +20,7 @@ fn generated_circuit_survives_the_full_pipeline() {
     assert_eq!(a.routes, b.routes);
 
     // Partition, assign, and run the message-passing simulation.
-    let msg = run_msgpass(
-        &parsed,
-        MsgPassConfig::new(4, UpdateSchedule::mixed_paper()),
-    );
+    let msg = run_msgpass(&parsed, MsgPassConfig::new(4, UpdateSchedule::mixed_paper()));
     assert!(!msg.deadlocked);
     assert_eq!(msg.routes.len(), parsed.wire_count());
 
@@ -36,10 +33,7 @@ fn generated_circuit_survives_the_full_pipeline() {
 
 #[test]
 fn circuit_stats_describe_presets() {
-    for circuit in [
-        locusroute::circuit::presets::bnr_e(),
-        locusroute::circuit::presets::mdc(),
-    ] {
+    for circuit in [locusroute::circuit::presets::bnr_e(), locusroute::circuit::presets::mdc()] {
         let stats = CircuitStats::of(&circuit);
         assert_eq!(stats.wires, circuit.wire_count());
         assert!(stats.mean_pins >= 2.0);
@@ -61,10 +55,7 @@ fn region_map_and_assignment_compose_for_all_paper_sizes() {
             AssignmentStrategy::Locality { threshold_cost: None },
         ] {
             let a = assign(&circuit, &regions, strategy);
-            assert_eq!(
-                a.wires_per_proc.iter().map(Vec::len).sum::<usize>(),
-                circuit.wire_count()
-            );
+            assert_eq!(a.wires_per_proc.iter().map(Vec::len).sum::<usize>(), circuit.wire_count());
         }
     }
 }
@@ -74,10 +65,8 @@ fn mdc_preset_runs_the_message_passing_pipeline() {
     // The second benchmark circuit exercises non-square-ish dimensions
     // (12 channels) end to end at the paper's processor count.
     let circuit = locusroute::circuit::presets::mdc();
-    let out = run_msgpass(
-        &circuit,
-        MsgPassConfig::new(16, UpdateSchedule::sender_initiated(2, 10)),
-    );
+    let out =
+        run_msgpass(&circuit, MsgPassConfig::new(16, UpdateSchedule::sender_initiated(2, 10)));
     assert!(!out.deadlocked);
     assert_eq!(out.routes.len(), 573);
     assert!(out.quality.circuit_height > 0);

@@ -1,0 +1,156 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io (see
+//! `vendor/`). This harness keeps the `criterion_group!` /
+//! `criterion_main!` / `bench_function` surface the workspace's benches
+//! use, but replaces the statistical machinery with a plain
+//! median-of-samples wall-clock measurement. Good enough to spot
+//! order-of-magnitude regressions; not a substitute for real criterion
+//! when precision matters.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-benchmark timing loop handed to the closure in `bench_function`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording one timing sample per batch.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: aim for batches of at least ~1ms so
+        // Instant overhead stays negligible.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            if t0.elapsed() >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// Top-level harness: collects named benchmarks and prints a one-line
+/// median/min/max summary for each.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return self;
+        }
+        b.samples.sort_unstable();
+        let median = b.samples[b.samples.len() / 2];
+        let min = b.samples[0];
+        let max = b.samples[b.samples.len() - 1];
+        println!(
+            "{name:<44} median {} (min {}, max {}, n={})",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            b.samples.len()
+        );
+        self
+    }
+
+    /// Compatibility no-op: configuration hook used by some criterion
+    /// setups.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

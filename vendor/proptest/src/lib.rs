@@ -1,0 +1,259 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships tiny API-compatible subsets of its external dependencies under
+//! `vendor/`. This crate keeps the `proptest!` surface the
+//! workspace's property tests use — `Strategy` with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, `collection::vec`,
+//! `any`, `prop_oneof!`, `ProptestConfig`, and the assert macros — but
+//! deliberately omits shrinking: a failing case reports its case number
+//! and the deterministic per-test seed instead of a minimized input.
+
+pub mod strategy;
+
+pub mod test_runner {
+    pub use rand::rngs::StdRng as TestRng;
+
+    /// Subset of proptest's run configuration: just the case count.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps debug-mode
+            // `cargo test` latency reasonable for simulator-heavy
+            // properties while still exploring the space.
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Sizes that `vec` accepts: exact, half-open, or inclusive.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`, with a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{RngCore, RngExt};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.random()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.random()
+        }
+    }
+
+    /// Strategy over the full domain of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Mirrors proptest's macro: an optional
+/// `#![proptest_config(..)]` inner attribute, then `#[test]` functions
+/// whose arguments are drawn from strategies with `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            (<$crate::test_runner::Config as ::core::default::Default>::default())
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            let __seed = $crate::__seed_for(stringify!($name));
+            let __strategies = ($($strat,)*);
+            for __case in 0..__config.cases {
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| {
+                        #[allow(unused_variables, unused_mut)]
+                        let mut __rng =
+                            $crate::__new_rng(__seed.wrapping_add(__case as u64));
+                        let ($($arg,)*) = {
+                            let ($(ref $arg,)*) = __strategies;
+                            ($($crate::strategy::Strategy::generate(
+                                $arg, &mut __rng,
+                            ),)*)
+                        };
+                        $body
+                    }),
+                );
+                if let Err(__panic) = __result {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (seed {:#x})",
+                        __case,
+                        __config.cases,
+                        stringify!($name),
+                        __seed.wrapping_add(__case as u64),
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+}
+
+/// Deterministic per-test seed: reproducible failures without a
+/// persistence file (FNV-1a over the test name).
+#[doc(hidden)]
+pub fn __seed_for(name: &str) -> u64 {
+    name.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3))
+}
+
+#[doc(hidden)]
+pub fn __new_rng(seed: u64) -> test_runner::TestRng {
+    <test_runner::TestRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+/// Assert a boolean condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Expands to `continue` on the per-case loop, so it is only valid at
+/// the top level of a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
