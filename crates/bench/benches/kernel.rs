@@ -1,0 +1,135 @@
+//! The evaluation-kernel microbenchmark backing `BENCH_kernel.json`.
+//!
+//! Measures median time per [`best_route`] sweep over a fixed mix of
+//! connection shapes (narrow/wide bounding boxes, same-channel,
+//! same-column) on bnrE-shaped (10×341) and MDC-shaped (12×386) cost
+//! surfaces, for three evaluator configurations:
+//!
+//! * `reference` — the historical cell-list evaluator
+//!   ([`best_route_reference`]): the *before* number;
+//! * `percell` — the span kernel reading through per-cell default span
+//!   implementations (what instrumented views pay);
+//! * `optimized` — the span kernel on `CostArray`'s prefix-sum fast path:
+//!   the *after* number;
+//! * `optimized_ripup_commit` — the fast path with a rip-up/commit write
+//!   pair per connection, so cache invalidation cost is included.
+//!
+//! Each iteration evaluates the whole connection mix; divide the printed
+//! median by the mix size (8) for ns per `best_route` call.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use locus_circuit::{GridCell, Pin};
+use locus_router::segment::Connection;
+use locus_router::twobend::{best_route, best_route_reference};
+use locus_router::{CostArray, CostView};
+
+/// Forces the per-cell default span implementations (the path taken by
+/// instrumented views such as the shmem emulator's traced view).
+struct PerCell<'a>(&'a CostArray);
+
+impl CostView for PerCell<'_> {
+    fn channels(&self) -> u16 {
+        CostView::channels(self.0)
+    }
+    fn grids(&self) -> u16 {
+        CostView::grids(self.0)
+    }
+    #[inline]
+    fn cost_at(&self, cell: GridCell) -> u32 {
+        self.0.cost_at(cell)
+    }
+}
+
+/// A congested-looking surface: deterministic mixed-magnitude pattern.
+fn surface(channels: u16, grids: u16) -> CostArray {
+    let mut costs = CostArray::new(channels, grids);
+    for c in 0..channels {
+        for x in 0..grids {
+            costs.set(GridCell::new(c, x), ((x as u32 * 7 + c as u32 * 3) % 5) as u16);
+        }
+    }
+    costs
+}
+
+/// A fixed mix of connection shapes scaled to the surface: narrow and
+/// wide bounding boxes, a same-channel run, a same-column feedthrough.
+fn connections(channels: u16, grids: u16) -> Vec<Connection> {
+    let g = grids as u32;
+    let top = channels - 1;
+    let pin = |c: u16, x: u32| Pin::new(c.min(top), x.min(g - 1) as u16);
+    vec![
+        Connection { from: pin(2, g * 30 / 100), to: pin(top - 2, g * 39 / 100) },
+        Connection { from: pin(0, g * 3 / 100), to: pin(top, g * 26 / 100) },
+        Connection { from: pin(3, g * 60 / 100), to: pin(5, g * 63 / 100) },
+        Connection { from: pin(1, g * 15 / 100), to: pin(top - 1, g * 50 / 100) },
+        Connection { from: pin(4, g * 88 / 100), to: pin(4, g - 1) },
+        Connection { from: pin(0, g * 73 / 100), to: pin(top, g * 73 / 100) },
+        Connection { from: pin(2, 0), to: pin(top - 2, g * 18 / 100) },
+        Connection {
+            from: pin(channels / 2, g * 35 / 100),
+            to: pin(channels / 2 + 1, g * 37 / 100),
+        },
+    ]
+}
+
+fn bench_surface(c: &mut Criterion, name: &str, channels: u16, grids: u16) {
+    let costs = surface(channels, grids);
+    let conns = connections(channels, grids);
+
+    c.bench_function(&format!("kernel_{name}_reference"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &conns {
+                acc += best_route_reference(&costs, k, 1).cost;
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function(&format!("kernel_{name}_percell"), |b| {
+        let view = PerCell(&costs);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &conns {
+                acc += best_route(&view, k, 1).cost;
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function(&format!("kernel_{name}_optimized"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &conns {
+                acc += best_route(&costs, k, 1).cost;
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function(&format!("kernel_{name}_optimized_ripup_commit"), |b| {
+        let mut costs = surface(channels, grids);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &conns {
+                let e = best_route(&costs, k, 1);
+                acc += e.cost;
+                costs.add_route(&e.route);
+                costs.remove_route(&e.route);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    bench_surface(c, "bnre", 10, 341);
+    bench_surface(c, "mdc", 12, 386);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench
+}
+criterion_main!(benches);

@@ -8,7 +8,13 @@
 //!                    blocking|mixed|locality|speedup|compare|
 //!                    figure1|figure2|figure3|all>
 //!                   [--trace-out <file>] [--metrics-out <file>]
+//! locus-experiments --quality-check
 //! ```
+//!
+//! `--quality-check` routes bnrE and MDC evaluating every connection with
+//! both the optimized span kernel and the retained reference evaluator,
+//! and exits nonzero on any divergence in route, cost, candidate count,
+//! or cells examined.
 //!
 //! `--trace-out` writes a Chrome trace-event JSON (load it at
 //! `chrome://tracing`) and `--metrics-out` a flat metrics JSON, both
@@ -320,6 +326,88 @@ fn run_compare() {
     println!("{}", render_table(&["approach", "Ckt. Ht.", "MBytes Xfrd."], &data));
 }
 
+/// Routes a circuit with both two-bend evaluators over an evolving cost
+/// surface and counts divergences in `(route, cost, candidates,
+/// cells_examined)`.
+///
+/// Every connection is evaluated three ways — the historical cell-list
+/// reference, the span kernel through the `CostArray` prefix-sum fast
+/// path, and the span kernel through the per-cell default span
+/// implementations — on the live surface *before* the winner is
+/// committed, so the comparison covers realistic congested states, not
+/// just the empty array.
+fn quality_check_circuit(c: &locus_circuit::Circuit) -> u64 {
+    use locus_router::segment::decompose;
+    use locus_router::twobend::{best_route, best_route_reference};
+    use locus_router::{CostArray, CostView};
+
+    /// Forces the per-cell default span implementations.
+    struct PerCell<'a>(&'a CostArray);
+    impl CostView for PerCell<'_> {
+        fn channels(&self) -> u16 {
+            CostView::channels(self.0)
+        }
+        fn grids(&self) -> u16 {
+            CostView::grids(self.0)
+        }
+        fn cost_at(&self, cell: locus_circuit::GridCell) -> u32 {
+            self.0.cost_at(cell)
+        }
+    }
+
+    const OVERSHOOT: u16 = 1;
+    let mut costs = CostArray::new(c.channels, c.grids);
+    let mut checked = 0u64;
+    let mut divergences = 0u64;
+    for wire in &c.wires {
+        for conn in decompose(wire) {
+            let reference = best_route_reference(&costs, conn, OVERSHOOT);
+            let fast = best_route(&costs, conn, OVERSHOOT);
+            let slow = best_route(&PerCell(&costs), conn, OVERSHOOT);
+            for (path, eval) in [("fast", &fast), ("percell", &slow)] {
+                if eval.route != reference.route
+                    || eval.cost != reference.cost
+                    || eval.candidates != reference.candidates
+                    || eval.cells_examined != reference.cells_examined
+                {
+                    divergences += 1;
+                    eprintln!(
+                        "quality-check: {} wire {} conn {:?}->{:?} [{path}]: \
+                         cost {} vs {}, candidates {} vs {}, cells {} vs {}",
+                        c.name,
+                        wire.id,
+                        conn.from,
+                        conn.to,
+                        eval.cost,
+                        reference.cost,
+                        eval.candidates,
+                        reference.candidates,
+                        eval.cells_examined,
+                        reference.cells_examined,
+                    );
+                }
+            }
+            costs.add_route(&fast.route);
+            checked += 1;
+        }
+    }
+    println!("quality-check: {} — {} connections, {} divergences", c.name, checked, divergences);
+    divergences
+}
+
+/// `--quality-check`: route bnrE and MDC with both evaluators and fail
+/// on any divergence.
+fn run_quality_check() -> ! {
+    let divergences =
+        quality_check_circuit(&presets::bnr_e()) + quality_check_circuit(&presets::mdc());
+    if divergences > 0 {
+        eprintln!("quality-check: FAILED ({divergences} divergences)");
+        std::process::exit(1);
+    }
+    println!("quality-check: OK (optimized kernel matches reference evaluator exactly)");
+    std::process::exit(0);
+}
+
 /// Removes `--flag <value>` from `args` and returns the value, if present.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let i = args.iter().position(|a| a == flag)?;
@@ -362,6 +450,10 @@ fn write_or_die(path: &str, contents: &str) {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--quality-check") {
+        args.remove(i);
+        run_quality_check();
+    }
     let trace_out = take_flag(&mut args, "--trace-out");
     let metrics_out = take_flag(&mut args, "--metrics-out");
     if let Some(bad) = args.iter().find(|a| a.starts_with("--")) {

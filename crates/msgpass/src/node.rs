@@ -13,8 +13,8 @@ use std::sync::{Arc, Mutex};
 use locus_circuit::{Circuit, Rect, WireId};
 use locus_mesh::{Envelope, Node, Outbox, SimTime, Step};
 use locus_obs::{Event as ObsEvent, EventKind as ObsKind, SharedSink, Sink};
-use locus_router::router::route_wire;
-use locus_router::{CostArray, ProcId, RegionMap, Route, WorkStats};
+use locus_router::router::route_wire_scratch;
+use locus_router::{CostArray, EvalScratch, ProcId, RegionMap, Route, WorkStats};
 
 use crate::config::{MsgPassConfig, PacketStructure, WireSource};
 use crate::delta::DeltaArray;
@@ -42,6 +42,9 @@ pub struct RouterNode {
     oracle: Arc<Mutex<CostArray>>,
 
     replica: CostArray,
+    /// Reusable evaluation buffers: the kernel allocates nothing per
+    /// candidate, and the replica's prefix caches serve its span queries.
+    scratch: EvalScratch,
     delta: DeltaArray,
     /// Bounding box of changes to the node's own region since its last
     /// `SendLocData` (kept incrementally; no scan needed).
@@ -119,6 +122,7 @@ impl RouterNode {
             config,
             my_wires,
             replica: CostArray::new(channels, grids),
+            scratch: EvalScratch::default(),
             delta: DeltaArray::new(channels, grids),
             own_dirty: None,
             routes: vec![None; n_wires],
@@ -159,6 +163,21 @@ impl RouterNode {
     fn emit(&mut self, kind: ObsKind) {
         if let Some(sink) = &mut self.obs {
             sink.record(ObsEvent { at_ns: self.now_ns, node: self.proc as u32, kind });
+        }
+    }
+
+    /// Marks this node done with routing and reports its kernel counters
+    /// (candidates swept; the replica's prefix-cache activity).
+    fn mark_finished_routing(&mut self) {
+        self.finished_routing = true;
+        if self.obs.is_some() {
+            let ps = self.replica.prefix_stats();
+            self.emit(ObsKind::KernelStats {
+                candidates: self.work.candidates,
+                prefix_hits: ps.hits,
+                prefix_rebuilds: ps.rebuilds,
+                prefix_invalidations: ps.invalidations,
+            });
         }
     }
 
@@ -316,7 +335,7 @@ impl RouterNode {
                 match wire {
                     Some(w) => self.granted = Some(w as WireId),
                     None => {
-                        self.finished_routing = true;
+                        self.mark_finished_routing();
                         self.occupancy_last = self.occupancy_current;
                     }
                 }
@@ -514,7 +533,12 @@ impl RouterNode {
 
         // Evaluate against the (possibly stale) replica.
         let wire = self.circuit.wire(wire_id).clone();
-        let eval = route_wire(&self.replica, &wire, self.config.params.channel_overshoot);
+        let eval = route_wire_scratch(
+            &self.replica,
+            &wire,
+            self.config.params.channel_overshoot,
+            &mut self.scratch,
+        );
         busy += eval.cells_examined * self.config.cell_eval_ns;
         busy += eval.route.len() as u64 * self.config.cell_write_ns;
         {
@@ -558,7 +582,7 @@ impl RouterNode {
             self.request_cursor = 0;
             self.occupancy_last = self.occupancy_current;
             if self.iteration == self.config.params.iterations {
-                self.finished_routing = true;
+                self.mark_finished_routing();
             } else {
                 self.occupancy_current = 0;
             }
@@ -573,7 +597,12 @@ impl RouterNode {
     fn route_granted_wire(&mut self, wire_id: WireId, outbox: &mut Outbox<Packet>) -> u64 {
         let mut busy = 0u64;
         let wire = self.circuit.wire(wire_id).clone();
-        let eval = route_wire(&self.replica, &wire, self.config.params.channel_overshoot);
+        let eval = route_wire_scratch(
+            &self.replica,
+            &wire,
+            self.config.params.channel_overshoot,
+            &mut self.scratch,
+        );
         busy += eval.cells_examined * self.config.cell_eval_ns;
         busy += eval.route.len() as u64 * self.config.cell_write_ns;
         {
@@ -614,7 +643,7 @@ impl RouterNode {
                 self.dyn_pool_next += 1;
                 busy += self.route_granted_wire(w, outbox);
             } else {
-                self.finished_routing = true;
+                self.mark_finished_routing();
                 self.occupancy_last = self.occupancy_current;
             }
             return Step::Continue { busy_ns: busy };

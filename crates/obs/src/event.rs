@@ -86,6 +86,18 @@ pub enum EventKind {
         /// Phase name.
         name: &'static str,
     },
+    /// End-of-run counters from the routing evaluation kernel (emitted
+    /// once per engine run that owns a `CostArray`).
+    KernelStats {
+        /// Candidate routes examined over the whole run.
+        candidates: u64,
+        /// Span queries answered from a valid prefix-sum cache line.
+        prefix_hits: u64,
+        /// Prefix-sum cache lines rebuilt on a dirty query.
+        prefix_rebuilds: u64,
+        /// Cache-line invalidations caused by cost-array writes.
+        prefix_invalidations: u64,
+    },
 }
 
 impl EventKind {
@@ -102,6 +114,7 @@ impl EventKind {
             EventKind::BusTransfer { .. } => "BusTransfer",
             EventKind::PhaseBegin { .. } => "PhaseBegin",
             EventKind::PhaseEnd { .. } => "PhaseEnd",
+            EventKind::KernelStats { .. } => "KernelStats",
         }
     }
 }

@@ -106,6 +106,16 @@ pub fn chrome_trace(events: &[Event]) -> String {
                         format!("{{\"addr\":{addr},\"copies\":{copies}}}")
                     }
                     EventKind::BusTransfer { bytes } => format!("{{\"bytes\":{bytes}}}"),
+                    EventKind::KernelStats {
+                        candidates,
+                        prefix_hits,
+                        prefix_rebuilds,
+                        prefix_invalidations,
+                    } => format!(
+                        "{{\"candidates\":{candidates},\"prefix_hits\":{prefix_hits},\
+                         \"prefix_rebuilds\":{prefix_rebuilds},\
+                         \"prefix_invalidations\":{prefix_invalidations}}}"
+                    ),
                     EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => unreachable!(),
                 };
                 format!(
@@ -188,6 +198,7 @@ fn glyph(kind: &EventKind) -> (char, u8) {
         EventKind::CacheMiss { .. } => ('M', 3),
         EventKind::Invalidation { .. } => ('I', 2),
         EventKind::BusTransfer { .. } => ('B', 1),
+        EventKind::KernelStats { .. } => ('K', 1),
         EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => ('|', 0),
     }
 }

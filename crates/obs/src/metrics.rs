@@ -50,6 +50,14 @@ pub mod names {
     pub const PHASES_BEGUN: &str = "phases_begun";
     /// Phases ended.
     pub const PHASES_ENDED: &str = "phases_ended";
+    /// Candidate routes examined by the evaluation kernel.
+    pub const KERNEL_CANDIDATES: &str = "kernel_candidates";
+    /// Span queries served from a valid prefix-sum cache line.
+    pub const PREFIX_CACHE_HITS: &str = "prefix_cache_hits";
+    /// Prefix-sum cache lines rebuilt.
+    pub const PREFIX_CACHE_REBUILDS: &str = "prefix_cache_rebuilds";
+    /// Prefix-sum cache lines invalidated by writes.
+    pub const PREFIX_CACHE_INVALIDATIONS: &str = "prefix_cache_invalidations";
 }
 
 /// Well-known histogram names produced by [`Metrics::observe`].
@@ -271,6 +279,17 @@ impl Metrics {
             }
             EventKind::PhaseBegin { .. } => self.add(names::PHASES_BEGUN, 1),
             EventKind::PhaseEnd { .. } => self.add(names::PHASES_ENDED, 1),
+            EventKind::KernelStats {
+                candidates,
+                prefix_hits,
+                prefix_rebuilds,
+                prefix_invalidations,
+            } => {
+                self.add(names::KERNEL_CANDIDATES, candidates);
+                self.add(names::PREFIX_CACHE_HITS, prefix_hits);
+                self.add(names::PREFIX_CACHE_REBUILDS, prefix_rebuilds);
+                self.add(names::PREFIX_CACHE_INVALIDATIONS, prefix_invalidations);
+            }
         }
     }
 

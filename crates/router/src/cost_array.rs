@@ -5,6 +5,16 @@
 //! The vertical dimension of the array is the number of routing channels
 //! [...] and the horizontal dimension is the number of routing grids"
 //! (paper §3, Figure 1).
+//!
+//! Candidate evaluation costs routes by *span queries* — sums along a row
+//! or column interval — rather than cell by cell. [`CostArray`] answers
+//! them in O(1) from lazily maintained per-row and per-column prefix-sum
+//! caches (invalidated by a dirty bit per row/column on every write);
+//! instrumented views keep the per-cell default implementations so their
+//! reference traces stay byte-identical to a cell-by-cell evaluator.
+
+use std::cell::RefCell;
+use std::fmt;
 
 use locus_circuit::{GridCell, Rect};
 
@@ -31,6 +41,114 @@ pub trait CostView {
     fn route_cost(&self, route: &Route) -> u64 {
         route.cells().iter().map(|&c| self.cost_at(c) as u64).sum()
     }
+
+    /// Sum of costs over `(channel, x)` for `x` in `x_lo..=x_hi`.
+    ///
+    /// The default reads the cells one by one in ascending `x` order, so
+    /// views that instrument [`Self::cost_at`] (trace collection, logical
+    /// clocks) observe exactly the reference sequence a cell-by-cell
+    /// evaluator would produce. [`CostArray`] overrides this with an O(1)
+    /// prefix-sum lookup.
+    fn horizontal_cost(&self, channel: u16, x_lo: u16, x_hi: u16) -> u64 {
+        (x_lo..=x_hi).map(|x| self.cost_at(GridCell::new(channel, x)) as u64).sum()
+    }
+
+    /// Sum of costs over `(c, x)` for `c` in `c_lo..=c_hi`.
+    ///
+    /// Default reads cells in ascending channel order (see
+    /// [`Self::horizontal_cost`] for why); [`CostArray`] answers in O(1).
+    fn vertical_cost(&self, x: u16, c_lo: u16, c_hi: u16) -> u64 {
+        (c_lo..=c_hi).map(|c| self.cost_at(GridCell::new(c, x)) as u64).sum()
+    }
+
+    /// Whether span queries are O(1) arithmetic with no per-read side
+    /// effects. Enables the incremental HVH jog sweep in
+    /// [`crate::twobend::best_route`], which replaces repeated span
+    /// queries with O(1) running updates. Instrumented views must keep
+    /// the default `false` so their per-cell read streams stay exact.
+    fn fast_spans(&self) -> bool {
+        false
+    }
+}
+
+/// Running totals of prefix-cache activity (monotonic over the array's
+/// lifetime), surfaced as kernel counters through `locus-obs`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefixStats {
+    /// Span queries answered from an already-valid row/column cache line.
+    pub hits: u64,
+    /// Row/column prefix rebuilds (a query found the line dirty).
+    pub rebuilds: u64,
+    /// Valid→dirty transitions caused by writes.
+    pub invalidations: u64,
+}
+
+/// Lazily maintained prefix sums: per-row and per-column, with one dirty
+/// bit each. A row line also carries the row maximum so
+/// [`CostArray::channel_tracks`] is O(1) on a clean row.
+struct PrefixCache {
+    /// Row-major `channels × (grids + 1)` prefix sums; entry `x` of row
+    /// `c` is the sum of cells `(c, 0..x)`.
+    rows: Vec<u64>,
+    /// Column-major `grids × (channels + 1)` prefix sums.
+    cols: Vec<u64>,
+    /// Maximum value of each row (the channel's track requirement).
+    row_max: Vec<u16>,
+    row_valid: Vec<bool>,
+    col_valid: Vec<bool>,
+    stats: PrefixStats,
+}
+
+impl PrefixCache {
+    fn new(channels: u16, grids: u16) -> Self {
+        let (ch, g) = (channels as usize, grids as usize);
+        PrefixCache {
+            rows: vec![0; ch * (g + 1)],
+            cols: vec![0; g * (ch + 1)],
+            row_max: vec![0; ch],
+            row_valid: vec![false; ch],
+            col_valid: vec![false; g],
+            stats: PrefixStats::default(),
+        }
+    }
+
+    /// Rebuilds row `c` if dirty; returns its prefix line.
+    fn row(&mut self, c: usize, cells: &[u16], grids: usize) -> &[u64] {
+        let base = c * (grids + 1);
+        if !self.row_valid[c] {
+            self.stats.rebuilds += 1;
+            let src = &cells[c * grids..(c + 1) * grids];
+            let mut acc = 0u64;
+            let mut max = 0u16;
+            for (x, &v) in src.iter().enumerate() {
+                acc += v as u64;
+                self.rows[base + x + 1] = acc;
+                max = max.max(v);
+            }
+            self.row_max[c] = max;
+            self.row_valid[c] = true;
+        } else {
+            self.stats.hits += 1;
+        }
+        &self.rows[base..base + grids + 1]
+    }
+
+    /// Rebuilds column `x` if dirty; returns its prefix line.
+    fn col(&mut self, x: usize, cells: &[u16], channels: usize, grids: usize) -> &[u64] {
+        let base = x * (channels + 1);
+        if !self.col_valid[x] {
+            self.stats.rebuilds += 1;
+            let mut acc = 0u64;
+            for c in 0..channels {
+                acc += cells[c * grids + x] as u64;
+                self.cols[base + c + 1] = acc;
+            }
+            self.col_valid[x] = true;
+        } else {
+            self.stats.hits += 1;
+        }
+        &self.cols[base..base + channels + 1]
+    }
 }
 
 /// A dense `channels × grids` array of wire-occupancy counts.
@@ -38,11 +156,43 @@ pub trait CostView {
 /// Values are `u16`: even a pathological routing never stacks anywhere
 /// near 65 535 wires on one grid cell for circuits of this class; the
 /// debug-mode arithmetic checks would catch overflow regardless.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Equality and cloning consider only the cell values; the prefix caches
+/// are an implementation detail (a clone starts with cold caches).
 pub struct CostArray {
     channels: u16,
     grids: u16,
     cells: Vec<u16>,
+    cache: RefCell<PrefixCache>,
+}
+
+impl Clone for CostArray {
+    fn clone(&self) -> Self {
+        CostArray {
+            channels: self.channels,
+            grids: self.grids,
+            cells: self.cells.clone(),
+            cache: RefCell::new(PrefixCache::new(self.channels, self.grids)),
+        }
+    }
+}
+
+impl PartialEq for CostArray {
+    fn eq(&self, other: &Self) -> bool {
+        self.channels == other.channels && self.grids == other.grids && self.cells == other.cells
+    }
+}
+
+impl Eq for CostArray {}
+
+impl fmt::Debug for CostArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CostArray")
+            .field("channels", &self.channels)
+            .field("grids", &self.grids)
+            .field("cells", &self.cells)
+            .finish()
+    }
 }
 
 impl CostArray {
@@ -52,7 +202,12 @@ impl CostArray {
     /// Panics if either dimension is zero.
     pub fn new(channels: u16, grids: u16) -> Self {
         assert!(channels > 0 && grids > 0, "cost array dimensions must be nonzero");
-        CostArray { channels, grids, cells: vec![0; channels as usize * grids as usize] }
+        CostArray {
+            channels,
+            grids,
+            cells: vec![0; channels as usize * grids as usize],
+            cache: RefCell::new(PrefixCache::new(channels, grids)),
+        }
     }
 
     /// Flat index of `cell`, row(channel)-major.
@@ -60,6 +215,22 @@ impl CostArray {
     fn index(&self, cell: GridCell) -> usize {
         debug_assert!(cell.channel < self.channels && cell.x < self.grids, "{cell} out of range");
         cell.channel as usize * self.grids as usize + cell.x as usize
+    }
+
+    /// Marks the caches covering `cell` dirty (cheap: two flag stores).
+    #[inline]
+    fn invalidate(&mut self, cell: GridCell) {
+        let cache = self.cache.get_mut();
+        let c = cell.channel as usize;
+        let x = cell.x as usize;
+        if cache.row_valid[c] {
+            cache.row_valid[c] = false;
+            cache.stats.invalidations += 1;
+        }
+        if cache.col_valid[x] {
+            cache.col_valid[x] = false;
+            cache.stats.invalidations += 1;
+        }
     }
 
     /// Current value at `cell`.
@@ -72,7 +243,10 @@ impl CostArray {
     #[inline]
     pub fn set(&mut self, cell: GridCell, value: u16) {
         let i = self.index(cell);
-        self.cells[i] = value;
+        if self.cells[i] != value {
+            self.cells[i] = value;
+            self.invalidate(cell);
+        }
     }
 
     /// Adds a (possibly negative) delta to `cell`, saturating at zero.
@@ -84,8 +258,12 @@ impl CostArray {
     #[inline]
     pub fn add(&mut self, cell: GridCell, delta: i32) {
         let i = self.index(cell);
-        let v = self.cells[i] as i32 + delta;
-        self.cells[i] = v.max(0) as u16;
+        let old = self.cells[i];
+        let v = (old as i32 + delta).max(0) as u16;
+        if v != old {
+            self.cells[i] = v;
+            self.invalidate(cell);
+        }
     }
 
     /// Increments every cell of `route` by one (the wire is *routed*).
@@ -103,10 +281,12 @@ impl CostArray {
     }
 
     /// Maximum value in channel row `c` — the number of routing tracks
-    /// the channel requires (§3).
+    /// the channel requires (§3). O(1) when the row cache is clean: the
+    /// row maximum is maintained alongside the prefix sums.
     pub fn channel_tracks(&self, c: u16) -> u16 {
-        let base = c as usize * self.grids as usize;
-        self.cells[base..base + self.grids as usize].iter().copied().max().unwrap_or(0)
+        let mut cache = self.cache.borrow_mut();
+        cache.row(c as usize, &self.cells, self.grids as usize);
+        cache.row_max[c as usize]
     }
 
     /// Sum over channels of [`Self::channel_tracks`] — the **circuit
@@ -124,6 +304,11 @@ impl CostArray {
     /// Whether every cell is zero.
     pub fn is_zero(&self) -> bool {
         self.cells.iter().all(|&v| v == 0)
+    }
+
+    /// Prefix-cache activity counters (kernel observability).
+    pub fn prefix_stats(&self) -> PrefixStats {
+        self.cache.borrow().stats
     }
 
     /// Copies the values inside `rect` into a fresh vector, row-major
@@ -171,6 +356,23 @@ impl CostView for CostArray {
     #[inline]
     fn cost_at(&self, cell: GridCell) -> u32 {
         self.get(cell) as u32
+    }
+    #[inline]
+    fn horizontal_cost(&self, channel: u16, x_lo: u16, x_hi: u16) -> u64 {
+        debug_assert!(x_lo <= x_hi && x_hi < self.grids);
+        let mut cache = self.cache.borrow_mut();
+        let row = cache.row(channel as usize, &self.cells, self.grids as usize);
+        row[x_hi as usize + 1] - row[x_lo as usize]
+    }
+    #[inline]
+    fn vertical_cost(&self, x: u16, c_lo: u16, c_hi: u16) -> u64 {
+        debug_assert!(c_lo <= c_hi && c_hi < self.channels);
+        let mut cache = self.cache.borrow_mut();
+        let col = cache.col(x as usize, &self.cells, self.channels as usize, self.grids as usize);
+        col[c_hi as usize + 1] - col[c_lo as usize]
+    }
+    fn fast_spans(&self) -> bool {
+        true
     }
 }
 
@@ -230,6 +432,26 @@ mod tests {
     }
 
     #[test]
+    fn channel_tracks_agrees_with_naive_scan() {
+        // The cached row maximum must match a fresh full-row scan through
+        // arbitrary interleavings of writes and queries.
+        let mut a = CostArray::new(3, 16);
+        for step in 0u16..60 {
+            let c = step % 3;
+            let x = (step * 7) % 16;
+            a.set(cell(c, x), (step * 5) % 9);
+            let _ = a.channel_tracks((step + 1) % 3); // interleave queries
+            for row in 0..3u16 {
+                let naive = (0..16).map(|x| a.get(cell(row, x))).max().unwrap();
+                assert_eq!(a.channel_tracks(row), naive, "row {row} after step {step}");
+            }
+            let naive_height: u64 =
+                (0..3).map(|r| (0..16).map(|x| a.get(cell(r, x))).max().unwrap() as u64).sum();
+            assert_eq!(a.circuit_height(), naive_height);
+        }
+    }
+
+    #[test]
     fn add_saturates_at_zero() {
         let mut a = CostArray::new(2, 2);
         a.add(cell(0, 0), -5);
@@ -271,6 +493,77 @@ mod tests {
         a.set(cell(1, 3), 4);
         let r = Route::from_segments(vec![Segment::horizontal(1, 2, 3)]);
         assert_eq!(a.route_cost(&r), 7);
+    }
+
+    #[test]
+    fn span_queries_match_per_cell_sums() {
+        let mut a = CostArray::new(5, 12);
+        for c in 0..5u16 {
+            for x in 0..12u16 {
+                a.set(cell(c, x), (c * 31 + x * 7) % 13);
+            }
+        }
+        for c in 0..5u16 {
+            for lo in 0..12u16 {
+                for hi in lo..12u16 {
+                    let naive: u64 = (lo..=hi).map(|x| a.get(cell(c, x)) as u64).sum();
+                    assert_eq!(a.horizontal_cost(c, lo, hi), naive);
+                }
+            }
+        }
+        for x in 0..12u16 {
+            for lo in 0..5u16 {
+                for hi in lo..5u16 {
+                    let naive: u64 = (lo..=hi).map(|c| a.get(cell(c, x)) as u64).sum();
+                    assert_eq!(a.vertical_cost(x, lo, hi), naive);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn writes_invalidate_spans() {
+        let mut a = CostArray::new(3, 8);
+        a.set(cell(1, 4), 5);
+        assert_eq!(a.horizontal_cost(1, 0, 7), 5);
+        assert_eq!(a.vertical_cost(4, 0, 2), 5);
+        a.add(cell(1, 4), 2);
+        assert_eq!(a.horizontal_cost(1, 0, 7), 7);
+        assert_eq!(a.vertical_cost(4, 0, 2), 7);
+        a.set(cell(1, 4), 0);
+        assert_eq!(a.horizontal_cost(1, 0, 7), 0);
+        assert_eq!(a.channel_tracks(1), 0);
+    }
+
+    #[test]
+    fn prefix_stats_track_hits_and_rebuilds() {
+        let mut a = CostArray::new(3, 8);
+        assert_eq!(a.prefix_stats(), PrefixStats::default());
+        let _ = a.horizontal_cost(0, 0, 7); // cold: rebuild
+        let _ = a.horizontal_cost(0, 2, 5); // warm: hit
+        let s = a.prefix_stats();
+        assert_eq!(s.rebuilds, 1);
+        assert_eq!(s.hits, 1);
+        a.set(cell(0, 3), 9); // invalidates row 0 and column 3
+        let s = a.prefix_stats();
+        assert_eq!(s.invalidations, 1, "only the valid row line transitions");
+        let _ = a.horizontal_cost(0, 0, 7);
+        assert_eq!(a.prefix_stats().rebuilds, 2);
+    }
+
+    #[test]
+    fn clone_and_equality_ignore_cache_state() {
+        let mut a = CostArray::new(3, 8);
+        a.set(cell(1, 1), 4);
+        let _ = a.horizontal_cost(1, 0, 7); // warm a's cache
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.horizontal_cost(1, 0, 7), 4, "cold clone answers correctly");
+        let mut c = CostArray::new(3, 8);
+        c.set(cell(1, 1), 4);
+        assert_eq!(a, c);
+        c.set(cell(1, 1), 5);
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -41,11 +41,11 @@ pub mod twobend;
 pub mod work;
 
 pub use assign::{assign, Assignment, AssignmentStrategy};
-pub use cost_array::{CostArray, CostView};
+pub use cost_array::{CostArray, CostView, PrefixStats};
 pub use locality::LocalityMeasure;
 pub use params::RouterParams;
 pub use quality::QualityMetrics;
 pub use region::{mesh_dims, ProcId, RegionMap};
 pub use route::{Route, Segment};
-pub use router::{RouteOutcome, SequentialRouter};
+pub use router::{EvalScratch, RouteOutcome, SequentialRouter};
 pub use work::WorkStats;

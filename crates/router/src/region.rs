@@ -131,12 +131,25 @@ impl RegionMap {
         out
     }
 
-    /// Every processor whose owned region intersects `rect`.
+    /// Every processor whose owned region intersects `rect`, ascending.
+    ///
+    /// The regions tile the surface, so the intersecting owners form a
+    /// contiguous sub-grid of the processor mesh: binary-search its corner
+    /// rows/columns instead of testing all P regions. This sits on the
+    /// per-wire update path of the message-passing router.
     pub fn owners_intersecting(&self, rect: Rect) -> Vec<ProcId> {
-        let mut out = Vec::new();
-        for p in 0..self.n_procs() {
-            if self.region(p).intersects(&rect) {
-                out.push(p);
+        if rect.c_lo >= self.channels || rect.x_lo >= self.grids {
+            return Vec::new();
+        }
+        let row_lo = self.channel_starts[1..].partition_point(|&s| s <= rect.c_lo);
+        let row_hi =
+            self.channel_starts[1..].partition_point(|&s| s <= rect.c_hi.min(self.channels - 1));
+        let col_lo = self.grid_starts[1..].partition_point(|&s| s <= rect.x_lo);
+        let col_hi = self.grid_starts[1..].partition_point(|&s| s <= rect.x_hi.min(self.grids - 1));
+        let mut out = Vec::with_capacity((row_hi + 1 - row_lo) * (col_hi + 1 - col_lo));
+        for row in row_lo..=row_hi {
+            for col in col_lo..=col_hi {
+                out.push(self.proc_at(row, col));
             }
         }
         out
@@ -238,6 +251,26 @@ mod tests {
         assert_eq!(all, vec![0, 1, 2, 3]);
         let region0 = m.region(0);
         assert_eq!(m.owners_intersecting(region0), vec![0]);
+    }
+
+    #[test]
+    fn owners_intersecting_matches_full_scan() {
+        for n_procs in [1, 2, 4, 6, 9, 16] {
+            let m = RegionMap::new(10, 97, n_procs);
+            for c_lo in (0..10u16).step_by(3) {
+                for c_hi in c_lo..10 {
+                    for x_lo in (0..97u16).step_by(13) {
+                        for x_hi in (x_lo..97).step_by(11) {
+                            let rect = Rect::new(c_lo, c_hi, x_lo, x_hi);
+                            let scan: Vec<ProcId> = (0..m.n_procs())
+                                .filter(|&p| m.region(p).intersects(&rect))
+                                .collect();
+                            assert_eq!(m.owners_intersecting(rect), scan, "{rect} P={n_procs}");
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

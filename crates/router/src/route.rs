@@ -43,17 +43,15 @@ impl Segment {
         Segment::Vertical { x, c_lo: ca.min(cb), c_hi: ca.max(cb) }
     }
 
-    /// Number of cells covered by the segment.
+    /// Number of cells covered by the segment. Always at least one — the
+    /// normalizing constructors make empty segments unrepresentable, so
+    /// there is deliberately no `is_empty`.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u32 {
         match *self {
             Segment::Horizontal { x_lo, x_hi, .. } => (x_hi - x_lo) as u32 + 1,
             Segment::Vertical { c_lo, c_hi, .. } => (c_hi - c_lo) as u32 + 1,
         }
-    }
-
-    /// A segment always covers at least one cell.
-    pub fn is_empty(&self) -> bool {
-        false
     }
 
     /// The cells covered by this segment, in order.
@@ -93,7 +91,18 @@ impl Route {
     /// Panics if `segments` is empty.
     pub fn from_segments(segments: Vec<Segment>) -> Self {
         assert!(!segments.is_empty(), "route must have at least one segment");
-        let mut cells: Vec<GridCell> = segments.iter().flat_map(|s| s.cells()).collect();
+        let total: usize = segments.iter().map(|s| s.len() as usize).sum();
+        let mut cells: Vec<GridCell> = Vec::with_capacity(total);
+        for s in &segments {
+            match *s {
+                Segment::Horizontal { channel, x_lo, x_hi } => {
+                    cells.extend((x_lo..=x_hi).map(|x| GridCell::new(channel, x)));
+                }
+                Segment::Vertical { x, c_lo, c_hi } => {
+                    cells.extend((c_lo..=c_hi).map(|c| GridCell::new(c, x)));
+                }
+            }
+        }
         cells.sort_unstable();
         cells.dedup();
         Route { segments, cells }
@@ -111,15 +120,13 @@ impl Route {
         &self.segments
     }
 
-    /// Number of occupied cells.
+    /// Number of occupied cells. Always at least one —
+    /// [`Route::from_segments`] rejects empty segment lists, so emptiness
+    /// is unrepresentable and there is deliberately no `is_empty`.
     #[inline]
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.cells.len()
-    }
-
-    /// A route always occupies at least one cell.
-    pub fn is_empty(&self) -> bool {
-        false
     }
 
     /// Bounding box of the whole route.

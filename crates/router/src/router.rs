@@ -1,14 +1,14 @@
 //! The reference sequential router and the shared per-wire routing step.
 
-use locus_circuit::{Circuit, Wire};
+use locus_circuit::{Circuit, Pin, Wire};
 use locus_obs::{Event as ObsEvent, EventKind as ObsKind, NullSink, Sink};
 
 use crate::cost_array::{CostArray, CostView};
 use crate::params::RouterParams;
 use crate::quality::QualityMetrics;
-use crate::route::Route;
-use crate::segment::decompose;
-use crate::twobend::best_route;
+use crate::route::{Route, Segment};
+use crate::segment::{decompose_into, Connection};
+use crate::twobend::best_route_into;
 use crate::work::WorkStats;
 
 /// Result of evaluating one wire against a cost view (without mutating it).
@@ -36,25 +36,48 @@ pub struct WireEvaluation {
 /// node to its replica and delta array, the shared-memory emulator to the
 /// (instrumented) shared array.
 pub fn route_wire<V: CostView + ?Sized>(view: &V, wire: &Wire, overshoot: u16) -> WireEvaluation {
-    let mut segments = Vec::new();
+    route_wire_scratch(view, wire, overshoot, &mut EvalScratch::default())
+}
+
+/// Reusable buffers for the routing kernel. Hold one per routing thread
+/// (or per message-passing node) and pass it to [`route_wire_scratch`]:
+/// after the first few wires the buffers reach steady-state capacity and
+/// the evaluation loop performs no allocations besides the winning
+/// [`Route`] itself.
+#[derive(Default)]
+pub struct EvalScratch {
+    pins: Vec<Pin>,
+    connections: Vec<Connection>,
+    segments: Vec<Segment>,
+}
+
+/// [`route_wire`] with caller-provided scratch buffers; see
+/// [`EvalScratch`]. Candidate evaluation allocates nothing — only the
+/// single winning route per wire is materialized.
+pub fn route_wire_scratch<V: CostView + ?Sized>(
+    view: &V,
+    wire: &Wire,
+    overshoot: u16,
+    scratch: &mut EvalScratch,
+) -> WireEvaluation {
+    let EvalScratch { pins, connections, segments } = scratch;
+    decompose_into(wire, pins, connections);
+    segments.clear();
     let mut cost = 0u64;
     let mut candidates = 0u64;
     let mut cells_examined = 0u64;
-    let connections = decompose(wire);
-    let n = connections.len() as u64;
-    for conn in connections {
-        let eval = best_route(view, conn, overshoot);
-        cost += eval.cost;
-        candidates += eval.candidates as u64;
-        cells_examined += eval.cells_examined;
-        segments.extend_from_slice(eval.route.segments());
+    for &conn in connections.iter() {
+        let core = best_route_into(view, conn, overshoot, segments);
+        cost += core.cost;
+        candidates += core.candidates as u64;
+        cells_examined += core.cells_examined;
     }
     WireEvaluation {
-        route: Route::from_segments(segments),
+        route: Route::from_segments(segments.clone()),
         cost,
         candidates,
         cells_examined,
-        connections: n,
+        connections: connections.len() as u64,
     }
 }
 
@@ -110,6 +133,7 @@ impl<'a> SequentialRouter<'a> {
         let mut routes: Vec<Option<Route>> = vec![None; circuit.wire_count()];
         let mut work = WorkStats::default();
         let mut occupancy_by_iteration = Vec::with_capacity(params.iterations);
+        let mut scratch = EvalScratch::default();
 
         for _iteration in 0..params.iterations {
             let mut occupancy = 0u64;
@@ -133,7 +157,7 @@ impl<'a> SequentialRouter<'a> {
                         });
                     }
                 }
-                let eval = route_wire(&cost, wire, params.channel_overshoot);
+                let eval = route_wire_scratch(&cost, wire, params.channel_overshoot, &mut scratch);
                 // Occupancy: the merged route's cost at routing time (§3).
                 // Using the merged route (not the per-connection sum)
                 // counts overlap cells once, matching the parallel
@@ -165,6 +189,19 @@ impl<'a> SequentialRouter<'a> {
                 });
             }
             occupancy_by_iteration.push(occupancy);
+        }
+        if obs_on {
+            let ps = cost.prefix_stats();
+            sink.record(ObsEvent {
+                at_ns: work.cells_examined,
+                node: 0,
+                kind: ObsKind::KernelStats {
+                    candidates: work.candidates,
+                    prefix_hits: ps.hits,
+                    prefix_rebuilds: ps.rebuilds,
+                    prefix_invalidations: ps.invalidations,
+                },
+            });
         }
 
         let routes: Vec<Route> =

@@ -23,13 +23,27 @@ pub struct Connection {
 /// coincide yields a single degenerate connection so it still occupies its
 /// cell in the cost array.
 pub fn decompose(wire: &Wire) -> Vec<Connection> {
-    let mut pins = wire.pins.clone();
+    let mut pins = Vec::new();
+    let mut out = Vec::new();
+    decompose_into(wire, &mut pins, &mut out);
+    out
+}
+
+/// Allocation-free [`decompose`]: writes the connection chain into `out`
+/// using `pins` as sort scratch. Both buffers are cleared first; at steady
+/// state (buffers reused across wires, as in
+/// [`crate::router::EvalScratch`]) no allocation occurs.
+pub fn decompose_into(wire: &Wire, pins: &mut Vec<Pin>, out: &mut Vec<Connection>) {
+    pins.clear();
+    pins.extend_from_slice(&wire.pins);
     pins.sort_unstable_by_key(|p| (p.x, p.channel));
     pins.dedup();
+    out.clear();
     if pins.len() == 1 {
-        return vec![Connection { from: pins[0], to: pins[0] }];
+        out.push(Connection { from: pins[0], to: pins[0] });
+        return;
     }
-    pins.windows(2).map(|w| Connection { from: w[0], to: w[1] }).collect()
+    out.extend(pins.windows(2).map(|w| Connection { from: w[0], to: w[1] }));
 }
 
 #[cfg(test)]

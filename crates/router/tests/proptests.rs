@@ -1,9 +1,9 @@
 //! Property-based tests for the routing core.
 
-use locus_circuit::{GridCell, Pin, Wire};
+use locus_circuit::{GridCell, Pin, Rect, Wire};
 use locus_router::router::route_wire;
 use locus_router::segment::Connection;
-use locus_router::twobend::best_route;
+use locus_router::twobend::{best_route, best_route_reference};
 use locus_router::{CostArray, CostView, RegionMap, Route, Segment};
 use proptest::prelude::*;
 
@@ -132,6 +132,114 @@ proptest! {
                 "pin {pin:?} not covered"
             );
         }
+    }
+
+    #[test]
+    fn optimized_evaluator_matches_reference(
+        a in arb_pin(),
+        b in arb_pin(),
+        costs in arb_cost_array(),
+        overshoot in 0u16..4,
+    ) {
+        // The span-arithmetic kernel must be bit-for-bit equivalent to the
+        // retained cell-list evaluator: same route, cost, candidate count,
+        // and cells-examined work measure. Checked both through the
+        // prefix-sum fast path and the per-cell default path.
+        struct PerCell<'a>(&'a CostArray);
+        impl CostView for PerCell<'_> {
+            fn channels(&self) -> u16 { CostView::channels(self.0) }
+            fn grids(&self) -> u16 { CostView::grids(self.0) }
+            fn cost_at(&self, cell: GridCell) -> u32 { self.0.cost_at(cell) }
+        }
+        let conn = Connection { from: a, to: b };
+        let reference = best_route_reference(&costs, conn, overshoot);
+        let fast = best_route(&costs, conn, overshoot);
+        let slow = best_route(&PerCell(&costs), conn, overshoot);
+        for eval in [fast, slow] {
+            prop_assert_eq!(&eval.route, &reference.route);
+            prop_assert_eq!(eval.cost, reference.cost);
+            prop_assert_eq!(eval.candidates, reference.candidates);
+            prop_assert_eq!(eval.cells_examined, reference.cells_examined);
+        }
+    }
+
+    #[test]
+    fn prefix_caches_survive_interleaved_mutation(
+        base in arb_cost_array(),
+        ops in proptest::collection::vec(
+            prop_oneof![
+                // set
+                (0u16..CHANNELS, 0u16..GRIDS, 0u16..12)
+                    .prop_map(|(c, x, v)| (0u8, c, x, v as i32)),
+                // add (possibly saturating)
+                (0u16..CHANNELS, 0u16..GRIDS, -4i32..8)
+                    .prop_map(|(c, x, d)| (1u8, c, x, d)),
+                // install a rect of a constant value
+                (0u16..CHANNELS, 0u16..CHANNELS, 0u16..GRIDS, 0u16..GRIDS, 0u16..6)
+                    .prop_map(|(c1, c2, x1, x2, v)| (2u8, c1.min(c2), x1.min(x2), v as i32)),
+                // apply_deltas over a rect
+                (0u16..CHANNELS, 0u16..GRIDS, -2i32..4)
+                    .prop_map(|(c, x, d)| (3u8, c, x, d)),
+                // add_route / remove_route
+                (0u16..CHANNELS, 0u16..GRIDS, 0u16..GRIDS)
+                    .prop_map(|(c, x1, x2)| (4u8, c, x1.min(x2), x2.max(x1) as i32)),
+            ],
+            1..40,
+        ),
+    ) {
+        // Ground truth is the array's own `get` (which never touches the
+        // caches); span/track queries are interleaved with every flavour
+        // of mutation so caches are warm whenever a write invalidates.
+        let mut cached = base.clone();
+        let mut route_stack: Vec<Route> = Vec::new();
+        for (i, &(op, c, x, v)) in ops.iter().enumerate() {
+            match op {
+                0 => cached.set(GridCell::new(c, x), v as u16),
+                1 => cached.add(GridCell::new(c, x), v),
+                2 => {
+                    let rect = Rect::new(c, (c + 2).min(CHANNELS - 1), x, (x + 3).min(GRIDS - 1));
+                    let vals = vec![v as u16; rect.area() as usize];
+                    cached.install(rect, &vals);
+                }
+                3 => {
+                    let rect = Rect::new(c, (c + 1).min(CHANNELS - 1), x, (x + 2).min(GRIDS - 1));
+                    let deltas = vec![v as i16; rect.area() as usize];
+                    cached.apply_deltas(rect, &deltas);
+                }
+                _ => {
+                    let route = Route::from_segments(vec![
+                        Segment::horizontal(c, x, v as u16),
+                    ]);
+                    if i % 2 == 0 {
+                        cached.add_route(&route);
+                        route_stack.push(route);
+                    } else if let Some(prev) = route_stack.pop() {
+                        cached.remove_route(&prev);
+                    }
+                }
+            }
+            // Interleave queries so caches are warm when the next
+            // mutation invalidates them.
+            let naive_h: u64 = (0..GRIDS).map(|xx| cached.get(GridCell::new(c, xx)) as u64).sum();
+            prop_assert_eq!(cached.horizontal_cost(c, 0, GRIDS - 1), naive_h);
+            let naive_v: u64 = (0..CHANNELS).map(|cc| cached.get(GridCell::new(cc, x)) as u64).sum();
+            prop_assert_eq!(cached.vertical_cost(x, 0, CHANNELS - 1), naive_v);
+            let naive_max = (0..GRIDS).map(|xx| cached.get(GridCell::new(c, xx))).max().unwrap();
+            prop_assert_eq!(cached.channel_tracks(c), naive_max);
+        }
+        // Final state: every span agrees with a fresh per-cell scan.
+        for c in 0..CHANNELS {
+            let naive: u64 = (0..GRIDS).map(|x| cached.get(GridCell::new(c, x)) as u64).sum();
+            prop_assert_eq!(cached.horizontal_cost(c, 0, GRIDS - 1), naive);
+        }
+        for x in 0..GRIDS {
+            let naive: u64 = (0..CHANNELS).map(|c| cached.get(GridCell::new(c, x)) as u64).sum();
+            prop_assert_eq!(cached.vertical_cost(x, 0, CHANNELS - 1), naive);
+        }
+        let naive_height: u64 = (0..CHANNELS)
+            .map(|c| (0..GRIDS).map(|x| cached.get(GridCell::new(c, x))).max().unwrap() as u64)
+            .sum();
+        prop_assert_eq!(cached.circuit_height(), naive_height);
     }
 
     #[test]

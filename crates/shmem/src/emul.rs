@@ -21,9 +21,9 @@ use std::cell::{Cell, RefCell};
 use locus_circuit::{Circuit, GridCell, WireId};
 use locus_coherence::{MemRef, RefKind, Trace};
 use locus_obs::{Event as ObsEvent, EventKind as ObsKind, NullSink, Sink};
-use locus_router::router::route_wire;
+use locus_router::router::route_wire_scratch;
 use locus_router::{
-    assign, CostArray, CostView, ProcId, QualityMetrics, RegionMap, Route, WorkStats,
+    assign, CostArray, CostView, EvalScratch, ProcId, QualityMetrics, RegionMap, Route, WorkStats,
 };
 
 use crate::cell_addr;
@@ -149,6 +149,10 @@ impl<'a> ShmemEmulator<'a> {
             .collect();
         let mut work = WorkStats::default();
         let mut occupancy_last = 0u64;
+        // Logical processors are multiplexed on one OS thread, so one
+        // scratch serves them all; evaluation itself reads through the
+        // per-cell `TracedView` path, keeping the reference trace exact.
+        let mut scratch = EvalScratch::default();
 
         for iteration in 0..cfg.params.iterations {
             let last_iteration = iteration + 1 == cfg.params.iterations;
@@ -278,7 +282,12 @@ impl<'a> ShmemEmulator<'a> {
                     step_ns: cfg.cell_eval_ns,
                     proc: p as u32,
                 };
-                let eval = route_wire(&view, circuit.wire(wire_id), cfg.params.channel_overshoot);
+                let eval = route_wire_scratch(
+                    &view,
+                    circuit.wire(wire_id),
+                    cfg.params.channel_overshoot,
+                    &mut scratch,
+                );
                 let eval_end = view.clock.get();
                 work.wires_routed += 1;
                 work.connections += eval.connections;
@@ -315,6 +324,22 @@ impl<'a> ShmemEmulator<'a> {
             routes.into_iter().map(|r| r.expect("every wire routed")).collect();
         let quality = QualityMetrics::from_final_state(&shared, occupancy_last);
         let completion = procs.iter().map(|s| s.clock).max().unwrap_or(0);
+        if obs_on {
+            // Evaluation reads go through the instrumented per-cell path,
+            // so prefix activity here reflects only quality measurement —
+            // the counters document that the trace path stays uncached.
+            let ps = shared.prefix_stats();
+            sink.record(ObsEvent {
+                at_ns: completion,
+                node: 0,
+                kind: ObsKind::KernelStats {
+                    candidates: work.candidates,
+                    prefix_hits: ps.hits,
+                    prefix_rebuilds: ps.rebuilds,
+                    prefix_invalidations: ps.invalidations,
+                },
+            });
+        }
 
         let trace = trace_cell.map(|t| {
             let mut trace = t.into_inner();

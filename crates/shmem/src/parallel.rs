@@ -17,8 +17,8 @@ use std::time::{Duration, Instant};
 
 use locus_circuit::{Circuit, GridCell, WireId};
 use locus_obs::{Event as ObsEvent, EventKind as ObsKind, SharedSink, Sink};
-use locus_router::router::route_wire;
-use locus_router::{assign, CostArray, CostView, QualityMetrics, RegionMap, Route};
+use locus_router::router::route_wire_scratch;
+use locus_router::{assign, CostArray, CostView, EvalScratch, QualityMetrics, RegionMap, Route};
 use parking_lot::Mutex;
 
 use crate::config::{Scheduling, ShmemConfig};
@@ -137,6 +137,7 @@ impl<'a> ThreadedRouter<'a> {
                 let static_lists = static_lists.as_ref();
                 let mut obs = self.obs.clone();
                 scope.spawn(move || {
+                    let mut scratch = EvalScratch::default();
                     let mut emit = |kind: ObsKind| {
                         if let Some(sink) = &mut obs {
                             sink.record(ObsEvent {
@@ -180,7 +181,12 @@ impl<'a> ThreadedRouter<'a> {
                                 });
                                 shared.remove_route(&old);
                             }
-                            let eval = route_wire(shared, circuit.wire(wire_id), overshoot);
+                            let eval = route_wire_scratch(
+                                shared,
+                                circuit.wire(wire_id),
+                                overshoot,
+                                &mut scratch,
+                            );
                             if last {
                                 // Same occupancy definition as the other
                                 // engines: merged-route cost at routing
