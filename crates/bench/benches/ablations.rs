@@ -3,7 +3,9 @@
 //! the network contention model.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use locus_bench::{contention_study, distribution_study, overshoot_study, structures_study};
+use locus_bench::{
+    contention_study, distribution_study, overshoot_study, structures_study, Harness,
+};
 use locus_circuit::presets;
 use locus_msgpass::{run_msgpass, MsgPassConfig, PacketStructure, UpdateSchedule};
 
@@ -11,22 +13,22 @@ fn bench(c: &mut Criterion) {
     let circuit = presets::small();
 
     println!("\nPacket structures (reduced: small circuit, 4 procs)");
-    for r in structures_study(&circuit, 4) {
+    for r in structures_study(&Harness::serial(), &circuit, 4) {
         println!(
             "  {:<28} ht={:<4} MB={:.4} t={:.4} packets={}",
             r.variant, r.ckt_ht, r.mbytes, r.time_s, r.packets
         );
     }
     println!("Channel overshoot");
-    for r in overshoot_study(&circuit, 4) {
+    for r in overshoot_study(&Harness::serial(), &circuit, 4) {
         println!("  {:<28} ht={:<4} MB={:.4} t={:.4}", r.variant, r.ckt_ht, r.mbytes, r.time_s);
     }
     println!("Contention model");
-    for r in contention_study(&circuit, 4) {
+    for r in contention_study(&Harness::serial(), &circuit, 4) {
         println!("  {:<28} ht={:<4} MB={:.4} t={:.4}", r.variant, r.ckt_ht, r.mbytes, r.time_s);
     }
     println!("Wire distribution");
-    for r in distribution_study(&circuit, 4) {
+    for r in distribution_study(&Harness::serial(), &circuit, 4) {
         println!(
             "  {:<28} ht={:<4} MB={:.4} t={:.4} packets={}",
             r.variant, r.ckt_ht, r.mbytes, r.time_s, r.packets

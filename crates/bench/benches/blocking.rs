@@ -1,13 +1,13 @@
 //! Bench `blocking`: blocking vs non-blocking receivers (paper §5.1.3).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use locus_bench::blocking_study;
+use locus_bench::{blocking_study, Harness};
 use locus_circuit::presets;
 use locus_msgpass::{run_msgpass, MsgPassConfig, UpdateSchedule};
 
 fn bench(c: &mut Criterion) {
     let circuit = presets::small();
-    let rows = blocking_study(&circuit, 4);
+    let rows = blocking_study(&Harness::serial(), &circuit, 4);
     println!("\nBlocking study (reduced: small circuit, 4 procs)");
     for r in &rows {
         println!(

@@ -1,14 +1,14 @@
 //! Bench `locality`: the §5.3.3 locality measure.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use locus_bench::locality_study;
+use locus_bench::{locality_study, Harness};
 use locus_circuit::presets;
 use locus_router::locality::locality_measure;
 use locus_router::{assign, AssignmentStrategy, RegionMap, RouterParams, SequentialRouter};
 
 fn bench(c: &mut Criterion) {
     let circuit = presets::small();
-    let rows = locality_study(&[&circuit], &[4]);
+    let rows = locality_study(&Harness::serial(), &[&circuit], &[4]);
     println!("\nLocality measure (reduced: small circuit)");
     for r in &rows {
         println!(

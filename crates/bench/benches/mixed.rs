@@ -1,13 +1,13 @@
 //! Bench `mixed`: mixed sender+receiver schedules (paper §5.1.3).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use locus_bench::mixed_study;
+use locus_bench::{mixed_study, Harness};
 use locus_circuit::presets;
 use locus_msgpass::{run_msgpass, MsgPassConfig, UpdateSchedule};
 
 fn bench(c: &mut Criterion) {
     let circuit = presets::small();
-    let rows = mixed_study(&circuit, 4);
+    let rows = mixed_study(&Harness::serial(), &circuit, 4);
     println!("\nMixed-schedule study (reduced: small circuit, 4 procs)");
     for r in &rows {
         println!(

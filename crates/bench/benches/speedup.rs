@@ -1,13 +1,13 @@
 //! Bench `speedup`: §5.4 speedup study plus real-thread wall clock.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use locus_bench::speedup_study;
+use locus_bench::{speedup_study, Harness};
 use locus_circuit::presets;
 use locus_shmem::{ShmemConfig, ThreadedRouter};
 
 fn bench(c: &mut Criterion) {
     let circuit = presets::small();
-    let rows = speedup_study(&[&circuit], &[2, 4]);
+    let rows = speedup_study(&Harness::serial(), &[&circuit], &[2, 4]);
     println!("\nSpeedup study (reduced: small circuit)");
     for r in &rows {
         println!(

@@ -4,13 +4,13 @@
 //! representative run. Full-scale tables: `locus-experiments table1`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use locus_bench::table1;
+use locus_bench::{table1, Harness};
 use locus_circuit::presets;
 use locus_msgpass::{run_msgpass, MsgPassConfig, UpdateSchedule};
 
 fn bench(c: &mut Criterion) {
     let circuit = presets::small();
-    let rows = table1(&circuit, 4);
+    let rows = table1(&Harness::serial(), &circuit, 4);
     println!("\nTable 1 (reduced: small circuit, 4 procs)");
     println!("{:>4} {:>4} {:>6} {:>9} {:>9} {:>9}", "rmt", "loc", "ht", "occup", "MB", "t(s)");
     for r in &rows {

@@ -1,13 +1,13 @@
 //! Bench `table2`: receiver-initiated update sweep (paper Table 2).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use locus_bench::table2;
+use locus_bench::{table2, Harness};
 use locus_circuit::presets;
 use locus_msgpass::{run_msgpass, MsgPassConfig, UpdateSchedule};
 
 fn bench(c: &mut Criterion) {
     let circuit = presets::small();
-    let rows = table2(&circuit, 4);
+    let rows = table2(&Harness::serial(), &circuit, 4);
     println!("\nTable 2 (reduced: small circuit, 4 procs)");
     println!("{:>4} {:>4} {:>6} {:>9} {:>9} {:>9}", "loc", "rmt", "ht", "occup", "MB", "t(s)");
     for r in &rows {

@@ -1,13 +1,13 @@
 //! Bench `table3`: coherence traffic vs cache line size (paper Table 3).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use locus_bench::{shared_memory_trace, table3};
+use locus_bench::{shared_memory_trace, table3, Harness};
 use locus_circuit::presets;
 use locus_coherence::{CoherenceConfig, CoherenceSim};
 
 fn bench(c: &mut Criterion) {
     let circuit = presets::small();
-    let rows = table3(&circuit, 4, &[4, 8, 16, 32]);
+    let rows = table3(&Harness::serial(), &circuit, 4, &[4, 8, 16, 32]);
     println!("\nTable 3 (reduced: small circuit, 4 procs)");
     println!("{:>5} {:>10} {:>8}", "line", "MB", "w-frac");
     for r in &rows {

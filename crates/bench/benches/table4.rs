@@ -1,14 +1,14 @@
 //! Bench `table4`: locality in the message-passing version (paper Table 4).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use locus_bench::{table4, table46_schedule};
+use locus_bench::{table4, table46_schedule, Harness};
 use locus_circuit::presets;
 use locus_msgpass::{run_msgpass, MsgPassConfig};
 use locus_router::AssignmentStrategy;
 
 fn bench(c: &mut Criterion) {
     let a = presets::small();
-    let rows = table4(&[&a], 4);
+    let rows = table4(&Harness::serial(), &[&a], 4);
     println!("\nTable 4 (reduced: small circuit, 4 procs)");
     for r in &rows {
         println!(

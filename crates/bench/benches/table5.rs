@@ -1,14 +1,14 @@
 //! Bench `table5`: locality in the shared-memory version (paper Table 5).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use locus_bench::table5;
+use locus_bench::{table5, Harness};
 use locus_circuit::presets;
 use locus_router::AssignmentStrategy;
 use locus_shmem::{ShmemConfig, ShmemEmulator};
 
 fn bench(c: &mut Criterion) {
     let a = presets::small();
-    let rows = table5(&[&a], 4);
+    let rows = table5(&Harness::serial(), &[&a], 4);
     println!("\nTable 5 (reduced: small circuit, 4 procs)");
     for r in &rows {
         println!("{:<8} {:<22} ht={:<4} MB={:.4}", r.circuit, r.method, r.ckt_ht, r.mbytes);

@@ -1,13 +1,13 @@
 //! Bench `table6`: processor-count scaling (paper Table 6).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use locus_bench::{table46_schedule, table6};
+use locus_bench::{table46_schedule, table6, Harness};
 use locus_circuit::presets;
 use locus_msgpass::{run_msgpass, MsgPassConfig};
 
 fn bench(c: &mut Criterion) {
     let circuit = presets::small();
-    let rows = table6(&circuit, &[2, 4]);
+    let rows = table6(&Harness::serial(), &circuit, &[2, 4]);
     println!("\nTable 6 (reduced: small circuit)");
     for r in &rows {
         println!(

@@ -6,10 +6,26 @@
 //! ```text
 //! locus-experiments <table1|table2|table3|table4|table5|table6|
 //!                    blocking|mixed|locality|speedup|compare|
-//!                    figure1|figure2|figure3|all>
+//!                    figure1|figure2|figure3|list|sweeps|all>
+//!                   [--quick] [--threads N] [--out <file>]
 //!                   [--trace-out <file>] [--metrics-out <file>]
+//! locus-experiments --engine <name> [--procs N] [--quick]
 //! locus-experiments --quality-check
 //! ```
+//!
+//! Independent sweep points run concurrently on a small scoped-thread
+//! pool sized by `--threads` (default: the host's available
+//! parallelism). Engines are deterministic, so the output is identical
+//! at any thread count; `sweeps` demonstrates that by running the
+//! Table 1 sweep serially and in parallel, checking the rows match, and
+//! recording the timings in `BENCH_sweeps.json` (see `--out`).
+//!
+//! `list` prints every experiment id plus every registered routing
+//! engine; `--engine <name>` routes one circuit through a single
+//! registry engine and prints its headline metrics. `--quick` shrinks
+//! any experiment to a CI-sized configuration (small synthetic circuit,
+//! 4 processors) — `locus-experiments compare --quick` is the CI smoke
+//! step.
 //!
 //! `--quality-check` routes bnrE and MDC evaluating every connection with
 //! both the optimized span kernel and the retained reference evaluator,
@@ -23,17 +39,81 @@
 //!
 //! Run with `--release`; the full suite takes a few minutes.
 
+use std::time::Instant;
+
 use locus_bench::fmt::render_table;
+use locus_bench::sweep::Harness;
 use locus_bench::*;
 use locus_circuit::presets;
+use locusroute::engines::{build_engine, registry};
+use locusroute::router::engine::EngineCtx;
+use locusroute::router::RouterParams;
+
+/// Settings shared by every experiment runner: the sweep harness and
+/// whether to shrink to the CI-sized quick configuration.
+struct RunCfg {
+    harness: Harness,
+    quick: bool,
+}
+
+impl RunCfg {
+    /// The benchmark circuit (`--quick`: the small synthetic preset).
+    fn circuit(&self) -> locus_circuit::Circuit {
+        if self.quick {
+            presets::small()
+        } else {
+            presets::bnr_e()
+        }
+    }
+
+    /// The second circuit for two-circuit tables (`--quick`: tiny).
+    fn circuit2(&self) -> locus_circuit::Circuit {
+        if self.quick {
+            presets::tiny()
+        } else {
+            presets::mdc()
+        }
+    }
+
+    /// Processor count (`--quick`: 4).
+    fn procs(&self) -> usize {
+        if self.quick {
+            4
+        } else {
+            PAPER_PROCS
+        }
+    }
+
+    /// Processor sweep for Table 6 / speedup (`--quick`: {2,4}).
+    fn proc_sweep(&self) -> &'static [usize] {
+        if self.quick {
+            &[2, 4]
+        } else {
+            &[2, 4, 9, 16]
+        }
+    }
+
+    /// Short circuit label for table titles (paper naming).
+    fn label(&self) -> &'static str {
+        if self.quick {
+            "small"
+        } else {
+            "bnrE"
+        }
+    }
+
+    fn setting(&self) -> String {
+        format!("{}, {} procs", self.label(), self.procs())
+    }
+}
 
 fn f3(v: f64) -> String {
     format!("{v:.3}")
 }
 
-fn run_table1() {
-    let c = presets::bnr_e();
-    let rows = table1(&c, PAPER_PROCS);
+fn run_table1(cfg: &RunCfg) {
+    let c = cfg.circuit();
+    let rows = table1(&cfg.harness, &c, cfg.procs());
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -47,7 +127,7 @@ fn run_table1() {
             ]
         })
         .collect();
-    println!("Table 1: network traffic using sender initiated updates (bnrE, 16 procs)\n");
+    println!("Table 1: network traffic using sender initiated updates ({})\n", cfg.setting());
     println!(
         "{}",
         render_table(
@@ -57,9 +137,9 @@ fn run_table1() {
     );
 }
 
-fn run_table2() {
-    let c = presets::bnr_e();
-    let rows = table2(&c, PAPER_PROCS);
+fn run_table2(cfg: &RunCfg) {
+    let c = cfg.circuit();
+    let rows = table2(&cfg.harness, &c, cfg.procs());
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -73,7 +153,10 @@ fn run_table2() {
             ]
         })
         .collect();
-    println!("Table 2: traffic using non-blocking receiver initiated updates (bnrE, 16 procs)\n");
+    println!(
+        "Table 2: traffic using non-blocking receiver initiated updates ({})\n",
+        cfg.setting()
+    );
     println!(
         "{}",
         render_table(
@@ -83,9 +166,9 @@ fn run_table2() {
     );
 }
 
-fn run_blocking() {
-    let c = presets::bnr_e();
-    let rows = blocking_study(&c, PAPER_PROCS);
+fn run_blocking(cfg: &RunCfg) {
+    let c = cfg.circuit();
+    let rows = blocking_study(&cfg.harness, &c, cfg.procs());
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -99,7 +182,7 @@ fn run_blocking() {
             ]
         })
         .collect();
-    println!("§5.1.3: blocking vs non-blocking receiver initiated (bnrE, 16 procs)\n");
+    println!("§5.1.3: blocking vs non-blocking receiver initiated ({})\n", cfg.setting());
     println!(
         "{}",
         render_table(
@@ -109,9 +192,9 @@ fn run_blocking() {
     );
 }
 
-fn run_mixed() {
-    let c = presets::bnr_e();
-    let rows = mixed_study(&c, PAPER_PROCS);
+fn run_mixed(cfg: &RunCfg) {
+    let c = cfg.circuit();
+    let rows = mixed_study(&cfg.harness, &c, cfg.procs());
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -124,16 +207,16 @@ fn run_mixed() {
             ]
         })
         .collect();
-    println!("§5.1.3: mixed update schedules (bnrE, 16 procs)\n");
+    println!("§5.1.3: mixed update schedules ({})\n", cfg.setting());
     println!(
         "{}",
         render_table(&["strategy", "Ckt Ht.", "Occup. Factor", "MBytes Xfrd.", "Time (s)"], &data)
     );
 }
 
-fn run_table3() {
-    let c = presets::bnr_e();
-    let rows = table3(&c, PAPER_PROCS, &[4, 8, 16, 32]);
+fn run_table3(cfg: &RunCfg) {
+    let c = cfg.circuit();
+    let rows = table3(&cfg.harness, &c, cfg.procs(), &[4, 8, 16, 32]);
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -145,7 +228,7 @@ fn run_table3() {
             ]
         })
         .collect();
-    println!("Table 3: shared-memory traffic vs cache line size (bnrE, 16 procs, WBI)\n");
+    println!("Table 3: shared-memory traffic vs cache line size ({}, WBI)\n", cfg.setting());
     println!(
         "{}",
         render_table(
@@ -155,10 +238,10 @@ fn run_table3() {
     );
 }
 
-fn run_table4() {
-    let bnr = presets::bnr_e();
-    let mdc = presets::mdc();
-    let rows = table4(&[&bnr, &mdc], PAPER_PROCS);
+fn run_table4(cfg: &RunCfg) {
+    let a = cfg.circuit();
+    let b = cfg.circuit2();
+    let rows = table4(&cfg.harness, &[&a, &b], cfg.procs());
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -182,10 +265,10 @@ fn run_table4() {
     );
 }
 
-fn run_table5() {
-    let bnr = presets::bnr_e();
-    let mdc = presets::mdc();
-    let rows = table5(&[&bnr, &mdc], PAPER_PROCS);
+fn run_table5(cfg: &RunCfg) {
+    let a = cfg.circuit();
+    let b = cfg.circuit2();
+    let rows = table5(&cfg.harness, &[&a, &b], cfg.procs());
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| vec![r.circuit.clone(), r.method.clone(), format!("{}", r.ckt_ht), f3(r.mbytes)])
@@ -194,9 +277,9 @@ fn run_table5() {
     println!("{}", render_table(&["Ckt.", "Asmt. Method", "Ckt. Height", "MBytes Xfrd."], &data));
 }
 
-fn run_table6() {
-    let c = presets::bnr_e();
-    let rows = table6(&c, &[2, 4, 9, 16]);
+fn run_table6(cfg: &RunCfg) {
+    let c = cfg.circuit();
+    let rows = table6(&cfg.harness, &c, cfg.proc_sweep());
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -210,7 +293,7 @@ fn run_table6() {
             ]
         })
         .collect();
-    println!("Table 6: effect of number of processors (bnrE, sender initiated)\n");
+    println!("Table 6: effect of number of processors ({}, sender initiated)\n", cfg.label());
     println!(
         "{}",
         render_table(
@@ -220,10 +303,11 @@ fn run_table6() {
     );
 }
 
-fn run_locality() {
-    let bnr = presets::bnr_e();
-    let mdc = presets::mdc();
-    let rows = locality_study(&[&bnr, &mdc], &[4, 9, 16]);
+fn run_locality(cfg: &RunCfg) {
+    let a = cfg.circuit();
+    let b = cfg.circuit2();
+    let procs: &[usize] = if cfg.quick { &[4] } else { &[4, 9, 16] };
+    let rows = locality_study(&cfg.harness, &[&a, &b], procs);
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -243,10 +327,10 @@ fn run_locality() {
     );
 }
 
-fn run_speedup() {
-    let bnr = presets::bnr_e();
-    let mdc = presets::mdc();
-    let rows = speedup_study(&[&bnr, &mdc], &[2, 4, 9, 16]);
+fn run_speedup(cfg: &RunCfg) {
+    let a = cfg.circuit();
+    let b = cfg.circuit2();
+    let rows = speedup_study(&cfg.harness, &[&a, &b], cfg.proc_sweep());
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -283,47 +367,130 @@ fn ablation_table(title: &str, rows: &[locus_bench::AblationRow]) {
     );
 }
 
-fn run_structures() {
-    let c = presets::bnr_e();
+fn run_structures(cfg: &RunCfg) {
+    let c = cfg.circuit();
     ablation_table(
-        "Ablation §4.3.1: update packet structures (bnrE, 16 procs, sender initiated)",
-        &structures_study(&c, PAPER_PROCS),
+        &format!("Ablation §4.3.1: update packet structures ({}, sender initiated)", cfg.setting()),
+        &structures_study(&cfg.harness, &c, cfg.procs()),
     );
 }
 
-fn run_overshoot() {
-    let c = presets::bnr_e();
+fn run_overshoot(cfg: &RunCfg) {
+    let c = cfg.circuit();
     ablation_table(
-        "Ablation: two-bend candidate channel overshoot (bnrE, 16 procs)",
-        &overshoot_study(&c, PAPER_PROCS),
+        &format!("Ablation: two-bend candidate channel overshoot ({})", cfg.setting()),
+        &overshoot_study(&cfg.harness, &c, cfg.procs()),
     );
 }
 
-fn run_contention() {
-    let c = presets::bnr_e();
+fn run_contention(cfg: &RunCfg) {
+    let c = cfg.circuit();
     ablation_table(
-        "Ablation: network contention model on/off (bnrE, 16 procs, eager sender)",
-        &contention_study(&c, PAPER_PROCS),
+        &format!("Ablation: network contention model on/off ({}, eager sender)", cfg.setting()),
+        &contention_study(&cfg.harness, &c, cfg.procs()),
     );
 }
 
-fn run_distribution() {
-    let c = presets::bnr_e();
+fn run_distribution(cfg: &RunCfg) {
+    let c = cfg.circuit();
     ablation_table(
-        "Ablation §4.2: static vs dynamic wire distribution (bnrE, 16 procs, 1 iteration)",
-        &distribution_study(&c, PAPER_PROCS),
+        &format!(
+            "Ablation §4.2: static vs dynamic wire distribution ({}, 1 iteration)",
+            cfg.setting()
+        ),
+        &distribution_study(&cfg.harness, &c, cfg.procs()),
     );
 }
 
-fn run_compare() {
-    let c = presets::bnr_e();
-    let rows = compare_paradigms(&c, PAPER_PROCS);
+fn run_compare(cfg: &RunCfg) {
+    let c = cfg.circuit();
+    let rows = compare_paradigms(&cfg.harness, &c, cfg.procs());
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| vec![r.approach.clone(), format!("{}", r.ckt_ht), f3(r.mbytes)])
         .collect();
-    println!("§5.2: shared memory vs message passing (bnrE, 16 procs)\n");
+    println!("§5.2: shared memory vs message passing ({})\n", cfg.setting());
     println!("{}", render_table(&["approach", "Ckt. Ht.", "MBytes Xfrd."], &data));
+}
+
+/// `list`: every experiment id the CLI accepts plus every engine the
+/// registry can build.
+fn run_list() {
+    println!("experiments:");
+    for (name, _) in KNOWN {
+        println!("  {name}");
+    }
+    for extra in ["figure1", "figure2", "figure3", "list", "sweeps", "all"] {
+        println!("  {extra}");
+    }
+    println!("\nengines (--engine <name>):");
+    for e in registry() {
+        println!("  {:<17} {}", e.name, e.summary);
+    }
+}
+
+/// `--engine <name>`: one run of a single registry engine.
+fn run_engine(cfg: &RunCfg, name: &str, procs: Option<usize>) {
+    let engine = match build_engine(name) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let c = cfg.circuit();
+    let procs = procs.unwrap_or_else(|| cfg.procs());
+    let ctx = EngineCtx::new(procs).with_traffic();
+    let run = engine.route(&c, &RouterParams::default(), &ctx);
+    let data = vec![vec![
+        engine.id().to_string(),
+        format!("{}", run.outcome.quality.circuit_height),
+        format!("{}", run.outcome.quality.occupancy_factor),
+        run.mbytes.map_or("-".into(), f3),
+        run.time_secs.map_or("-".into(), f3),
+    ]];
+    println!("engine run ({}, {} procs)\n", c.name, procs);
+    println!(
+        "{}",
+        render_table(&["engine", "Ckt. Ht.", "Occup. Factor", "MBytes Xfrd.", "Time (s)"], &data)
+    );
+}
+
+/// `sweeps`: runs the Table 1 sweep serially and on the parallel
+/// harness, verifies the rows are identical, and records the wall-clock
+/// comparison in a JSON artifact.
+fn run_sweeps(cfg: &RunCfg, out_path: &str) {
+    let c = cfg.circuit();
+    let procs = cfg.procs();
+    let threads = cfg.harness.threads().max(2);
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("sweeps: table1 serial ({}, {procs} procs)...", c.name);
+    let t0 = Instant::now();
+    let serial_rows = table1(&Harness::serial(), &c, procs);
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    eprintln!("sweeps: table1 parallel ({threads} threads)...");
+    let t1 = Instant::now();
+    let parallel_rows = table1(&Harness::with_threads(threads), &c, procs);
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    let rows_equal = serial_rows == parallel_rows;
+    let speedup = serial_s / parallel_s;
+    let json = format!(
+        "{{\n  \"benchmark\": \"sweeps\",\n  \"description\": \"Wall-clock time of the full Table 1 sweep (12 message-passing runs) executed serially vs on the scoped-thread sweep harness. Engines are deterministic, so rows_equal must be true at any thread count; the achievable speedup is bounded by host_cpus. Run with: cargo run --release -p locus-bench --bin locus-experiments sweeps.\",\n  \"experiment\": \"table1\",\n  \"circuit\": \"{}\",\n  \"n_procs\": {},\n  \"host_cpus\": {},\n  \"threads\": {},\n  \"serial_s\": {:.3},\n  \"parallel_s\": {:.3},\n  \"speedup\": {:.2},\n  \"rows_equal\": {}\n}}\n",
+        c.name, procs, host_cpus, threads, serial_s, parallel_s, speedup, rows_equal
+    );
+    write_or_die(out_path, &json);
+    println!(
+        "sweeps: serial {serial_s:.3}s, parallel {parallel_s:.3}s on {threads} threads \
+         ({host_cpus} host cpus) -> speedup {speedup:.2}x, rows_equal = {rows_equal}"
+    );
+    println!("sweeps: wrote {out_path}");
+    if !rows_equal {
+        eprintln!("sweeps: FAILED — parallel rows diverge from serial rows");
+        std::process::exit(1);
+    }
 }
 
 /// Routes a circuit with both two-bend evaluators over an evolving cost
@@ -412,12 +579,23 @@ fn run_quality_check() -> ! {
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let i = args.iter().position(|a| a == flag)?;
     if i + 1 >= args.len() {
-        eprintln!("{flag} requires a file argument");
+        eprintln!("{flag} requires an argument");
         std::process::exit(2);
     }
     let value = args.remove(i + 1);
     args.remove(i);
     Some(value)
+}
+
+/// Removes a boolean `--flag` from `args`, returning whether it was set.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
 }
 
 /// Runs one instrumented paper-settings run and writes the requested
@@ -448,6 +626,26 @@ fn write_or_die(path: &str, contents: &str) {
     }
 }
 
+/// Experiment id → runner, in presentation order (shared by `all` and
+/// `list`).
+const KNOWN: &[(&str, fn(&RunCfg))] = &[
+    ("table1", run_table1),
+    ("table2", run_table2),
+    ("blocking", run_blocking),
+    ("mixed", run_mixed),
+    ("table3", run_table3),
+    ("table4", run_table4),
+    ("table5", run_table5),
+    ("table6", run_table6),
+    ("locality", run_locality),
+    ("speedup", run_speedup),
+    ("compare", run_compare),
+    ("structures", run_structures),
+    ("distribution", run_distribution),
+    ("overshoot", run_overshoot),
+    ("contention", run_contention),
+];
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--quality-check") {
@@ -456,48 +654,62 @@ fn main() {
     }
     let trace_out = take_flag(&mut args, "--trace-out");
     let metrics_out = take_flag(&mut args, "--metrics-out");
+    let engine_name = take_flag(&mut args, "--engine");
+    let engine_procs = take_flag(&mut args, "--procs").map(|p| {
+        p.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--procs expects a number, got {p:?}");
+            std::process::exit(2);
+        })
+    });
+    let threads = take_flag(&mut args, "--threads").map(|t| {
+        t.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--threads expects a number, got {t:?}");
+            std::process::exit(2);
+        })
+    });
+    let out_path = take_flag(&mut args, "--out").unwrap_or_else(|| "BENCH_sweeps.json".to_string());
+    let quick = take_switch(&mut args, "--quick");
     if let Some(bad) = args.iter().find(|a| a.starts_with("--")) {
-        eprintln!("unknown flag {bad}; expected --trace-out FILE or --metrics-out FILE");
+        eprintln!(
+            "unknown flag {bad}; expected --quick, --threads N, --engine NAME, --procs N, \
+             --out FILE, --trace-out FILE or --metrics-out FILE"
+        );
         std::process::exit(2);
     }
+    let harness = match threads {
+        Some(n) => Harness::with_threads(n),
+        None => Harness::auto(),
+    };
+    let cfg = RunCfg { harness, quick };
+
+    if let Some(name) = engine_name {
+        run_engine(&cfg, &name, engine_procs);
+        return;
+    }
+
     let arg = args.first().cloned().unwrap_or_else(|| "all".to_string());
-    let known: &[(&str, fn())] = &[
-        ("table1", run_table1),
-        ("table2", run_table2),
-        ("blocking", run_blocking),
-        ("mixed", run_mixed),
-        ("table3", run_table3),
-        ("table4", run_table4),
-        ("table5", run_table5),
-        ("table6", run_table6),
-        ("locality", run_locality),
-        ("speedup", run_speedup),
-        ("compare", run_compare),
-        ("structures", run_structures),
-        ("distribution", run_distribution),
-        ("overshoot", run_overshoot),
-        ("contention", run_contention),
-    ];
     match arg.as_str() {
+        "list" => run_list(),
+        "sweeps" => run_sweeps(&cfg, &out_path),
         "figure1" => print!("{}", figure1()),
         "figure2" => print!("{}", figure2(4)),
         "figure3" => print!("{}", figure3()),
         "all" => {
-            for (name, f) in known {
+            for (name, f) in KNOWN {
                 println!("==== {name} ====");
-                f();
+                f(&cfg);
             }
             print!("{}", figure1());
             print!("{}", figure2(4));
             print!("{}", figure3());
         }
-        other => match known.iter().find(|(n, _)| *n == other) {
-            Some((_, f)) => f(),
+        other => match KNOWN.iter().find(|(n, _)| *n == other) {
+            Some((_, f)) => f(&cfg),
             None => {
                 eprintln!(
                     "unknown experiment {other:?}; expected one of table1..table6, blocking, \
                      mixed, locality, speedup, compare, structures, overshoot, contention, \
-                     figure1..figure3, all"
+                     figure1..figure3, list, sweeps, all"
                 );
                 std::process::exit(2);
             }

@@ -3,7 +3,13 @@
 //! Every function is deterministic and parameterized on the circuit and
 //! processor count so the Criterion benches can run reduced "quick"
 //! configurations while the CLI reproduces the full paper settings.
+//!
+//! Sweep-style experiments additionally take a [`Harness`]: independent
+//! sweep points run concurrently on its scoped-thread pool, and because
+//! every swept engine is deterministic the rows are identical whichever
+//! harness executes them (`Harness::serial()` vs `Harness::auto()`).
 
+use crate::sweep::Harness;
 use locus_circuit::Circuit;
 use locus_coherence::{traffic_by_line_size, Trace};
 use locus_msgpass::{
@@ -11,9 +17,11 @@ use locus_msgpass::{
     UpdateSchedule,
 };
 use locus_obs::{Event, MetricsSnapshot, SharedSink};
+use locus_router::engine::EngineCtx;
 use locus_router::locality::locality_measure;
 use locus_router::{assign, AssignmentStrategy, RegionMap, RouterParams, SequentialRouter};
 use locus_shmem::{ShmemConfig, ShmemEmulator, ThreadedRouter};
+use locusroute::engines::build_engine;
 
 /// The paper's default message-passing machine size.
 pub const PAPER_PROCS: usize = 16;
@@ -26,7 +34,7 @@ pub fn table46_schedule() -> UpdateSchedule {
 }
 
 /// A row of an update-frequency sweep (Tables 1 and 2).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct UpdateSweepRow {
     /// First swept parameter (Table 1: SendRmtData; Table 2: ReqLocData).
     pub a: u32,
@@ -57,36 +65,32 @@ impl UpdateSweepRow {
 
 /// **Table 1** — network traffic and quality using sender-initiated
 /// updates: sweep `SendRmtData ∈ {2,5,10}` × `SendLocData ∈ {1,5,10,20}`.
-pub fn table1(circuit: &Circuit, n_procs: usize) -> Vec<UpdateSweepRow> {
-    let mut rows = Vec::new();
-    for &rmt in &[2u32, 5, 10] {
-        for &loc in &[1u32, 5, 10, 20] {
-            let cfg = MsgPassConfig::new(n_procs, UpdateSchedule::sender_initiated(rmt, loc));
-            let out = run_msgpass(circuit, cfg);
-            assert!(!out.deadlocked, "table1 run ({rmt},{loc}) deadlocked");
-            rows.push(UpdateSweepRow::from_outcome(rmt, loc, &out));
-        }
-    }
-    rows
+pub fn table1(harness: &Harness, circuit: &Circuit, n_procs: usize) -> Vec<UpdateSweepRow> {
+    let points: Vec<(u32, u32)> =
+        [2u32, 5, 10].iter().flat_map(|&rmt| [1u32, 5, 10, 20].map(|loc| (rmt, loc))).collect();
+    harness.map(points, |(rmt, loc)| {
+        let cfg = MsgPassConfig::new(n_procs, UpdateSchedule::sender_initiated(rmt, loc));
+        let out = run_msgpass(circuit, cfg);
+        assert!(!out.deadlocked, "table1 run ({rmt},{loc}) deadlocked");
+        UpdateSweepRow::from_outcome(rmt, loc, &out)
+    })
 }
 
 /// **Table 2** — non-blocking receiver-initiated updates: sweep
 /// `ReqLocData ∈ {1,2,10}` × `ReqRmtData ∈ {5,10,30}`.
-pub fn table2(circuit: &Circuit, n_procs: usize) -> Vec<UpdateSweepRow> {
-    let mut rows = Vec::new();
-    for &loc in &[1u32, 2, 10] {
-        for &rmt in &[5u32, 10, 30] {
-            let cfg = MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated(loc, rmt));
-            let out = run_msgpass(circuit, cfg);
-            assert!(!out.deadlocked, "table2 run ({loc},{rmt}) deadlocked");
-            rows.push(UpdateSweepRow::from_outcome(loc, rmt, &out));
-        }
-    }
-    rows
+pub fn table2(harness: &Harness, circuit: &Circuit, n_procs: usize) -> Vec<UpdateSweepRow> {
+    let points: Vec<(u32, u32)> =
+        [1u32, 2, 10].iter().flat_map(|&loc| [5u32, 10, 30].map(|rmt| (loc, rmt))).collect();
+    harness.map(points, |(loc, rmt)| {
+        let cfg = MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated(loc, rmt));
+        let out = run_msgpass(circuit, cfg);
+        assert!(!out.deadlocked, "table2 run ({loc},{rmt}) deadlocked");
+        UpdateSweepRow::from_outcome(loc, rmt, &out)
+    })
 }
 
 /// A blocking-vs-non-blocking comparison row (§5.1.3).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BlockingRow {
     /// `(ReqLocData, ReqRmtData)` schedule.
     pub schedule: (u32, u32),
@@ -103,32 +107,29 @@ pub struct BlockingRow {
 /// **§5.1.3 (blocking)** — blocking vs non-blocking receiver-initiated
 /// strategies on the same update schedules: quality about equal, blocking
 /// execution time up to ~75% larger.
-pub fn blocking_study(circuit: &Circuit, n_procs: usize) -> Vec<BlockingRow> {
-    [(1u32, 5u32), (2, 10), (10, 30)]
-        .iter()
-        .map(|&(loc, rmt)| {
-            let nb = run_msgpass(
-                circuit,
-                MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated(loc, rmt)),
-            );
-            let bl = run_msgpass(
-                circuit,
-                MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated_blocking(loc, rmt)),
-            );
-            assert!(!nb.deadlocked && !bl.deadlocked);
-            BlockingRow {
-                schedule: (loc, rmt),
-                ht_nonblocking: nb.quality.circuit_height,
-                ht_blocking: bl.quality.circuit_height,
-                time_nonblocking: nb.time_secs,
-                time_blocking: bl.time_secs,
-            }
-        })
-        .collect()
+pub fn blocking_study(harness: &Harness, circuit: &Circuit, n_procs: usize) -> Vec<BlockingRow> {
+    harness.map(vec![(1u32, 5u32), (2, 10), (10, 30)], |(loc, rmt)| {
+        let nb = run_msgpass(
+            circuit,
+            MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated(loc, rmt)),
+        );
+        let bl = run_msgpass(
+            circuit,
+            MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated_blocking(loc, rmt)),
+        );
+        assert!(!nb.deadlocked && !bl.deadlocked);
+        BlockingRow {
+            schedule: (loc, rmt),
+            ht_nonblocking: nb.quality.circuit_height,
+            ht_blocking: bl.quality.circuit_height,
+            time_nonblocking: nb.time_secs,
+            time_blocking: bl.time_secs,
+        }
+    })
 }
 
 /// A mixed-schedule comparison row (§5.1.3).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MixedRow {
     /// Strategy label.
     pub label: String,
@@ -146,30 +147,27 @@ pub struct MixedRow {
 /// (`SendLocData=5, SendRmtData=2, ReqLocData=1, ReqRmtData=5`) against
 /// pure sender- and pure receiver-initiated schedules: mixed should beat
 /// both on occupancy factor using roughly half the sender traffic.
-pub fn mixed_study(circuit: &Circuit, n_procs: usize) -> Vec<MixedRow> {
-    let cases: [(&str, UpdateSchedule); 3] = [
+pub fn mixed_study(harness: &Harness, circuit: &Circuit, n_procs: usize) -> Vec<MixedRow> {
+    let cases: Vec<(&str, UpdateSchedule)> = vec![
         ("sender (2,5)", UpdateSchedule::sender_initiated(2, 5)),
         ("receiver (1,5)", UpdateSchedule::receiver_initiated(1, 5)),
         ("mixed (5,2,1,5)", UpdateSchedule::mixed_paper()),
     ];
-    cases
-        .iter()
-        .map(|(label, schedule)| {
-            let out = run_msgpass(circuit, MsgPassConfig::new(n_procs, *schedule));
-            assert!(!out.deadlocked);
-            MixedRow {
-                label: label.to_string(),
-                ckt_ht: out.quality.circuit_height,
-                occupancy: out.quality.occupancy_factor,
-                mbytes: out.mbytes,
-                time_s: out.time_secs,
-            }
-        })
-        .collect()
+    harness.map(cases, |(label, schedule)| {
+        let out = run_msgpass(circuit, MsgPassConfig::new(n_procs, schedule));
+        assert!(!out.deadlocked);
+        MixedRow {
+            label: label.to_string(),
+            ckt_ht: out.quality.circuit_height,
+            occupancy: out.quality.occupancy_factor,
+            mbytes: out.mbytes,
+            time_s: out.time_secs,
+        }
+    })
 }
 
 /// A Table 3 row: coherence traffic at one cache line size.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LineSizeRow {
     /// Cache line size in bytes.
     pub line_size: u32,
@@ -188,22 +186,29 @@ pub fn shared_memory_trace(circuit: &Circuit, n_procs: usize) -> Trace {
 }
 
 /// **Table 3** — shared-memory bus traffic as a function of cache line
-/// size under Write-Back-with-Invalidate with infinite caches.
-pub fn table3(circuit: &Circuit, n_procs: usize, line_sizes: &[u32]) -> Vec<LineSizeRow> {
+/// size under Write-Back-with-Invalidate with infinite caches. One
+/// traced emulator run; the per-line-size coherence replays are the
+/// sweep points.
+pub fn table3(
+    harness: &Harness,
+    circuit: &Circuit,
+    n_procs: usize,
+    line_sizes: &[u32],
+) -> Vec<LineSizeRow> {
     let trace = shared_memory_trace(circuit, n_procs);
-    traffic_by_line_size(&trace, line_sizes)
-        .into_iter()
-        .map(|(line_size, stats)| LineSizeRow {
+    harness.map(line_sizes.to_vec(), |line_size| {
+        let stats = traffic_by_line_size(&trace, &[line_size]).remove(0).1;
+        LineSizeRow {
             line_size,
             mbytes: stats.mbytes(),
             write_fraction: stats.write_fraction(),
             invalidations: stats.invalidations,
-        })
-        .collect()
+        }
+    })
 }
 
 /// A Table 4 row: message-passing locality sweep.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Table4Row {
     /// Circuit name.
     pub circuit: String,
@@ -223,35 +228,35 @@ pub struct Table4Row {
 /// **Table 4** — effect of the wire-assignment strategy on the
 /// message-passing implementation (both circuits, sender-initiated
 /// schedule, plus receiver-initiated traffic for the −63% comparison).
-pub fn table4(circuits: &[&Circuit], n_procs: usize) -> Vec<Table4Row> {
-    let mut rows = Vec::new();
-    for &circuit in circuits {
-        for (method, strategy) in AssignmentStrategy::table45_rows() {
-            let sender = run_msgpass(
-                circuit,
-                MsgPassConfig::new(n_procs, table46_schedule()).with_assignment(strategy),
-            );
-            let receiver = run_msgpass(
-                circuit,
-                MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated(1, 5))
-                    .with_assignment(strategy),
-            );
-            assert!(!sender.deadlocked && !receiver.deadlocked);
-            rows.push(Table4Row {
-                circuit: circuit.name.clone(),
-                method: method.to_string(),
-                ckt_ht: sender.quality.circuit_height,
-                mbytes: sender.mbytes,
-                time_s: sender.time_secs,
-                mbytes_receiver: receiver.mbytes,
-            });
+pub fn table4(harness: &Harness, circuits: &[&Circuit], n_procs: usize) -> Vec<Table4Row> {
+    let points: Vec<(&Circuit, &str, AssignmentStrategy)> = circuits
+        .iter()
+        .flat_map(|&c| AssignmentStrategy::table45_rows().into_iter().map(move |(m, s)| (c, m, s)))
+        .collect();
+    harness.map(points, |(circuit, method, strategy)| {
+        let sender = run_msgpass(
+            circuit,
+            MsgPassConfig::new(n_procs, table46_schedule()).with_assignment(strategy),
+        );
+        let receiver = run_msgpass(
+            circuit,
+            MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated(1, 5))
+                .with_assignment(strategy),
+        );
+        assert!(!sender.deadlocked && !receiver.deadlocked);
+        Table4Row {
+            circuit: circuit.name.clone(),
+            method: method.to_string(),
+            ckt_ht: sender.quality.circuit_height,
+            mbytes: sender.mbytes,
+            time_s: sender.time_secs,
+            mbytes_receiver: receiver.mbytes,
         }
-    }
-    rows
+    })
 }
 
 /// A Table 5 row: shared-memory locality sweep.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Table5Row {
     /// Circuit name.
     pub circuit: String,
@@ -265,27 +270,27 @@ pub struct Table5Row {
 
 /// **Table 5** — effect of the wire-assignment strategy on the
 /// shared-memory implementation (8-byte cache lines).
-pub fn table5(circuits: &[&Circuit], n_procs: usize) -> Vec<Table5Row> {
-    let mut rows = Vec::new();
-    for &circuit in circuits {
-        for (method, strategy) in AssignmentStrategy::table45_rows() {
-            let cfg = ShmemConfig::new(n_procs).with_trace().with_static_assignment(strategy);
-            let out = ShmemEmulator::new(circuit, cfg).run();
-            let trace = out.trace.expect("trace enabled");
-            let stats = traffic_by_line_size(&trace, &[8]).remove(0).1;
-            rows.push(Table5Row {
-                circuit: circuit.name.clone(),
-                method: method.to_string(),
-                ckt_ht: out.quality.circuit_height,
-                mbytes: stats.mbytes(),
-            });
+pub fn table5(harness: &Harness, circuits: &[&Circuit], n_procs: usize) -> Vec<Table5Row> {
+    let points: Vec<(&Circuit, &str, AssignmentStrategy)> = circuits
+        .iter()
+        .flat_map(|&c| AssignmentStrategy::table45_rows().into_iter().map(move |(m, s)| (c, m, s)))
+        .collect();
+    harness.map(points, |(circuit, method, strategy)| {
+        let cfg = ShmemConfig::new(n_procs).with_trace().with_static_assignment(strategy);
+        let out = ShmemEmulator::new(circuit, cfg).run();
+        let trace = out.trace.expect("trace enabled");
+        let stats = traffic_by_line_size(&trace, &[8]).remove(0).1;
+        Table5Row {
+            circuit: circuit.name.clone(),
+            method: method.to_string(),
+            ckt_ht: out.quality.circuit_height,
+            mbytes: stats.mbytes(),
         }
-    }
-    rows
+    })
 }
 
 /// A Table 6 row: processor-count scaling.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Table6Row {
     /// Processor count.
     pub procs: usize,
@@ -304,15 +309,12 @@ pub struct Table6Row {
 
 /// **Table 6** — effect of the number of processors (sender-initiated
 /// schedule); quality degrades, time scales, traffic peaks then falls.
-pub fn table6(circuit: &Circuit, procs: &[usize]) -> Vec<Table6Row> {
-    let outcomes: Vec<(usize, locus_msgpass::MsgPassOutcome)> = procs
-        .iter()
-        .map(|&p| {
-            let out = run_msgpass(circuit, MsgPassConfig::new(p, table46_schedule()));
-            assert!(!out.deadlocked, "table6 run P={p} deadlocked");
-            (p, out)
-        })
-        .collect();
+pub fn table6(harness: &Harness, circuit: &Circuit, procs: &[usize]) -> Vec<Table6Row> {
+    let outcomes: Vec<(usize, locus_msgpass::MsgPassOutcome)> = harness.map(procs.to_vec(), |p| {
+        let out = run_msgpass(circuit, MsgPassConfig::new(p, table46_schedule()));
+        assert!(!out.deadlocked, "table6 run P={p} deadlocked");
+        (p, out)
+    });
     let t2 = outcomes
         .iter()
         .find(|(p, _)| *p == 2)
@@ -332,7 +334,7 @@ pub fn table6(circuit: &Circuit, procs: &[usize]) -> Vec<Table6Row> {
 }
 
 /// A locality-measure row (§5.3.3).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LocalityRow {
     /// Circuit name.
     pub circuit: String,
@@ -349,10 +351,14 @@ pub struct LocalityRow {
 /// **§5.3.3** — the locality measure over assignment strategies and
 /// processor counts (computed on the sequential routing solution, so the
 /// measure reflects the circuit + assignment, not update noise).
-pub fn locality_study(circuits: &[&Circuit], proc_counts: &[usize]) -> Vec<LocalityRow> {
-    let mut rows = Vec::new();
-    for &circuit in circuits {
+pub fn locality_study(
+    harness: &Harness,
+    circuits: &[&Circuit],
+    proc_counts: &[usize],
+) -> Vec<LocalityRow> {
+    let per_circuit = harness.map(circuits.to_vec(), |circuit| {
         let solution = SequentialRouter::new(circuit, RouterParams::default()).run();
+        let mut rows = Vec::new();
         for &p in proc_counts {
             let regions = RegionMap::new(circuit.channels, circuit.grids, p);
             for (method, strategy) in [
@@ -370,12 +376,13 @@ pub fn locality_study(circuits: &[&Circuit], proc_counts: &[usize]) -> Vec<Local
                 });
             }
         }
-    }
-    rows
+        rows
+    });
+    per_circuit.into_iter().flatten().collect()
 }
 
 /// A speedup row (§5.4).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SpeedupRow {
     /// Engine label ("message passing" or "threads").
     pub engine: String,
@@ -392,17 +399,19 @@ pub struct SpeedupRow {
 
 /// **§5.4 (speedup)** — message-passing speedup on the simulator plus
 /// real-thread wall-clock speedup of the shared-memory router.
-pub fn speedup_study(circuits: &[&Circuit], proc_counts: &[usize]) -> Vec<SpeedupRow> {
+pub fn speedup_study(
+    harness: &Harness,
+    circuits: &[&Circuit],
+    proc_counts: &[usize],
+) -> Vec<SpeedupRow> {
     let mut rows = Vec::new();
     for &circuit in circuits {
-        // Message passing on the simulated mesh.
-        let times: Vec<(usize, f64)> = proc_counts
-            .iter()
-            .map(|&p| {
-                let out = run_msgpass(circuit, MsgPassConfig::new(p, table46_schedule()));
-                (p, out.time_secs)
-            })
-            .collect();
+        // Message passing on the simulated mesh (simulated time, so the
+        // points can run concurrently without distorting each other).
+        let times: Vec<(usize, f64)> = harness.map(proc_counts.to_vec(), |p| {
+            let out = run_msgpass(circuit, MsgPassConfig::new(p, table46_schedule()));
+            (p, out.time_secs)
+        });
         let t2 = times.iter().find(|(p, _)| *p == 2).map(|&(_, t)| t).unwrap_or(times[0].1);
         for &(p, t) in &times {
             rows.push(SpeedupRow {
@@ -414,6 +423,8 @@ pub fn speedup_study(circuits: &[&Circuit], proc_counts: &[usize]) -> Vec<Speedu
             });
         }
         // Real threads (wall clock; nondeterministic, reported as-is).
+        // Deliberately serial: concurrent wall-clock runs would contend
+        // for cores and distort each other's times.
         let wall: Vec<(usize, f64)> = proc_counts
             .iter()
             .filter(|&&p| p <= 16)
@@ -437,7 +448,7 @@ pub fn speedup_study(circuits: &[&Circuit], proc_counts: &[usize]) -> Vec<Speedu
 }
 
 /// A paradigm-comparison row (§5.2).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CompareRow {
     /// Approach label.
     pub approach: String,
@@ -448,37 +459,33 @@ pub struct CompareRow {
     pub mbytes: f64,
 }
 
+/// The `(registry engine, display label)` pairs `compare_paradigms`
+/// runs, in paper order.
+pub const COMPARE_ENGINES: [(&str, &str); 3] = [
+    ("shmem-emul", "shared memory (WBI, 8B lines)"),
+    ("msgpass-sender", "message passing, sender initiated (2,10)"),
+    ("msgpass-receiver", "message passing, receiver initiated (1,5)"),
+];
+
 /// **§5.2** — the headline comparison: shared memory (best quality, most
 /// traffic) vs sender-initiated (≈10× less traffic) vs receiver-initiated
-/// (≈10× less again).
-pub fn compare_paradigms(circuit: &Circuit, n_procs: usize) -> Vec<CompareRow> {
-    let trace = shared_memory_trace(circuit, n_procs);
-    let shmem_stats = traffic_by_line_size(&trace, &[8]).remove(0).1;
-    let shmem = ShmemEmulator::new(circuit, ShmemConfig::new(n_procs)).run();
-    let sender = run_msgpass(circuit, MsgPassConfig::new(n_procs, table46_schedule()));
-    let receiver =
-        run_msgpass(circuit, MsgPassConfig::new(n_procs, UpdateSchedule::receiver_initiated(1, 5)));
-    vec![
+/// (≈10× less again). Driven entirely through the engine registry — one
+/// traffic-measured run per registered paradigm.
+pub fn compare_paradigms(harness: &Harness, circuit: &Circuit, n_procs: usize) -> Vec<CompareRow> {
+    let ctx = EngineCtx::new(n_procs).with_traffic();
+    harness.map(COMPARE_ENGINES.to_vec(), |(name, label)| {
+        let engine = build_engine(name).expect("compare engines are registered");
+        let run = engine.route(circuit, &RouterParams::default(), &ctx);
         CompareRow {
-            approach: "shared memory (WBI, 8B lines)".into(),
-            ckt_ht: shmem.quality.circuit_height,
-            mbytes: shmem_stats.mbytes(),
-        },
-        CompareRow {
-            approach: "message passing, sender initiated (2,10)".into(),
-            ckt_ht: sender.quality.circuit_height,
-            mbytes: sender.mbytes,
-        },
-        CompareRow {
-            approach: "message passing, receiver initiated (1,5)".into(),
-            ckt_ht: receiver.quality.circuit_height,
-            mbytes: receiver.mbytes,
-        },
-    ]
+            approach: label.to_string(),
+            ckt_ht: run.outcome.quality.circuit_height,
+            mbytes: run.mbytes.expect("every compared engine measures traffic"),
+        }
+    })
 }
 
 /// An ablation row: one configuration variant of a design choice.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AblationRow {
     /// Variant label.
     pub variant: String,
@@ -504,59 +511,71 @@ fn ablation_row(variant: &str, out: &locus_msgpass::MsgPassOutcome) -> AblationR
 
 /// **Ablation (§4.3.1)** — the three update-packet structures the paper
 /// discusses: bounding box (chosen), full region, wire-based events.
-pub fn structures_study(circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
+pub fn structures_study(harness: &Harness, circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
     let schedule = UpdateSchedule::sender_initiated(2, 10);
-    [
+    let variants = vec![
         ("bounding box (paper's choice)", PacketStructure::BoundingBox),
         ("full region", PacketStructure::FullRegion),
         ("wire-based events", PacketStructure::WireBased),
-    ]
-    .into_iter()
-    .map(|(label, st)| {
+    ];
+    harness.map(variants, |(label, st)| {
         let out = run_msgpass(circuit, MsgPassConfig::new(n_procs, schedule).with_structure(st));
         assert!(!out.deadlocked, "structure {label} deadlocked");
         ablation_row(label, &out)
     })
-    .collect()
 }
 
 /// **Ablation** — candidate channel overshoot: how far two-bend VHV
 /// candidates may detour outside the pin bounding box (DESIGN.md §6).
-pub fn overshoot_study(circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
-    [0u16, 1, 2]
-        .into_iter()
-        .map(|ov| {
-            let cfg = MsgPassConfig::new(n_procs, table46_schedule())
-                .with_params(RouterParams::default().with_channel_overshoot(ov));
-            let out = run_msgpass(circuit, cfg);
-            ablation_row(&format!("overshoot = {ov}"), &out)
-        })
-        .collect()
+pub fn overshoot_study(harness: &Harness, circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
+    harness.map(vec![0u16, 1, 2], |ov| {
+        let cfg = MsgPassConfig::new(n_procs, table46_schedule())
+            .with_params(RouterParams::default().with_channel_overshoot(ov));
+        let out = run_msgpass(circuit, cfg);
+        ablation_row(&format!("overshoot = {ov}"), &out)
+    })
 }
 
 /// **Ablation** — network contention on vs off: how much of the
 /// execution time the wormhole channel-blocking model accounts for
 /// (evaluated on the chattiest sender schedule).
-pub fn contention_study(circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
+pub fn contention_study(harness: &Harness, circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
     let cfg = MsgPassConfig::new(n_procs, UpdateSchedule::sender_initiated(2, 1));
-    let with = run_msgpass(circuit, cfg);
-    let without =
-        locus_msgpass::run_msgpass_with_mesh(circuit, cfg, cfg.mesh_config().without_contention());
-    vec![ablation_row("contention modelled", &with), ablation_row("contention disabled", &without)]
+    harness.map(vec![true, false], |modelled| {
+        if modelled {
+            ablation_row("contention modelled", &run_msgpass(circuit, cfg))
+        } else {
+            let out = locus_msgpass::run_msgpass_with_mesh(
+                circuit,
+                cfg,
+                cfg.mesh_config().without_contention(),
+            );
+            ablation_row("contention disabled", &out)
+        }
+    })
 }
 
 /// **Ablation (§4.2)** — static vs dynamic wire distribution: the paper
 /// rejected the dynamic scheme because wire requests are only served
 /// between wires; this measures what that choice cost.
-pub fn distribution_study(circuit: &Circuit, n_procs: usize) -> Vec<AblationRow> {
+pub fn distribution_study(
+    harness: &Harness,
+    circuit: &Circuit,
+    n_procs: usize,
+) -> Vec<AblationRow> {
     let schedule = UpdateSchedule::sender_initiated(2, 10);
-    let params = RouterParams::default().with_iterations(1);
-    let stat = run_msgpass(circuit, MsgPassConfig::new(n_procs, schedule).with_params(params));
-    let dynamic = run_msgpass(circuit, MsgPassConfig::new(n_procs, schedule).with_dynamic_wires());
-    vec![
-        ablation_row("static assignment (1 iter)", &stat),
-        ablation_row("dynamic distribution (1 iter)", &dynamic),
-    ]
+    harness.map(vec![false, true], |dynamic| {
+        if dynamic {
+            let out =
+                run_msgpass(circuit, MsgPassConfig::new(n_procs, schedule).with_dynamic_wires());
+            ablation_row("dynamic distribution (1 iter)", &out)
+        } else {
+            let params = RouterParams::default().with_iterations(1);
+            let out =
+                run_msgpass(circuit, MsgPassConfig::new(n_procs, schedule).with_params(params));
+            ablation_row("static assignment (1 iter)", &out)
+        }
+    })
 }
 
 /// **Figure 1** — a cost array with one wire's route highlighted.
@@ -600,10 +619,16 @@ mod tests {
 
     const QUICK_PROCS: usize = 4;
 
+    /// Unit tests exercise the serial harness; harness parity is covered
+    /// by `tests/parallel_harness.rs`.
+    fn h() -> Harness {
+        Harness::serial()
+    }
+
     #[test]
     fn table1_shape_and_traffic_ordering() {
         let c = presets::small();
-        let rows = table1(&c, QUICK_PROCS);
+        let rows = table1(&h(), &c, QUICK_PROCS);
         assert_eq!(rows.len(), 12);
         // Within a SendRmtData group, traffic falls as SendLocData grows.
         for g in rows.chunks(4) {
@@ -619,7 +644,7 @@ mod tests {
     #[test]
     fn table2_shape() {
         let c = presets::small();
-        let rows = table2(&c, QUICK_PROCS);
+        let rows = table2(&h(), &c, QUICK_PROCS);
         assert_eq!(rows.len(), 9);
         // Traffic falls as ReqRmtData grows (fewer requests).
         for g in rows.chunks(3) {
@@ -630,7 +655,7 @@ mod tests {
     #[test]
     fn blocking_study_blocking_never_faster() {
         let c = presets::small();
-        for row in blocking_study(&c, QUICK_PROCS) {
+        for row in blocking_study(&h(), &c, QUICK_PROCS) {
             assert!(row.time_blocking >= row.time_nonblocking, "schedule {:?}", row.schedule);
         }
     }
@@ -638,7 +663,7 @@ mod tests {
     #[test]
     fn table3_traffic_shape() {
         let c = presets::small();
-        let rows = table3(&c, QUICK_PROCS, &[4, 8, 16, 32]);
+        let rows = table3(&h(), &c, QUICK_PROCS, &[4, 8, 16, 32]);
         assert_eq!(rows.len(), 4);
         // The robust Table 3 properties on synthetic circuits: long lines
         // cost more than mid-size lines (false-sharing growth), and the
@@ -665,16 +690,16 @@ mod tests {
     fn table4_and_5_cover_both_circuits_and_methods() {
         let a = presets::small();
         let b = presets::tiny();
-        let rows4 = table4(&[&a, &b], QUICK_PROCS);
+        let rows4 = table4(&h(), &[&a, &b], QUICK_PROCS);
         assert_eq!(rows4.len(), 8);
-        let rows5 = table5(&[&a], QUICK_PROCS);
+        let rows5 = table5(&h(), &[&a], QUICK_PROCS);
         assert_eq!(rows5.len(), 4);
     }
 
     #[test]
     fn table6_speedup_improves_with_processors() {
         let c = presets::small();
-        let rows = table6(&c, &[2, 4]);
+        let rows = table6(&h(), &c, &[2, 4]);
         assert_eq!(rows.len(), 2);
         assert!((rows[0].speedup - 2.0).abs() < 1e-9, "P=2 speedup is 2 by definition");
         assert!(rows[1].time_s < rows[0].time_s, "4 procs must be faster than 2");
@@ -684,7 +709,7 @@ mod tests {
     #[test]
     fn locality_study_round_robin_worse_than_local() {
         let c = presets::small();
-        let rows = locality_study(&[&c], &[4]);
+        let rows = locality_study(&h(), &[&c], &[4]);
         let rr = rows.iter().find(|r| r.method.contains("robin")).unwrap();
         let local = rows.iter().find(|r| r.method.contains("inf")).unwrap();
         assert!(local.mean_hops < rr.mean_hops);
@@ -693,7 +718,7 @@ mod tests {
     #[test]
     fn compare_paradigms_traffic_ordering() {
         let c = presets::small();
-        let rows = compare_paradigms(&c, QUICK_PROCS);
+        let rows = compare_paradigms(&h(), &c, QUICK_PROCS);
         assert_eq!(rows.len(), 3);
         // Shared memory must move more bytes than sender-initiated, which
         // must move more than receiver-initiated (§5.2, §6).
@@ -704,7 +729,7 @@ mod tests {
     #[test]
     fn structures_study_orders_traffic() {
         let c = presets::small();
-        let rows = structures_study(&c, QUICK_PROCS);
+        let rows = structures_study(&h(), &c, QUICK_PROCS);
         assert_eq!(rows.len(), 3);
         let bbox = &rows[0];
         let full = &rows[1];
@@ -716,7 +741,7 @@ mod tests {
     #[test]
     fn overshoot_study_zero_examines_less_work() {
         let c = presets::small();
-        let rows = overshoot_study(&c, QUICK_PROCS);
+        let rows = overshoot_study(&h(), &c, QUICK_PROCS);
         assert_eq!(rows.len(), 3);
         // More overshoot = more candidates = more modelled time.
         assert!(rows[0].time_s <= rows[2].time_s);
@@ -725,7 +750,7 @@ mod tests {
     #[test]
     fn contention_study_runs_and_contention_counter_responds() {
         let c = presets::small();
-        let rows = contention_study(&c, QUICK_PROCS);
+        let rows = contention_study(&h(), &c, QUICK_PROCS);
         assert_eq!(rows.len(), 2);
         // Message timing feeds back into the adaptive application, so
         // total time and packet counts may move either way; the solid
@@ -741,7 +766,7 @@ mod tests {
     #[test]
     fn distribution_study_dynamic_not_faster() {
         let c = presets::small();
-        let rows = distribution_study(&c, QUICK_PROCS);
+        let rows = distribution_study(&h(), &c, QUICK_PROCS);
         assert_eq!(rows.len(), 2);
         assert!(
             rows[1].time_s >= rows[0].time_s * 0.9,

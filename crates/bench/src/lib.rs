@@ -11,5 +11,7 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod sweep;
 
 pub use experiments::*;
+pub use sweep::Harness;

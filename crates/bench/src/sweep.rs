@@ -1,0 +1,114 @@
+//! A small scoped-thread pool for running independent sweep points of an
+//! experiment concurrently.
+//!
+//! Every engine in the workspace is deterministic (the real-thread router
+//! excepted, and it is never driven through sweeps), so a sweep is an
+//! embarrassingly parallel map: the [`Harness`] farms the points out to a
+//! few OS threads and reassembles the rows **in input order**, making the
+//! parallel harness produce bit-identical rows to the serial one. The
+//! `parallel_harness` integration test and the `locus-experiments sweeps`
+//! subcommand both check exactly that.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on worker threads; sweeps have at most a few dozen
+/// points, and each point is itself a full routing simulation, so a
+/// small pool saturates quickly.
+const MAX_THREADS: usize = 8;
+
+/// A sweep-point executor: either inline (serial) or a scoped pool of
+/// worker threads pulling points off a shared counter — the same
+/// distributed-loop scheduling the routers themselves use for wires.
+#[derive(Clone, Copy, Debug)]
+pub struct Harness {
+    threads: usize,
+}
+
+impl Harness {
+    /// Runs every sweep point inline on the calling thread.
+    pub fn serial() -> Self {
+        Harness { threads: 1 }
+    }
+
+    /// Sizes the pool to the host's available parallelism (capped at 8
+    /// threads; 1 worker degenerates to [`Harness::serial`]).
+    pub fn auto() -> Self {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Harness { threads: n.min(MAX_THREADS) }
+    }
+
+    /// A pool of exactly `threads` workers (clamped to `1..=8`).
+    pub fn with_threads(threads: usize) -> Self {
+        Harness { threads: threads.clamp(1, MAX_THREADS) }
+    }
+
+    /// Worker count this harness runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, preserving input order in the output.
+    ///
+    /// With more than one worker, items are claimed from a shared atomic
+    /// counter so long points do not serialize behind short ones. `f`
+    /// must be deterministic for the parallel result to equal the serial
+    /// one; every experiment in this crate satisfies that.
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let n = items.len();
+        let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let next = AtomicUsize::new(0);
+        let done: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let item = slots[idx].lock().unwrap().take().expect("each index claimed once");
+                    *done[idx].lock().unwrap() = Some(f(item));
+                });
+            }
+        });
+        done.into_iter().map(|m| m.into_inner().unwrap().expect("every index computed")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_and_preserve_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = Harness::serial().map(items.clone(), |x| x * x);
+        for threads in [2, 3, 8] {
+            let parallel = Harness::with_threads(threads).map(items.clone(), |x| x * x);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn thread_counts_are_clamped() {
+        assert_eq!(Harness::with_threads(0).threads(), 1);
+        assert_eq!(Harness::with_threads(100).threads(), MAX_THREADS);
+        assert!(Harness::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let h = Harness::with_threads(4);
+        assert_eq!(h.map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(h.map(vec![7u32], |x| x + 1), vec![8]);
+    }
+}

@@ -1,0 +1,43 @@
+//! The parallel sweep harness must be invisible in the results: every
+//! engine is deterministic, so rows produced on the scoped-thread pool
+//! must equal the serial rows bit for bit, at any thread count.
+
+use locus_bench::{blocking_study, compare_paradigms, table1, table4, table6, Harness};
+use locus_circuit::presets;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// The satellite property: parallel-sweep Table 1 rows equal the
+    /// serial-sweep rows for every pool size.
+    #[test]
+    fn table1_parallel_rows_equal_serial_rows(threads in 2usize..=8) {
+        let c = presets::tiny();
+        let serial = table1(&Harness::serial(), &c, 2);
+        let parallel = table1(&Harness::with_threads(threads), &c, 2);
+        prop_assert_eq!(serial, parallel);
+    }
+}
+
+#[test]
+fn multi_run_sweeps_are_harness_invariant() {
+    let c = presets::tiny();
+    let serial = Harness::serial();
+    let pool = Harness::with_threads(4);
+    assert_eq!(table4(&serial, &[&c], 2), table4(&pool, &[&c], 2));
+    assert_eq!(table6(&serial, &c, &[2, 4]), table6(&pool, &c, &[2, 4]));
+    assert_eq!(blocking_study(&serial, &c, 2), blocking_study(&pool, &c, 2));
+}
+
+#[test]
+fn compare_paradigms_is_harness_invariant_and_registry_complete() {
+    let c = presets::tiny();
+    let serial = compare_paradigms(&Harness::serial(), &c, 2);
+    let pool = compare_paradigms(&Harness::with_threads(3), &c, 2);
+    assert_eq!(serial, pool);
+    assert_eq!(serial.len(), locus_bench::COMPARE_ENGINES.len());
+    for (row, (_, label)) in serial.iter().zip(locus_bench::COMPARE_ENGINES) {
+        assert_eq!(row.approach, label);
+    }
+}

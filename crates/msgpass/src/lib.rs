@@ -30,6 +30,7 @@
 
 pub mod config;
 pub mod delta;
+pub mod engine;
 pub mod node;
 pub mod packet;
 pub mod schedule;
@@ -37,6 +38,7 @@ pub mod sim;
 
 pub use config::{MsgPassConfig, PacketStructure, WireSource};
 pub use delta::DeltaArray;
+pub use engine::MsgPassEngine;
 pub use node::RouterNode;
 pub use packet::{Packet, PacketCounts, PacketKind, WireEvent};
 pub use schedule::UpdateSchedule;

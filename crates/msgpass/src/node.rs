@@ -12,7 +12,8 @@ use std::sync::{Arc, Mutex};
 
 use locus_circuit::{Circuit, Rect, WireId};
 use locus_mesh::{Envelope, Node, Outbox, SimTime, Step};
-use locus_obs::{Event as ObsEvent, EventKind as ObsKind, SharedSink, Sink};
+use locus_obs::SharedSink;
+use locus_router::engine::{IterationDriver, ObsEmitter, Stamp};
 use locus_router::router::route_wire_scratch;
 use locus_router::{CostArray, EvalScratch, ProcId, RegionMap, Route, WorkStats};
 
@@ -50,7 +51,10 @@ pub struct RouterNode {
     /// `SendLocData` (kept incrementally; no scan needed).
     own_dirty: Option<Rect>,
 
-    routes: Vec<Option<Route>>,
+    /// The shared execution ledger: route slots (indexed by position in
+    /// `my_wires`), dynamically granted routes, work counters, per-
+    /// iteration occupancy, and routing-event emission.
+    driver: IterationDriver,
     iteration: usize,
     wire_idx: usize,
     wires_routed_count: u32,
@@ -60,8 +64,6 @@ pub struct RouterNode {
     wire_events: Vec<WireEvent>,
 
     // Dynamic wire distribution (§4.2).
-    /// Routes of dynamically granted wires.
-    dynamic_routes: Vec<(WireId, Route)>,
     /// Master only: next wire id to hand out.
     dyn_pool_next: usize,
     /// Worker: a request is in flight.
@@ -85,15 +87,8 @@ pub struct RouterNode {
     terminate: bool,
 
     // Metrics.
-    occupancy_current: u64,
-    occupancy_last: u64,
-    work: WorkStats,
     sent: PacketCounts,
 
-    // Observability: routing events (rip-ups, commits, iteration
-    // phases) flow into the shared sink; `None` means disabled and
-    // costs one branch per site.
-    obs: Option<SharedSink>,
     /// Simulated time of the step being executed (for event stamps).
     now_ns: u64,
 }
@@ -125,12 +120,11 @@ impl RouterNode {
             scratch: EvalScratch::default(),
             delta: DeltaArray::new(channels, grids),
             own_dirty: None,
-            routes: vec![None; n_wires],
+            driver: IterationDriver::new(n_wires),
             iteration: 0,
             wire_idx: 0,
             wires_routed_count: 0,
             wire_events: Vec::new(),
-            dynamic_routes: Vec::new(),
             dyn_pool_next: 0,
             awaiting_grant: false,
             granted: None,
@@ -143,11 +137,7 @@ impl RouterNode {
             finished_sent: false,
             finished_seen: 0,
             terminate: false,
-            occupancy_current: 0,
-            occupancy_last: 0,
-            work: WorkStats::default(),
             sent: PacketCounts::default(),
-            obs: None,
             now_ns: 0,
         }
     }
@@ -155,29 +145,17 @@ impl RouterNode {
     /// Routes this node's routing events (wire commits, rip-ups,
     /// iteration phases) into `sink`.
     pub fn with_sink(mut self, sink: SharedSink) -> Self {
-        self.obs = Some(sink);
+        self.driver.set_obs(ObsEmitter::new(Box::new(sink)).for_node(self.proc as u32));
         self
-    }
-
-    #[inline]
-    fn emit(&mut self, kind: ObsKind) {
-        if let Some(sink) = &mut self.obs {
-            sink.record(ObsEvent { at_ns: self.now_ns, node: self.proc as u32, kind });
-        }
     }
 
     /// Marks this node done with routing and reports its kernel counters
     /// (candidates swept; the replica's prefix-cache activity).
     fn mark_finished_routing(&mut self) {
         self.finished_routing = true;
-        if self.obs.is_some() {
+        if self.driver.obs_on() {
             let ps = self.replica.prefix_stats();
-            self.emit(ObsKind::KernelStats {
-                candidates: self.work.candidates,
-                prefix_hits: ps.hits,
-                prefix_rebuilds: ps.rebuilds,
-                prefix_invalidations: ps.invalidations,
-            });
+            self.driver.kernel_stats(Stamp::At(self.now_ns), ps);
         }
     }
 
@@ -185,19 +163,24 @@ impl RouterNode {
     pub fn routes(&self) -> impl Iterator<Item = (WireId, &Route)> + '_ {
         self.my_wires
             .iter()
-            .zip(&self.routes)
+            .zip(self.driver.slots())
             .filter_map(|(&w, r)| r.as_ref().map(|r| (w, r)))
-            .chain(self.dynamic_routes.iter().map(|(w, r)| (*w, r)))
+            .chain(self.driver.dynamic_routes().iter().map(|(w, r)| (*w, r)))
     }
 
     /// Occupancy factor contribution of the final iteration.
     pub fn occupancy_factor(&self) -> u64 {
-        self.occupancy_last
+        self.driver.last_occupancy()
+    }
+
+    /// Occupancy factor contribution of every iteration.
+    pub fn occupancy_by_iteration(&self) -> &[u64] {
+        self.driver.occupancy_by_iteration()
     }
 
     /// Work counters.
     pub fn work(&self) -> &WorkStats {
-        &self.work
+        self.driver.work()
     }
 
     /// Per-kind packet counts sent by this node.
@@ -336,7 +319,7 @@ impl RouterNode {
                     Some(w) => self.granted = Some(w as WireId),
                     None => {
                         self.mark_finished_routing();
-                        self.occupancy_last = self.occupancy_current;
+                        self.driver.close_iteration();
                     }
                 }
             }
@@ -511,24 +494,22 @@ impl RouterNode {
         let mut busy = self.issue_requests(outbox);
         let idx = self.wire_idx;
         let wire_id = self.my_wires[idx];
+        let stamp = Stamp::At(self.now_ns);
         if idx == 0 {
-            self.emit(ObsKind::PhaseBegin { name: "iteration" });
+            self.driver.phase_begin(stamp);
         }
 
         // Rip up the previous iteration's route (§3).
         let mut ripped_segments: Vec<locus_router::Segment> = Vec::new();
-        if let Some(old) = self.routes[idx].take() {
+        if let Some(old) = self.driver.rip_up(idx, wire_id, stamp) {
             busy += old.len() as u64 * self.config.cell_write_ns;
-            self.work.cells_written += old.len() as u64;
             self.oracle.lock().expect("oracle lock").remove_route(&old);
             if self.config.structure == PacketStructure::WireBased {
                 ripped_segments = old.segments().to_vec();
             }
-            let cells = old.len() as u32;
-            for &cell in old.cells().to_vec().iter() {
+            for &cell in old.cells() {
                 self.apply_cell_change(cell, -1);
             }
-            self.emit(ObsKind::RipUp { wire: wire_id as u32, cells });
         }
 
         // Evaluate against the (possibly stale) replica.
@@ -541,22 +522,18 @@ impl RouterNode {
         );
         busy += eval.cells_examined * self.config.cell_eval_ns;
         busy += eval.route.len() as u64 * self.config.cell_write_ns;
-        {
-            // Occupancy factor: the chosen path's cost against the true
-            // global state at routing time (§3) — the decision above saw
-            // only the replica.
+        // Occupancy factor: the chosen path's cost against the true
+        // global state at routing time (§3) — the decision above saw
+        // only the replica.
+        let cost_at_decision = {
             use locus_router::CostView;
             let mut oracle = self.oracle.lock().expect("oracle lock");
-            self.occupancy_current += oracle.route_cost(&eval.route);
+            let cost = oracle.route_cost(&eval.route);
             oracle.add_route(&eval.route);
-        }
-        self.work.wires_routed += 1;
-        self.work.connections += eval.connections;
-        self.work.candidates += eval.candidates;
-        self.work.cells_examined += eval.cells_examined;
-        self.work.cells_written += eval.route.len() as u64;
+            cost
+        };
 
-        for &cell in eval.route.cells().to_vec().iter() {
+        for &cell in eval.route.cells() {
             self.apply_cell_change(cell, 1);
         }
         if self.config.structure == PacketStructure::WireBased {
@@ -565,9 +542,7 @@ impl RouterNode {
                 routed: eval.route.segments().to_vec(),
             });
         }
-        let route_cells = eval.route.len() as u32;
-        self.routes[idx] = Some(eval.route);
-        self.emit(ObsKind::WireRouted { wire: wire_id as u32, cells: route_cells });
+        self.driver.commit(idx, wire_id, eval, cost_at_decision, stamp);
 
         self.wires_routed_count += 1;
 
@@ -576,15 +551,13 @@ impl RouterNode {
         // Advance the program counter.
         self.wire_idx += 1;
         if self.wire_idx == self.my_wires.len() {
-            self.emit(ObsKind::PhaseEnd { name: "iteration" });
+            self.driver.phase_end(stamp);
+            self.driver.close_iteration();
             self.iteration += 1;
             self.wire_idx = 0;
             self.request_cursor = 0;
-            self.occupancy_last = self.occupancy_current;
             if self.iteration == self.config.params.iterations {
                 self.mark_finished_routing();
-            } else {
-                self.occupancy_current = 0;
             }
         }
         busy
@@ -605,27 +578,21 @@ impl RouterNode {
         );
         busy += eval.cells_examined * self.config.cell_eval_ns;
         busy += eval.route.len() as u64 * self.config.cell_write_ns;
-        {
+        let cost_at_decision = {
             use locus_router::CostView;
             let mut oracle = self.oracle.lock().expect("oracle lock");
-            self.occupancy_current += oracle.route_cost(&eval.route);
+            let cost = oracle.route_cost(&eval.route);
             oracle.add_route(&eval.route);
-        }
-        self.work.wires_routed += 1;
-        self.work.connections += eval.connections;
-        self.work.candidates += eval.candidates;
-        self.work.cells_examined += eval.cells_examined;
-        self.work.cells_written += eval.route.len() as u64;
-        for &cell in eval.route.cells().to_vec().iter() {
+            cost
+        };
+        for &cell in eval.route.cells() {
             self.apply_cell_change(cell, 1);
         }
         if self.config.structure == PacketStructure::WireBased {
             self.wire_events
                 .push(WireEvent { ripped: Vec::new(), routed: eval.route.segments().to_vec() });
         }
-        let route_cells = eval.route.len() as u32;
-        self.emit(ObsKind::WireRouted { wire: wire_id as u32, cells: route_cells });
-        self.dynamic_routes.push((wire_id, eval.route));
+        self.driver.commit_dynamic(wire_id, eval, cost_at_decision, Stamp::At(self.now_ns));
         self.wires_routed_count += 1;
         busy += self.emit_sender_updates(outbox);
         busy
@@ -644,7 +611,7 @@ impl RouterNode {
                 busy += self.route_granted_wire(w, outbox);
             } else {
                 self.mark_finished_routing();
-                self.occupancy_last = self.occupancy_current;
+                self.driver.close_iteration();
             }
             return Step::Continue { busy_ns: busy };
         }

@@ -35,6 +35,11 @@ pub struct MsgPassOutcome {
     pub packets: PacketCounts,
     /// Aggregate routing work.
     pub work: WorkStats,
+    /// Occupancy factor accumulated in each iteration, summed across
+    /// nodes (the last entry is the reported occupancy factor).
+    pub occupancy_by_iteration: Vec<u64>,
+    /// The true final cost-array state (rebuilt from the routes).
+    pub cost: CostArray,
     /// Mean absolute per-cell divergence between node replicas and the
     /// true final cost array — how stale the views were at the end.
     pub replica_divergence: f64,
@@ -149,10 +154,18 @@ fn run_inner(
     let mut routes: Vec<Option<Route>> = vec![None; circuit.wire_count()];
     let mut proc_of_wire = assignment.proc_of_wire.clone();
     let mut occupancy = 0u64;
+    let mut occupancy_by_iteration: Vec<u64> = Vec::new();
     let mut work = WorkStats::default();
     let mut packets = PacketCounts::default();
     for (p, node) in outcome.nodes.iter().enumerate() {
         occupancy += node.occupancy_factor();
+        let by_iter = node.occupancy_by_iteration();
+        if occupancy_by_iteration.len() < by_iter.len() {
+            occupancy_by_iteration.resize(by_iter.len(), 0);
+        }
+        for (total, o) in occupancy_by_iteration.iter_mut().zip(by_iter) {
+            *total += o;
+        }
         work += *node.work();
         packets.merge(node.sent_counts());
         for (w, r) in node.routes() {
@@ -203,6 +216,8 @@ fn run_inner(
         locality,
         packets,
         work,
+        occupancy_by_iteration,
+        cost: truth,
         replica_divergence: divergence,
         imbalance,
         deadlocked,

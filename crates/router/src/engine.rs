@@ -1,0 +1,545 @@
+//! The shared execution core behind every routing engine.
+//!
+//! The paper's whole point is that message passing and shared memory are
+//! two implementations of *one* router, so the loop that routes a wire —
+//! rip up the previous route, evaluate candidates, commit the winner,
+//! account the work, emit the observability events — must exist exactly
+//! once. This module owns that loop's bookkeeping:
+//!
+//! * [`IterationDriver`] — per-engine (or per message-passing node)
+//!   ledger of routes, work counters, per-iteration occupancy, and the
+//!   `PhaseBegin`/`RipUp`/`WireRouted`/`PhaseEnd`/`KernelStats` event
+//!   emission that used to be copy-pasted across the four engines;
+//! * [`ObsEmitter`] — a sink handle with the cached `enabled()` branch
+//!   every instrumented layer uses;
+//! * [`WireFeed`] — one iteration's wire supply (the §3 distributed-loop
+//!   shared counter or a §4.2 static assignment), shared by the
+//!   shared-memory emulator and the real threaded executor;
+//! * [`RoutingEngine`] / [`EngineCtx`] / [`EngineRun`] — the uniform
+//!   interface the engine registry and the experiment harness consume,
+//!   making engines interchangeable values.
+//!
+//! Engines keep what genuinely differs between paradigms — memory
+//! semantics (global array, unlocked atomics, stale replicas), clocks,
+//! and scheduling — and delegate everything else here.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use locus_circuit::{Circuit, WireId};
+use locus_obs::{Event, EventKind, NullSink, Sink};
+
+use crate::cost_array::{CostArray, PrefixStats};
+use crate::params::RouterParams;
+use crate::quality::QualityMetrics;
+use crate::route::Route;
+use crate::router::{RouteOutcome, SequentialRouter, WireEvaluation};
+use crate::work::WorkStats;
+
+/// How an event is stamped.
+///
+/// Most engines have a clock (simulated or wall nanoseconds) and pass
+/// [`Stamp::At`]. The sequential router has no clock; its deterministic
+/// pseudo-time is cumulative cells examined, which [`Stamp::WorkCells`]
+/// reads from the driver's own work ledger — *after* the commit being
+/// stamped is accounted, preserving the historical stamp stream.
+#[derive(Clone, Copy, Debug)]
+pub enum Stamp {
+    /// An explicit timestamp in the engine's time base (ns).
+    At(u64),
+    /// The driver's cumulative `cells_examined` at emission time.
+    WorkCells,
+}
+
+/// A sink handle with the cached-`enabled()` contract every instrumented
+/// layer follows: one predictable branch when observability is off, and
+/// the event is only constructed when it is on.
+pub struct ObsEmitter {
+    sink: Box<dyn Sink>,
+    enabled: bool,
+    node: u32,
+}
+
+impl ObsEmitter {
+    /// The disabled emitter (a [`NullSink`] behind one never-taken branch).
+    pub fn disabled() -> Self {
+        ObsEmitter { sink: Box::new(NullSink), enabled: false, node: 0 }
+    }
+
+    /// An emitter recording into `sink`, attributing events to node 0.
+    pub fn new(sink: Box<dyn Sink>) -> Self {
+        let enabled = sink.enabled();
+        ObsEmitter { sink, enabled, node: 0 }
+    }
+
+    /// Returns `self` attributing events to `node`.
+    pub fn for_node(mut self, node: u32) -> Self {
+        self.node = node;
+        self
+    }
+
+    /// Changes the node subsequent events are attributed to (for engines
+    /// that multiplex several logical processors through one emitter).
+    #[inline]
+    pub fn set_node(&mut self, node: u32) {
+        self.node = node;
+    }
+
+    /// Whether recording is on (cached once at construction).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `kind` at `at_ns` on this emitter's node.
+    #[inline]
+    pub fn emit(&mut self, at_ns: u64, kind: EventKind) {
+        if self.enabled {
+            self.sink.record(Event { at_ns, node: self.node, kind });
+        }
+    }
+
+    /// Records `kind` at `at_ns` on an explicit node (for engines that
+    /// multiplex several logical processors through one emitter).
+    #[inline]
+    pub fn emit_on(&mut self, at_ns: u64, node: u32, kind: EventKind) {
+        if self.enabled {
+            self.sink.record(Event { at_ns, node, kind });
+        }
+    }
+}
+
+/// The shared route-wire / rip-up / per-iteration-metrics ledger.
+///
+/// One driver serves one stream of routing decisions: the whole run for
+/// the sequential router and the shared-memory engines (slots indexed by
+/// global wire id), or one processor's slice for a message-passing node
+/// (slots indexed by position in its static wire list). The driver owns
+/// the route slots, the [`WorkStats`] ledger, per-iteration occupancy
+/// accounting, and all routing-event emission; the engine keeps memory
+/// semantics, clocks, and scheduling.
+pub struct IterationDriver {
+    obs: ObsEmitter,
+    routes: Vec<Option<Route>>,
+    /// Routes committed outside the static slots (§4.2 dynamic wire
+    /// distribution, where a node routes whatever it is granted).
+    dynamic: Vec<(WireId, Route)>,
+    work: WorkStats,
+    occupancy_current: u64,
+    occupancy_by_iteration: Vec<u64>,
+}
+
+impl IterationDriver {
+    /// A driver with `slots` route slots and observability off.
+    pub fn new(slots: usize) -> Self {
+        IterationDriver {
+            obs: ObsEmitter::disabled(),
+            routes: vec![None; slots],
+            dynamic: Vec::new(),
+            work: WorkStats::default(),
+            occupancy_current: 0,
+            occupancy_by_iteration: Vec::new(),
+        }
+    }
+
+    /// Returns `self` recording routing events into `emitter`.
+    pub fn with_obs(mut self, emitter: ObsEmitter) -> Self {
+        self.obs = emitter;
+        self
+    }
+
+    /// Replaces the driver's emitter in place (for engines that wire the
+    /// sink up after construction).
+    pub fn set_obs(&mut self, emitter: ObsEmitter) {
+        self.obs = emitter;
+    }
+
+    /// Whether event recording is on.
+    #[inline]
+    pub fn obs_on(&self) -> bool {
+        self.obs.enabled()
+    }
+
+    /// Attributes subsequent events to `node` (multiplexing engines set
+    /// this to the acting logical processor before each step).
+    #[inline]
+    pub fn on_node(&mut self, node: u32) {
+        self.obs.set_node(node);
+    }
+
+    #[inline]
+    fn resolve(&self, stamp: Stamp) -> u64 {
+        match stamp {
+            Stamp::At(t) => t,
+            Stamp::WorkCells => self.work.cells_examined,
+        }
+    }
+
+    /// Emits `PhaseBegin { "iteration" }`.
+    pub fn phase_begin(&mut self, stamp: Stamp) {
+        let at = self.resolve(stamp);
+        self.obs.emit(at, EventKind::PhaseBegin { name: "iteration" });
+    }
+
+    /// Emits `PhaseEnd { "iteration" }`.
+    pub fn phase_end(&mut self, stamp: Stamp) {
+        let at = self.resolve(stamp);
+        self.obs.emit(at, EventKind::PhaseEnd { name: "iteration" });
+    }
+
+    /// Seals the current iteration: records its accumulated occupancy
+    /// factor and resets the accumulator for the next iteration.
+    pub fn close_iteration(&mut self) {
+        self.occupancy_by_iteration.push(self.occupancy_current);
+        self.occupancy_current = 0;
+    }
+
+    /// Takes the previous route out of `slot` for re-routing, accounting
+    /// the rip-up writes and emitting the `RipUp` event. The caller
+    /// applies the decrements to whatever array it owns.
+    pub fn rip_up(&mut self, slot: usize, wire: WireId, stamp: Stamp) -> Option<Route> {
+        let old = self.routes[slot].take()?;
+        self.rip_up_external(wire, &old, stamp);
+        Some(old)
+    }
+
+    /// [`rip_up`](Self::rip_up) for a route stored outside the driver
+    /// (engines whose slots are shared across threads): accounts the
+    /// writes and emits the event for a route the caller already took.
+    pub fn rip_up_external(&mut self, wire: WireId, old: &Route, stamp: Stamp) {
+        self.work.cells_written += old.len() as u64;
+        let at = self.resolve(stamp);
+        self.obs.emit(at, EventKind::RipUp { wire: wire as u32, cells: old.len() as u32 });
+    }
+
+    fn account(&mut self, eval: &WireEvaluation, cost_at_decision: u64) {
+        self.work.wires_routed += 1;
+        self.work.connections += eval.connections;
+        self.work.candidates += eval.candidates;
+        self.work.cells_examined += eval.cells_examined;
+        self.work.cells_written += eval.route.len() as u64;
+        self.occupancy_current += cost_at_decision;
+    }
+
+    /// Commits `eval` into `slot`: accounts the work and occupancy,
+    /// emits the `WireRouted` event, and stores the route. The caller
+    /// has already applied the route to its array; `cost_at_decision` is
+    /// the route's cost against the state the occupancy metric reads
+    /// (§3 — each engine defines which state that is).
+    pub fn commit(
+        &mut self,
+        slot: usize,
+        wire: WireId,
+        eval: WireEvaluation,
+        cost_at_decision: u64,
+        stamp: Stamp,
+    ) {
+        let route = self.commit_external(wire, eval, cost_at_decision, stamp);
+        self.routes[slot] = Some(route);
+    }
+
+    /// [`commit`](Self::commit) for a dynamically granted wire with no
+    /// static slot; the route is appended to the dynamic ledger.
+    pub fn commit_dynamic(
+        &mut self,
+        wire: WireId,
+        eval: WireEvaluation,
+        cost_at_decision: u64,
+        stamp: Stamp,
+    ) {
+        let route = self.commit_external(wire, eval, cost_at_decision, stamp);
+        self.dynamic.push((wire, route));
+    }
+
+    /// [`commit`](Self::commit) for a route stored outside the driver:
+    /// accounts the work and occupancy, emits the event, and hands the
+    /// route back for the caller to store.
+    pub fn commit_external(
+        &mut self,
+        wire: WireId,
+        eval: WireEvaluation,
+        cost_at_decision: u64,
+        stamp: Stamp,
+    ) -> Route {
+        self.account(&eval, cost_at_decision);
+        let at = self.resolve(stamp);
+        self.obs
+            .emit(at, EventKind::WireRouted { wire: wire as u32, cells: eval.route.len() as u32 });
+        eval.route
+    }
+
+    /// Emits the end-of-run `KernelStats` event with this driver's
+    /// candidate total and the given prefix-cache counters.
+    pub fn kernel_stats(&mut self, stamp: Stamp, prefix: PrefixStats) {
+        if self.obs.enabled() {
+            let at = self.resolve(stamp);
+            self.obs.emit(
+                at,
+                EventKind::KernelStats {
+                    candidates: self.work.candidates,
+                    prefix_hits: prefix.hits,
+                    prefix_rebuilds: prefix.rebuilds,
+                    prefix_invalidations: prefix.invalidations,
+                },
+            );
+        }
+    }
+
+    /// Work performed so far.
+    pub fn work(&self) -> &WorkStats {
+        &self.work
+    }
+
+    /// Occupancy accumulated in the (still open) current iteration.
+    pub fn occupancy_current(&self) -> u64 {
+        self.occupancy_current
+    }
+
+    /// Occupancy factor of each sealed iteration.
+    pub fn occupancy_by_iteration(&self) -> &[u64] {
+        &self.occupancy_by_iteration
+    }
+
+    /// Occupancy factor of the last sealed iteration (the reported one).
+    pub fn last_occupancy(&self) -> u64 {
+        self.occupancy_by_iteration.last().copied().unwrap_or(0)
+    }
+
+    /// The static route slots.
+    pub fn slots(&self) -> &[Option<Route>] {
+        &self.routes
+    }
+
+    /// Routes committed through the dynamic (slotless) path.
+    pub fn dynamic_routes(&self) -> &[(WireId, Route)] {
+        &self.dynamic
+    }
+
+    /// Drains the driver into a [`RouteOutcome`] over `cost` (the
+    /// engine's final array). Every slot must hold a route.
+    ///
+    /// The driver remains usable for [`kernel_stats`](Self::kernel_stats)
+    /// afterwards — some engines stamp that event with counters that the
+    /// quality computation itself advances.
+    ///
+    /// # Panics
+    /// Panics if any slot is empty.
+    pub fn finish(&mut self, cost: CostArray) -> RouteOutcome {
+        let routes: Vec<Route> = std::mem::take(&mut self.routes)
+            .into_iter()
+            .map(|r| r.expect("every wire routed"))
+            .collect();
+        let occupancy_by_iteration = std::mem::take(&mut self.occupancy_by_iteration);
+        let quality = QualityMetrics::from_final_state(
+            &cost,
+            occupancy_by_iteration.last().copied().unwrap_or(0),
+        );
+        RouteOutcome { quality, work: self.work, routes, cost, occupancy_by_iteration }
+    }
+}
+
+/// One iteration's wire supply, shared by the shared-memory engines: the
+/// §3 "distributed loop" (a shared counter handing the next wire to
+/// whichever processor asks first) or a §4.2 static assignment walked by
+/// a per-processor cursor. Thread-safe, so the emulator's multiplexed
+/// logical processors and the threaded executor's OS threads use the
+/// same supply.
+pub struct WireFeed<'a> {
+    next: AtomicUsize,
+    n_wires: usize,
+    lists: Option<&'a [Vec<WireId>]>,
+}
+
+impl<'a> WireFeed<'a> {
+    /// A supply over `n_wires` wires; `lists` selects static assignment.
+    pub fn new(n_wires: usize, lists: Option<&'a [Vec<WireId>]>) -> Self {
+        WireFeed { next: AtomicUsize::new(0), n_wires, lists }
+    }
+
+    /// The next wire for `proc`, advancing its `cursor` (only used under
+    /// static assignment); `None` when the supply is exhausted.
+    pub fn next(&self, proc: usize, cursor: &mut usize) -> Option<WireId> {
+        match self.lists {
+            None => {
+                let w = self.next.fetch_add(1, Ordering::Relaxed);
+                (w < self.n_wires).then_some(w)
+            }
+            Some(lists) => {
+                let w = lists[proc].get(*cursor).copied();
+                if w.is_some() {
+                    *cursor += 1;
+                }
+                w
+            }
+        }
+    }
+}
+
+/// Everything an engine needs beyond the circuit and core parameters.
+#[derive(Clone, Default)]
+pub struct EngineCtx {
+    /// Processor / thread count (ignored by the sequential engine).
+    pub n_procs: usize,
+    /// Observability sink; events flow into a clone per run.
+    pub sink: Option<locus_obs::SharedSink>,
+    /// Whether the engine should also measure its paradigm's traffic
+    /// (bus MBytes for shared memory — requires trace collection — or
+    /// payload MBytes for message passing).
+    pub measure_traffic: bool,
+}
+
+impl EngineCtx {
+    /// A context for `n_procs` processors, observability off.
+    pub fn new(n_procs: usize) -> Self {
+        EngineCtx { n_procs, sink: None, measure_traffic: false }
+    }
+
+    /// Returns `self` recording events into `sink`.
+    pub fn with_sink(mut self, sink: locus_obs::SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Returns `self` with paradigm-traffic measurement enabled.
+    pub fn with_traffic(mut self) -> Self {
+        self.measure_traffic = true;
+        self
+    }
+}
+
+/// The uniform result of running any engine: the core routing outcome
+/// plus the paradigm-level measures engines with a clock or a network
+/// can report.
+#[derive(Clone, Debug)]
+pub struct EngineRun {
+    /// Routes, quality, work, and per-iteration occupancy.
+    pub outcome: RouteOutcome,
+    /// Paradigm traffic in megabytes, when measured (see
+    /// [`EngineCtx::measure_traffic`]).
+    pub mbytes: Option<f64>,
+    /// Modelled (simulated) or wall-clock seconds, when the engine has a
+    /// clock; the sequential engine has none.
+    pub time_secs: Option<f64>,
+}
+
+/// A routing engine as an interchangeable value: one of the paper's two
+/// paradigms (or the reference), runnable through one interface so the
+/// experiment harness and registry can treat them uniformly.
+pub trait RoutingEngine {
+    /// Stable engine name (the registry key).
+    fn id(&self) -> &'static str;
+
+    /// Routes `circuit` under `params` in context `ctx`.
+    fn route(&self, circuit: &Circuit, params: &RouterParams, ctx: &EngineCtx) -> EngineRun;
+}
+
+/// The reference single-processor engine (`id = "sequential"`).
+pub struct SequentialEngine;
+
+impl RoutingEngine for SequentialEngine {
+    fn id(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn route(&self, circuit: &Circuit, params: &RouterParams, ctx: &EngineCtx) -> EngineRun {
+        let mut router = SequentialRouter::new(circuit, *params);
+        if let Some(sink) = &ctx.sink {
+            router = router.with_sink(Box::new(sink.clone()));
+        }
+        EngineRun { outcome: router.run(), mbytes: None, time_secs: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost_array::CostView;
+    use locus_circuit::presets;
+    use locus_obs::{names, SharedSink};
+
+    #[test]
+    fn driver_ledger_tracks_commits_and_ripups() {
+        let c = presets::tiny();
+        let mut cost = CostArray::new(c.channels, c.grids);
+        let mut driver = IterationDriver::new(c.wire_count());
+        let mut scratch = crate::router::EvalScratch::default();
+        for iteration in 0..2 {
+            driver.phase_begin(Stamp::WorkCells);
+            for wire in &c.wires {
+                if let Some(old) = driver.rip_up(wire.id, wire.id, Stamp::WorkCells) {
+                    cost.remove_route(&old);
+                }
+                let eval = crate::router::route_wire_scratch(&cost, wire, 1, &mut scratch);
+                let at_decision = cost.route_cost(&eval.route);
+                cost.add_route(&eval.route);
+                driver.commit(wire.id, wire.id, eval, at_decision, Stamp::WorkCells);
+            }
+            driver.phase_end(Stamp::WorkCells);
+            driver.close_iteration();
+            assert_eq!(driver.occupancy_by_iteration().len(), iteration + 1);
+        }
+        assert_eq!(driver.work().wires_routed, 2 * c.wire_count() as u64);
+        let out = driver.finish(cost);
+        assert_eq!(out.routes.len(), c.wire_count());
+        assert_eq!(out.quality.occupancy_factor, out.occupancy_by_iteration[1]);
+    }
+
+    #[test]
+    fn driver_emits_phase_and_wire_events() {
+        let c = presets::tiny();
+        let sink = SharedSink::new();
+        let mut driver =
+            IterationDriver::new(c.wire_count()).with_obs(ObsEmitter::new(Box::new(sink.clone())));
+        assert!(driver.obs_on());
+        driver.phase_begin(Stamp::At(0));
+        let mut cost = CostArray::new(c.channels, c.grids);
+        let mut scratch = crate::router::EvalScratch::default();
+        let eval = crate::router::route_wire_scratch(&cost, &c.wires[0], 1, &mut scratch);
+        cost.add_route(&eval.route);
+        driver.commit(0, 0, eval, 0, Stamp::At(5));
+        driver.phase_end(Stamp::At(10));
+        driver.close_iteration();
+        let m = sink.metrics_snapshot();
+        assert_eq!(m.counter(names::PHASES_BEGUN), 1);
+        assert_eq!(m.counter(names::PHASES_ENDED), 1);
+        assert_eq!(m.counter(names::WIRES_ROUTED), 1);
+    }
+
+    #[test]
+    fn wire_feed_distributed_loop_hands_each_wire_once() {
+        let feed = WireFeed::new(5, None);
+        let mut seen = Vec::new();
+        let mut cursor = 0;
+        while let Some(w) = feed.next(0, &mut cursor) {
+            seen.push(w);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(feed.next(1, &mut cursor), None);
+    }
+
+    #[test]
+    fn wire_feed_static_lists_walk_per_proc() {
+        let lists = vec![vec![3usize, 1], vec![0, 2, 4]];
+        let feed = WireFeed::new(5, Some(&lists));
+        let mut c0 = 0;
+        let mut c1 = 0;
+        assert_eq!(feed.next(0, &mut c0), Some(3));
+        assert_eq!(feed.next(1, &mut c1), Some(0));
+        assert_eq!(feed.next(0, &mut c0), Some(1));
+        assert_eq!(feed.next(0, &mut c0), None);
+        assert_eq!(feed.next(1, &mut c1), Some(2));
+        assert_eq!(feed.next(1, &mut c1), Some(4));
+        assert_eq!(feed.next(1, &mut c1), None);
+    }
+
+    #[test]
+    fn sequential_engine_matches_direct_router() {
+        let c = presets::small();
+        let params = RouterParams::default();
+        let via_engine = SequentialEngine.route(&c, &params, &EngineCtx::new(1));
+        let direct = SequentialRouter::new(&c, params).run();
+        assert_eq!(via_engine.outcome.quality, direct.quality);
+        assert_eq!(via_engine.outcome.routes, direct.routes);
+        assert!(via_engine.time_secs.is_none());
+        assert!(via_engine.mbytes.is_none());
+    }
+}

@@ -19,6 +19,9 @@
 //!   against per-processor replicas),
 //! * [`Route`]/[`twobend`] — two-bend candidate enumeration and evaluation,
 //! * [`SequentialRouter`] — the reference single-processor router,
+//! * [`engine`] — the shared execution core: the [`IterationDriver`]
+//!   ledger every engine routes through, and the [`RoutingEngine`]
+//!   trait that makes the paradigms interchangeable values,
 //! * [`QualityMetrics`] — circuit height and occupancy factor (§3),
 //! * [`RegionMap`] — division of the cost array into per-processor owned
 //!   regions (§4.1, Figure 2),
@@ -29,6 +32,7 @@
 
 pub mod assign;
 pub mod cost_array;
+pub mod engine;
 pub mod locality;
 pub mod params;
 pub mod quality;
@@ -42,6 +46,10 @@ pub mod work;
 
 pub use assign::{assign, Assignment, AssignmentStrategy};
 pub use cost_array::{CostArray, CostView, PrefixStats};
+pub use engine::{
+    EngineCtx, EngineRun, IterationDriver, ObsEmitter, RoutingEngine, SequentialEngine, Stamp,
+    WireFeed,
+};
 pub use locality::LocalityMeasure;
 pub use params::RouterParams;
 pub use quality::QualityMetrics;

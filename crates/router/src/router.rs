@@ -1,9 +1,10 @@
 //! The reference sequential router and the shared per-wire routing step.
 
 use locus_circuit::{Circuit, Pin, Wire};
-use locus_obs::{Event as ObsEvent, EventKind as ObsKind, NullSink, Sink};
+use locus_obs::{NullSink, Sink};
 
 use crate::cost_array::{CostArray, CostView};
+use crate::engine::{IterationDriver, ObsEmitter, Stamp};
 use crate::params::RouterParams;
 use crate::quality::QualityMetrics;
 use crate::route::{Route, Segment};
@@ -107,13 +108,12 @@ pub struct SequentialRouter<'a> {
     circuit: &'a Circuit,
     params: RouterParams,
     sink: Box<dyn Sink>,
-    obs_on: bool,
 }
 
 impl<'a> SequentialRouter<'a> {
     /// Creates a router over `circuit`.
     pub fn new(circuit: &'a Circuit, params: RouterParams) -> Self {
-        SequentialRouter { circuit, params, sink: Box::new(NullSink), obs_on: false }
+        SequentialRouter { circuit, params, sink: Box::new(NullSink) }
     }
 
     /// Routes routing events (wire commits, rip-ups, iteration phases)
@@ -121,94 +121,41 @@ impl<'a> SequentialRouter<'a> {
     /// events are stamped with cumulative cells examined — a
     /// deterministic pseudo-time proportional to work done.
     pub fn with_sink(mut self, sink: Box<dyn Sink>) -> Self {
-        self.obs_on = sink.enabled();
         self.sink = sink;
         self
     }
 
     /// Runs all iterations and returns the outcome.
     pub fn run(self) -> RouteOutcome {
-        let SequentialRouter { circuit, params, mut sink, obs_on } = self;
+        let SequentialRouter { circuit, params, sink } = self;
         let mut cost = CostArray::new(circuit.channels, circuit.grids);
-        let mut routes: Vec<Option<Route>> = vec![None; circuit.wire_count()];
-        let mut work = WorkStats::default();
-        let mut occupancy_by_iteration = Vec::with_capacity(params.iterations);
+        let mut driver = IterationDriver::new(circuit.wire_count()).with_obs(ObsEmitter::new(sink));
         let mut scratch = EvalScratch::default();
 
         for _iteration in 0..params.iterations {
-            let mut occupancy = 0u64;
-            if obs_on {
-                sink.record(ObsEvent {
-                    at_ns: work.cells_examined,
-                    node: 0,
-                    kind: ObsKind::PhaseBegin { name: "iteration" },
-                });
-            }
+            driver.phase_begin(Stamp::WorkCells);
             for wire in &circuit.wires {
                 // Rip up the previous route before re-routing (§3).
-                if let Some(old) = routes[wire.id].take() {
+                if let Some(old) = driver.rip_up(wire.id, wire.id, Stamp::WorkCells) {
                     cost.remove_route(&old);
-                    work.cells_written += old.len() as u64;
-                    if obs_on {
-                        sink.record(ObsEvent {
-                            at_ns: work.cells_examined,
-                            node: 0,
-                            kind: ObsKind::RipUp { wire: wire.id as u32, cells: old.len() as u32 },
-                        });
-                    }
                 }
                 let eval = route_wire_scratch(&cost, wire, params.channel_overshoot, &mut scratch);
                 // Occupancy: the merged route's cost at routing time (§3).
                 // Using the merged route (not the per-connection sum)
                 // counts overlap cells once, matching the parallel
                 // engines' definition exactly.
-                occupancy += cost.route_cost(&eval.route);
+                let at_decision = cost.route_cost(&eval.route);
                 cost.add_route(&eval.route);
-                work.wires_routed += 1;
-                work.connections += eval.connections;
-                work.candidates += eval.candidates;
-                work.cells_examined += eval.cells_examined;
-                work.cells_written += eval.route.len() as u64;
-                if obs_on {
-                    sink.record(ObsEvent {
-                        at_ns: work.cells_examined,
-                        node: 0,
-                        kind: ObsKind::WireRouted {
-                            wire: wire.id as u32,
-                            cells: eval.route.len() as u32,
-                        },
-                    });
-                }
-                routes[wire.id] = Some(eval.route);
+                driver.commit(wire.id, wire.id, eval, at_decision, Stamp::WorkCells);
             }
-            if obs_on {
-                sink.record(ObsEvent {
-                    at_ns: work.cells_examined,
-                    node: 0,
-                    kind: ObsKind::PhaseEnd { name: "iteration" },
-                });
-            }
-            occupancy_by_iteration.push(occupancy);
+            driver.phase_end(Stamp::WorkCells);
+            driver.close_iteration();
         }
-        if obs_on {
-            let ps = cost.prefix_stats();
-            sink.record(ObsEvent {
-                at_ns: work.cells_examined,
-                node: 0,
-                kind: ObsKind::KernelStats {
-                    candidates: work.candidates,
-                    prefix_hits: ps.hits,
-                    prefix_rebuilds: ps.rebuilds,
-                    prefix_invalidations: ps.invalidations,
-                },
-            });
-        }
-
-        let routes: Vec<Route> =
-            routes.into_iter().map(|r| r.expect("every wire routed")).collect();
-        let quality =
-            QualityMetrics::from_final_state(&cost, *occupancy_by_iteration.last().unwrap());
-        RouteOutcome { quality, work, routes, cost, occupancy_by_iteration }
+        // KernelStats is stamped before the quality computation so the
+        // prefix counters reflect routing work only.
+        let prefix = cost.prefix_stats();
+        driver.kernel_stats(Stamp::WorkCells, prefix);
+        driver.finish(cost)
     }
 }
 

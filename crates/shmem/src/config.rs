@@ -1,6 +1,7 @@
 //! Shared-memory run configuration.
 
-use locus_router::{AssignmentStrategy, RouterParams};
+use locus_circuit::{Circuit, WireId};
+use locus_router::{assign, AssignmentStrategy, RegionMap, RouterParams};
 
 /// How wires are handed to processors (§3, §4.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -11,6 +12,21 @@ pub enum Scheduling {
     /// Static assignment computed before routing (round robin or
     /// locality/ThresholdCost — the Table 5 sweep).
     Static(AssignmentStrategy),
+}
+
+impl Scheduling {
+    /// Resolves the per-processor wire lists for a static assignment
+    /// (`None` for the distributed loop). The region map used for
+    /// locality-based assignment matches the message-passing mesh.
+    pub fn static_lists(&self, circuit: &Circuit, n_procs: usize) -> Option<Vec<Vec<WireId>>> {
+        match self {
+            Scheduling::DynamicLoop => None,
+            Scheduling::Static(strategy) => {
+                let regions = RegionMap::new(circuit.channels, circuit.grids, n_procs);
+                Some(assign(circuit, &regions, *strategy).wires_per_proc)
+            }
+        }
+    }
 }
 
 /// Parameters of a shared-memory routing run.

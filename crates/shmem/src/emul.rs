@@ -15,19 +15,23 @@
 //!   not see them — the staleness that degrades quality as P grows;
 //! * processors meet at a **barrier** between iterations (§3: "processes
 //!   are blocked at a barrier until all the processors are finished").
+//!
+//! Route slots, work accounting, per-iteration occupancy, and event
+//! emission live in the shared [`IterationDriver`]; this module owns only
+//! what is emulator-specific — logical clocks, the evaluate/commit split,
+//! and the reference trace.
 
 use std::cell::{Cell, RefCell};
 
 use locus_circuit::{Circuit, GridCell, WireId};
 use locus_coherence::{MemRef, RefKind, Trace};
-use locus_obs::{Event as ObsEvent, EventKind as ObsKind, NullSink, Sink};
-use locus_router::router::route_wire_scratch;
-use locus_router::{
-    assign, CostArray, CostView, EvalScratch, ProcId, QualityMetrics, RegionMap, Route, WorkStats,
-};
+use locus_obs::{NullSink, Sink};
+use locus_router::engine::{IterationDriver, ObsEmitter, Stamp, WireFeed};
+use locus_router::router::{route_wire_scratch, WireEvaluation};
+use locus_router::{CostArray, CostView, EvalScratch, ProcId, QualityMetrics, Route, WorkStats};
 
 use crate::cell_addr;
-use crate::config::{Scheduling, ShmemConfig};
+use crate::config::ShmemConfig;
 
 /// Result of an emulated shared-memory run.
 #[derive(Clone, Debug)]
@@ -42,6 +46,10 @@ pub struct ShmemOutcome {
     pub proc_of_wire: Vec<ProcId>,
     /// Aggregate routing work.
     pub work: WorkStats,
+    /// Occupancy factor accumulated in each iteration.
+    pub occupancy_by_iteration: Vec<u64>,
+    /// Final shared cost-array state.
+    pub cost: CostArray,
     /// The shared-reference trace, when collection was enabled.
     pub trace: Option<Trace>,
 }
@@ -82,7 +90,7 @@ impl CostView for TracedView<'_> {
 /// An in-flight wire: evaluated, not yet committed.
 struct Pending {
     wire: WireId,
-    route: Route,
+    eval: WireEvaluation,
     cost: u64,
     commit_at: u64,
 }
@@ -99,7 +107,6 @@ pub struct ShmemEmulator<'a> {
     circuit: &'a Circuit,
     config: ShmemConfig,
     sink: Box<dyn Sink>,
-    obs_on: bool,
 }
 
 impl<'a> ShmemEmulator<'a> {
@@ -109,46 +116,35 @@ impl<'a> ShmemEmulator<'a> {
     /// Panics if the configuration is invalid.
     pub fn new(circuit: &'a Circuit, config: ShmemConfig) -> Self {
         config.validate().expect("invalid shared-memory configuration");
-        ShmemEmulator { circuit, config, sink: Box::new(NullSink), obs_on: false }
+        ShmemEmulator { circuit, config, sink: Box::new(NullSink) }
     }
 
     /// Routes emulation events (wire commits, rip-ups, iteration
     /// phases, stamped with logical-clock times) into `sink`.
     pub fn with_sink(mut self, sink: Box<dyn Sink>) -> Self {
-        self.obs_on = sink.enabled();
         self.sink = sink;
         self
     }
 
     /// Runs all iterations and returns the outcome.
     pub fn run(self) -> ShmemOutcome {
-        let ShmemEmulator { circuit, config, mut sink, obs_on } = self;
+        let ShmemEmulator { circuit, config, sink } = self;
         let n_procs = config.n_procs;
         let n_wires = circuit.wire_count();
         let cfg = &config;
 
-        // Static assignment, if requested. The region map used for
-        // locality-based assignment matches the message-passing mesh.
-        let static_lists: Option<Vec<Vec<WireId>>> = match cfg.scheduling {
-            Scheduling::DynamicLoop => None,
-            Scheduling::Static(strategy) => {
-                let regions = RegionMap::new(circuit.channels, circuit.grids, n_procs);
-                Some(assign(circuit, &regions, strategy).wires_per_proc)
-            }
-        };
+        let static_lists = cfg.scheduling.static_lists(circuit, n_procs);
 
         let trace_cell = cfg
             .collect_trace
             .then(|| RefCell::new(Trace::with_capacity(n_wires * 64 * cfg.params.iterations)));
 
         let mut shared = CostArray::new(circuit.channels, circuit.grids);
-        let mut routes: Vec<Option<Route>> = vec![None; n_wires];
+        let mut driver = IterationDriver::new(n_wires).with_obs(ObsEmitter::new(sink));
         let mut proc_of_wire: Vec<ProcId> = vec![0; n_wires];
         let mut procs: Vec<ProcState> = (0..n_procs)
             .map(|_| ProcState { clock: 0, pending: None, queue_pos: 0, at_barrier: false })
             .collect();
-        let mut work = WorkStats::default();
-        let mut occupancy_last = 0u64;
         // Logical processors are multiplexed on one OS thread, so one
         // scratch serves them all; evaluation itself reads through the
         // per-cell `TracedView` path, keeping the reference trace exact.
@@ -156,16 +152,10 @@ impl<'a> ShmemEmulator<'a> {
 
         for iteration in 0..cfg.params.iterations {
             let last_iteration = iteration + 1 == cfg.params.iterations;
-            if obs_on {
-                let at = procs.iter().map(|s| s.clock).min().unwrap_or(0);
-                sink.record(ObsEvent {
-                    at_ns: at,
-                    node: 0,
-                    kind: ObsKind::PhaseBegin { name: "iteration" },
-                });
-            }
-            let mut occupancy = 0u64;
-            let mut counter = 0usize; // distributed loop
+            let begin_at = procs.iter().map(|s| s.clock).min().unwrap_or(0);
+            driver.on_node(0);
+            driver.phase_begin(Stamp::At(begin_at));
+            let feed = WireFeed::new(n_wires, static_lists.as_deref());
             for p in procs.iter_mut() {
                 p.queue_pos = 0;
                 p.at_barrier = false;
@@ -193,7 +183,7 @@ impl<'a> ShmemEmulator<'a> {
                     // Commit: apply the increments the other processors
                     // could not see during evaluation.
                     let mut t = pend.commit_at;
-                    for &cell in pend.route.cells() {
+                    for &cell in pend.eval.route.cells() {
                         shared.add(cell, 1);
                         if let Some(trace) = &trace_cell {
                             trace.borrow_mut().push(MemRef {
@@ -205,59 +195,32 @@ impl<'a> ShmemEmulator<'a> {
                         }
                         t += cfg.cell_write_ns;
                     }
-                    work.cells_written += pend.route.len() as u64;
                     procs[p].clock = t;
                     if last_iteration {
-                        occupancy += pend.cost;
                         proc_of_wire[pend.wire] = p;
                     }
-                    if obs_on {
-                        sink.record(ObsEvent {
-                            at_ns: pend.commit_at,
-                            node: p as u32,
-                            kind: ObsKind::WireRouted {
-                                wire: pend.wire as u32,
-                                cells: pend.route.len() as u32,
-                            },
-                        });
-                    }
-                    routes[pend.wire] = Some(pend.route);
+                    driver.on_node(p as u32);
+                    driver.commit(
+                        pend.wire,
+                        pend.wire,
+                        pend.eval,
+                        pend.cost,
+                        Stamp::At(pend.commit_at),
+                    );
                     continue;
                 }
 
                 // Pick the next wire.
-                let wire_id = match &static_lists {
-                    None => {
-                        if counter >= n_wires {
-                            procs[p].at_barrier = true;
-                            continue;
-                        }
-                        let w = counter;
-                        counter += 1;
-                        w
-                    }
-                    Some(lists) => {
-                        if procs[p].queue_pos >= lists[p].len() {
-                            procs[p].at_barrier = true;
-                            continue;
-                        }
-                        let w = lists[p][procs[p].queue_pos];
-                        procs[p].queue_pos += 1;
-                        w
-                    }
+                let Some(wire_id) = feed.next(p, &mut procs[p].queue_pos) else {
+                    procs[p].at_barrier = true;
+                    continue;
                 };
                 procs[p].clock += cfg.dispatch_ns;
 
                 // Rip up the previous route (§3), visible immediately.
-                if let Some(old) = routes[wire_id].take() {
+                driver.on_node(p as u32);
+                if let Some(old) = driver.rip_up(wire_id, wire_id, Stamp::At(procs[p].clock)) {
                     let mut t = procs[p].clock;
-                    if obs_on {
-                        sink.record(ObsEvent {
-                            at_ns: t,
-                            node: p as u32,
-                            kind: ObsKind::RipUp { wire: wire_id as u32, cells: old.len() as u32 },
-                        });
-                    }
                     for &cell in old.cells() {
                         shared.add(cell, -1);
                         if let Some(trace) = &trace_cell {
@@ -270,7 +233,6 @@ impl<'a> ShmemEmulator<'a> {
                         }
                         t += cfg.cell_write_ns;
                     }
-                    work.cells_written += old.len() as u64;
                     procs[p].clock = t;
                 }
 
@@ -289,17 +251,13 @@ impl<'a> ShmemEmulator<'a> {
                     &mut scratch,
                 );
                 let eval_end = view.clock.get();
-                work.wires_routed += 1;
-                work.connections += eval.connections;
-                work.candidates += eval.candidates;
-                work.cells_examined += eval.cells_examined;
                 // Occupancy: the merged route's cost against the shared
                 // array at decision time (uninstrumented read — the
                 // metric is not part of the application's references).
                 let cost_at_decision = shared.route_cost(&eval.route);
                 procs[p].pending = Some(Pending {
                     wire: wire_id,
-                    route: eval.route,
+                    eval,
                     cost: cost_at_decision,
                     commit_at: eval_end,
                 });
@@ -310,36 +268,18 @@ impl<'a> ShmemEmulator<'a> {
             for st in procs.iter_mut() {
                 st.clock = max_clock;
             }
-            if obs_on {
-                sink.record(ObsEvent {
-                    at_ns: max_clock,
-                    node: 0,
-                    kind: ObsKind::PhaseEnd { name: "iteration" },
-                });
-            }
-            occupancy_last = occupancy;
+            driver.on_node(0);
+            driver.phase_end(Stamp::At(max_clock));
+            driver.close_iteration();
         }
 
-        let routes: Vec<Route> =
-            routes.into_iter().map(|r| r.expect("every wire routed")).collect();
-        let quality = QualityMetrics::from_final_state(&shared, occupancy_last);
         let completion = procs.iter().map(|s| s.clock).max().unwrap_or(0);
-        if obs_on {
-            // Evaluation reads go through the instrumented per-cell path,
-            // so prefix activity here reflects only quality measurement —
-            // the counters document that the trace path stays uncached.
-            let ps = shared.prefix_stats();
-            sink.record(ObsEvent {
-                at_ns: completion,
-                node: 0,
-                kind: ObsKind::KernelStats {
-                    candidates: work.candidates,
-                    prefix_hits: ps.hits,
-                    prefix_rebuilds: ps.rebuilds,
-                    prefix_invalidations: ps.invalidations,
-                },
-            });
-        }
+        let out = driver.finish(shared);
+        // Evaluation reads go through the instrumented per-cell path, so
+        // prefix activity here reflects only quality measurement — the
+        // counters document that the trace path stays uncached.
+        driver.on_node(0);
+        driver.kernel_stats(Stamp::At(completion), out.cost.prefix_stats());
 
         let trace = trace_cell.map(|t| {
             let mut trace = t.into_inner();
@@ -348,11 +288,13 @@ impl<'a> ShmemEmulator<'a> {
         });
 
         ShmemOutcome {
-            quality,
+            quality: out.quality,
             time_secs: completion as f64 / 1e9,
-            routes,
+            routes: out.routes,
             proc_of_wire,
-            work,
+            work: out.work,
+            occupancy_by_iteration: out.occupancy_by_iteration,
+            cost: out.cost,
             trace,
         }
     }
@@ -361,6 +303,7 @@ impl<'a> ShmemEmulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Scheduling;
     use locus_circuit::presets;
     use locus_router::{AssignmentStrategy, RouterParams, SequentialRouter};
 
@@ -392,6 +335,8 @@ mod tests {
             truth.add_route(r);
         }
         assert_eq!(truth.circuit_height(), out.quality.circuit_height);
+        // The outcome's own array must agree with the replay.
+        assert_eq!(out.cost.circuit_height(), out.quality.circuit_height);
     }
 
     #[test]
@@ -479,5 +424,19 @@ mod tests {
         let c = presets::small();
         let out = ShmemEmulator::new(&c, ShmemConfig::new(4)).run();
         assert!(out.quality.occupancy_factor > 0);
+        // Every iteration's occupancy is recorded; the last is reported.
+        assert_eq!(out.occupancy_by_iteration.len(), ShmemConfig::new(4).params.iterations);
+        assert_eq!(out.quality.occupancy_factor, *out.occupancy_by_iteration.last().unwrap());
+    }
+
+    #[test]
+    fn static_lists_resolution_matches_scheduling() {
+        let c = presets::small();
+        assert!(Scheduling::DynamicLoop.static_lists(&c, 4).is_none());
+        let lists = Scheduling::Static(AssignmentStrategy::RoundRobin)
+            .static_lists(&c, 4)
+            .expect("static lists");
+        assert_eq!(lists.len(), 4);
+        assert_eq!(lists.iter().map(Vec::len).sum::<usize>(), c.wire_count());
     }
 }

@@ -1,0 +1,119 @@
+//! [`RoutingEngine`] adapters for the two shared-memory executors.
+
+use locus_circuit::Circuit;
+use locus_coherence::traffic_by_line_size;
+use locus_router::engine::{EngineCtx, EngineRun, RoutingEngine};
+use locus_router::router::RouteOutcome;
+use locus_router::RouterParams;
+
+use crate::config::ShmemConfig;
+use crate::emul::ShmemEmulator;
+use crate::parallel::ThreadedRouter;
+
+/// Cache line size (bytes) at which the paper's §5.2 bus-traffic
+/// comparison is made.
+const COMPARE_LINE_BYTES: u32 = 8;
+
+/// The deterministic shared-memory emulator as an engine
+/// (`id = "shmem-emul"`). Traffic measurement runs the emulator with
+/// Tango trace collection and reports Write-Back-with-Invalidate bus
+/// megabytes at 8-byte cache lines.
+pub struct EmulEngine;
+
+impl RoutingEngine for EmulEngine {
+    fn id(&self) -> &'static str {
+        "shmem-emul"
+    }
+
+    fn route(&self, circuit: &Circuit, params: &RouterParams, ctx: &EngineCtx) -> EngineRun {
+        let mut config = ShmemConfig::new(ctx.n_procs).with_params(*params);
+        if ctx.measure_traffic {
+            config = config.with_trace();
+        }
+        let mut emul = ShmemEmulator::new(circuit, config);
+        if let Some(sink) = &ctx.sink {
+            emul = emul.with_sink(Box::new(sink.clone()));
+        }
+        let out = emul.run();
+        let mbytes = out
+            .trace
+            .as_ref()
+            .map(|t| traffic_by_line_size(t, &[COMPARE_LINE_BYTES]).remove(0).1.mbytes());
+        EngineRun {
+            outcome: RouteOutcome {
+                quality: out.quality,
+                work: out.work,
+                routes: out.routes,
+                cost: out.cost,
+                occupancy_by_iteration: out.occupancy_by_iteration,
+            },
+            mbytes,
+            time_secs: Some(out.time_secs),
+        }
+    }
+}
+
+/// The real-thread executor as an engine (`id = "shmem-threads"`).
+/// Nondeterministic; reports wall-clock seconds and never traffic.
+pub struct ThreadsEngine;
+
+impl RoutingEngine for ThreadsEngine {
+    fn id(&self) -> &'static str {
+        "shmem-threads"
+    }
+
+    fn route(&self, circuit: &Circuit, params: &RouterParams, ctx: &EngineCtx) -> EngineRun {
+        let config = ShmemConfig::new(ctx.n_procs).with_params(*params);
+        let mut router = ThreadedRouter::new(circuit, config);
+        if let Some(sink) = &ctx.sink {
+            router = router.with_sink(sink.clone());
+        }
+        let out = router.run();
+        EngineRun {
+            outcome: RouteOutcome {
+                quality: out.quality,
+                work: out.work,
+                routes: out.routes,
+                cost: out.cost,
+                occupancy_by_iteration: out.occupancy_by_iteration,
+            },
+            mbytes: None,
+            time_secs: Some(out.wall.as_secs_f64()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_circuit::presets;
+
+    #[test]
+    fn emul_engine_matches_direct_emulator() {
+        let c = presets::small();
+        let params = RouterParams::default();
+        let run = EmulEngine.route(&c, &params, &EngineCtx::new(4));
+        let direct = ShmemEmulator::new(&c, ShmemConfig::new(4)).run();
+        assert_eq!(run.outcome.quality, direct.quality);
+        assert_eq!(run.outcome.routes, direct.routes);
+        assert_eq!(run.time_secs, Some(direct.time_secs));
+        assert!(run.mbytes.is_none(), "traffic only measured when requested");
+    }
+
+    #[test]
+    fn emul_engine_measures_traffic_on_request() {
+        let c = presets::tiny();
+        let params = RouterParams::default();
+        let run = EmulEngine.route(&c, &params, &EngineCtx::new(2).with_traffic());
+        assert!(run.mbytes.expect("traffic requested") > 0.0);
+    }
+
+    #[test]
+    fn threads_engine_routes_everything() {
+        let c = presets::small();
+        let params = RouterParams::default();
+        let run = ThreadsEngine.route(&c, &params, &EngineCtx::new(2));
+        assert_eq!(run.outcome.routes.len(), c.wire_count());
+        assert!(run.time_secs.expect("wall clock") > 0.0);
+    }
+}

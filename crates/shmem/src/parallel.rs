@@ -9,19 +9,23 @@
 //!
 //! Thread interleavings make runs nondeterministic, so this engine backs
 //! the wall-clock speedup demonstration only; all table values come from
-//! the deterministic emulator in [`crate::emul`].
+//! the deterministic emulator in [`crate::emul`]. Each thread routes
+//! through its own [`IterationDriver`] ledger (route slots live outside
+//! the drivers, shared under per-wire mutexes); ledgers are merged after
+//! the join.
 
-use std::sync::atomic::{AtomicU16, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-use locus_circuit::{Circuit, GridCell, WireId};
-use locus_obs::{Event as ObsEvent, EventKind as ObsKind, SharedSink, Sink};
+use locus_circuit::{Circuit, GridCell};
+use locus_obs::SharedSink;
+use locus_router::engine::{IterationDriver, ObsEmitter, Stamp, WireFeed};
 use locus_router::router::route_wire_scratch;
-use locus_router::{assign, CostArray, CostView, EvalScratch, QualityMetrics, RegionMap, Route};
+use locus_router::{CostArray, CostView, EvalScratch, QualityMetrics, Route, WorkStats};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU16, Ordering};
 
-use crate::config::{Scheduling, ShmemConfig};
+use crate::config::ShmemConfig;
 
 /// The shared cost array in atomics; plain `Relaxed` loads and stores —
 /// the data-race-free Rust rendering of the paper's unlocked array.
@@ -79,6 +83,14 @@ pub struct ThreadedOutcome {
     pub wall: Duration,
     /// Final route of every wire.
     pub routes: Vec<Route>,
+    /// Aggregate routing work across all threads.
+    pub work: WorkStats,
+    /// Occupancy factor accumulated in each iteration (summed across
+    /// threads; approximate under concurrent writes, like everything in
+    /// this engine).
+    pub occupancy_by_iteration: Vec<u64>,
+    /// Final cost-array state (rebuilt from the final routes).
+    pub cost: CostArray,
 }
 
 /// Real-thread executor; see [module docs](self).
@@ -111,74 +123,45 @@ impl<'a> ThreadedRouter<'a> {
         let iterations = self.config.params.iterations;
         let overshoot = self.config.params.channel_overshoot;
 
-        let static_lists: Option<Vec<Vec<WireId>>> = match self.config.scheduling {
-            Scheduling::DynamicLoop => None,
-            Scheduling::Static(strategy) => {
-                let regions = RegionMap::new(self.circuit.channels, self.circuit.grids, n_threads);
-                Some(assign(self.circuit, &regions, strategy).wires_per_proc)
-            }
-        };
+        let static_lists = self.config.scheduling.static_lists(self.circuit, n_threads);
 
         let shared = AtomicCostArray::new(self.circuit.channels, self.circuit.grids);
         let routes: Vec<Mutex<Option<Route>>> = (0..n_wires).map(|_| Mutex::new(None)).collect();
-        let occupancy = AtomicU64::new(0);
-        let counters: Vec<AtomicUsize> = (0..iterations).map(|_| AtomicUsize::new(0)).collect();
+        // One wire supply per iteration (the distributed-loop counter
+        // resets at each barrier).
+        let feeds: Vec<WireFeed> =
+            (0..iterations).map(|_| WireFeed::new(n_wires, static_lists.as_deref())).collect();
         let barrier = Barrier::new(n_threads);
+        let ledgers: Mutex<Vec<(WorkStats, Vec<u64>)>> = Mutex::new(Vec::new());
 
         let start = Instant::now();
         std::thread::scope(|scope| {
             for t in 0..n_threads {
                 let shared = &shared;
                 let routes = &routes;
-                let occupancy = &occupancy;
-                let counters = &counters;
+                let feeds = &feeds;
                 let barrier = &barrier;
+                let ledgers = &ledgers;
                 let circuit = self.circuit;
-                let static_lists = static_lists.as_ref();
-                let mut obs = self.obs.clone();
+                let obs = self.obs.clone();
                 scope.spawn(move || {
                     let mut scratch = EvalScratch::default();
-                    let mut emit = |kind: ObsKind| {
-                        if let Some(sink) = &mut obs {
-                            sink.record(ObsEvent {
-                                at_ns: start.elapsed().as_nanos() as u64,
-                                node: t as u32,
-                                kind,
-                            });
-                        }
-                    };
-                    for (iter, counter) in counters.iter().enumerate() {
-                        let last = iter + 1 == iterations;
-                        let mut local_pos = 0usize;
+                    let emitter = match obs {
+                        Some(sink) => ObsEmitter::new(Box::new(sink)),
+                        None => ObsEmitter::disabled(),
+                    }
+                    .for_node(t as u32);
+                    let mut driver = IterationDriver::new(0).with_obs(emitter);
+                    let now = || Stamp::At(start.elapsed().as_nanos() as u64);
+                    for feed in feeds {
+                        let mut cursor = 0usize;
                         if t == 0 {
-                            emit(ObsKind::PhaseBegin { name: "iteration" });
+                            driver.phase_begin(now());
                         }
-                        loop {
-                            // Distributed loop or static list.
-                            let wire_id = match static_lists {
-                                None => {
-                                    let w = counter.fetch_add(1, Ordering::Relaxed);
-                                    if w >= n_wires {
-                                        break;
-                                    }
-                                    w
-                                }
-                                Some(lists) => {
-                                    if local_pos >= lists[t].len() {
-                                        break;
-                                    }
-                                    let w = lists[t][local_pos];
-                                    local_pos += 1;
-                                    w
-                                }
-                            };
-
+                        while let Some(wire_id) = feed.next(t, &mut cursor) {
                             let mut slot = routes[wire_id].lock();
                             if let Some(old) = slot.take() {
-                                emit(ObsKind::RipUp {
-                                    wire: wire_id as u32,
-                                    cells: old.len() as u32,
-                                });
+                                driver.rip_up_external(wire_id, &old, now());
                                 shared.remove_route(&old);
                             }
                             let eval = route_wire_scratch(
@@ -187,30 +170,34 @@ impl<'a> ThreadedRouter<'a> {
                                 overshoot,
                                 &mut scratch,
                             );
-                            if last {
-                                // Same occupancy definition as the other
-                                // engines: merged-route cost at routing
-                                // time (concurrent writes make this
-                                // approximate, like everything here).
-                                occupancy
-                                    .fetch_add(shared.route_cost(&eval.route), Ordering::Relaxed);
-                            }
+                            // Same occupancy definition as the other
+                            // engines: merged-route cost at routing time
+                            // (concurrent writes make this approximate,
+                            // like everything here).
+                            let at_decision = shared.route_cost(&eval.route);
                             shared.add_route(&eval.route);
-                            emit(ObsKind::WireRouted {
-                                wire: wire_id as u32,
-                                cells: eval.route.len() as u32,
-                            });
-                            *slot = Some(eval.route);
+                            *slot = Some(driver.commit_external(wire_id, eval, at_decision, now()));
                         }
                         barrier.wait();
                         if t == 0 {
-                            emit(ObsKind::PhaseEnd { name: "iteration" });
+                            driver.phase_end(now());
                         }
+                        driver.close_iteration();
                     }
+                    ledgers.lock().push((*driver.work(), driver.occupancy_by_iteration().to_vec()));
                 });
             }
         });
         let wall = start.elapsed();
+
+        let mut work = WorkStats::default();
+        let mut occupancy_by_iteration = vec![0u64; iterations];
+        for (w, occ) in ledgers.into_inner() {
+            work += w;
+            for (total, o) in occupancy_by_iteration.iter_mut().zip(occ) {
+                *total += o;
+            }
+        }
 
         let routes: Vec<Route> =
             routes.into_iter().map(|m| m.into_inner().expect("every wire routed")).collect();
@@ -218,8 +205,11 @@ impl<'a> ThreadedRouter<'a> {
         for r in &routes {
             truth.add_route(r);
         }
-        let quality = QualityMetrics::from_final_state(&truth, occupancy.load(Ordering::Relaxed));
-        ThreadedOutcome { quality, wall, routes }
+        let quality = QualityMetrics::from_final_state(
+            &truth,
+            occupancy_by_iteration.last().copied().unwrap_or(0),
+        );
+        ThreadedOutcome { quality, wall, routes, work, occupancy_by_iteration, cost: truth }
     }
 }
 
@@ -236,6 +226,8 @@ mod tests {
         let seq = SequentialRouter::new(&c, RouterParams::default()).run();
         assert_eq!(out.quality, seq.quality);
         assert_eq!(out.routes, seq.routes);
+        assert_eq!(out.work, seq.work, "one thread performs exactly the sequential work");
+        assert_eq!(out.occupancy_by_iteration, seq.occupancy_by_iteration);
     }
 
     #[test]
@@ -249,6 +241,9 @@ mod tests {
         }
         assert_eq!(truth.circuit_height(), out.quality.circuit_height);
         assert!(out.wall > Duration::ZERO);
+        // Every iteration routes every wire once, whatever the schedule.
+        let iterations = ShmemConfig::new(4).params.iterations as u64;
+        assert_eq!(out.work.wires_routed, c.wire_count() as u64 * iterations);
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! * [`coherence`] — Write-Back-with-Invalidate bus-traffic model.
 //! * [`obs`] — unified observability: typed events, metrics registry,
 //!   Chrome-trace / metrics-JSON / ASCII-timeline exporters.
+//! * [`engines`] — name → constructor registry over every
+//!   [`RoutingEngine`](locus_router::RoutingEngine) in the workspace.
 //!
 //! ## Quickstart
 //!
@@ -36,6 +38,8 @@
 //! let parallel = run_msgpass(&circuit, cfg);
 //! assert!(!parallel.deadlocked);
 //! ```
+
+pub mod engines;
 
 pub use locus_circuit as circuit;
 pub use locus_coherence as coherence;
@@ -61,5 +65,8 @@ pub mod prelude {
     pub use locus_router::{
         assign, AssignmentStrategy, QualityMetrics, RegionMap, RouterParams, SequentialRouter,
     };
+    pub use locus_router::{EngineCtx, EngineRun, RoutingEngine};
     pub use locus_shmem::{Scheduling, ShmemConfig, ShmemEmulator, ThreadedRouter};
+
+    pub use crate::engines::{build_engine, registry, EngineEntry};
 }

@@ -5,6 +5,29 @@
 use locusroute::prelude::*;
 
 #[test]
+fn registry_engines_agree_at_one_processor_on_small_and_bnre() {
+    use locusroute::router::engine::EngineCtx;
+    for circuit in [locusroute::circuit::presets::small(), locusroute::circuit::presets::bnr_e()] {
+        let params = RouterParams::default();
+        let reference =
+            build_engine("sequential").unwrap().route(&circuit, &params, &EngineCtx::new(1));
+        for entry in registry() {
+            let run = (entry.build)().route(&circuit, &params, &EngineCtx::new(1));
+            assert_eq!(
+                run.outcome.quality, reference.outcome.quality,
+                "{} != sequential on {} at P=1",
+                entry.name, circuit.name
+            );
+            assert_eq!(
+                run.outcome.routes, reference.outcome.routes,
+                "{} routes diverge on {} at P=1",
+                entry.name, circuit.name
+            );
+        }
+    }
+}
+
+#[test]
 fn all_four_engines_agree_at_one_processor() {
     let circuit = locusroute::circuit::presets::small();
     let params = RouterParams::default();
