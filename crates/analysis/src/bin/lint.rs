@@ -1,0 +1,63 @@
+//! `lint` — the workspace concurrency lint, as a CI-runnable binary.
+//!
+//! ```text
+//! cargo run -p locus-analysis --bin lint [WORKSPACE_ROOT]
+//! ```
+//!
+//! Scans every library source file for the rules documented in
+//! [`locus_analysis::lint`] and exits nonzero on any violation. With no
+//! argument the workspace root is discovered by walking up from the
+//! current directory to the first `Cargo.toml` containing a
+//! `[workspace]` table, falling back to the compile-time crate path.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use locus_analysis::lint::lint_workspace;
+
+fn discover_root() -> PathBuf {
+    if let Ok(cwd) = std::env::current_dir() {
+        for dir in cwd.ancestors() {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir.to_path_buf();
+                }
+            }
+        }
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analysis sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(discover_root);
+    let outcome = match lint_workspace(&root) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if outcome.is_clean() {
+        println!(
+            "concurrency lint: {} files scanned under {}, 0 violations",
+            outcome.files_scanned,
+            root.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &outcome.violations {
+            eprintln!("{v}");
+        }
+        eprintln!(
+            "concurrency lint: {} violation(s) in {} files",
+            outcome.violations.len(),
+            outcome.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,447 @@
+//! End-to-end analysis entry points: produce a trace from a named
+//! engine, run detection + classification, and aggregate the results
+//! into the [`AnalysisReport`] the `analyze` subcommand prints and
+//! serializes.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+
+use locus_circuit::{Circuit, GridCell};
+use locus_coherence::{MemRef, RefKind, Trace};
+use locus_msgpass::{MsgPassConfig, MsgPassOutcome, UpdateSchedule};
+use locus_obs::{Event, EventKind, Sink};
+use locus_router::router::route_wire_scratch;
+use locus_router::{CostArray, CostView, EvalScratch, Route, RouterParams};
+use locus_shmem::{cell_addr, ShmemConfig, ShmemEmulator, ThreadedRouter};
+
+use crate::classify::{addr_cell, classify_races, ClassifiedRace};
+use crate::race::detect;
+use crate::staleness::StalenessReport;
+
+/// A full race-analysis result for one engine run.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// Canonical engine name the trace came from.
+    pub engine: String,
+    /// Circuit the run routed.
+    pub circuit: String,
+    /// Grid columns (needed to decode addresses back to cells).
+    pub grids: u16,
+    /// Processors in the run.
+    pub procs: usize,
+    /// References analysed.
+    pub refs: usize,
+    /// Barrier epochs in the trace.
+    pub epochs: u32,
+    /// Cross-processor conflicting pairs ordered by a barrier.
+    pub synchronized_pairs: u64,
+    /// Every deduplicated race pair with its verdict.
+    pub races: Vec<ClassifiedRace>,
+    /// Per-channel `(channel, races, benign)` counts, densest first.
+    pub per_channel: Vec<(u16, usize, usize)>,
+    /// Per-wire `(wire, races, benign)` counts, densest first.
+    pub per_wire: Vec<(u32, usize, usize)>,
+}
+
+impl AnalysisReport {
+    /// Detects and classifies races in `trace` (which must be
+    /// time-sorted) and aggregates the per-channel / per-wire tables.
+    /// `overshoot` is the run's candidate overshoot, reused when
+    /// classification re-evaluates a racing wire.
+    pub fn build(
+        engine: &str,
+        procs: usize,
+        circuit: &Circuit,
+        trace: &Trace,
+        overshoot: u16,
+    ) -> Self {
+        let detection = detect(trace);
+        let races = classify_races(circuit, trace, detection.races, overshoot);
+
+        let mut by_channel: BTreeMap<u16, (usize, usize)> = BTreeMap::new();
+        let mut by_wire: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+        for c in &races {
+            let channel = addr_cell(c.pair.addr, circuit.grids).channel;
+            let e = by_channel.entry(channel).or_default();
+            e.0 += 1;
+            e.1 += c.is_benign() as usize;
+            let mut wires = [c.pair.first.wire, c.pair.second.wire];
+            if wires[0] == wires[1] {
+                wires[1] = MemRef::NO_WIRE;
+            }
+            for w in wires {
+                if w != MemRef::NO_WIRE {
+                    let e = by_wire.entry(w).or_default();
+                    e.0 += 1;
+                    e.1 += c.is_benign() as usize;
+                }
+            }
+        }
+        let mut per_channel: Vec<(u16, usize, usize)> =
+            by_channel.into_iter().map(|(c, (t, b))| (c, t, b)).collect();
+        per_channel.sort_by_key(|&(c, t, _)| (std::cmp::Reverse(t), c));
+        let mut per_wire: Vec<(u32, usize, usize)> =
+            by_wire.into_iter().map(|(w, (t, b))| (w, t, b)).collect();
+        per_wire.sort_by_key(|&(w, t, _)| (std::cmp::Reverse(t), w));
+
+        AnalysisReport {
+            engine: engine.to_string(),
+            circuit: circuit.name.clone(),
+            grids: circuit.grids,
+            procs,
+            refs: detection.refs,
+            epochs: detection.epochs,
+            synchronized_pairs: detection.synchronized_pairs,
+            races,
+            per_channel,
+            per_wire,
+        }
+    }
+
+    /// Races classified benign.
+    pub fn benign_count(&self) -> usize {
+        self.races.iter().filter(|c| c.is_benign()).count()
+    }
+
+    /// Races classified quality-affecting.
+    pub fn quality_count(&self) -> usize {
+        self.races.len() - self.benign_count()
+    }
+
+    /// Human-readable summary block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "race analysis: {} on {} ({} procs) — {} refs, {} epochs\n",
+            self.engine, self.circuit, self.procs, self.refs, self.epochs
+        ));
+        out.push_str(&format!("  synchronized pairs: {}\n", self.synchronized_pairs));
+        out.push_str(&format!(
+            "  races: {} total — {} benign, {} quality-affecting\n",
+            self.races.len(),
+            self.benign_count(),
+            self.quality_count()
+        ));
+        if !self.per_channel.is_empty() {
+            let top: Vec<String> = self
+                .per_channel
+                .iter()
+                .take(5)
+                .map(|(c, t, b)| format!("ch {c}: {t} ({b} benign)"))
+                .collect();
+            out.push_str(&format!("  hottest channels: {}\n", top.join(", ")));
+        }
+        if !self.per_wire.is_empty() {
+            let top: Vec<String> = self
+                .per_wire
+                .iter()
+                .take(5)
+                .map(|(w, t, b)| format!("wire {w}: {t} ({b} benign)"))
+                .collect();
+            out.push_str(&format!("  hottest wires: {}\n", top.join(", ")));
+        }
+        out
+    }
+}
+
+/// Emits one `RaceDetected` obs event per classified race into `sink`
+/// (stamped with the second access's time and processor).
+pub fn emit_race_events(report: &AnalysisReport, sink: &mut dyn Sink) {
+    if !sink.enabled() {
+        return;
+    }
+    for c in &report.races {
+        let wire = c.pair.read_ref().map(|r| r.wire).unwrap_or(c.pair.second.wire);
+        sink.record(Event {
+            at_ns: c.pair.second.time,
+            node: c.pair.second.proc,
+            kind: EventKind::RaceDetected { addr: c.pair.addr, wire, benign: c.is_benign() },
+        });
+    }
+}
+
+/// The sequential router's reference trace plus the routes it chose.
+#[derive(Debug)]
+pub struct SequentialTrace {
+    /// Single-processor trace (proc 0, epoch = iteration, one logical
+    /// tick per access).
+    pub trace: Trace,
+    /// Final route of every wire (matches
+    /// [`locus_router::SequentialRouter`]).
+    pub routes: Vec<Route>,
+}
+
+/// A cost view recording the sequential router's reads; the companion
+/// of the emulator's `TracedView`, for the engine that otherwise never
+/// collects traces.
+struct SeqView<'a> {
+    cost: &'a CostArray,
+    trace: &'a RefCell<Trace>,
+    clock: &'a Cell<u64>,
+    epoch: u32,
+    wire: u32,
+}
+
+impl SeqView<'_> {
+    fn tick(&self) -> u64 {
+        let t = self.clock.get();
+        self.clock.set(t + 1);
+        t
+    }
+}
+
+impl CostView for SeqView<'_> {
+    fn channels(&self) -> u16 {
+        self.cost.channels()
+    }
+    fn grids(&self) -> u16 {
+        self.cost.grids()
+    }
+    fn cost_at(&self, cell: GridCell) -> u32 {
+        self.trace.borrow_mut().push(
+            MemRef::new(
+                self.tick(),
+                0,
+                cell_addr(cell.channel, cell.x, self.cost.grids()),
+                RefKind::Read,
+            )
+            .with_epoch(self.epoch)
+            .with_wire(self.wire),
+        );
+        self.cost.cost_at(cell)
+    }
+}
+
+/// Routes `circuit` with the sequential algorithm (same wire order and
+/// rip-up discipline as [`locus_router::SequentialRouter`]) while
+/// recording the reference trace the sequential engine itself never
+/// collects. One logical tick per access; epoch = iteration.
+pub fn trace_sequential(circuit: &Circuit, params: RouterParams) -> SequentialTrace {
+    let n = circuit.wire_count();
+    let mut cost = CostArray::new(circuit.channels, circuit.grids);
+    let trace = RefCell::new(Trace::new());
+    let clock = Cell::new(0u64);
+    let mut routes: Vec<Option<Route>> = vec![None; n];
+    let mut scratch = EvalScratch::default();
+
+    for iteration in 0..params.iterations {
+        for (wire_id, slot) in routes.iter_mut().enumerate() {
+            let epoch = iteration as u32;
+            let tick = || {
+                let t = clock.get();
+                clock.set(t + 1);
+                t
+            };
+            if let Some(old) = slot.take() {
+                for &cell in old.cells() {
+                    let t = tick();
+                    trace.borrow_mut().push(
+                        MemRef::new(
+                            t,
+                            0,
+                            cell_addr(cell.channel, cell.x, circuit.grids),
+                            RefKind::Write,
+                        )
+                        .with_epoch(epoch)
+                        .with_wire(wire_id as u32)
+                        .with_delta(-1),
+                    );
+                }
+                cost.remove_route(&old);
+            }
+            let eval = {
+                let view = SeqView {
+                    cost: &cost,
+                    trace: &trace,
+                    clock: &clock,
+                    epoch,
+                    wire: wire_id as u32,
+                };
+                route_wire_scratch(
+                    &view,
+                    circuit.wire(wire_id),
+                    params.channel_overshoot,
+                    &mut scratch,
+                )
+            };
+            for &cell in eval.route.cells() {
+                let t = tick();
+                trace.borrow_mut().push(
+                    MemRef::new(
+                        t,
+                        0,
+                        cell_addr(cell.channel, cell.x, circuit.grids),
+                        RefKind::Write,
+                    )
+                    .with_epoch(epoch)
+                    .with_wire(wire_id as u32)
+                    .with_delta(1),
+                );
+            }
+            cost.add_route(&eval.route);
+            *slot = Some(eval.route);
+        }
+    }
+    let trace = trace.into_inner();
+    debug_assert!(trace.is_sorted(), "one tick per access keeps the trace sorted");
+    SequentialTrace {
+        trace,
+        routes: routes.into_iter().map(|r| r.expect("every wire routed")).collect(),
+    }
+}
+
+/// Resolves `--engine` spellings to the canonical registry name.
+fn canonical(engine: &str) -> &str {
+    match engine {
+        "seq" => "sequential",
+        "emul" => "shmem-emul",
+        "threads" => "shmem-threads",
+        other => other,
+    }
+}
+
+/// Traces one run of a named engine and analyses it for races.
+///
+/// Accepted engines: `sequential`/`seq` (always one processor),
+/// `shmem-emul`/`emul`, and `shmem-threads`/`threads`. The
+/// message-passing engines have no shared-reference trace — audit them
+/// with [`audit_staleness`] instead.
+pub fn analyze_engine(
+    circuit: &Circuit,
+    engine: &str,
+    procs: usize,
+    params: RouterParams,
+) -> Result<AnalysisReport, String> {
+    let engine = canonical(engine);
+    let (trace, procs) = match engine {
+        "sequential" => (trace_sequential(circuit, params).trace, 1),
+        "shmem-emul" => {
+            let cfg = ShmemConfig::new(procs).with_params(params).with_trace();
+            let outcome = ShmemEmulator::new(circuit, cfg).run();
+            (outcome.trace.ok_or("emulator did not record a trace")?, procs)
+        }
+        "shmem-threads" => {
+            let cfg = ShmemConfig::new(procs).with_params(params).with_trace();
+            let outcome = ThreadedRouter::new(circuit, cfg).run();
+            (outcome.trace.ok_or("threaded router did not record a trace")?, procs)
+        }
+        other => {
+            return Err(format!(
+                "engine '{other}' has no shared-reference trace to analyse \
+                 (msgpass engines are audited for replica staleness instead)"
+            ))
+        }
+    };
+    Ok(AnalysisReport::build(engine, procs, circuit, &trace, params.channel_overshoot))
+}
+
+/// Runs a message-passing engine with replica audits every
+/// `audit_every` wires and folds the snapshots into a staleness report.
+///
+/// Accepted engines: `msgpass-sender` (paper (2,10) sender-initiated
+/// schedule) and `msgpass-receiver` ((1,5) receiver-initiated).
+pub fn audit_staleness(
+    circuit: &Circuit,
+    engine: &str,
+    procs: usize,
+    params: RouterParams,
+    audit_every: u32,
+) -> Result<(StalenessReport, MsgPassOutcome), String> {
+    let schedule = match engine {
+        "msgpass-sender" => UpdateSchedule::sender_initiated(2, 10),
+        "msgpass-receiver" => UpdateSchedule::receiver_initiated(1, 5),
+        other => return Err(format!("'{other}' is not a message-passing engine")),
+    };
+    let cfg = MsgPassConfig::new(procs, schedule).with_params(params).with_audit_every(audit_every);
+    cfg.validate()?;
+    let outcome = locus_msgpass::run_msgpass(circuit, cfg);
+    let report = StalenessReport::build(&outcome.replica_audits);
+    Ok((report, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_circuit::presets;
+    use locus_obs::RingBufferSink;
+    use locus_router::SequentialRouter;
+
+    #[test]
+    fn sequential_trace_matches_sequential_router_routes() {
+        let c = presets::small();
+        let params = RouterParams::default();
+        let traced = trace_sequential(&c, params);
+        let reference = SequentialRouter::new(&c, params).run();
+        assert_eq!(traced.routes, reference.routes);
+        assert!(traced.trace.len() > 0);
+        assert!(traced.trace.is_sorted());
+        assert_eq!(traced.trace.write_count() > 0, true);
+    }
+
+    #[test]
+    fn sequential_trace_has_zero_races() {
+        let c = presets::small();
+        let report = analyze_engine(&c, "seq", 1, RouterParams::default()).expect("seq analyses");
+        assert_eq!(report.engine, "sequential");
+        assert_eq!(report.procs, 1);
+        assert!(report.races.is_empty(), "single-processor trace can never race");
+        assert_eq!(report.synchronized_pairs, 0);
+        assert!(report.refs > 0);
+    }
+
+    #[test]
+    fn one_processor_emulator_trace_is_race_free() {
+        let c = presets::small();
+        let report = analyze_engine(&c, "emul", 1, RouterParams::default()).expect("emul analyses");
+        assert!(report.races.is_empty());
+    }
+
+    #[test]
+    fn emulator_races_appear_with_processors_and_are_classified() {
+        let c = presets::small();
+        let report =
+            analyze_engine(&c, "shmem-emul", 4, RouterParams::default()).expect("emul analyses");
+        assert!(report.epochs >= 1);
+        assert!(
+            !report.races.is_empty(),
+            "4 logical procs sharing an unlocked array must produce race pairs"
+        );
+        assert_eq!(report.benign_count() + report.quality_count(), report.races.len());
+        assert!(!report.per_channel.is_empty());
+        assert!(!report.per_wire.is_empty());
+        assert!(report.render().contains("races:"));
+    }
+
+    #[test]
+    fn msgpass_staleness_audit_runs() {
+        let c = presets::small();
+        let (report, outcome) =
+            audit_staleness(&c, "msgpass-sender", 4, RouterParams::default(), 2)
+                .expect("audit runs");
+        assert!(!outcome.deadlocked);
+        assert!(report.audits > 0);
+        assert!(report.procs >= 1);
+    }
+
+    #[test]
+    fn unknown_engines_are_rejected_with_names() {
+        let c = presets::tiny();
+        let err = analyze_engine(&c, "msgpass-sender", 4, RouterParams::default())
+            .expect_err("msgpass has no trace");
+        assert!(err.contains("staleness"));
+        let err = audit_staleness(&c, "sequential", 1, RouterParams::default(), 2)
+            .expect_err("sequential is not msgpass");
+        assert!(err.contains("sequential"));
+    }
+
+    #[test]
+    fn race_events_reach_the_sink_and_metrics() {
+        let c = presets::small();
+        let report =
+            analyze_engine(&c, "shmem-emul", 4, RouterParams::default()).expect("emul analyses");
+        let mut sink = RingBufferSink::new();
+        emit_race_events(&report, &mut sink);
+        assert_eq!(sink.len(), report.races.len());
+        assert_eq!(sink.metrics().counter("races_detected"), report.races.len() as u64);
+    }
+}

@@ -1,0 +1,47 @@
+//! # locus-analysis
+//!
+//! Race-and-staleness analysis for the routing engines, plus the
+//! workspace concurrency lint. Three pillars:
+//!
+//! * **Race detection** ([`race`], [`vclock`]) — a FastTrack-style
+//!   vector-clock detector replayed over the Tango reference traces the
+//!   shared-memory engines record ([`locus_coherence::Trace`]). The
+//!   routers' only synchronization is the inter-iteration barrier, so
+//!   every cross-processor conflicting access pair inside one barrier
+//!   epoch is a data race — exactly the races the paper *chooses* to
+//!   admit by leaving the cost array unlocked (§3).
+//! * **Race classification** ([`classify`]) — each detected pair is
+//!   replayed: write/write pairs are checked for commuting increments,
+//!   read/write pairs re-run the reading wire's two-bend evaluation
+//!   under both access orders. Races that cannot change a routing
+//!   decision are *benign*; the rest are *quality-affecting* — the
+//!   mechanism behind the paper's "slightly stale data" quality loss.
+//! * **Replica staleness** ([`staleness`]) — the message-passing
+//!   engines' analogue: periodic audits diff each node's replica
+//!   against ground truth ([`locus_msgpass::ReplicaSnapshot`]) and fold
+//!   into cells × age staleness histograms.
+//!
+//! [`harness`] ties the pillars to named engines (`sequential`,
+//! `shmem-emul`, `shmem-threads`, `msgpass-*`), [`report`] serializes
+//! hand-rolled JSON for CI artifacts, and [`lint`] enforces the
+//! workspace concurrency discipline (`cargo run -p locus-analysis
+//! --bin lint`).
+
+pub mod classify;
+pub mod harness;
+pub mod lint;
+pub mod race;
+pub mod report;
+pub mod staleness;
+pub mod vclock;
+
+pub use classify::{addr_cell, classify_races, ClassifiedRace, RaceClass};
+pub use harness::{
+    analyze_engine, audit_staleness, emit_race_events, trace_sequential, AnalysisReport,
+    SequentialTrace,
+};
+pub use lint::{lint_workspace, LintOutcome, Violation};
+pub use race::{detect, DetectionResult, RaceKind, RacePair};
+pub use report::{race_report_json, staleness_report_json};
+pub use staleness::StalenessReport;
+pub use vclock::VectorClock;

@@ -1,0 +1,252 @@
+//! The workspace concurrency lint.
+//!
+//! A plain-text scan (no parser dependency — the workspace is kept
+//! dependency-free beyond its vendored shims) over every library source
+//! file in the workspace, enforcing the concurrency discipline the
+//! routers rely on:
+//!
+//! 1. **No `Ordering::SeqCst`.** The shared cost array is deliberately
+//!    relaxed (the paper's unlocked array); a stray SeqCst hides a
+//!    misunderstanding, not a fix.
+//! 2. **No raw thread spawns** outside the two audited executors
+//!    (`locus_bench::sweep`'s scoped pool and `locus_shmem::parallel`'s
+//!    router threads). Everything else must go through those.
+//! 3. **No `.unwrap()` in library code.** Use `expect` with a message
+//!    stating the invariant. Binaries (`src/bin/`) may unwrap.
+//! 4. **Atomics confined to audited modules** (`shmem::parallel`,
+//!    `router::engine`, `bench::sweep`): every relaxed access in the
+//!    workspace is in a file the race analysis covers.
+//!
+//! Comment lines and everything below a top-level `#[cfg(test)]`
+//! (test modules sit at the bottom of files, by workspace convention)
+//! are exempt. `vendor/` and generated `target/` trees are never
+//! scanned. The `lint` binary (`cargo run -p locus-analysis --bin
+//! lint`) wires this into CI.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier.
+    pub rule: &'static str,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.excerpt)
+    }
+}
+
+/// What one lint run scanned and found.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Source files scanned.
+    pub files_scanned: usize,
+    /// Violations, in path order.
+    pub violations: Vec<Violation>,
+}
+
+impl LintOutcome {
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Files where spawning threads is the audited mechanism.
+const SPAWN_ALLOWED: &[&str] = &["crates/bench/src/sweep.rs", "crates/shmem/src/parallel.rs"];
+
+/// The lint's own implementation names every banned pattern in string
+/// literals; scanning it would flag the rules themselves.
+const LINT_SELF: &str = "crates/analysis/src/lint.rs";
+
+/// Files whose atomics the race analysis audits.
+const ATOMICS_ALLOWED: &[&str] =
+    &["crates/shmem/src/parallel.rs", "crates/router/src/engine.rs", "crates/bench/src/sweep.rs"];
+
+fn path_is(rel: &Path, allowed: &[&str]) -> bool {
+    allowed.iter().any(|a| rel == Path::new(a))
+}
+
+/// Scans one file's text. `rel` must be workspace-relative with `/`
+/// separators (as produced by [`lint_workspace`]).
+pub fn scan_file(rel: &Path, content: &str) -> Vec<Violation> {
+    if rel == Path::new(LINT_SELF) {
+        return Vec::new();
+    }
+    let in_bin = rel.components().any(|c| c.as_os_str() == "bin");
+    let spawn_ok = path_is(rel, SPAWN_ALLOWED);
+    let atomics_ok = path_is(rel, ATOMICS_ALLOWED);
+    let mut violations = Vec::new();
+
+    for (i, raw) in content.lines().enumerate() {
+        let line = raw.trim();
+        // Test modules sit at the bottom of files by convention; stop at
+        // the first top-level test gate.
+        if raw.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if line.starts_with("//") {
+            continue;
+        }
+        let mut flag = |rule: &'static str| {
+            violations.push(Violation {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule,
+                excerpt: line.to_string(),
+            })
+        };
+        if line.contains("Ordering::SeqCst") || line.contains("ordering::SeqCst") {
+            flag("no-seqcst");
+        }
+        if !spawn_ok && (line.contains("thread::spawn(") || line.contains(".spawn(")) {
+            flag("no-raw-spawn");
+        }
+        if !in_bin && line.contains(".unwrap()") {
+            flag("no-unwrap");
+        }
+        if !atomics_ok
+            && (line.contains("sync::atomic") || line.contains("Atomic") && line.contains("::new("))
+        {
+            flag("no-unaudited-atomics");
+        }
+    }
+    violations
+}
+
+fn is_skipped_dir(name: &str) -> bool {
+    matches!(name, "target" | "vendor" | ".git")
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !is_skipped_dir(&name) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every library source file in the workspace rooted at `root`:
+/// `src/` of the facade crate and `src/` of every `crates/*` member
+/// (integration tests, benches, and examples are outside `src/` and
+/// therefore exempt; `vendor/` is never scanned).
+pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
+    let mut files = Vec::new();
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        walk(&facade_src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(&crates)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                walk(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+
+    let mut outcome = LintOutcome::default();
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        let content = fs::read_to_string(&file)?;
+        outcome.violations.extend(scan_file(&rel, &content));
+        outcome.files_scanned += 1;
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(content: &str) -> Vec<Violation> {
+        scan_file(Path::new("crates/demo/src/lib.rs"), content)
+    }
+
+    #[test]
+    fn seqcst_is_flagged_everywhere() {
+        let v = lib("let x = a.load(Ordering::SeqCst);\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-seqcst");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn raw_spawn_is_confined_to_audited_executors() {
+        let src = "std::thread::spawn(|| {});\nscope.spawn(|| {});\n";
+        assert_eq!(lib(src).len(), 2);
+        assert!(scan_file(Path::new("crates/shmem/src/parallel.rs"), src).is_empty());
+        assert!(scan_file(Path::new("crates/bench/src/sweep.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_banned_in_libraries_allowed_in_bins() {
+        let src = "let v = compute().unwrap();\n";
+        let v = lib(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap");
+        assert!(scan_file(Path::new("crates/demo/src/bin/tool.rs"), src).is_empty());
+        // unwrap_or and friends are fine.
+        assert!(lib("let v = compute().unwrap_or(1);\n").is_empty());
+    }
+
+    #[test]
+    fn atomics_confined_to_audited_modules() {
+        let src = "use std::sync::atomic::AtomicU32;\nlet c = AtomicU32::new(0);\n";
+        let v = lib(src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "no-unaudited-atomics"));
+        assert!(scan_file(Path::new("crates/router/src/engine.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_test_modules_are_exempt() {
+        let src = "\
+// Ordering::SeqCst in a comment is fine.
+/// .unwrap() in docs is fine.
+fn ok() {}
+#[cfg(test)]
+mod tests {
+    fn t() { let _ = compute().unwrap(); }
+}
+";
+        assert!(lib(src).is_empty());
+    }
+
+    #[test]
+    fn the_workspace_itself_is_clean() {
+        // The lint's own acceptance test: run it on this workspace.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/analysis sits two levels below the workspace root");
+        let outcome = lint_workspace(root).expect("workspace tree is readable");
+        assert!(outcome.files_scanned > 40, "expected to scan the whole workspace");
+        assert!(
+            outcome.is_clean(),
+            "workspace lint violations:\n{}",
+            outcome.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! FastTrack-style race detection over shared-reference traces.
+//!
+//! The detector replays a time-sorted [`Trace`] and flags every pair of
+//! conflicting cost-array accesses (same address, different processors,
+//! at least one write) that is not ordered by happens-before. The only
+//! synchronization edges are the inter-iteration barriers, which the
+//! producers record as the per-reference `epoch` field: an epoch change
+//! is a full barrier, joining every processor's vector clock into every
+//! other's.
+//!
+//! References are processed in barrier-epoch-major order (stable within
+//! an epoch), which realizes the barrier join exactly even when producer
+//! timestamps tie across the barrier. Because membership of a pair in a
+//! race only depends on *which epoch* each access ran in and *which
+//! processor* issued it — never on the sub-epoch interleaving — the set
+//! of reported races is invariant under stable reorderings of same-time
+//! references, a property the crate's proptests pin down.
+//!
+//! Shadow state is per-address, per-processor *last* read and write
+//! (the FastTrack compression): a racing address is reported once per
+//! `(address, epoch, processor pair, access kinds)`, not once per
+//! dynamic occurrence.
+
+use std::collections::{HashMap, HashSet};
+
+use locus_coherence::{MemRef, RefKind, Trace};
+
+use crate::vclock::VectorClock;
+
+/// Which kinds of access collide in a race pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RaceKind {
+    /// Two unordered writes (rip-up / commit increments colliding).
+    WriteWrite,
+    /// An unordered read–write pair (a candidate evaluation racing a
+    /// commit or rip-up).
+    ReadWrite,
+}
+
+/// One detected (deduplicated) race pair.
+#[derive(Clone, Debug)]
+pub struct RacePair {
+    /// Byte address of the contested cost-array cell.
+    pub addr: u32,
+    /// Barrier epoch both accesses ran in.
+    pub epoch: u32,
+    /// The access that reached the detector first, with its index into
+    /// the analysed trace.
+    pub first: MemRef,
+    /// Trace index of `first`.
+    pub first_idx: usize,
+    /// The access that completed the pair.
+    pub second: MemRef,
+    /// Trace index of `second`.
+    pub second_idx: usize,
+    /// Write/write or read/write.
+    pub kind: RaceKind,
+}
+
+impl RacePair {
+    /// The write side of the pair (for write/write pairs: the second
+    /// access, whose replay position classification uses).
+    pub fn write_ref(&self) -> MemRef {
+        match self.kind {
+            RaceKind::WriteWrite => self.second,
+            RaceKind::ReadWrite => {
+                if self.first.kind == RefKind::Write {
+                    self.first
+                } else {
+                    self.second
+                }
+            }
+        }
+    }
+
+    /// The read side of a read/write pair.
+    pub fn read_ref(&self) -> Option<MemRef> {
+        match self.kind {
+            RaceKind::WriteWrite => None,
+            RaceKind::ReadWrite => {
+                if self.first.kind == RefKind::Read {
+                    Some(self.first)
+                } else {
+                    Some(self.second)
+                }
+            }
+        }
+    }
+
+    /// Deduplication identity: address, epoch, unordered processor
+    /// pair, and access kinds.
+    pub fn key(&self) -> RaceKey {
+        let (lo, hi) = if self.first.proc <= self.second.proc {
+            (self.first.proc, self.second.proc)
+        } else {
+            (self.second.proc, self.first.proc)
+        };
+        (self.addr, self.epoch, lo, hi, self.kind)
+    }
+}
+
+/// See [`RacePair::key`].
+pub type RaceKey = (u32, u32, u32, u32, RaceKind);
+
+/// What the detector found in one trace.
+#[derive(Clone, Debug, Default)]
+pub struct DetectionResult {
+    /// References analysed.
+    pub refs: usize,
+    /// Processors that appear in the trace.
+    pub procs: usize,
+    /// Barrier epochs that appear in the trace.
+    pub epochs: u32,
+    /// Cross-processor conflicting pairs that *were* ordered by a
+    /// barrier (counted against last-access shadow state, like the
+    /// races).
+    pub synchronized_pairs: u64,
+    /// Unordered conflicting pairs, one per [`RacePair::key`].
+    pub races: Vec<RacePair>,
+}
+
+/// Last access by one processor to one address.
+#[derive(Clone, Copy)]
+struct Access {
+    /// The accessor's own logical time (its vector-clock component) at
+    /// the access.
+    clock: u64,
+    r: MemRef,
+    idx: usize,
+}
+
+/// Per-address FastTrack shadow cell: last write and last read per proc.
+struct Shadow {
+    writes: Vec<Option<Access>>,
+    reads: Vec<Option<Access>>,
+}
+
+/// Runs race detection over `trace`, which must be time-sorted (the
+/// producers' merged order; see [`Trace::sort_by_time`]).
+pub fn detect(trace: &Trace) -> DetectionResult {
+    debug_assert!(trace.is_sorted(), "detect() expects a time-sorted trace");
+    let refs = trace.refs();
+    let n_procs = refs.iter().map(|r| r.proc as usize + 1).max().unwrap_or(0);
+    let epochs = refs.iter().map(|r| r.epoch + 1).max().unwrap_or(0);
+    let mut result =
+        DetectionResult { refs: refs.len(), procs: n_procs, epochs, ..Default::default() };
+    if n_procs == 0 {
+        return result;
+    }
+
+    // Epoch-major processing order (stable: time order within an epoch,
+    // program order per processor). For well-formed traces every
+    // epoch-e timestamp precedes every epoch-(e+1) timestamp and this
+    // sort is the identity; it exists to make barrier placement exact
+    // when timestamps tie across a barrier.
+    let mut order: Vec<usize> = (0..refs.len()).collect();
+    order.sort_by_key(|&i| refs[i].epoch);
+
+    let mut clock: Vec<u64> = vec![0; n_procs];
+    let mut vc: Vec<VectorClock> = vec![VectorClock::new(n_procs); n_procs];
+    let mut current_epoch = 0u32;
+    let mut shadow: HashMap<u32, Shadow> = HashMap::new();
+    let mut seen: HashSet<RaceKey> = HashSet::new();
+
+    for &i in &order {
+        let r = refs[i];
+        if r.epoch > current_epoch {
+            // Barrier: everything before the epoch change happens-before
+            // everything after. Join all clocks into a release clock and
+            // re-acquire it everywhere.
+            let mut release = VectorClock::new(n_procs);
+            for c in &vc {
+                release.join(c);
+            }
+            for c in &mut vc {
+                c.join(&release);
+            }
+            current_epoch = r.epoch;
+        }
+
+        let p = r.proc as usize;
+        clock[p] += 1;
+        vc[p].set(p, clock[p]);
+
+        let cell = shadow
+            .entry(r.addr)
+            .or_insert_with(|| Shadow { writes: vec![None; n_procs], reads: vec![None; n_procs] });
+
+        // Conflict checks against every other processor's last accesses.
+        for q in 0..n_procs {
+            if q == p {
+                continue; // program order; never a race, not counted
+            }
+            if let Some(w) = cell.writes[q] {
+                if vc[p].has_observed(q, w.clock) {
+                    result.synchronized_pairs += 1;
+                } else {
+                    let kind = if r.kind == RefKind::Write {
+                        RaceKind::WriteWrite
+                    } else {
+                        RaceKind::ReadWrite
+                    };
+                    push_race(&mut result.races, &mut seen, w, r, i, kind);
+                }
+            }
+            if r.kind == RefKind::Write {
+                if let Some(rd) = cell.reads[q] {
+                    if vc[p].has_observed(q, rd.clock) {
+                        result.synchronized_pairs += 1;
+                    } else {
+                        push_race(&mut result.races, &mut seen, rd, r, i, RaceKind::ReadWrite);
+                    }
+                }
+            }
+        }
+
+        let access = Access { clock: clock[p], r, idx: i };
+        match r.kind {
+            RefKind::Write => cell.writes[p] = Some(access),
+            RefKind::Read => cell.reads[p] = Some(access),
+        }
+    }
+    result
+}
+
+fn push_race(
+    races: &mut Vec<RacePair>,
+    seen: &mut HashSet<RaceKey>,
+    prior: Access,
+    r: MemRef,
+    idx: usize,
+    kind: RaceKind,
+) {
+    let pair = RacePair {
+        addr: r.addr,
+        epoch: r.epoch,
+        first: prior.r,
+        first_idx: prior.idx,
+        second: r,
+        second_idx: idx,
+        kind,
+    };
+    if seen.insert(pair.key()) {
+        races.push(pair);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wref(time: u64, proc: u32, addr: u32, epoch: u32, delta: i8) -> MemRef {
+        MemRef::new(time, proc, addr, RefKind::Write).with_epoch(epoch).with_delta(delta)
+    }
+
+    fn rref(time: u64, proc: u32, addr: u32, epoch: u32, wire: u32) -> MemRef {
+        MemRef::new(time, proc, addr, RefKind::Read).with_epoch(epoch).with_wire(wire)
+    }
+
+    #[test]
+    fn empty_trace_has_no_races() {
+        let d = detect(&Trace::new());
+        assert_eq!(d.refs, 0);
+        assert!(d.races.is_empty());
+        assert_eq!(d.synchronized_pairs, 0);
+    }
+
+    #[test]
+    fn single_processor_never_races() {
+        let t: Trace =
+            [wref(0, 0, 4, 0, 1), rref(1, 0, 4, 0, 7), wref(2, 0, 4, 0, -1), wref(3, 0, 4, 1, 1)]
+                .into_iter()
+                .collect();
+        let d = detect(&t);
+        assert!(d.races.is_empty());
+        assert_eq!(d.synchronized_pairs, 0, "same-proc pairs are not counted");
+    }
+
+    #[test]
+    fn same_epoch_cross_proc_conflicts_race() {
+        let t: Trace =
+            [wref(0, 0, 8, 0, 1), rref(5, 1, 8, 0, 3), wref(9, 1, 8, 0, 1)].into_iter().collect();
+        let d = detect(&t);
+        let kinds: Vec<RaceKind> = d.races.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&RaceKind::ReadWrite));
+        assert!(kinds.contains(&RaceKind::WriteWrite));
+        assert_eq!(d.synchronized_pairs, 0);
+    }
+
+    #[test]
+    fn barrier_orders_cross_epoch_conflicts() {
+        let t: Trace =
+            [wref(0, 0, 8, 0, 1), wref(10, 1, 8, 1, 1), rref(11, 1, 8, 1, 2)].into_iter().collect();
+        let d = detect(&t);
+        assert!(d.races.is_empty(), "{:?}", d.races);
+        // proc 1's write and read each find proc 0's write barrier-ordered.
+        assert_eq!(d.synchronized_pairs, 2);
+        assert_eq!(d.epochs, 2);
+    }
+
+    #[test]
+    fn reads_do_not_conflict_with_reads() {
+        let t: Trace =
+            [rref(0, 0, 8, 0, 1), rref(1, 1, 8, 0, 2), rref(2, 2, 8, 0, 3)].into_iter().collect();
+        let d = detect(&t);
+        assert!(d.races.is_empty());
+        assert_eq!(d.synchronized_pairs, 0);
+    }
+
+    #[test]
+    fn races_are_deduplicated_by_key() {
+        // Two procs ping-ponging writes on one addr in one epoch: many
+        // dynamic conflicts, one reported WW pair.
+        let t: Trace = (0..10).map(|i| wref(i, (i % 2) as u32, 8, 0, 1)).collect();
+        let d = detect(&t);
+        assert_eq!(d.races.len(), 1);
+        assert_eq!(d.races[0].kind, RaceKind::WriteWrite);
+    }
+
+    #[test]
+    fn race_pair_accessors_identify_sides() {
+        let t: Trace = [wref(0, 0, 8, 0, -1), rref(5, 1, 8, 0, 3)].into_iter().collect();
+        let d = detect(&t);
+        assert_eq!(d.races.len(), 1);
+        let pair = &d.races[0];
+        assert_eq!(pair.kind, RaceKind::ReadWrite);
+        assert_eq!(pair.write_ref().delta, -1);
+        assert_eq!(pair.read_ref().expect("rw pair has a read").wire, 3);
+    }
+
+    #[test]
+    fn epoch_major_order_tolerates_timestamp_ties_at_barriers() {
+        // An epoch-1 ref and an epoch-0 ref share time 10; whichever
+        // order they appear in, the epoch-0 pair (procs 0,1 on addr 8)
+        // must race and the epoch-1 access must be barrier-ordered.
+        for flip in [false, true] {
+            let mut a = vec![wref(0, 0, 8, 0, 1), wref(10, 1, 8, 0, 1), wref(10, 2, 8, 1, 1)];
+            if flip {
+                a.swap(1, 2);
+            }
+            let t: Trace = a.into_iter().collect();
+            let d = detect(&t);
+            assert_eq!(d.races.len(), 1, "flip={flip}");
+            let k = d.races[0].key();
+            assert_eq!((k.2, k.3), (0, 1), "flip={flip}");
+        }
+    }
+}

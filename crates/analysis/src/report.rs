@@ -1,0 +1,135 @@
+//! Machine-readable JSON for the analysis reports.
+//!
+//! The workspace deliberately carries no serde; like
+//! `locus_obs::export`, this module hand-rolls the small, flat JSON the
+//! CI artifact and downstream tooling consume. Keys are stable API.
+
+use crate::classify::addr_cell;
+use crate::harness::AnalysisReport;
+use crate::race::RaceKind;
+use crate::staleness::StalenessReport;
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serializes a race-analysis report.
+pub fn race_report_json(r: &AnalysisReport) -> String {
+    let mut out = String::with_capacity(1024 + r.races.len() * 160);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"engine\": \"{}\",\n", esc(&r.engine)));
+    out.push_str(&format!("  \"circuit\": \"{}\",\n", esc(&r.circuit)));
+    out.push_str(&format!("  \"procs\": {},\n", r.procs));
+    out.push_str(&format!("  \"refs\": {},\n", r.refs));
+    out.push_str(&format!("  \"epochs\": {},\n", r.epochs));
+    out.push_str(&format!("  \"synchronized_pairs\": {},\n", r.synchronized_pairs));
+    out.push_str(&format!(
+        "  \"races\": {{ \"total\": {}, \"benign\": {}, \"quality_affecting\": {} }},\n",
+        r.races.len(),
+        r.benign_count(),
+        r.quality_count()
+    ));
+
+    out.push_str("  \"pairs\": [\n");
+    for (i, c) in r.races.iter().enumerate() {
+        let cell = addr_cell(c.pair.addr, r.grids);
+        let kind = match c.pair.kind {
+            RaceKind::WriteWrite => "write-write",
+            RaceKind::ReadWrite => "read-write",
+        };
+        let class = if c.is_benign() { "benign" } else { "quality-affecting" };
+        let wire = c.pair.read_ref().map(|r| r.wire).unwrap_or(c.pair.second.wire);
+        out.push_str(&format!(
+            "    {{ \"addr\": {}, \"channel\": {}, \"x\": {}, \"epoch\": {}, \
+             \"procs\": [{}, {}], \"kind\": \"{}\", \"wire\": {}, \"class\": \"{}\", \
+             \"reason\": \"{}\" }}{}\n",
+            c.pair.addr,
+            cell.channel,
+            cell.x,
+            c.pair.epoch,
+            c.pair.first.proc,
+            c.pair.second.proc,
+            kind,
+            wire,
+            class,
+            esc(c.reason),
+            if i + 1 < r.races.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"per_channel\": [\n");
+    for (i, (channel, total, benign)) in r.per_channel.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"channel\": {channel}, \"races\": {total}, \"benign\": {benign} }}{}\n",
+            if i + 1 < r.per_channel.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"per_wire\": [\n");
+    for (i, (wire, total, benign)) in r.per_wire.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"wire\": {wire}, \"races\": {total}, \"benign\": {benign} }}{}\n",
+            if i + 1 < r.per_wire.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Serializes a staleness report.
+pub fn staleness_report_json(s: &StalenessReport, engine: &str, procs: usize) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"engine\": \"{}\",\n", esc(engine)));
+    out.push_str(&format!("  \"procs\": {},\n", procs));
+    out.push_str(&format!("  \"audits\": {},\n", s.audits));
+    out.push_str(&format!("  \"auditing_procs\": {},\n", s.procs));
+    out.push_str(&format!("  \"max_diverged_cells\": {},\n", s.max_diverged_cells));
+    out.push_str(&format!("  \"mean_diverged_cells\": {:.3},\n", s.mean_diverged_cells));
+    out.push_str(&format!("  \"max_abs_divergence\": {},\n", s.max_abs_divergence));
+    out.push_str(&format!("  \"total_abs_divergence\": {},\n", s.total_abs_divergence));
+    out.push_str(&format!("  \"max_mean_age_ns\": {},\n", s.max_mean_age_ns));
+    out.push_str(&format!("  \"mean_age_ns_p50\": {},\n", s.age_hist.quantile(0.50)));
+    out.push_str(&format!("  \"mean_age_ns_p99\": {},\n", s.age_hist.quantile(0.99)));
+    out.push_str(&format!("  \"diverged_cells_p50\": {},\n", s.cells_hist.quantile(0.50)));
+    out.push_str(&format!("  \"diverged_cells_p99\": {}\n", s.cells_hist.quantile(0.99)));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_circuit::presets;
+    use locus_obs::export::validate_json;
+    use locus_router::RouterParams;
+
+    #[test]
+    fn race_report_json_is_valid_and_carries_headline_keys() {
+        // A 2-proc emulator run on the tiny circuit gives a small but
+        // real report (possibly with zero races — both shapes must be
+        // valid JSON).
+        let report = crate::harness::analyze_engine(
+            &presets::small(),
+            "shmem-emul",
+            2,
+            RouterParams::default(),
+        )
+        .expect("emul analysis runs");
+        let json = race_report_json(&report);
+        validate_json(&json).expect("race report must be valid JSON");
+        for key in ["\"engine\"", "\"synchronized_pairs\"", "\"quality_affecting\"", "\"pairs\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn staleness_report_json_is_valid() {
+        let s = StalenessReport::build(&[]);
+        let json = staleness_report_json(&s, "msgpass-sender", 4);
+        validate_json(&json).expect("staleness report must be valid JSON");
+        assert!(json.contains("\"audits\": 0"));
+    }
+}

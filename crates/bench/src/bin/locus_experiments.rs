@@ -10,6 +10,8 @@
 //!                   [--quick] [--threads N] [--out <file>]
 //!                   [--trace-out <file>] [--metrics-out <file>]
 //! locus-experiments --engine <name> [--procs N] [--quick]
+//! locus-experiments analyze [--engine <name>] [--procs N] [--quick]
+//!                           [--report <file>]
 //! locus-experiments --quality-check
 //! ```
 //!
@@ -26,6 +28,13 @@
 //! any experiment to a CI-sized configuration (small synthetic circuit,
 //! 4 processors) — `locus-experiments compare --quick` is the CI smoke
 //! step.
+//!
+//! `analyze` replays one engine's coherence trace through the
+//! vector-clock race detector and classifies every unsynchronized
+//! conflicting pair as benign or quality-affecting (for the
+//! message-passing engines it instead audits replica staleness against
+//! the ground-truth cost array). `--report <file>` writes the
+//! machine-readable JSON report.
 //!
 //! `--quality-check` routes bnrE and MDC evaluating every connection with
 //! both the optimized span kernel and the retained reference evaluator,
@@ -456,6 +465,65 @@ fn run_engine(cfg: &RunCfg, name: &str, procs: Option<usize>) {
     );
 }
 
+/// `analyze`: race detection + classification over one engine's
+/// reference trace, or replica-staleness auditing for the
+/// message-passing engines. `--report FILE` writes machine-readable
+/// JSON alongside the printed summary.
+fn run_analyze(cfg: &RunCfg, name: &str, procs: Option<usize>, report_out: Option<String>) {
+    use locus_analysis as analysis;
+    use locus_obs::{names, RingBufferSink};
+
+    let c = cfg.circuit();
+    let procs = procs.unwrap_or_else(|| cfg.procs());
+    let params = RouterParams::default();
+
+    if name.starts_with("msgpass") {
+        let audit_every = if cfg.quick { 2 } else { 8 };
+        let (report, outcome) =
+            match analysis::audit_staleness(&c, name, procs, params, audit_every) {
+                Ok(r) => r,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(2);
+                }
+            };
+        print!("{}", report.render());
+        println!(
+            "  quality: height {}, occupancy {}",
+            outcome.quality.circuit_height, outcome.quality.occupancy_factor
+        );
+        if let Some(path) = report_out {
+            write_or_die(&path, &analysis::staleness_report_json(&report, name, procs));
+            eprintln!("analyze: wrote staleness report to {path}");
+        }
+        return;
+    }
+
+    let report = match analysis::analyze_engine(&c, name, procs, params) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", report.render());
+    let mut sink = RingBufferSink::new();
+    analysis::emit_race_events(&report, &mut sink);
+    println!(
+        "  obs: {}={} {}={} {}={}",
+        names::RACES_DETECTED,
+        sink.metrics().counter(names::RACES_DETECTED),
+        names::BENIGN_RACES,
+        sink.metrics().counter(names::BENIGN_RACES),
+        names::QUALITY_RACES,
+        sink.metrics().counter(names::QUALITY_RACES),
+    );
+    if let Some(path) = report_out {
+        write_or_die(&path, &analysis::race_report_json(&report));
+        eprintln!("analyze: wrote race report to {path}");
+    }
+}
+
 /// `sweeps`: runs the Table 1 sweep serially and on the parallel
 /// harness, verifies the rows are identical, and records the wall-clock
 /// comparison in a JSON artifact.
@@ -668,11 +736,12 @@ fn main() {
         })
     });
     let out_path = take_flag(&mut args, "--out").unwrap_or_else(|| "BENCH_sweeps.json".to_string());
+    let report_out = take_flag(&mut args, "--report");
     let quick = take_switch(&mut args, "--quick");
     if let Some(bad) = args.iter().find(|a| a.starts_with("--")) {
         eprintln!(
             "unknown flag {bad}; expected --quick, --threads N, --engine NAME, --procs N, \
-             --out FILE, --trace-out FILE or --metrics-out FILE"
+             --out FILE, --report FILE, --trace-out FILE or --metrics-out FILE"
         );
         std::process::exit(2);
     }
@@ -681,6 +750,12 @@ fn main() {
         None => Harness::auto(),
     };
     let cfg = RunCfg { harness, quick };
+
+    if args.first().map(String::as_str) == Some("analyze") {
+        let name = engine_name.as_deref().unwrap_or("shmem-threads");
+        run_analyze(&cfg, name, engine_procs, report_out);
+        return;
+    }
 
     if let Some(name) = engine_name {
         run_engine(&cfg, &name, engine_procs);
@@ -709,7 +784,7 @@ fn main() {
                 eprintln!(
                     "unknown experiment {other:?}; expected one of table1..table6, blocking, \
                      mixed, locality, speedup, compare, structures, overshoot, contention, \
-                     figure1..figure3, list, sweeps, all"
+                     figure1..figure3, list, sweeps, analyze, all"
                 );
                 std::process::exit(2);
             }

@@ -75,12 +75,18 @@ impl Harness {
                     if idx >= n {
                         break;
                     }
-                    let item = slots[idx].lock().unwrap().take().expect("each index claimed once");
-                    *done[idx].lock().unwrap() = Some(f(item));
+                    let item = slots[idx]
+                        .lock()
+                        .expect("slot mutex poisoned")
+                        .take()
+                        .expect("each index claimed once");
+                    *done[idx].lock().expect("result mutex poisoned") = Some(f(item));
                 });
             }
         });
-        done.into_iter().map(|m| m.into_inner().unwrap().expect("every index computed")).collect()
+        done.into_iter()
+            .map(|m| m.into_inner().expect("result mutex poisoned").expect("every index computed"))
+            .collect()
     }
 }
 

@@ -29,18 +29,13 @@ mod tests {
         for round in 0..30u32 {
             for p in 0..4u32 {
                 for cell in 0..32u32 {
-                    t.push(MemRef { time, proc: p, addr: cell * 2, kind: RefKind::Read });
+                    t.push(MemRef::new(time, p, cell * 2, RefKind::Read));
                     time += 1;
                 }
             }
             // The "winning" processor updates a few cells.
             for i in 0..6u32 {
-                t.push(MemRef {
-                    time,
-                    proc: round % 4,
-                    addr: ((round * 5 + i) % 32) * 2,
-                    kind: RefKind::Write,
-                });
+                t.push(MemRef::new(time, round % 4, ((round * 5 + i) % 32) * 2, RefKind::Write));
                 time += 1;
             }
         }

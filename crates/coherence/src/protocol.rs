@@ -389,8 +389,8 @@ mod tests {
         let make_trace = || -> Trace {
             let mut t = Trace::new();
             for i in 0..50u64 {
-                t.push(MemRef { time: 2 * i, proc: 0, addr: 0, kind: RefKind::Write });
-                t.push(MemRef { time: 2 * i + 1, proc: 1, addr: 28, kind: RefKind::Read });
+                t.push(MemRef::new(2 * i, 0, 0, RefKind::Write));
+                t.push(MemRef::new(2 * i + 1, 1, 28, RefKind::Read));
             }
             t
         };
@@ -410,9 +410,9 @@ mod tests {
     fn write_fraction_reflects_churn() {
         let mut t = Trace::new();
         // One cold read, then a long write ping-pong.
-        t.push(MemRef { time: 0, proc: 0, addr: 0, kind: RefKind::Read });
+        t.push(MemRef::new(0, 0, 0, RefKind::Read));
         for i in 0..100u64 {
-            t.push(MemRef { time: i + 1, proc: (i % 2) as u32, addr: 0, kind: RefKind::Write });
+            t.push(MemRef::new(i + 1, (i % 2) as u32, 0, RefKind::Write));
         }
         let stats = CoherenceSim::new(CoherenceConfig::with_line_size(8)).run(&t);
         assert!(stats.write_fraction() > 0.8, "churn trace must be write-dominated");
@@ -423,12 +423,12 @@ mod tests {
         use locus_obs::{names, SharedSink};
         let mut t = Trace::new();
         for i in 0..200u64 {
-            t.push(MemRef {
-                time: i,
-                proc: (i % 4) as u32,
-                addr: ((i * 7) % 96) as u32,
-                kind: if i % 3 == 0 { RefKind::Read } else { RefKind::Write },
-            });
+            t.push(MemRef::new(
+                i,
+                (i % 4) as u32,
+                ((i * 7) % 96) as u32,
+                if i % 3 == 0 { RefKind::Read } else { RefKind::Write },
+            ));
         }
         for wt in [false, true] {
             let mut cfg = CoherenceConfig::with_line_size(8);
@@ -475,12 +475,12 @@ mod tests {
     fn write_through_never_cheaper_than_write_back_on_write_heavy_traces() {
         let mut t = Trace::new();
         for i in 0..200u64 {
-            t.push(MemRef {
-                time: i,
-                proc: (i % 4) as u32,
-                addr: ((i * 3) % 64) as u32 * 2,
-                kind: if i % 3 == 0 { RefKind::Read } else { RefKind::Write },
-            });
+            t.push(MemRef::new(
+                i,
+                (i % 4) as u32,
+                ((i * 3) % 64) as u32 * 2,
+                if i % 3 == 0 { RefKind::Read } else { RefKind::Write },
+            ));
         }
         for line in [4u32, 8, 32] {
             let wb = CoherenceSim::new(CoherenceConfig::with_line_size(line)).run(&t);

@@ -3,6 +3,13 @@
 //! "These traces contain all shared data references made by the program
 //! during execution. For each reference, the time, address, and
 //! referencing processor are recorded."
+//!
+//! Beyond the paper's minimal triple, each reference also carries the
+//! synchronization context the race analyser needs: the barrier-delimited
+//! *epoch* in which the access happened, the *wire* being routed when it
+//! happened, and (for writes) the signed *delta* the store applied to the
+//! cost cell. Producers that predate the analyser can leave the extras at
+//! their defaults via [`MemRef::new`].
 
 /// Whether a reference reads or writes shared data.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -24,6 +31,45 @@ pub struct MemRef {
     pub addr: u32,
     /// Read or write.
     pub kind: RefKind,
+    /// Barrier-delimited synchronization epoch (routing iteration).
+    /// Accesses in different epochs are ordered by the barrier between
+    /// them; accesses in the same epoch on different processors are not.
+    pub epoch: u32,
+    /// Wire being routed when the access happened, or [`MemRef::NO_WIRE`]
+    /// when the access is not attributable to a single wire.
+    pub wire: u32,
+    /// Signed value change applied by a write (+1 commit, -1 rip-up);
+    /// zero for reads.
+    pub delta: i8,
+}
+
+impl MemRef {
+    /// Sentinel for [`MemRef::wire`] when no wire is attributable.
+    pub const NO_WIRE: u32 = u32::MAX;
+
+    /// A reference with no synchronization context (epoch 0, no wire,
+    /// zero delta) — the paper's minimal (time, proc, addr, kind) record.
+    pub fn new(time: u64, proc: u32, addr: u32, kind: RefKind) -> Self {
+        MemRef { time, proc, addr, kind, epoch: 0, wire: Self::NO_WIRE, delta: 0 }
+    }
+
+    /// Sets the barrier epoch.
+    pub fn with_epoch(mut self, epoch: u32) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Sets the attributable wire.
+    pub fn with_wire(mut self, wire: u32) -> Self {
+        self.wire = wire;
+        self
+    }
+
+    /// Sets the write delta.
+    pub fn with_delta(mut self, delta: i8) -> Self {
+        self.delta = delta;
+        self
+    }
 }
 
 /// A time-ordered sequence of shared references.
@@ -94,7 +140,7 @@ mod tests {
     use super::*;
 
     fn r(time: u64, proc: u32, addr: u32, kind: RefKind) -> MemRef {
-        MemRef { time, proc, addr, kind }
+        MemRef::new(time, proc, addr, kind)
     }
 
     #[test]
@@ -119,6 +165,32 @@ mod tests {
     }
 
     #[test]
+    fn stable_sort_preserves_order_across_procs_at_equal_times() {
+        // Three procs all touch at t=7, interleaved with earlier refs.
+        let mut t = Trace::new();
+        t.push(r(9, 0, 0, RefKind::Read));
+        t.push(r(7, 2, 8, RefKind::Write));
+        t.push(r(7, 0, 12, RefKind::Read));
+        t.push(r(7, 1, 16, RefKind::Write));
+        t.push(r(1, 1, 20, RefKind::Read));
+        t.sort_by_time();
+        assert!(t.is_sorted());
+        // The three t=7 refs keep their relative insertion order.
+        let at7: Vec<u32> = t.refs().iter().filter(|r| r.time == 7).map(|r| r.addr).collect();
+        assert_eq!(at7, vec![8, 12, 16]);
+    }
+
+    #[test]
+    fn is_sorted_on_empty_and_single_traces() {
+        let empty = Trace::new();
+        assert!(empty.is_sorted());
+        assert!(empty.is_empty());
+        let single: Trace = [r(42, 3, 0, RefKind::Write)].into_iter().collect();
+        assert!(single.is_sorted());
+        assert_eq!(single.len(), 1);
+    }
+
+    #[test]
     fn write_count() {
         let t: Trace =
             [r(0, 0, 0, RefKind::Read), r(1, 0, 0, RefKind::Write), r(2, 1, 4, RefKind::Write)]
@@ -126,5 +198,40 @@ mod tests {
                 .collect();
         assert_eq!(t.write_count(), 2);
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn write_count_matches_refkind_partition() {
+        // write_count + read count must always equal len, and must agree
+        // with a direct RefKind scan.
+        let t: Trace = (0..32)
+            .map(|i| {
+                r(i, i as u32 % 4, (i as u32 % 8) * 2, {
+                    if i % 3 == 0 {
+                        RefKind::Write
+                    } else {
+                        RefKind::Read
+                    }
+                })
+            })
+            .collect();
+        let writes = t.refs().iter().filter(|r| r.kind == RefKind::Write).count();
+        let reads = t.refs().iter().filter(|r| r.kind == RefKind::Read).count();
+        assert_eq!(t.write_count(), writes);
+        assert_eq!(writes + reads, t.len());
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let plain = MemRef::new(10, 1, 4, RefKind::Read);
+        assert_eq!(plain.epoch, 0);
+        assert_eq!(plain.wire, MemRef::NO_WIRE);
+        assert_eq!(plain.delta, 0);
+        let full = plain.with_epoch(3).with_wire(17).with_delta(-1);
+        assert_eq!(full.epoch, 3);
+        assert_eq!(full.wire, 17);
+        assert_eq!(full.delta, -1);
+        // Builders leave the base triple untouched.
+        assert_eq!((full.time, full.proc, full.addr, full.kind), (10, 1, 4, RefKind::Read));
     }
 }

@@ -7,12 +7,14 @@ fn arb_trace(max_procs: u32, max_addr: u32) -> impl Strategy<Value = Trace> {
     proptest::collection::vec((0..max_procs, 0..max_addr, any::<bool>()), 0..400).prop_map(|refs| {
         refs.into_iter()
             .enumerate()
-            .map(|(i, (proc, addr, is_write))| MemRef {
-                time: i as u64,
-                proc,
+            .map(|(i, (proc, addr, is_write))| {
                 // Word-align addresses like real cost-array accesses.
-                addr: addr * 2,
-                kind: if is_write { RefKind::Write } else { RefKind::Read },
+                MemRef::new(
+                    i as u64,
+                    proc,
+                    addr * 2,
+                    if is_write { RefKind::Write } else { RefKind::Read },
+                )
             })
             .collect()
     })
@@ -93,12 +95,7 @@ proptest! {
         // misses: fetches == distinct (proc, line) pairs.
         let mut trace = Trace::new();
         for (i, &a) in addrs.iter().enumerate() {
-            trace.push(MemRef {
-                time: i as u64,
-                proc: i as u32 % procs,
-                addr: a * 2,
-                kind: RefKind::Read,
-            });
+            trace.push(MemRef::new(i as u64, i as u32 % procs, a * 2, RefKind::Read));
         }
         let stats = CoherenceSim::new(CoherenceConfig::with_line_size(8)).run(&trace);
         let mut pairs: Vec<(u32, u32)> = trace

@@ -80,6 +80,12 @@ pub struct MsgPassConfig {
     pub structure: PacketStructure,
     /// How wires reach processors (§4.2); static by default.
     pub wire_source: WireSource,
+    /// When `Some(n)`, every node diffs its replica against the
+    /// ground-truth cost array after each `n` wires it routes, recording
+    /// a staleness snapshot (diverged cells, divergence magnitudes, cell
+    /// ages) and emitting a `ReplicaAudit` obs event. `None` (default)
+    /// keeps the hot path audit-free.
+    pub audit_every: Option<u32>,
 }
 
 impl MsgPassConfig {
@@ -100,6 +106,7 @@ impl MsgPassConfig {
             request_ahead: 5,
             structure: PacketStructure::BoundingBox,
             wire_source: WireSource::Static,
+            audit_every: None,
         }
     }
 
@@ -137,10 +144,19 @@ impl MsgPassConfig {
         self
     }
 
+    /// Returns `self` auditing replica staleness every `n` routed wires.
+    pub fn with_audit_every(mut self, n: u32) -> Self {
+        self.audit_every = Some(n);
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), String> {
         if self.n_procs == 0 {
             return Err("need at least one processor".into());
+        }
+        if self.audit_every == Some(0) {
+            return Err("audit_every must be >= 1 when set".into());
         }
         if self.request_ahead == 0 {
             return Err("request_ahead must be >= 1".into());
@@ -220,5 +236,15 @@ mod tests {
         let mut c = MsgPassConfig::new(4, UpdateSchedule::receiver_initiated(1, 5));
         c.request_ahead = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn audit_every_bounds() {
+        let c = MsgPassConfig::new(4, UpdateSchedule::never()).with_audit_every(10);
+        assert_eq!(c.audit_every, Some(10));
+        c.validate().unwrap();
+        let mut bad = c;
+        bad.audit_every = Some(0);
+        assert!(bad.validate().is_err());
     }
 }

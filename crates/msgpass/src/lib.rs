@@ -39,7 +39,7 @@ pub mod sim;
 pub use config::{MsgPassConfig, PacketStructure, WireSource};
 pub use delta::DeltaArray;
 pub use engine::MsgPassEngine;
-pub use node::RouterNode;
+pub use node::{ReplicaSnapshot, RouterNode};
 pub use packet::{Packet, PacketCounts, PacketKind, WireEvent};
 pub use schedule::UpdateSchedule;
 pub use sim::{

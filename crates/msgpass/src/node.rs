@@ -12,7 +12,7 @@ use std::sync::{Arc, Mutex};
 
 use locus_circuit::{Circuit, Rect, WireId};
 use locus_mesh::{Envelope, Node, Outbox, SimTime, Step};
-use locus_obs::SharedSink;
+use locus_obs::{EventKind, SharedSink};
 use locus_router::engine::{IterationDriver, ObsEmitter, Stamp};
 use locus_router::router::route_wire_scratch;
 use locus_router::{CostArray, EvalScratch, ProcId, RegionMap, Route, WorkStats};
@@ -23,6 +23,39 @@ use crate::packet::{Packet, PacketCounts, WireEvent};
 
 /// Coordinator node for the termination protocol.
 const COORDINATOR: ProcId = 0;
+
+/// One replica-vs-truth comparison taken at an audit stamp (enabled by
+/// [`MsgPassConfig::audit_every`]); the raw material of the staleness
+/// histograms in `locus-analysis`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicaSnapshot {
+    /// Auditing processor.
+    pub proc: ProcId,
+    /// Simulated time of the audit.
+    pub at_ns: u64,
+    /// Wires this node had routed when the audit ran.
+    pub wires_routed: u32,
+    /// Cells whose replica value differed from the truth.
+    pub diverged_cells: u32,
+    /// Sum of absolute per-cell divergences.
+    pub total_abs_divergence: u64,
+    /// Largest absolute per-cell divergence.
+    pub max_abs_divergence: u32,
+    /// Summed age of the diverged cells (ns since the truth cell last
+    /// changed) — the "cells × age" staleness integrand.
+    pub stale_age_sum_ns: u64,
+}
+
+impl ReplicaSnapshot {
+    /// Mean age of the diverged cells (0 when nothing diverged).
+    pub fn mean_age_ns(&self) -> u64 {
+        if self.diverged_cells == 0 {
+            0
+        } else {
+            self.stale_age_sum_ns / self.diverged_cells as u64
+        }
+    }
+}
 
 /// One processor of the message-passing router.
 pub struct RouterNode {
@@ -41,6 +74,11 @@ pub struct RouterNode {
     /// as the paper's §3 definition requires — a stale replica would
     /// under-report exactly the congestion staleness causes.
     oracle: Arc<Mutex<CostArray>>,
+    /// Per-cell simulated time the truth last changed (allocated only
+    /// when auditing; shared by all nodes like the oracle itself).
+    truth_touched: Option<Arc<Mutex<Vec<u64>>>>,
+    /// Staleness snapshots taken at the configured audit stamps.
+    audits: Vec<ReplicaSnapshot>,
 
     replica: CostArray,
     /// Reusable evaluation buffers: the kernel allocates nothing per
@@ -112,6 +150,8 @@ impl RouterNode {
             my_region: regions.region(proc),
             mesh_neighbors: regions.neighbors(proc),
             oracle,
+            truth_touched: None,
+            audits: Vec::new(),
             circuit,
             regions,
             config,
@@ -146,6 +186,15 @@ impl RouterNode {
     /// iteration phases) into `sink`.
     pub fn with_sink(mut self, sink: SharedSink) -> Self {
         self.driver.set_obs(ObsEmitter::new(Box::new(sink)).for_node(self.proc as u32));
+        self
+    }
+
+    /// Attaches the shared per-cell truth-change timestamps (one entry
+    /// per cost cell, simulated ns). All nodes of one run must share the
+    /// same map; required when `config.audit_every` is set so audits can
+    /// age their diverged cells.
+    pub fn with_truth_touched(mut self, touched: Arc<Mutex<Vec<u64>>>) -> Self {
+        self.truth_touched = Some(touched);
         self
     }
 
@@ -191,6 +240,80 @@ impl RouterNode {
     /// The node's final replica (for divergence diagnostics).
     pub fn replica(&self) -> &CostArray {
         &self.replica
+    }
+
+    /// Staleness snapshots taken at the configured audit stamps.
+    pub fn replica_audits(&self) -> &[ReplicaSnapshot] {
+        &self.audits
+    }
+
+    /// Stamps the truth-change time of every cell `route` covers (no-op
+    /// unless auditing is on).
+    fn touch_truth(&self, route: &Route) {
+        let Some(touched) = &self.truth_touched else {
+            return;
+        };
+        let (_, grids) = self.regions.surface();
+        let mut touched = touched.lock().expect("truth touch lock");
+        for &cell in route.cells() {
+            touched[cell.channel as usize * grids as usize + cell.x as usize] = self.now_ns;
+        }
+    }
+
+    /// Diffs the replica against the truth when an audit stamp is due,
+    /// recording a [`ReplicaSnapshot`] and emitting a `ReplicaAudit`
+    /// event.
+    fn maybe_audit_replica(&mut self) {
+        let Some(every) = self.config.audit_every else {
+            return;
+        };
+        if !self.wires_routed_count.is_multiple_of(every) {
+            return;
+        }
+        use locus_router::CostView;
+        let (channels, grids) = self.regions.surface();
+        let mut diverged = 0u32;
+        let mut total = 0u64;
+        let mut max = 0u32;
+        let mut age_sum = 0u64;
+        {
+            let oracle = self.oracle.lock().expect("oracle lock");
+            let touched = self.truth_touched.as_ref().map(|t| t.lock().expect("truth touch lock"));
+            for c in 0..channels {
+                for x in 0..grids {
+                    let cell = locus_circuit::GridCell::new(c, x);
+                    let d = (self.replica.cost_at(cell) as i64 - oracle.cost_at(cell) as i64)
+                        .unsigned_abs() as u32;
+                    if d > 0 {
+                        diverged += 1;
+                        total += d as u64;
+                        max = max.max(d);
+                        if let Some(touched) = &touched {
+                            let idx = c as usize * grids as usize + x as usize;
+                            age_sum += self.now_ns.saturating_sub(touched[idx]);
+                        }
+                    }
+                }
+            }
+        }
+        let snap = ReplicaSnapshot {
+            proc: self.proc,
+            at_ns: self.now_ns,
+            wires_routed: self.wires_routed_count,
+            diverged_cells: diverged,
+            total_abs_divergence: total,
+            max_abs_divergence: max,
+            stale_age_sum_ns: age_sum,
+        };
+        self.driver.emit_event(
+            Stamp::At(self.now_ns),
+            EventKind::ReplicaAudit {
+                diverged_cells: diverged,
+                max_divergence: max,
+                mean_age_ns: snap.mean_age_ns(),
+            },
+        );
+        self.audits.push(snap);
     }
 
     /// Whether the node completed all its iterations.
@@ -504,6 +627,7 @@ impl RouterNode {
         if let Some(old) = self.driver.rip_up(idx, wire_id, stamp) {
             busy += old.len() as u64 * self.config.cell_write_ns;
             self.oracle.lock().expect("oracle lock").remove_route(&old);
+            self.touch_truth(&old);
             if self.config.structure == PacketStructure::WireBased {
                 ripped_segments = old.segments().to_vec();
             }
@@ -532,6 +656,7 @@ impl RouterNode {
             oracle.add_route(&eval.route);
             cost
         };
+        self.touch_truth(&eval.route);
 
         for &cell in eval.route.cells() {
             self.apply_cell_change(cell, 1);
@@ -545,6 +670,7 @@ impl RouterNode {
         self.driver.commit(idx, wire_id, eval, cost_at_decision, stamp);
 
         self.wires_routed_count += 1;
+        self.maybe_audit_replica();
 
         busy += self.emit_sender_updates(outbox);
 
@@ -585,6 +711,7 @@ impl RouterNode {
             oracle.add_route(&eval.route);
             cost
         };
+        self.touch_truth(&eval.route);
         for &cell in eval.route.cells() {
             self.apply_cell_change(cell, 1);
         }
@@ -594,6 +721,7 @@ impl RouterNode {
         }
         self.driver.commit_dynamic(wire_id, eval, cost_at_decision, Stamp::At(self.now_ns));
         self.wires_routed_count += 1;
+        self.maybe_audit_replica();
         busy += self.emit_sender_updates(outbox);
         busy
     }

@@ -10,7 +10,7 @@ use locus_router::locality::{locality_measure, LocalityMeasure};
 use locus_router::{assign, CostArray, ProcId, QualityMetrics, RegionMap, Route, WorkStats};
 
 use crate::config::MsgPassConfig;
-use crate::node::RouterNode;
+use crate::node::{ReplicaSnapshot, RouterNode};
 use crate::packet::PacketCounts;
 
 /// Everything measured from one message-passing run — the columns of
@@ -43,6 +43,9 @@ pub struct MsgPassOutcome {
     /// Mean absolute per-cell divergence between node replicas and the
     /// true final cost array — how stale the views were at the end.
     pub replica_divergence: f64,
+    /// Mid-run staleness snapshots from every node, in audit order
+    /// (empty unless [`MsgPassConfig::audit_every`] was set).
+    pub replica_audits: Vec<ReplicaSnapshot>,
     /// Load imbalance of the static assignment (max/mean).
     pub imbalance: f64,
     /// True if the simulation did not terminate cleanly.
@@ -126,9 +129,13 @@ fn run_inner(
     let circuit_arc = Arc::new(circuit.clone());
 
     let oracle = Arc::new(std::sync::Mutex::new(CostArray::new(circuit.channels, circuit.grids)));
+    let truth_touched = config.audit_every.map(|_| {
+        let n_cells = circuit.channels as usize * circuit.grids as usize;
+        Arc::new(std::sync::Mutex::new(vec![0u64; n_cells]))
+    });
     let nodes: Vec<RouterNode> = (0..config.n_procs)
         .map(|p| {
-            let node = RouterNode::new(
+            let mut node = RouterNode::new(
                 p,
                 Arc::clone(&circuit_arc),
                 Arc::clone(&regions),
@@ -136,6 +143,9 @@ fn run_inner(
                 assignment.wires_per_proc[p].clone(),
                 Arc::clone(&oracle),
             );
+            if let Some(t) = &truth_touched {
+                node = node.with_truth_touched(Arc::clone(t));
+            }
             match &sink {
                 Some(s) => node.with_sink(s.clone()),
                 None => node,
@@ -157,7 +167,9 @@ fn run_inner(
     let mut occupancy_by_iteration: Vec<u64> = Vec::new();
     let mut work = WorkStats::default();
     let mut packets = PacketCounts::default();
+    let mut replica_audits: Vec<ReplicaSnapshot> = Vec::new();
     for (p, node) in outcome.nodes.iter().enumerate() {
+        replica_audits.extend_from_slice(node.replica_audits());
         occupancy += node.occupancy_factor();
         let by_iter = node.occupancy_by_iteration();
         if occupancy_by_iteration.len() < by_iter.len() {
@@ -174,6 +186,7 @@ fn run_inner(
             proc_of_wire[w] = p;
         }
     }
+    replica_audits.sort_by_key(|s| (s.at_ns, s.proc));
     let routes: Vec<Route> = routes
         .into_iter()
         .enumerate()
@@ -219,6 +232,7 @@ fn run_inner(
         occupancy_by_iteration,
         cost: truth,
         replica_divergence: divergence,
+        replica_audits,
         imbalance,
         deadlocked,
     }
@@ -306,6 +320,40 @@ mod tests {
             frequent.replica_divergence,
             never.replica_divergence
         );
+    }
+
+    #[test]
+    fn replica_audits_record_staleness() {
+        let c = locus_circuit::presets::small();
+        let out = run_msgpass(
+            &c,
+            small_config(4, UpdateSchedule::sender_initiated(2, 5)).with_audit_every(4),
+        );
+        assert!(!out.deadlocked);
+        assert!(!out.replica_audits.is_empty(), "audit stamps must fire");
+        // Audits arrive time-sorted and every node contributes.
+        assert!(out.replica_audits.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        let procs: std::collections::BTreeSet<_> =
+            out.replica_audits.iter().map(|s| s.proc).collect();
+        assert_eq!(procs.len(), 4);
+        // With updates every few wires, some audit must catch divergence
+        // on a contended circuit.
+        assert!(out.replica_audits.iter().any(|s| s.diverged_cells > 0));
+        for s in &out.replica_audits {
+            assert!(s.total_abs_divergence >= s.max_abs_divergence as u64);
+            assert!(s.diverged_cells == 0 || s.max_abs_divergence > 0);
+        }
+        // Auditing must not change the routed result.
+        let plain = run_msgpass(&c, small_config(4, UpdateSchedule::sender_initiated(2, 5)));
+        assert_eq!(out.quality, plain.quality);
+        assert_eq!(out.routes, plain.routes);
+    }
+
+    #[test]
+    fn no_audits_by_default() {
+        let c = locus_circuit::presets::small();
+        let out = run_msgpass(&c, small_config(4, UpdateSchedule::sender_initiated(2, 5)));
+        assert!(out.replica_audits.is_empty());
     }
 
     #[test]

@@ -98,6 +98,29 @@ pub enum EventKind {
         /// Cache-line invalidations caused by cost-array writes.
         prefix_invalidations: u64,
     },
+    /// The race analyser confirmed an unsynchronized conflicting access
+    /// pair on a cost-array cell (one event per deduplicated race).
+    RaceDetected {
+        /// Byte address of the racing cell.
+        addr: u32,
+        /// Wire whose route decision read or wrote the cell (the later
+        /// access of the pair).
+        wire: u32,
+        /// Whether re-evaluating the route under either access order
+        /// yields the same decision (benign) or not (quality-affecting).
+        benign: bool,
+    },
+    /// A message-passing node compared its cost-array replica against
+    /// the ground-truth array (one event per audit stamp).
+    ReplicaAudit {
+        /// Cells whose replica value differed from the truth.
+        diverged_cells: u32,
+        /// Largest absolute per-cell divergence seen in this audit.
+        max_divergence: u32,
+        /// Mean staleness age of the diverged cells (ns since the truth
+        /// cell last changed).
+        mean_age_ns: u64,
+    },
 }
 
 impl EventKind {
@@ -115,6 +138,8 @@ impl EventKind {
             EventKind::PhaseBegin { .. } => "PhaseBegin",
             EventKind::PhaseEnd { .. } => "PhaseEnd",
             EventKind::KernelStats { .. } => "KernelStats",
+            EventKind::RaceDetected { .. } => "RaceDetected",
+            EventKind::ReplicaAudit { .. } => "ReplicaAudit",
         }
     }
 }

@@ -116,6 +116,15 @@ pub fn chrome_trace(events: &[Event]) -> String {
                          \"prefix_rebuilds\":{prefix_rebuilds},\
                          \"prefix_invalidations\":{prefix_invalidations}}}"
                     ),
+                    EventKind::RaceDetected { addr, wire, benign } => {
+                        format!("{{\"addr\":{addr},\"wire\":{wire},\"benign\":{benign}}}")
+                    }
+                    EventKind::ReplicaAudit { diverged_cells, max_divergence, mean_age_ns } => {
+                        format!(
+                            "{{\"diverged_cells\":{diverged_cells},\
+                             \"max_divergence\":{max_divergence},\"mean_age_ns\":{mean_age_ns}}}"
+                        )
+                    }
                     EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => unreachable!(),
                 };
                 format!(
@@ -190,12 +199,14 @@ pub fn metrics_json(snap: &MetricsSnapshot) -> String {
 /// only against lower-priority glyphs).
 fn glyph(kind: &EventKind) -> (char, u8) {
     match kind {
+        EventKind::RaceDetected { .. } => ('R', 8),
         EventKind::RipUp { .. } => ('X', 7),
         EventKind::WireRouted { .. } => ('W', 6),
         EventKind::ChannelContended { .. } => ('C', 5),
         EventKind::PacketSent { .. } => ('S', 4),
         EventKind::PacketDelivered { .. } => ('D', 3),
         EventKind::CacheMiss { .. } => ('M', 3),
+        EventKind::ReplicaAudit { .. } => ('A', 2),
         EventKind::Invalidation { .. } => ('I', 2),
         EventKind::BusTransfer { .. } => ('B', 1),
         EventKind::KernelStats { .. } => ('K', 1),
@@ -206,16 +217,17 @@ fn glyph(kind: &EventKind) -> (char, u8) {
 /// Renders an ASCII per-node timeline plus a per-node summary table.
 ///
 /// Time is scaled onto `width` columns; each cell shows the
-/// highest-priority event that landed in it (`X` rip-up, `W` wire
-/// routed, `C` contention, `S` sent, `D` delivered, `M` cache miss,
-/// `I` invalidation, `B` bus transfer, `|` phase boundary).
+/// highest-priority event that landed in it (`R` race, `X` rip-up,
+/// `W` wire routed, `C` contention, `S` sent, `D` delivered, `M` cache
+/// miss, `A` replica audit, `I` invalidation, `B` bus transfer,
+/// `|` phase boundary).
 pub fn ascii_timeline(events: &[Event], width: usize) -> String {
     let width = width.max(10);
     if events.is_empty() {
         return "(no events)\n".to_string();
     }
-    let n_nodes = events.iter().map(|e| e.node).max().unwrap() as usize + 1;
-    let t_max = events.iter().map(|e| e.at_ns).max().unwrap().max(1);
+    let n_nodes = events.iter().map(|e| e.node).max().expect("events nonempty") as usize + 1;
+    let t_max = events.iter().map(|e| e.at_ns).max().expect("events nonempty").max(1);
 
     let mut rows = vec![vec![(' ', 0u8); width]; n_nodes];
     let mut sent = vec![0u64; n_nodes];
@@ -249,8 +261,8 @@ pub fn ascii_timeline(events: &[Event], width: usize) -> String {
         let line: String = row.iter().map(|&(c, _)| c).collect();
         let _ = writeln!(out, "node {n:>3} |{line}|");
     }
-    out.push_str("legend: X ripup  W routed  C contention  S sent  D delivered  ");
-    out.push_str("M miss  I inval  B bus  | phase\n\n");
+    out.push_str("legend: R race  X ripup  W routed  C contention  S sent  D delivered  ");
+    out.push_str("M miss  A audit  I inval  B bus  | phase\n\n");
     let _ = writeln!(
         out,
         "{:>5} {:>8} {:>8} {:>8} {:>12} {:>8}",
@@ -455,6 +467,20 @@ mod tests {
             Event { at_ns: 960, node: 2, kind: EventKind::CacheMiss { addr: 64, line_bytes: 8 } },
             Event { at_ns: 970, node: 2, kind: EventKind::Invalidation { addr: 64, copies: 3 } },
             Event { at_ns: 980, node: 2, kind: EventKind::BusTransfer { bytes: 8 } },
+            Event {
+                at_ns: 985,
+                node: 1,
+                kind: EventKind::RaceDetected { addr: 64, wire: 3, benign: true },
+            },
+            Event {
+                at_ns: 990,
+                node: 2,
+                kind: EventKind::ReplicaAudit {
+                    diverged_cells: 5,
+                    max_divergence: 2,
+                    mean_age_ns: 1200,
+                },
+            },
             Event { at_ns: 1000, node: 0, kind: EventKind::PhaseEnd { name: "iteration" } },
         ]
     }

@@ -58,6 +58,16 @@ pub mod names {
     pub const PREFIX_CACHE_REBUILDS: &str = "prefix_cache_rebuilds";
     /// Prefix-sum cache lines invalidated by writes.
     pub const PREFIX_CACHE_INVALIDATIONS: &str = "prefix_cache_invalidations";
+    /// Unsynchronized conflicting access pairs confirmed by the analyser.
+    pub const RACES_DETECTED: &str = "races_detected";
+    /// Detected races classified as benign (same route either way).
+    pub const BENIGN_RACES: &str = "benign_races";
+    /// Detected races classified as quality-affecting.
+    pub const QUALITY_RACES: &str = "quality_races";
+    /// Replica-vs-truth audits performed by message-passing nodes.
+    pub const REPLICA_AUDITS: &str = "replica_audits";
+    /// Diverged replica cells summed across audits.
+    pub const STALE_CELLS: &str = "stale_cells";
 }
 
 /// Well-known histogram names produced by [`Metrics::observe`].
@@ -74,6 +84,10 @@ pub mod hists {
     pub const STALL_NS: &str = "stall_ns";
     /// Cells per committed route.
     pub const ROUTE_CELLS: &str = "route_cells";
+    /// Diverged cells per replica audit.
+    pub const STALE_CELLS: &str = "stale_cells";
+    /// Mean staleness age per replica audit (ns).
+    pub const STALE_AGE_NS: &str = "stale_age_ns";
 }
 
 /// Number of log₂ buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
@@ -290,6 +304,16 @@ impl Metrics {
                 self.add(names::PREFIX_CACHE_REBUILDS, prefix_rebuilds);
                 self.add(names::PREFIX_CACHE_INVALIDATIONS, prefix_invalidations);
             }
+            EventKind::RaceDetected { benign, .. } => {
+                self.add(names::RACES_DETECTED, 1);
+                self.add(if benign { names::BENIGN_RACES } else { names::QUALITY_RACES }, 1);
+            }
+            EventKind::ReplicaAudit { diverged_cells, mean_age_ns, .. } => {
+                self.add(names::REPLICA_AUDITS, 1);
+                self.add(names::STALE_CELLS, diverged_cells as u64);
+                self.record(hists::STALE_CELLS, diverged_cells as u64);
+                self.record(hists::STALE_AGE_NS, mean_age_ns);
+            }
         }
     }
 
@@ -442,5 +466,29 @@ mod tests {
         assert_eq!(m.counter(names::BYTES_SENT), 80);
         assert_eq!(m.counter(names::WIRE_BYTES_SENT), 88);
         assert_eq!(m.histogram(hists::HOP_DISTANCE).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn observe_maps_analysis_events() {
+        let mut m = Metrics::new();
+        let race = |benign| Event {
+            at_ns: 0,
+            node: 0,
+            kind: EventKind::RaceDetected { addr: 8, wire: 2, benign },
+        };
+        m.observe(&race(true));
+        m.observe(&race(true));
+        m.observe(&race(false));
+        assert_eq!(m.counter(names::RACES_DETECTED), 3);
+        assert_eq!(m.counter(names::BENIGN_RACES), 2);
+        assert_eq!(m.counter(names::QUALITY_RACES), 1);
+        m.observe(&Event {
+            at_ns: 5,
+            node: 1,
+            kind: EventKind::ReplicaAudit { diverged_cells: 7, max_divergence: 3, mean_age_ns: 40 },
+        });
+        assert_eq!(m.counter(names::REPLICA_AUDITS), 1);
+        assert_eq!(m.counter(names::STALE_CELLS), 7);
+        assert_eq!(m.histogram(hists::STALE_AGE_NS).unwrap().sum(), 40);
     }
 }

@@ -284,6 +284,15 @@ impl IterationDriver {
         }
     }
 
+    /// Emits an arbitrary engine-specific event (e.g. a replica audit)
+    /// through this driver's emitter at `stamp`.
+    pub fn emit_event(&mut self, stamp: Stamp, kind: EventKind) {
+        if self.obs.enabled() {
+            let at = self.resolve(stamp);
+            self.obs.emit(at, kind);
+        }
+    }
+
     /// Work performed so far.
     pub fn work(&self) -> &WorkStats {
         &self.work

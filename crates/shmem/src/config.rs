@@ -46,7 +46,8 @@ pub struct ShmemConfig {
     /// Modelled overhead of fetching a wire index from the distributed
     /// loop (one shared counter RMW).
     pub dispatch_ns: u64,
-    /// Whether the emulator records a Tango-style reference trace.
+    /// Whether the run records a Tango-style reference trace (honoured
+    /// by both the emulator and the real threaded router).
     pub collect_trace: bool,
 }
 

@@ -62,6 +62,8 @@ struct TracedView<'a> {
     clock: Cell<u64>,
     step_ns: u64,
     proc: u32,
+    epoch: u32,
+    wire: u32,
 }
 
 impl CostView for TracedView<'_> {
@@ -75,12 +77,16 @@ impl CostView for TracedView<'_> {
     fn cost_at(&self, cell: GridCell) -> u32 {
         let t = self.clock.get();
         if let Some(trace) = self.trace {
-            trace.borrow_mut().push(MemRef {
-                time: t,
-                proc: self.proc,
-                addr: cell_addr(cell.channel, cell.x, self.cost.grids()),
-                kind: RefKind::Read,
-            });
+            trace.borrow_mut().push(
+                MemRef::new(
+                    t,
+                    self.proc,
+                    cell_addr(cell.channel, cell.x, self.cost.grids()),
+                    RefKind::Read,
+                )
+                .with_epoch(self.epoch)
+                .with_wire(self.wire),
+            );
         }
         self.clock.set(t + self.step_ns);
         self.cost.cost_at(cell)
@@ -186,12 +192,17 @@ impl<'a> ShmemEmulator<'a> {
                     for &cell in pend.eval.route.cells() {
                         shared.add(cell, 1);
                         if let Some(trace) = &trace_cell {
-                            trace.borrow_mut().push(MemRef {
-                                time: t,
-                                proc: p as u32,
-                                addr: cell_addr(cell.channel, cell.x, circuit.grids),
-                                kind: RefKind::Write,
-                            });
+                            trace.borrow_mut().push(
+                                MemRef::new(
+                                    t,
+                                    p as u32,
+                                    cell_addr(cell.channel, cell.x, circuit.grids),
+                                    RefKind::Write,
+                                )
+                                .with_epoch(iteration as u32)
+                                .with_wire(pend.wire as u32)
+                                .with_delta(1),
+                            );
                         }
                         t += cfg.cell_write_ns;
                     }
@@ -224,12 +235,17 @@ impl<'a> ShmemEmulator<'a> {
                     for &cell in old.cells() {
                         shared.add(cell, -1);
                         if let Some(trace) = &trace_cell {
-                            trace.borrow_mut().push(MemRef {
-                                time: t,
-                                proc: p as u32,
-                                addr: cell_addr(cell.channel, cell.x, circuit.grids),
-                                kind: RefKind::Write,
-                            });
+                            trace.borrow_mut().push(
+                                MemRef::new(
+                                    t,
+                                    p as u32,
+                                    cell_addr(cell.channel, cell.x, circuit.grids),
+                                    RefKind::Write,
+                                )
+                                .with_epoch(iteration as u32)
+                                .with_wire(wire_id as u32)
+                                .with_delta(-1),
+                            );
                         }
                         t += cfg.cell_write_ns;
                     }
@@ -243,6 +259,8 @@ impl<'a> ShmemEmulator<'a> {
                     clock: Cell::new(procs[p].clock),
                     step_ns: cfg.cell_eval_ns,
                     proc: p as u32,
+                    epoch: iteration as u32,
+                    wire: wire_id as u32,
                 };
                 let eval = route_wire_scratch(
                     &view,

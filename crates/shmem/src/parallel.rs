@@ -14,10 +14,12 @@
 //! the drivers, shared under per-wire mutexes); ledgers are merged after
 //! the join.
 
+use std::cell::{Cell, RefCell};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use locus_circuit::{Circuit, GridCell};
+use locus_coherence::{MemRef, RefKind, Trace};
 use locus_obs::SharedSink;
 use locus_router::engine::{IterationDriver, ObsEmitter, Stamp, WireFeed};
 use locus_router::router::route_wire_scratch;
@@ -25,6 +27,7 @@ use locus_router::{CostArray, CostView, EvalScratch, QualityMetrics, Route, Work
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU16, Ordering};
 
+use crate::cell_addr;
 use crate::config::ShmemConfig;
 
 /// The shared cost array in atomics; plain `Relaxed` loads and stores —
@@ -56,8 +59,79 @@ impl AtomicCostArray {
 
     fn remove_route(&self, route: &Route) {
         for &cell in route.cells() {
-            self.cells[self.index(cell)].fetch_sub(1, Ordering::Relaxed);
+            // Saturating decrement: a plain `fetch_sub` can wrap a cell
+            // that a concurrent rip-up already drove to zero all the way
+            // to 65535, poisoning every later cost evaluation. The RMW
+            // keeps the cell pinned at zero instead, and debug builds
+            // flag the occurrence (the race analyser classifies it as
+            // quality-affecting from the trace).
+            let prev = self.cells[self.index(cell)]
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)))
+                .expect("saturating decrement cannot fail");
+            debug_assert!(
+                prev != 0,
+                "rip-up underflow: channel {} x {} decremented past zero",
+                cell.channel,
+                cell.x
+            );
         }
+    }
+}
+
+/// Wraps the shared atomic array with per-read trace recording for one
+/// thread. Reads go through the per-cell [`CostView::cost_at`] default
+/// paths, so the recorded stream is exactly the cells the evaluator
+/// examined; stamps are wall-clock nanoseconds since run start.
+struct TracingView<'a> {
+    inner: &'a AtomicCostArray,
+    trace: &'a RefCell<Trace>,
+    start: Instant,
+    proc: u32,
+    epoch: Cell<u32>,
+    wire: Cell<u32>,
+}
+
+impl TracingView<'_> {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn record_write(&self, cell: GridCell, delta: i8) {
+        self.trace.borrow_mut().push(
+            MemRef::new(
+                self.now_ns(),
+                self.proc,
+                cell_addr(cell.channel, cell.x, self.inner.grids),
+                RefKind::Write,
+            )
+            .with_epoch(self.epoch.get())
+            .with_wire(self.wire.get())
+            .with_delta(delta),
+        );
+    }
+}
+
+impl CostView for TracingView<'_> {
+    fn channels(&self) -> u16 {
+        self.inner.channels
+    }
+    fn grids(&self) -> u16 {
+        self.inner.grids
+    }
+    #[inline]
+    fn cost_at(&self, cell: GridCell) -> u32 {
+        self.trace.borrow_mut().push(
+            MemRef::new(
+                self.now_ns(),
+                self.proc,
+                cell_addr(cell.channel, cell.x, self.inner.grids),
+                RefKind::Read,
+            )
+            .with_epoch(self.epoch.get())
+            .with_wire(self.wire.get()),
+        );
+        self.inner.cost_at(cell)
     }
 }
 
@@ -91,6 +165,9 @@ pub struct ThreadedOutcome {
     pub occupancy_by_iteration: Vec<u64>,
     /// Final cost-array state (rebuilt from the final routes).
     pub cost: CostArray,
+    /// The shared-reference trace, when collection was enabled
+    /// (wall-clock stamps; merged across threads and time-sorted).
+    pub trace: Option<Trace>,
 }
 
 /// Real-thread executor; see [module docs](self).
@@ -133,6 +210,8 @@ impl<'a> ThreadedRouter<'a> {
             (0..iterations).map(|_| WireFeed::new(n_wires, static_lists.as_deref())).collect();
         let barrier = Barrier::new(n_threads);
         let ledgers: Mutex<Vec<(WorkStats, Vec<u64>)>> = Mutex::new(Vec::new());
+        let collect_trace = self.config.collect_trace;
+        let thread_traces: Mutex<Vec<Trace>> = Mutex::new(Vec::new());
 
         let start = Instant::now();
         std::thread::scope(|scope| {
@@ -142,6 +221,7 @@ impl<'a> ThreadedRouter<'a> {
                 let feeds = &feeds;
                 let barrier = &barrier;
                 let ledgers = &ledgers;
+                let thread_traces = &thread_traces;
                 let circuit = self.circuit;
                 let obs = self.obs.clone();
                 scope.spawn(move || {
@@ -153,29 +233,61 @@ impl<'a> ThreadedRouter<'a> {
                     .for_node(t as u32);
                     let mut driver = IterationDriver::new(0).with_obs(emitter);
                     let now = || Stamp::At(start.elapsed().as_nanos() as u64);
-                    for feed in feeds {
+                    // Per-thread trace buffer: no cross-thread sharing on
+                    // the hot path, merged under the ledger lock at exit.
+                    let local = RefCell::new(Trace::new());
+                    let traced = TracingView {
+                        inner: shared,
+                        trace: &local,
+                        start,
+                        proc: t as u32,
+                        epoch: Cell::new(0),
+                        wire: Cell::new(MemRef::NO_WIRE),
+                    };
+                    for (iteration, feed) in feeds.iter().enumerate() {
+                        traced.epoch.set(iteration as u32);
                         let mut cursor = 0usize;
                         if t == 0 {
                             driver.phase_begin(now());
                         }
                         while let Some(wire_id) = feed.next(t, &mut cursor) {
+                            traced.wire.set(wire_id as u32);
                             let mut slot = routes[wire_id].lock();
                             if let Some(old) = slot.take() {
                                 driver.rip_up_external(wire_id, &old, now());
                                 shared.remove_route(&old);
+                                if collect_trace {
+                                    for &cell in old.cells() {
+                                        traced.record_write(cell, -1);
+                                    }
+                                }
                             }
-                            let eval = route_wire_scratch(
-                                shared,
-                                circuit.wire(wire_id),
-                                overshoot,
-                                &mut scratch,
-                            );
+                            let eval = if collect_trace {
+                                route_wire_scratch(
+                                    &traced,
+                                    circuit.wire(wire_id),
+                                    overshoot,
+                                    &mut scratch,
+                                )
+                            } else {
+                                route_wire_scratch(
+                                    shared,
+                                    circuit.wire(wire_id),
+                                    overshoot,
+                                    &mut scratch,
+                                )
+                            };
                             // Same occupancy definition as the other
                             // engines: merged-route cost at routing time
                             // (concurrent writes make this approximate,
                             // like everything here).
                             let at_decision = shared.route_cost(&eval.route);
                             shared.add_route(&eval.route);
+                            if collect_trace {
+                                for &cell in eval.route.cells() {
+                                    traced.record_write(cell, 1);
+                                }
+                            }
                             *slot = Some(driver.commit_external(wire_id, eval, at_decision, now()));
                         }
                         barrier.wait();
@@ -185,6 +297,9 @@ impl<'a> ThreadedRouter<'a> {
                         driver.close_iteration();
                     }
                     ledgers.lock().push((*driver.work(), driver.occupancy_by_iteration().to_vec()));
+                    if collect_trace {
+                        thread_traces.lock().push(local.into_inner());
+                    }
                 });
             }
         });
@@ -209,7 +324,17 @@ impl<'a> ThreadedRouter<'a> {
             &truth,
             occupancy_by_iteration.last().copied().unwrap_or(0),
         );
-        ThreadedOutcome { quality, wall, routes, work, occupancy_by_iteration, cost: truth }
+        let trace = collect_trace.then(|| {
+            let mut merged = Trace::new();
+            for t in thread_traces.into_inner() {
+                for &r in t.refs() {
+                    merged.push(r);
+                }
+            }
+            merged.sort_by_time();
+            merged
+        });
+        ThreadedOutcome { quality, wall, routes, work, occupancy_by_iteration, cost: truth, trace }
     }
 }
 
@@ -272,6 +397,31 @@ mod tests {
         assert_eq!(m.counter(names::WIRES_ROUTED), c.wire_count() as u64 * iterations);
         assert_eq!(m.counter(names::PHASES_BEGUN), iterations);
         assert_eq!(m.counter(names::PHASES_ENDED), iterations);
+    }
+
+    #[test]
+    fn trace_collection_on_threads_records_reads_and_writes() {
+        let c = presets::small();
+        let out = ThreadedRouter::new(&c, ShmemConfig::new(2).with_trace()).run();
+        let trace = out.trace.expect("trace requested");
+        assert!(trace.is_sorted());
+        // Every commit writes each route cell once; rip-ups add more.
+        assert_eq!(trace.write_count() as u64, out.work.cells_written);
+        assert!(trace.len() as u64 > out.work.cells_written);
+        let max_addr = (c.channels as u32 * c.grids as u32) * 2;
+        let iterations = ShmemConfig::new(2).params.iterations as u32;
+        for r in trace.refs() {
+            assert!(r.addr < max_addr);
+            assert!(r.epoch < iterations);
+            assert!((r.wire as usize) < c.wire_count());
+        }
+    }
+
+    #[test]
+    fn no_trace_on_threads_by_default() {
+        let c = presets::tiny();
+        let out = ThreadedRouter::new(&c, ShmemConfig::new(2)).run();
+        assert!(out.trace.is_none());
     }
 
     #[test]

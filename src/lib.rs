@@ -19,6 +19,8 @@
 //! * [`coherence`] — Write-Back-with-Invalidate bus-traffic model.
 //! * [`obs`] — unified observability: typed events, metrics registry,
 //!   Chrome-trace / metrics-JSON / ASCII-timeline exporters.
+//! * [`analysis`] — vector-clock race detection over coherence traces,
+//!   replica-staleness auditing, and the workspace concurrency lint.
 //! * [`engines`] — name → constructor registry over every
 //!   [`RoutingEngine`](locus_router::RoutingEngine) in the workspace.
 //!
@@ -41,6 +43,7 @@
 
 pub mod engines;
 
+pub use locus_analysis as analysis;
 pub use locus_circuit as circuit;
 pub use locus_coherence as coherence;
 pub use locus_mesh as mesh;
@@ -51,6 +54,9 @@ pub use locus_shmem as shmem;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use locus_analysis::{
+        analyze_engine, audit_staleness, detect, AnalysisReport, RaceClass, StalenessReport,
+    };
     pub use locus_circuit::{
         Circuit, CircuitGenerator, GeneratorConfig, GridCell, Pin, Rect, Wire,
     };

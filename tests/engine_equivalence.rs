@@ -106,6 +106,36 @@ fn conservation_holds_in_every_engine() {
 }
 
 #[test]
+fn sequential_trace_has_zero_race_pairs() {
+    let circuit = locusroute::circuit::presets::small();
+    let report = analyze_engine(&circuit, "sequential", 1, RouterParams::default())
+        .expect("sequential engine is traceable");
+    assert!(report.refs > 0, "sequential trace recorded no references");
+    assert_eq!(report.races.len(), 0, "a single-threaded trace can never race");
+    assert_eq!(report.synchronized_pairs, 0, "one processor has no cross-proc pairs");
+}
+
+#[test]
+fn one_processor_emulator_trace_is_race_free() {
+    let circuit = locusroute::circuit::presets::small();
+    for engine in ["shmem-emul", "shmem-threads"] {
+        let report = analyze_engine(&circuit, engine, 1, RouterParams::default())
+            .expect("engine is traceable");
+        assert_eq!(report.races.len(), 0, "{engine} at P=1 must be race-free");
+    }
+}
+
+#[test]
+fn parallel_emulator_races_match_detector_and_are_classified() {
+    let circuit = locusroute::circuit::presets::small();
+    let report = analyze_engine(&circuit, "shmem-emul", 4, RouterParams::default())
+        .expect("emulator is traceable");
+    assert!(!report.races.is_empty(), "4 unsynchronized procs on one cost array must race");
+    let classified = report.benign_count() + report.quality_count();
+    assert_eq!(classified, report.races.len(), "every race carries a classification");
+}
+
+#[test]
 fn every_route_covers_its_wire_pins() {
     let circuit = locusroute::circuit::presets::small();
     let msg =
