@@ -16,6 +16,11 @@
 //! 4. **Atomics confined to audited modules** (`shmem::parallel`,
 //!    `router::engine`, `bench::sweep`): every relaxed access in the
 //!    workspace is in a file the race analysis covers.
+//! 5. **No panics in the message-passing protocol** (`crates/msgpass/src/`):
+//!    a lost or duplicated packet must degrade into a
+//!    [`DegradedReason`](../../msgpass/sim/struct.DegradedReason.html)
+//!    outcome, never abort the simulation, so `panic!`, `unreachable!`,
+//!    `todo!`, and `unimplemented!` are banned from its library paths.
 //!
 //! Comment lines and everything below a top-level `#[cfg(test)]`
 //! (test modules sit at the bottom of files, by workspace convention)
@@ -73,6 +78,14 @@ const LINT_SELF: &str = "crates/analysis/src/lint.rs";
 const ATOMICS_ALLOWED: &[&str] =
     &["crates/shmem/src/parallel.rs", "crates/router/src/engine.rs", "crates/bench/src/sweep.rs"];
 
+/// Library tree where faults must degrade, never abort: the reliability
+/// protocol turns lost packets into `DegradedReason` outcomes, and a
+/// panic anywhere on that path would void the guarantee.
+const NO_PANIC_TREE: &str = "crates/msgpass/src";
+
+/// Panic-family macros banned under [`NO_PANIC_TREE`].
+const PANIC_MACROS: &[&str] = &["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
 fn path_is(rel: &Path, allowed: &[&str]) -> bool {
     allowed.iter().any(|a| rel == Path::new(a))
 }
@@ -86,6 +99,7 @@ pub fn scan_file(rel: &Path, content: &str) -> Vec<Violation> {
     let in_bin = rel.components().any(|c| c.as_os_str() == "bin");
     let spawn_ok = path_is(rel, SPAWN_ALLOWED);
     let atomics_ok = path_is(rel, ATOMICS_ALLOWED);
+    let no_panic = !in_bin && rel.starts_with(NO_PANIC_TREE);
     let mut violations = Vec::new();
 
     for (i, raw) in content.lines().enumerate() {
@@ -119,6 +133,9 @@ pub fn scan_file(rel: &Path, content: &str) -> Vec<Violation> {
             && (line.contains("sync::atomic") || line.contains("Atomic") && line.contains("::new("))
         {
             flag("no-unaudited-atomics");
+        }
+        if no_panic && PANIC_MACROS.iter().any(|m| line.contains(m)) {
+            flag("no-panic-in-protocol");
         }
     }
     violations
@@ -218,6 +235,18 @@ mod tests {
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v.iter().all(|v| v.rule == "no-unaudited-atomics"));
         assert!(scan_file(Path::new("crates/router/src/engine.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn panics_banned_in_msgpass_library_paths() {
+        let src = "panic!(\"lost packet\");\nunreachable!();\n";
+        let v = scan_file(Path::new("crates/msgpass/src/reliable.rs"), src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "no-panic-in-protocol"));
+        // Other crates' libraries and msgpass test modules are exempt.
+        assert!(lib(src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { panic!(\"boom\"); } }\n";
+        assert!(scan_file(Path::new("crates/msgpass/src/node.rs"), test_src).is_empty());
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //!
 //! ```text
 //! locus-experiments <table1|table2|table3|table4|table5|table6|
-//!                    blocking|mixed|locality|speedup|compare|
+//!                    blocking|mixed|locality|speedup|compare|faults|
 //!                    figure1|figure2|figure3|list|sweeps|all>
 //!                   [--quick] [--threads N] [--out <file>]
+//!                   [--report <file>]
 //!                   [--trace-out <file>] [--metrics-out <file>]
 //! locus-experiments --engine <name> [--procs N] [--quick]
 //! locus-experiments analyze [--engine <name>] [--procs N] [--quick]
@@ -411,6 +412,52 @@ fn run_distribution(cfg: &RunCfg) {
     );
 }
 
+/// `faults`: the resilience study — uniform packet loss × update
+/// schedule with the reliability protocol on. `--report FILE` writes the
+/// machine-readable JSON rows.
+fn run_faults(cfg: &RunCfg, report_out: Option<String>) {
+    let c = cfg.circuit();
+    let losses = if cfg.quick { FAULT_LOSSES_BP_QUICK } else { FAULT_LOSSES_BP };
+    let rows = faults_study(&cfg.harness, &c, cfg.procs(), losses);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.schedule.to_string(),
+                format!("{:.1}%", r.loss_bp as f64 / 100.0),
+                format!("{}", r.ckt_ht),
+                f3(r.time_s),
+                f3(r.mbytes),
+                format!("{}", r.dropped),
+                format!("{}", r.retransmits),
+                format!("{}", r.acks),
+                format!("{:.3}", r.divergence),
+                if r.degraded { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    println!("Resilience study: packet loss vs reliability protocol ({})\n", cfg.setting());
+    println!(
+        "{}",
+        render_table(
+            &[
+                "schedule", "loss", "Ckt Ht.", "Time (s)", "MBytes", "dropped", "resent", "acks",
+                "diverg.", "degraded",
+            ],
+            &data
+        )
+    );
+    if let Some(path) = report_out {
+        write_or_die(&path, &faults_report_json(&rows, cfg.label(), cfg.procs()));
+        println!("faults: wrote {path}");
+    }
+}
+
+/// [`run_faults`] adapter for the `all` sequence (no report file).
+fn run_faults_known(cfg: &RunCfg) {
+    run_faults(cfg, None);
+}
+
 fn run_compare(cfg: &RunCfg) {
     let c = cfg.circuit();
     let rows = compare_paradigms(&cfg.harness, &c, cfg.procs());
@@ -712,6 +759,7 @@ const KNOWN: &[(&str, fn(&RunCfg))] = &[
     ("distribution", run_distribution),
     ("overshoot", run_overshoot),
     ("contention", run_contention),
+    ("faults", run_faults_known),
 ];
 
 fn main() {
@@ -765,6 +813,7 @@ fn main() {
     let arg = args.first().cloned().unwrap_or_else(|| "all".to_string());
     match arg.as_str() {
         "list" => run_list(),
+        "faults" => run_faults(&cfg, report_out),
         "sweeps" => run_sweeps(&cfg, &out_path),
         "figure1" => print!("{}", figure1()),
         "figure2" => print!("{}", figure2(4)),
@@ -784,7 +833,7 @@ fn main() {
                 eprintln!(
                     "unknown experiment {other:?}; expected one of table1..table6, blocking, \
                      mixed, locality, speedup, compare, structures, overshoot, contention, \
-                     figure1..figure3, list, sweeps, analyze, all"
+                     faults, figure1..figure3, list, sweeps, analyze, all"
                 );
                 std::process::exit(2);
             }

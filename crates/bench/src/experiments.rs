@@ -578,6 +578,118 @@ pub fn distribution_study(
     })
 }
 
+/// A row of the fault-resilience study.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultRow {
+    /// Update schedule label.
+    pub schedule: &'static str,
+    /// Uniform packet-loss rate in basis points (1000 = 10%).
+    pub loss_bp: u32,
+    /// Circuit height.
+    pub ckt_ht: u64,
+    /// Simulated execution time in seconds.
+    pub time_s: f64,
+    /// Payload megabytes transferred (including repair traffic).
+    pub mbytes: f64,
+    /// Packets the fault plan dropped.
+    pub dropped: u64,
+    /// Packets the reliability layer retransmitted.
+    pub retransmits: u64,
+    /// Cumulative acks sent.
+    pub acks: u64,
+    /// Mean absolute replica divergence at the end of the run.
+    pub divergence: f64,
+    /// Whether the run degraded (watchdog had to complete it).
+    pub degraded: bool,
+}
+
+/// The schedules the resilience study sweeps: the paper's two headline
+/// update strategies.
+fn fault_study_schedules() -> [(&'static str, UpdateSchedule); 2] {
+    [
+        ("sender(2,10)", UpdateSchedule::sender_initiated(2, 10)),
+        ("receiver(1,5)", UpdateSchedule::receiver_initiated(1, 5)),
+    ]
+}
+
+/// **Resilience study** — uniform packet loss (0–20%) × update schedule
+/// with the end-to-end reliability protocol enabled: how much repair
+/// traffic, extra time, and replica staleness does an unreliable mesh
+/// cost, and does solution quality survive? The `loss_bp = 0` rows run
+/// the *unmodified* protocol (no reliability framing) and reproduce the
+/// fault-free baseline exactly.
+pub fn faults_study(
+    harness: &Harness,
+    circuit: &Circuit,
+    n_procs: usize,
+    losses_bp: &[u32],
+) -> Vec<FaultRow> {
+    use locus_mesh::FaultPlan;
+    let points: Vec<(&'static str, UpdateSchedule, u32)> = fault_study_schedules()
+        .into_iter()
+        .flat_map(|(name, schedule)| losses_bp.iter().map(move |&bp| (name, schedule, bp)))
+        .collect();
+    harness.map(points, |(name, schedule, loss_bp)| {
+        let mut cfg = MsgPassConfig::new(n_procs, schedule);
+        if loss_bp > 0 {
+            // Seed varies per point so rows are independent experiments;
+            // both are fixed constants, so the table is reproducible.
+            let seed = 0xFA_0175 + loss_bp as u64;
+            cfg = cfg.with_faults(FaultPlan::uniform_loss(seed, loss_bp)).with_reliability();
+        }
+        let out = run_msgpass(circuit, cfg);
+        assert!(!out.deadlocked, "faults run {name}@{loss_bp}bp must terminate cleanly");
+        FaultRow {
+            schedule: name,
+            loss_bp,
+            ckt_ht: out.quality.circuit_height,
+            time_s: out.time_secs,
+            mbytes: out.mbytes,
+            dropped: out.net.packets_dropped,
+            retransmits: out.reliability.retransmits,
+            acks: out.reliability.acks_sent,
+            divergence: out.replica_divergence,
+            degraded: out.degraded.is_some(),
+        }
+    })
+}
+
+/// The loss sweep of the full resilience study: 0–20% uniform loss.
+pub const FAULT_LOSSES_BP: &[u32] = &[0, 200, 500, 1000, 2000];
+
+/// The reduced sweep for `--quick` runs and CI smoke tests.
+pub const FAULT_LOSSES_BP_QUICK: &[u32] = &[0, 1000];
+
+/// Machine-readable JSON for the resilience study (`faults --report`).
+pub fn faults_report_json(rows: &[FaultRow], circuit: &str, procs: usize) -> String {
+    let mut out = String::with_capacity(256 + rows.len() * 192);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"circuit\": \"{circuit}\",\n"));
+    out.push_str(&format!("  \"procs\": {procs},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"schedule\": \"{}\", \"loss_bp\": {}, \"ckt_ht\": {}, \
+             \"time_s\": {:.6}, \"mbytes\": {:.6}, \"dropped\": {}, \
+             \"retransmits\": {}, \"acks\": {}, \"divergence\": {:.6}, \
+             \"degraded\": {}}}{}\n",
+            r.schedule,
+            r.loss_bp,
+            r.ckt_ht,
+            r.time_s,
+            r.mbytes,
+            r.dropped,
+            r.retransmits,
+            r.acks,
+            r.divergence,
+            r.degraded,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// **Figure 1** — a cost array with one wire's route highlighted.
 pub fn figure1() -> String {
     use locus_router::render::render_cost_array;
@@ -780,6 +892,24 @@ mod tests {
         assert!(figure1().contains('['));
         assert!(figure2(4).contains("ch"));
         assert!(figure3().contains("SendLocData"));
+    }
+
+    #[test]
+    fn faults_study_rows_are_deterministic_and_loss_costs_traffic() {
+        let c = presets::small();
+        let rows = faults_study(&h(), &c, QUICK_PROCS, FAULT_LOSSES_BP_QUICK);
+        assert_eq!(rows.len(), 4, "two schedules x two loss points");
+        for pair in rows.chunks(2) {
+            let (clean, lossy) = (&pair[0], &pair[1]);
+            assert_eq!(clean.loss_bp, 0);
+            assert_eq!(clean.dropped, 0);
+            assert_eq!(clean.retransmits, 0, "fault-free rows run the unmodified protocol");
+            assert!(lossy.dropped > 0, "10% loss must drop packets: {lossy:?}");
+            assert!(lossy.retransmits > 0, "drops must force retransmissions: {lossy:?}");
+            assert!(!clean.degraded && !lossy.degraded);
+        }
+        let again = faults_study(&h(), &c, QUICK_PROCS, FAULT_LOSSES_BP_QUICK);
+        assert_eq!(rows, again, "the study must be exactly reproducible");
     }
 }
 

@@ -1,5 +1,7 @@
 //! Mesh machine configuration.
 
+use crate::fault::FaultPlan;
+
 /// Parameters of the simulated machine.
 ///
 /// Defaults follow the paper's CBS setup (§2.1): one-byte-wide channels,
@@ -28,6 +30,9 @@ pub struct MeshConfig {
     /// Whether channel contention is modelled (CBS models it; turning it
     /// off recovers the pure latency law and is used in tests/ablations).
     pub contention: bool,
+    /// Deterministic fault schedule ([`FaultPlan::none`] by default; an
+    /// idle plan costs nothing — the kernel builds no injector for it).
+    pub faults: FaultPlan,
 }
 
 impl MeshConfig {
@@ -41,6 +46,7 @@ impl MeshConfig {
             header_bytes: 8,
             recv_per_byte_ns: 20,
             contention: true,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -59,6 +65,12 @@ impl MeshConfig {
     /// Returns `self` with contention disabled.
     pub fn without_contention(mut self) -> Self {
         self.contention = false;
+        self
+    }
+
+    /// Returns `self` with the given fault schedule attached.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }

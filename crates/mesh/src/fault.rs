@@ -1,0 +1,322 @@
+//! Deterministic fault injection for the mesh.
+//!
+//! A [`FaultPlan`] attached to [`crate::MeshConfig`] tells the kernel to
+//! **drop**, **duplicate**, **delay**, or **reorder** envelopes as they
+//! are injected. The plan is fully deterministic: rates are expressed in
+//! basis points (1/10 000, keeping `MeshConfig: Copy + Eq` without any
+//! floating point), and every random decision comes from a seeded
+//! [`rand::rngs::StdRng`] stream — the same seed always yields the same
+//! fault sequence, so faulted runs are exactly reproducible.
+//!
+//! Faults act on *deliveries*, after the send already consumed network
+//! bandwidth: a dropped envelope was injected (and is counted in
+//! `NetStats::packets`) but never arrives; a duplicated envelope is
+//! injected a second time behind the first, consuming real bandwidth for
+//! the copy. At most one fault applies per envelope, decided in the
+//! fixed precedence order drop → duplicate → delay → reorder so the
+//! random stream is stable when individual rates are toggled.
+//!
+//! A [`FaultScope`] narrows the blast radius to a single source node,
+//! destination node, or payload-size band (the message-passing layer's
+//! packet kinds map onto distinct payload sizes, so a size band acts as
+//! a per-packet-kind filter without the mesh knowing about packets).
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+
+use crate::topology::NodeId;
+
+/// Rates are per-ten-thousand; this is the 100% value.
+pub const BP_SCALE: u32 = 10_000;
+
+/// Which envelopes a [`FaultPlan`] applies to. `None`/full-range fields
+/// match everything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultScope {
+    /// Only envelopes sent by this node, if set.
+    pub src: Option<u32>,
+    /// Only envelopes addressed to this node, if set.
+    pub dst: Option<u32>,
+    /// Only envelopes with at least this many payload bytes.
+    pub min_payload_bytes: u32,
+    /// Only envelopes with at most this many payload bytes.
+    pub max_payload_bytes: u32,
+}
+
+impl FaultScope {
+    /// Matches every envelope.
+    pub const fn all() -> Self {
+        FaultScope { src: None, dst: None, min_payload_bytes: 0, max_payload_bytes: u32::MAX }
+    }
+
+    /// Whether an envelope from `src` to `dst` with `payload_bytes` of
+    /// payload is covered by this scope.
+    pub fn covers(&self, src: NodeId, dst: NodeId, payload_bytes: u32) -> bool {
+        self.src.is_none_or(|s| s as usize == src)
+            && self.dst.is_none_or(|d| d as usize == dst)
+            && payload_bytes >= self.min_payload_bytes
+            && payload_bytes <= self.max_payload_bytes
+    }
+}
+
+impl Default for FaultScope {
+    fn default() -> Self {
+        FaultScope::all()
+    }
+}
+
+/// A deterministic, seeded fault schedule for one kernel run.
+///
+/// All rates are basis points (per 10 000 injected envelopes inside the
+/// scope). The zero plan — [`FaultPlan::none`] — is the default and is
+/// completely invisible: the kernel does not even construct an injector
+/// for it, so fault-free runs are byte-identical to runs that predate
+/// the fault layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the decision stream.
+    pub seed: u64,
+    /// Probability of silently discarding a delivery (basis points).
+    pub drop_bp: u32,
+    /// Probability of injecting a second copy (basis points).
+    pub duplicate_bp: u32,
+    /// Upper bound on the injection gap between original and duplicate
+    /// (ns); the gap is drawn uniformly from `1..=duplicate_gap_ns`.
+    pub duplicate_gap_ns: u64,
+    /// Probability of adding extra delivery latency (basis points).
+    pub delay_bp: u32,
+    /// Upper bound of the extra latency (ns), drawn uniformly from
+    /// `1..=delay_ns_max`.
+    pub delay_ns_max: u64,
+    /// Probability of holding an envelope past later traffic (basis
+    /// points).
+    pub reorder_bp: u32,
+    /// How long a reordered envelope is held (ns); long enough for
+    /// several subsequent envelopes to overtake it.
+    pub reorder_hold_ns: u64,
+    /// Which envelopes the plan applies to.
+    pub scope: FaultScope,
+}
+
+impl FaultPlan {
+    /// The inert plan: no faults, no injector, no RNG stream.
+    pub const fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_bp: 0,
+            duplicate_bp: 0,
+            duplicate_gap_ns: 50_000,
+            delay_bp: 0,
+            delay_ns_max: 100_000,
+            reorder_bp: 0,
+            reorder_hold_ns: 200_000,
+            scope: FaultScope::all(),
+        }
+    }
+
+    /// Uniform packet loss at `drop_bp` basis points (e.g. 1000 = 10%).
+    pub fn uniform_loss(seed: u64, drop_bp: u32) -> Self {
+        FaultPlan { seed, drop_bp, ..FaultPlan::none() }
+    }
+
+    /// Returns `self` with duplication at `bp` basis points and the
+    /// given maximum injection gap.
+    pub fn with_duplicates(mut self, bp: u32, max_gap_ns: u64) -> Self {
+        self.duplicate_bp = bp;
+        self.duplicate_gap_ns = max_gap_ns;
+        self
+    }
+
+    /// Returns `self` with extra-latency faults at `bp` basis points up
+    /// to `max_ns` of added latency.
+    pub fn with_delays(mut self, bp: u32, max_ns: u64) -> Self {
+        self.delay_bp = bp;
+        self.delay_ns_max = max_ns;
+        self
+    }
+
+    /// Returns `self` with reordering holds at `bp` basis points of
+    /// `hold_ns` each.
+    pub fn with_reorders(mut self, bp: u32, hold_ns: u64) -> Self {
+        self.reorder_bp = bp;
+        self.reorder_hold_ns = hold_ns;
+        self
+    }
+
+    /// Returns `self` restricted to `scope`.
+    pub fn with_scope(mut self, scope: FaultScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Returns `self` with a different decision-stream seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether the plan can never fire. Idle plans are skipped entirely
+    /// by the kernel.
+    pub fn is_idle(&self) -> bool {
+        self.drop_bp == 0 && self.duplicate_bp == 0 && self.delay_bp == 0 && self.reorder_bp == 0
+    }
+
+    /// Checks that every rate is a valid probability (≤ 10 000 bp).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, bp) in [
+            ("drop_bp", self.drop_bp),
+            ("duplicate_bp", self.duplicate_bp),
+            ("delay_bp", self.delay_bp),
+            ("reorder_bp", self.reorder_bp),
+        ] {
+            if bp > BP_SCALE {
+                return Err(format!("FaultPlan::{name} = {bp} exceeds {BP_SCALE} basis points"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// One concrete fault decision for one envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Discard the delivery (the injection already happened).
+    Drop,
+    /// Inject a second copy `gap_ns` after the original.
+    Duplicate {
+        /// Injection gap between the original and the copy.
+        gap_ns: u64,
+    },
+    /// Push the arrival back by `extra_ns`.
+    Delay {
+        /// Added latency.
+        extra_ns: u64,
+    },
+    /// Hold the arrival for `hold_ns` so later traffic overtakes it.
+    Reorder {
+        /// Hold duration.
+        hold_ns: u64,
+    },
+}
+
+/// The kernel-side decision engine: a plan plus its seeded RNG stream.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Builds the injector for `plan` (callers skip idle plans).
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan, rng: StdRng::seed_from_u64(plan.seed) }
+    }
+
+    /// One uniform draw in `[0, BP_SCALE)`.
+    fn draw_bp(&mut self) -> u32 {
+        (self.rng.next_u64() % BP_SCALE as u64) as u32
+    }
+
+    /// Decides the fate of one envelope. Out-of-scope envelopes consume
+    /// no randomness; in-scope envelopes draw once per enabled category
+    /// in precedence order, so disabling a category never perturbs the
+    /// draws of the ones before it.
+    pub fn decide(&mut self, src: NodeId, dst: NodeId, payload_bytes: u32) -> Option<Fault> {
+        if !self.plan.scope.covers(src, dst, payload_bytes) {
+            return None;
+        }
+        if self.plan.drop_bp > 0 && self.draw_bp() < self.plan.drop_bp {
+            return Some(Fault::Drop);
+        }
+        if self.plan.duplicate_bp > 0 && self.draw_bp() < self.plan.duplicate_bp {
+            let gap_ns = self.rng.random_range(1..=self.plan.duplicate_gap_ns.max(1));
+            return Some(Fault::Duplicate { gap_ns });
+        }
+        if self.plan.delay_bp > 0 && self.draw_bp() < self.plan.delay_bp {
+            let extra_ns = self.rng.random_range(1..=self.plan.delay_ns_max.max(1));
+            return Some(Fault::Delay { extra_ns });
+        }
+        if self.plan.reorder_bp > 0 && self.draw_bp() < self.plan.reorder_bp {
+            return Some(Fault::Reorder { hold_ns: self.plan.reorder_hold_ns });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_idle_and_valid() {
+        let p = FaultPlan::none();
+        assert!(p.is_idle());
+        assert!(p.validate().is_ok());
+        assert_eq!(p, FaultPlan::default());
+    }
+
+    #[test]
+    fn rates_above_scale_are_rejected() {
+        let p = FaultPlan::uniform_loss(1, BP_SCALE + 1);
+        assert!(p.validate().is_err());
+        assert!(FaultPlan::uniform_loss(1, BP_SCALE).validate().is_ok());
+    }
+
+    #[test]
+    fn scope_filters_by_endpoint_and_size() {
+        let s =
+            FaultScope { src: Some(1), dst: None, min_payload_bytes: 10, max_payload_bytes: 20 };
+        assert!(s.covers(1, 3, 15));
+        assert!(!s.covers(2, 3, 15), "wrong source");
+        assert!(!s.covers(1, 3, 9), "too small");
+        assert!(!s.covers(1, 3, 21), "too large");
+        assert!(FaultScope::all().covers(7, 0, 0));
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan::uniform_loss(42, 2_000)
+            .with_duplicates(500, 10_000)
+            .with_delays(500, 50_000);
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        for i in 0..10_000u32 {
+            assert_eq!(a.decide(0, 1, i % 64), b.decide(0, 1, i % 64), "envelope {i}");
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let mut inj = FaultInjector::new(FaultPlan::uniform_loss(7, 1_000));
+        let n = 20_000;
+        let drops = (0..n).filter(|_| inj.decide(0, 1, 16) == Some(Fault::Drop)).count();
+        let rate = drops as f64 / n as f64;
+        assert!((0.08..0.12).contains(&rate), "10% nominal, got {rate:.4}");
+    }
+
+    #[test]
+    fn out_of_scope_envelopes_consume_no_randomness() {
+        let plan = FaultPlan::uniform_loss(3, 5_000)
+            .with_scope(FaultScope { dst: Some(2), ..FaultScope::all() });
+        let mut scoped = FaultInjector::new(plan);
+        let mut reference = FaultInjector::new(plan);
+        // Interleave out-of-scope traffic; the in-scope decision stream
+        // must be unaffected.
+        let mut scoped_decisions = Vec::new();
+        for i in 0..1000 {
+            scoped.decide(0, 1, 8);
+            if i % 3 == 0 {
+                scoped_decisions.push(scoped.decide(0, 2, 8));
+            }
+        }
+        let reference_decisions: Vec<_> =
+            (0..scoped_decisions.len()).map(|_| reference.decide(0, 2, 8)).collect();
+        assert_eq!(scoped_decisions, reference_decisions);
+    }
+}

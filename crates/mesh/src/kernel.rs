@@ -16,16 +16,22 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use locus_obs::{Event as ObsEvent, EventKind as ObsKind, NullSink, Sink};
+use locus_obs::{Event as ObsEvent, EventKind as ObsKind, FaultKind, NullSink, Sink};
 
 use crate::config::MeshConfig;
+use crate::fault::{Fault, FaultInjector};
 use crate::node::{Envelope, Node, Outbox, Step};
 use crate::stats::NetStats;
 use crate::time::SimTime;
 use crate::topology::{NodeId, Topology};
 
 enum EventKind<M> {
-    Wake,
+    /// Scheduled node step. Wakes carry the epoch they were pushed
+    /// under; a node can have a timer wake and a delivery wake in the
+    /// heap at once, and the epoch marks all but the newest as stale.
+    Wake {
+        epoch: u64,
+    },
     Deliver(Envelope<M>),
 }
 
@@ -60,6 +66,8 @@ enum Status {
     Scheduled,
     /// Waiting for a message.
     Blocked,
+    /// Waiting for a message or a timer deadline, whichever is first.
+    Sleeping,
     /// Program complete.
     Done,
 }
@@ -90,6 +98,12 @@ pub struct Kernel<N: Node> {
     channel_free: Vec<SimTime>,
     heap: BinaryHeap<Event<N::Msg>>,
     seq: u64,
+    /// Current wake epoch per node; wakes pushed under older epochs are
+    /// stale and ignored when popped.
+    wake_epoch: Vec<u64>,
+    /// Fault decision engine; `None` when the plan is idle, so
+    /// fault-free runs take exactly the pre-fault-layer code path.
+    injector: Option<FaultInjector>,
     stats: NetStats,
     event_limit: u64,
     sink: Box<dyn Sink>,
@@ -105,8 +119,12 @@ impl<N: Node> Kernel<N> {
     /// Panics unless `nodes.len() == config.n_nodes()`.
     pub fn new(config: MeshConfig, nodes: Vec<N>) -> Self {
         assert_eq!(nodes.len(), config.n_nodes(), "one actor per mesh node");
+        if let Err(msg) = config.faults.validate() {
+            panic!("invalid fault plan: {msg}");
+        }
         let topo = Topology::new(config.rows, config.cols);
         let n = nodes.len();
+        let injector = (!config.faults.is_idle()).then(|| FaultInjector::new(config.faults));
         let mut kernel = Kernel {
             config,
             topo,
@@ -117,13 +135,15 @@ impl<N: Node> Kernel<N> {
             channel_free: vec![SimTime::ZERO; topo.n_channels()],
             heap: BinaryHeap::new(),
             seq: 0,
+            wake_epoch: vec![0; n],
+            injector,
             stats: NetStats::new(n),
             event_limit: 200_000_000,
             sink: Box::new(NullSink),
             obs_on: false,
         };
         for node in 0..n {
-            kernel.push(SimTime::ZERO, node, EventKind::Wake);
+            kernel.push_wake(SimTime::ZERO, node);
         }
         kernel
     }
@@ -154,6 +174,14 @@ impl<N: Node> Kernel<N> {
         self.heap.push(Event { at, seq, node, kind });
     }
 
+    /// Pushes a wake for `node` under a fresh epoch, invalidating any
+    /// wake already in the heap for it.
+    fn push_wake(&mut self, at: SimTime, node: NodeId) {
+        self.wake_epoch[node] += 1;
+        let epoch = self.wake_epoch[node];
+        self.push(at, node, EventKind::Wake { epoch });
+    }
+
     /// Runs until every node is done, the event queue drains (deadlock),
     /// or the event limit is hit.
     pub fn run(mut self) -> SimOutcome<N> {
@@ -168,12 +196,19 @@ impl<N: Node> Kernel<N> {
             }
             match ev.kind {
                 EventKind::Deliver(env) => self.on_deliver(ev.at, ev.node, env),
-                EventKind::Wake => self.on_wake(ev.at, ev.node),
+                EventKind::Wake { epoch } => {
+                    if epoch == self.wake_epoch[ev.node] {
+                        self.on_wake(ev.at, ev.node);
+                    }
+                    // Stale wakes (superseded by a delivery or a newer
+                    // timer) are dropped.
+                }
             }
         }
 
         let deadlocked = event_limit_hit || self.status.iter().any(|&s| s != Status::Done);
         self.stats.deadlocked = deadlocked;
+        self.stats.event_limit_hit = event_limit_hit;
         self.stats.completion =
             self.stats.done_at.iter().copied().fold(SimTime::ZERO, SimTime::max);
         self.stats.debug_assert_consistent();
@@ -191,16 +226,20 @@ impl<N: Node> Kernel<N> {
             self.emit(at, node, kind);
         }
         self.inbox[node].push(env);
-        if self.status[node] == Status::Blocked {
+        if matches!(self.status[node], Status::Blocked | Status::Sleeping) {
             // The node may still be draining its last busy period.
             let wake_at = at.max(self.free_at[node]);
             self.status[node] = Status::Scheduled;
-            self.push(wake_at, node, EventKind::Wake);
+            self.push_wake(wake_at, node);
         }
     }
 
     fn on_wake(&mut self, now: SimTime, node: NodeId) {
-        debug_assert_eq!(self.status[node], Status::Scheduled);
+        debug_assert!(
+            matches!(self.status[node], Status::Scheduled | Status::Sleeping),
+            "woke node {node} in state {:?}",
+            self.status[node]
+        );
 
         // Receive overhead: ProcessTime to copy each packet off the
         // network plus per-byte disassembly.
@@ -229,11 +268,18 @@ impl<N: Node> Kernel<N> {
             assert!(to < self.topo.n_nodes(), "send to nonexistent node {to}");
             let start = send_base + (i as u64 + 1) * self.config.process_time_ns;
             let arrival = self.inject(node, to, bytes, start);
-            self.push(
-                arrival,
-                to,
-                EventKind::Deliver(Envelope { from: node, bytes, sent_at: start, msg }),
-            );
+            let fault = match &mut self.injector {
+                Some(inj) => inj.decide(node, to, bytes),
+                None => None,
+            };
+            match fault {
+                None => self.push(
+                    arrival,
+                    to,
+                    EventKind::Deliver(Envelope { from: node, bytes, sent_at: start, msg }),
+                ),
+                Some(decided) => self.apply_fault(decided, node, to, bytes, start, arrival, msg),
+            }
         }
 
         let total_busy = recv_ns + busy_ns + n_sends * self.config.process_time_ns;
@@ -244,7 +290,7 @@ impl<N: Node> Kernel<N> {
         match step {
             Step::Continue { .. } => {
                 self.status[node] = Status::Scheduled;
-                self.push(free, node, EventKind::Wake);
+                self.push_wake(free, node);
             }
             Step::Block => {
                 if self.inbox[node].is_empty() {
@@ -252,12 +298,99 @@ impl<N: Node> Kernel<N> {
                 } else {
                     // A message raced in while this step executed.
                     self.status[node] = Status::Scheduled;
-                    self.push(free, node, EventKind::Wake);
+                    self.push_wake(free, node);
+                }
+            }
+            Step::Sleep { until } => {
+                if self.inbox[node].is_empty() {
+                    self.status[node] = Status::Sleeping;
+                    self.push_wake(until.max(free), node);
+                } else {
+                    // A message raced in while this step executed.
+                    self.status[node] = Status::Scheduled;
+                    self.push_wake(free, node);
                 }
             }
             Step::Done => {
                 self.status[node] = Status::Done;
                 self.stats.done_at[node] = free;
+            }
+        }
+    }
+
+    /// Applies one fault decision to an envelope whose injection (at
+    /// `start`, arriving at `arrival`) has already been accounted.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_fault(
+        &mut self,
+        fault: Fault,
+        node: NodeId,
+        to: NodeId,
+        bytes: u32,
+        start: SimTime,
+        arrival: SimTime,
+        msg: N::Msg,
+    ) {
+        let emit_fault = |k: &mut Self, kind: FaultKind, extra_ns: u64| {
+            if k.obs_on {
+                k.emit(
+                    start,
+                    node,
+                    ObsKind::FaultInjected {
+                        dst: to as u32,
+                        payload_bytes: bytes,
+                        fault: kind,
+                        extra_ns,
+                    },
+                );
+            }
+        };
+        match fault {
+            Fault::Drop => {
+                // The send consumed bandwidth; the delivery never happens.
+                self.stats.packets_dropped = self.stats.packets_dropped.saturating_add(1);
+                emit_fault(self, FaultKind::Drop, 0);
+            }
+            Fault::Duplicate { gap_ns } => {
+                self.stats.packets_duplicated = self.stats.packets_duplicated.saturating_add(1);
+                emit_fault(self, FaultKind::Duplicate, 0);
+                self.push(
+                    arrival,
+                    to,
+                    EventKind::Deliver(Envelope {
+                        from: node,
+                        bytes,
+                        sent_at: start,
+                        msg: msg.clone(),
+                    }),
+                );
+                // The copy is real traffic: it re-enters the network
+                // behind the original and is accounted like any send.
+                let start2 = start + gap_ns;
+                let arrival2 = self.inject(node, to, bytes, start2);
+                self.push(
+                    arrival2,
+                    to,
+                    EventKind::Deliver(Envelope { from: node, bytes, sent_at: start2, msg }),
+                );
+            }
+            Fault::Delay { extra_ns } => {
+                self.stats.packets_delayed = self.stats.packets_delayed.saturating_add(1);
+                emit_fault(self, FaultKind::Delay, extra_ns);
+                self.push(
+                    arrival + extra_ns,
+                    to,
+                    EventKind::Deliver(Envelope { from: node, bytes, sent_at: start, msg }),
+                );
+            }
+            Fault::Reorder { hold_ns } => {
+                self.stats.packets_reordered = self.stats.packets_reordered.saturating_add(1);
+                emit_fault(self, FaultKind::Reorder, hold_ns);
+                self.push(
+                    arrival + hold_ns,
+                    to,
+                    EventKind::Deliver(Envelope { from: node, bytes, sent_at: start, msg }),
+                );
             }
         }
     }
@@ -488,6 +621,157 @@ mod tests {
         assert_eq!(m.counter(names::PACKETS_DELIVERED), out.stats.packets);
         assert_eq!(m.counter(names::CONTENTION_NS), out.stats.contention_ns);
         assert!(m.counter(names::CONTENTION_NS) > 0, "shared channel must stall");
+    }
+
+    #[test]
+    fn dropped_packet_never_arrives_but_is_counted() {
+        use crate::fault::FaultPlan;
+        // 100% drop: the receiver never hears anything and deadlocks.
+        let cfg = two_node_config().with_faults(FaultPlan::uniform_loss(1, 10_000));
+        let nodes = vec![OneShot::sender(1, 42), OneShot::receiver(1)];
+        let out = Kernel::new(cfg, nodes).run();
+        assert!(out.stats.deadlocked);
+        assert!(!out.stats.event_limit_hit, "a drained queue is not an event-limit stop");
+        assert_eq!(out.stats.packets, 1, "the injection itself still happened");
+        assert_eq!(out.stats.packets_dropped, 1);
+        assert!(out.nodes[1].received_at.is_empty());
+    }
+
+    #[test]
+    fn duplicated_packet_arrives_twice_and_counts_twice() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::none().with_duplicates(10_000, 5_000).with_seed(3);
+        let cfg = two_node_config().with_faults(plan);
+        let nodes = vec![OneShot::sender(1, 42), OneShot::receiver(2)];
+        let out = Kernel::new(cfg, nodes).run();
+        assert!(!out.stats.deadlocked);
+        assert_eq!(out.stats.packets_duplicated, 1);
+        assert_eq!(out.stats.packets, 2, "the copy consumed real bandwidth");
+        assert_eq!(out.nodes[1].received_at.len(), 2);
+    }
+
+    #[test]
+    fn delayed_packet_arrives_late() {
+        use crate::fault::FaultPlan;
+        let delayed_plan = FaultPlan::none().with_delays(10_000, 40_000).with_seed(9);
+        let mk = || vec![OneShot::sender(1, 12), OneShot::receiver(1)];
+        let base = Kernel::new(two_node_config().without_contention(), mk()).run();
+        let cfg = two_node_config().without_contention().with_faults(delayed_plan);
+        let out = Kernel::new(cfg, mk()).run();
+        assert_eq!(out.stats.packets_delayed, 1);
+        assert!(
+            out.nodes[1].received_at[0] > base.nodes[1].received_at[0],
+            "delay fault must push the arrival back"
+        );
+    }
+
+    #[test]
+    fn idle_plan_is_byte_identical_to_no_plan() {
+        use crate::fault::FaultPlan;
+        let cfg = MeshConfig { rows: 1, cols: 3, ..MeshConfig::ametek(1, 3) };
+        let mk = || vec![OneShot::sender(2, 100), OneShot::sender(2, 64), OneShot::receiver(2)];
+        let plain = Kernel::new(cfg, mk()).run();
+        let planned = Kernel::new(cfg.with_faults(FaultPlan::uniform_loss(99, 0)), mk()).run();
+        assert_eq!(plain.stats, planned.stats);
+        assert_eq!(plain.events_processed, planned.events_processed);
+        assert_eq!(plain.nodes[2].received_at, planned.nodes[2].received_at);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::uniform_loss(11, 3_000).with_duplicates(3_000, 8_000);
+        let cfg = MeshConfig { rows: 1, cols: 3, ..MeshConfig::ametek(1, 3) }.with_faults(plan);
+        let mk = || vec![OneShot::sender(2, 100), OneShot::sender(2, 64), OneShot::receiver(1)];
+        let a = Kernel::new(cfg, mk()).run();
+        let b = Kernel::new(cfg, mk()).run();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.nodes[2].received_at, b.nodes[2].received_at);
+    }
+
+    #[test]
+    fn fault_events_reach_the_sink() {
+        use crate::fault::FaultPlan;
+        use locus_obs::{names, SharedSink};
+        let cfg = two_node_config().with_faults(FaultPlan::uniform_loss(1, 10_000));
+        let sink = SharedSink::new();
+        let nodes = vec![OneShot::sender(1, 42), OneShot::receiver(1)];
+        let out = Kernel::new(cfg, nodes).with_sink(Box::new(sink.clone())).run();
+        let m = sink.metrics_snapshot();
+        assert_eq!(m.counter(names::PACKETS_DROPPED), out.stats.packets_dropped);
+        assert_eq!(m.counter(names::FAULTS_INJECTED), out.stats.faults_injected());
+        assert_eq!(
+            m.counter(names::PACKETS_DELIVERED),
+            out.stats.packets - out.stats.packets_dropped
+        );
+    }
+
+    #[test]
+    fn sleep_wakes_at_deadline() {
+        /// Sleeps 10 µs on its first step, then completes.
+        struct Napper {
+            woke_at: Option<SimTime>,
+            slept: bool,
+        }
+        impl Node for Napper {
+            type Msg = ();
+            fn step(&mut self, now: SimTime, _: Vec<Envelope<()>>, _: &mut Outbox<()>) -> Step {
+                if !self.slept {
+                    self.slept = true;
+                    return Step::Sleep { until: now + 10_000 };
+                }
+                self.woke_at = Some(now);
+                Step::Done
+            }
+        }
+        let cfg = two_node_config();
+        let nodes =
+            vec![Napper { woke_at: None, slept: false }, Napper { woke_at: None, slept: false }];
+        let out = Kernel::new(cfg, nodes).run();
+        assert!(!out.stats.deadlocked);
+        assert_eq!(out.nodes[0].woke_at, Some(SimTime::from_ns(10_000)));
+    }
+
+    /// Sends once if configured, otherwise sleeps ~forever until a
+    /// message arrives, then completes.
+    struct SleepOrSend {
+        send: Option<(NodeId, u32)>,
+        woke_at: Option<SimTime>,
+    }
+    impl Node for SleepOrSend {
+        type Msg = ();
+        fn step(&mut self, now: SimTime, inbox: Vec<Envelope<()>>, o: &mut Outbox<()>) -> Step {
+            if let Some((to, bytes)) = self.send.take() {
+                o.send(to, bytes, ());
+                return Step::Done;
+            }
+            if !inbox.is_empty() {
+                self.woke_at = Some(now);
+            }
+            match self.woke_at {
+                Some(_) => Step::Done,
+                None => Step::Sleep { until: now + 1_000_000_000 },
+            }
+        }
+    }
+
+    #[test]
+    fn delivery_wakes_a_sleeping_node_early() {
+        let cfg = two_node_config().without_contention();
+        let out = Kernel::new(
+            cfg,
+            vec![
+                SleepOrSend { send: Some((1, 12)), woke_at: None },
+                SleepOrSend { send: None, woke_at: None },
+            ],
+        )
+        .run();
+        assert!(!out.stats.deadlocked);
+        let woke = out.nodes[1].woke_at.expect("sleeper must be woken by the delivery");
+        assert!(
+            woke < SimTime::from_ns(1_000_000_000),
+            "delivery must cut the sleep short, woke at {woke:?}"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! "Time (s)" columns of the paper's tables.
 
 pub mod config;
+pub mod fault;
 pub mod kernel;
 pub mod node;
 pub mod stats;
@@ -25,6 +26,7 @@ pub mod time;
 pub mod topology;
 
 pub use config::MeshConfig;
+pub use fault::{Fault, FaultInjector, FaultPlan, FaultScope};
 pub use kernel::{Kernel, SimOutcome};
 pub use node::{Envelope, Node, Outbox, Step};
 pub use stats::NetStats;

@@ -30,6 +30,14 @@ pub enum Step {
     /// The node is idle until the next message arrives (used by the
     /// *blocking* receiver-initiated update strategy, §4.3.3).
     Block,
+    /// The node is idle until `until` — or until a message arrives,
+    /// whichever is first (retransmission timers and linger periods of
+    /// the reliability layer ride on this).
+    Sleep {
+        /// Wake deadline. A deadline in the past schedules an immediate
+        /// wake.
+        until: SimTime,
+    },
     /// The node's program is complete.
     Done,
 }
@@ -86,8 +94,9 @@ impl<M> Outbox<M> {
 /// route one wire, emit due update packets) and reports how long that
 /// work took via [`Step`].
 pub trait Node {
-    /// Application message type.
-    type Msg;
+    /// Application message type (`Clone` so the fault layer can inject
+    /// duplicate deliveries).
+    type Msg: Clone;
 
     /// Executes one scheduling step at simulated time `now`.
     fn step(

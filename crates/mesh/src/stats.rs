@@ -29,6 +29,20 @@ pub struct NetStats {
     /// True if the run ended with nodes blocked forever (deadlock) or
     /// messages undeliverable.
     pub deadlocked: bool,
+    /// True if the run was cut off by the kernel's event limit rather
+    /// than a genuine deadlock (`deadlocked` is also set in that case;
+    /// this flag tells the two apart).
+    pub event_limit_hit: bool,
+    /// Deliveries discarded by the fault layer (the injection itself is
+    /// still counted in `packets`).
+    pub packets_dropped: u64,
+    /// Extra envelope copies injected by the fault layer (each copy is
+    /// also counted in `packets` — it consumed real bandwidth).
+    pub packets_duplicated: u64,
+    /// Deliveries given extra latency by the fault layer.
+    pub packets_delayed: u64,
+    /// Deliveries held for overtaking by the fault layer.
+    pub packets_reordered: u64,
 }
 
 impl NetStats {
@@ -73,6 +87,14 @@ impl NetStats {
             self.payload_bytes,
             "per-node payload bytes must sum to the global total"
         );
+    }
+
+    /// Total faults of all kinds injected by the fault layer.
+    pub fn faults_injected(&self) -> u64 {
+        self.packets_dropped
+            .saturating_add(self.packets_duplicated)
+            .saturating_add(self.packets_delayed)
+            .saturating_add(self.packets_reordered)
     }
 
     /// Payload traffic in megabytes (10^6 bytes, as the paper reports).

@@ -1,8 +1,9 @@
 //! Configuration of a message-passing routing run.
 
-use locus_mesh::MeshConfig;
+use locus_mesh::{FaultPlan, MeshConfig};
 use locus_router::{mesh_dims, AssignmentStrategy, RouterParams};
 
+use crate::reliable::ReliableConfig;
 use crate::schedule::UpdateSchedule;
 
 /// The update-packet structure (§4.3.1). The paper describes three and
@@ -86,6 +87,15 @@ pub struct MsgPassConfig {
     /// ages) and emitting a `ReplicaAudit` obs event. `None` (default)
     /// keeps the hot path audit-free.
     pub audit_every: Option<u32>,
+    /// Fault schedule injected into the mesh ([`FaultPlan::none`] by
+    /// default — the fault-free machine is byte-identical to one that
+    /// predates the fault layer).
+    pub faults: FaultPlan,
+    /// End-to-end reliable delivery (sequence numbers, acks,
+    /// timeout/retransmit). `None` (default) runs the original protocol,
+    /// which assumes the network never loses packets; enable it whenever
+    /// `faults` can drop or duplicate traffic.
+    pub reliability: Option<ReliableConfig>,
 }
 
 impl MsgPassConfig {
@@ -107,6 +117,8 @@ impl MsgPassConfig {
             structure: PacketStructure::BoundingBox,
             wire_source: WireSource::Static,
             audit_every: None,
+            faults: FaultPlan::none(),
+            reliability: None,
         }
     }
 
@@ -115,6 +127,7 @@ impl MsgPassConfig {
         let (rows, cols) = mesh_dims(self.n_procs);
         let mut mesh = MeshConfig::ametek(rows, cols);
         mesh.recv_per_byte_ns = self.recv_per_byte_ns;
+        mesh.faults = self.faults;
         mesh
     }
 
@@ -150,6 +163,24 @@ impl MsgPassConfig {
         self
     }
 
+    /// Returns `self` with the given mesh fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Returns `self` with the reliable-delivery protocol at its default
+    /// tuning.
+    pub fn with_reliability(self) -> Self {
+        self.with_reliability_config(ReliableConfig::default())
+    }
+
+    /// Returns `self` with the reliable-delivery protocol tuned by `cfg`.
+    pub fn with_reliability_config(mut self, cfg: ReliableConfig) -> Self {
+        self.reliability = Some(cfg);
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), String> {
         if self.n_procs == 0 {
@@ -181,6 +212,10 @@ impl MsgPassConfig {
                 "the wire-based packet structure requires a pure sender-initiated schedule                  with send_rmt_data set (events are emitted on that cadence)"
                     .into(),
             );
+        }
+        self.faults.validate()?;
+        if let Some(r) = &self.reliability {
+            r.validate()?;
         }
         self.schedule.validate()
     }

@@ -1,6 +1,7 @@
 //! [`RoutingEngine`] adapter for the message-passing simulator.
 
 use locus_circuit::Circuit;
+use locus_mesh::FaultPlan;
 use locus_router::engine::{EngineCtx, EngineRun, RoutingEngine};
 use locus_router::router::RouteOutcome;
 use locus_router::RouterParams;
@@ -15,24 +16,40 @@ use crate::sim::{run_msgpass, run_msgpass_observed};
 pub struct MsgPassEngine {
     id: &'static str,
     schedule: UpdateSchedule,
+    faults: FaultPlan,
 }
 
 impl MsgPassEngine {
     /// Sender-initiated updates at the paper's headline (2,10) rates
     /// (`id = "msgpass-sender"`).
     pub fn sender() -> Self {
-        MsgPassEngine { id: "msgpass-sender", schedule: UpdateSchedule::sender_initiated(2, 10) }
+        MsgPassEngine {
+            id: "msgpass-sender",
+            schedule: UpdateSchedule::sender_initiated(2, 10),
+            faults: FaultPlan::none(),
+        }
     }
 
     /// Receiver-initiated updates at the paper's headline (1,5) rates
     /// (`id = "msgpass-receiver"`).
     pub fn receiver() -> Self {
-        MsgPassEngine { id: "msgpass-receiver", schedule: UpdateSchedule::receiver_initiated(1, 5) }
+        MsgPassEngine {
+            id: "msgpass-receiver",
+            schedule: UpdateSchedule::receiver_initiated(1, 5),
+            faults: FaultPlan::none(),
+        }
     }
 
     /// An engine running an arbitrary update schedule under `id`.
     pub fn with_schedule(id: &'static str, schedule: UpdateSchedule) -> Self {
-        MsgPassEngine { id, schedule }
+        MsgPassEngine { id, schedule, faults: FaultPlan::none() }
+    }
+
+    /// Returns `self` running on a faulty mesh under `plan`, with the
+    /// end-to-end reliability protocol enabled to compensate.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
     }
 }
 
@@ -42,7 +59,10 @@ impl RoutingEngine for MsgPassEngine {
     }
 
     fn route(&self, circuit: &Circuit, params: &RouterParams, ctx: &EngineCtx) -> EngineRun {
-        let config = MsgPassConfig::new(ctx.n_procs, self.schedule).with_params(*params);
+        let mut config = MsgPassConfig::new(ctx.n_procs, self.schedule).with_params(*params);
+        if !self.faults.is_idle() {
+            config = config.with_faults(self.faults).with_reliability();
+        }
         let out = match &ctx.sink {
             Some(sink) => run_msgpass_observed(circuit, config, sink.clone()),
             None => run_msgpass(circuit, config),

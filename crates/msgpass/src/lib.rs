@@ -33,6 +33,7 @@ pub mod delta;
 pub mod engine;
 pub mod node;
 pub mod packet;
+pub mod reliable;
 pub mod schedule;
 pub mod sim;
 
@@ -41,8 +42,9 @@ pub use delta::DeltaArray;
 pub use engine::MsgPassEngine;
 pub use node::{ReplicaSnapshot, RouterNode};
 pub use packet::{Packet, PacketCounts, PacketKind, WireEvent};
+pub use reliable::{Frame, ReliableConfig, ReliableStats, Transport};
 pub use schedule::UpdateSchedule;
 pub use sim::{
     run_msgpass, run_msgpass_observed, run_msgpass_with_mesh, run_msgpass_with_mesh_observed,
-    MsgPassOutcome,
+    DegradedKind, DegradedReason, MsgPassOutcome,
 };

@@ -20,6 +20,7 @@ use locus_router::{CostArray, EvalScratch, ProcId, RegionMap, Route, WorkStats};
 use crate::config::{MsgPassConfig, PacketStructure, WireSource};
 use crate::delta::DeltaArray;
 use crate::packet::{Packet, PacketCounts, WireEvent};
+use crate::reliable::{Frame, Transport, ACK_BYTES};
 
 /// Coordinator node for the termination protocol.
 const COORDINATOR: ProcId = 0;
@@ -127,6 +128,14 @@ pub struct RouterNode {
     // Metrics.
     sent: PacketCounts,
 
+    /// End-to-end reliable-delivery state (a zero-cost pass-through when
+    /// `config.reliability` is `None`).
+    transport: Transport,
+    /// While lingering after `Done` (reliability only): the simulated
+    /// time at which the node may actually stop, pushed back by any
+    /// late-arriving traffic it must re-ack.
+    linger_until: Option<u64>,
+
     /// Simulated time of the step being executed (for event stamps).
     now_ns: u64,
 }
@@ -178,6 +187,8 @@ impl RouterNode {
             finished_seen: 0,
             terminate: false,
             sent: PacketCounts::default(),
+            transport: Transport::new(n_procs, config.reliability),
+            linger_until: None,
             now_ns: 0,
         }
     }
@@ -235,6 +246,12 @@ impl RouterNode {
     /// Per-kind packet counts sent by this node.
     pub fn sent_counts(&self) -> &PacketCounts {
         &self.sent
+    }
+
+    /// This node's reliable-transport counters (all zero when the
+    /// protocol is disabled).
+    pub fn reliable_stats(&self) -> crate::reliable::ReliableStats {
+        self.transport.stats()
     }
 
     /// The node's final replica (for divergence diagnostics).
@@ -322,12 +339,45 @@ impl RouterNode {
     }
 
     /// Queues `packet` to `to`, recording stats; returns the modelled
-    /// packet-assembly time.
-    fn send(&mut self, outbox: &mut Outbox<Packet>, to: ProcId, packet: Packet) -> u64 {
+    /// packet-assembly time. With reliability on the packet is framed
+    /// with a sequence number and its retransmission timer armed; the
+    /// per-kind counts record the application payload while the wire
+    /// carries the framed size.
+    fn send(&mut self, outbox: &mut Outbox<Frame>, to: ProcId, packet: Packet) -> u64 {
         debug_assert_ne!(to, self.proc);
-        let bytes = packet.payload_bytes();
         self.sent.record(&packet);
-        outbox.send(to, bytes, packet);
+        let frame = self.transport.wrap(to, packet, self.now_ns);
+        let bytes = frame.payload_bytes();
+        outbox.send(to, bytes, frame);
+        bytes as u64 * self.config.send_per_byte_ns
+    }
+
+    /// Queues a cumulative ack to `to`.
+    fn send_ack(&mut self, outbox: &mut Outbox<Frame>, to: ProcId, cum_seq: u32) -> u64 {
+        self.driver
+            .emit_event(Stamp::At(self.now_ns), EventKind::AckSent { dst: to as u32, cum_seq });
+        self.sent.record_ack(ACK_BYTES);
+        outbox.send(to, ACK_BYTES, Frame::Ack { cum_seq });
+        ACK_BYTES as u64 * self.config.send_per_byte_ns
+    }
+
+    /// Queues one retransmission of `packet` (attempt `attempt`) to `to`.
+    fn resend(
+        &mut self,
+        outbox: &mut Outbox<Frame>,
+        to: ProcId,
+        seq: u32,
+        attempt: u32,
+        packet: Packet,
+    ) -> u64 {
+        self.driver.emit_event(
+            Stamp::At(self.now_ns),
+            EventKind::PacketRetransmitted { dst: to as u32, seq, attempt },
+        );
+        self.sent.record(&packet);
+        let frame = Frame::Data { seq, packet };
+        let bytes = frame.payload_bytes();
+        outbox.send(to, bytes, frame);
         bytes as u64 * self.config.send_per_byte_ns
     }
 
@@ -353,7 +403,7 @@ impl RouterNode {
 
     /// Handles one received packet; returns modelled processing time and
     /// queues any responses.
-    fn handle_packet(&mut self, from: ProcId, packet: Packet, outbox: &mut Outbox<Packet>) -> u64 {
+    fn handle_packet(&mut self, from: ProcId, packet: Packet, outbox: &mut Outbox<Frame>) -> u64 {
         let mut busy = 0u64;
         match packet {
             Packet::LocData { rect, values, response } => {
@@ -480,7 +530,7 @@ impl RouterNode {
 
     /// Issues receiver-initiated `ReqRmtData` requests for the upcoming
     /// window of wires (the paper requests five wires ahead, §4.3.3).
-    fn issue_requests(&mut self, outbox: &mut Outbox<Packet>) -> u64 {
+    fn issue_requests(&mut self, outbox: &mut Outbox<Frame>) -> u64 {
         let Some(threshold) = self.config.schedule.req_rmt_data else {
             return 0;
         };
@@ -516,7 +566,7 @@ impl RouterNode {
 
     /// Emits any due sender-initiated updates for the configured packet
     /// structure; returns the modelled assembly time.
-    fn emit_sender_updates(&mut self, outbox: &mut Outbox<Packet>) -> u64 {
+    fn emit_sender_updates(&mut self, outbox: &mut Outbox<Frame>) -> u64 {
         let mut busy = 0u64;
         // Sender-initiated updates (§4.3.2): only if something changed.
         // The payload depends on the configured packet structure
@@ -613,7 +663,7 @@ impl RouterNode {
 
     /// Rips up (if re-routing) and routes the next wire; emits any due
     /// sender-initiated updates. Returns modelled work time.
-    fn route_next_wire(&mut self, outbox: &mut Outbox<Packet>) -> u64 {
+    fn route_next_wire(&mut self, outbox: &mut Outbox<Frame>) -> u64 {
         let mut busy = self.issue_requests(outbox);
         let idx = self.wire_idx;
         let wire_id = self.my_wires[idx];
@@ -693,7 +743,7 @@ impl RouterNode {
 impl RouterNode {
     /// Routes one dynamically granted wire (§4.2 dynamic scheme; single
     /// iteration, so there is never a previous route to rip up).
-    fn route_granted_wire(&mut self, wire_id: WireId, outbox: &mut Outbox<Packet>) -> u64 {
+    fn route_granted_wire(&mut self, wire_id: WireId, outbox: &mut Outbox<Frame>) -> u64 {
         let mut busy = 0u64;
         let wire = self.circuit.wire(wire_id).clone();
         let eval = route_wire_scratch(
@@ -728,7 +778,7 @@ impl RouterNode {
 
     /// One step of the dynamic-distribution protocol; returns the step
     /// outcome directly.
-    fn dynamic_step(&mut self, mut busy: u64, outbox: &mut Outbox<Packet>) -> Step {
+    fn dynamic_step(&mut self, mut busy: u64, outbox: &mut Outbox<Frame>) -> Step {
         if self.proc == COORDINATOR {
             // The assignment processor routes wires from the pool itself
             // ("at a low priority": requests were already served during
@@ -760,21 +810,11 @@ impl RouterNode {
     }
 }
 
-impl Node for RouterNode {
-    type Msg = Packet;
-
-    fn step(
-        &mut self,
-        now: SimTime,
-        inbox: Vec<Envelope<Packet>>,
-        outbox: &mut Outbox<Packet>,
-    ) -> Step {
-        self.now_ns = now.as_ns();
-        let mut busy = 0u64;
-        for env in inbox {
-            busy += self.handle_packet(env.from, env.msg, outbox);
-        }
-
+impl RouterNode {
+    /// The router program proper: termination protocol, blocking waits,
+    /// and routing work. Inbox traffic has already been unframed and
+    /// applied; `busy` carries its processing time.
+    fn step_inner(&mut self, mut busy: u64, outbox: &mut Outbox<Frame>) -> Step {
         // Termination protocol.
         if self.finished_routing && !self.finished_sent {
             self.finished_sent = true;
@@ -812,6 +852,87 @@ impl Node for RouterNode {
             }
             WireSource::Dynamic => self.dynamic_step(busy, outbox),
         }
+    }
+
+    /// Reliability epilogue of one step: flush due acks and due
+    /// retransmissions, then translate the inner outcome so the kernel
+    /// keeps this node schedulable while transport work is pending.
+    /// `Block` becomes `Sleep` until the next retransmission timer, and
+    /// `Done` holds the node in a linger window so it can re-ack
+    /// retransmitted traffic whose acks were lost.
+    fn finish_step(&mut self, inner: Step, had_traffic: bool, outbox: &mut Outbox<Frame>) -> Step {
+        if !self.transport.is_reliable() {
+            return inner;
+        }
+        if self.terminate {
+            // The run is over: stale updates no longer need repairing,
+            // but the coordinator's own `Terminate` fan-out must keep
+            // retrying or a worker that lost it never stops.
+            self.transport.clear_inflight_except_terminate();
+        }
+        let mut extra = 0u64;
+        for (to, cum_seq) in self.transport.take_due_acks() {
+            extra += self.send_ack(outbox, to, cum_seq);
+        }
+        for (to, seq, attempt, packet) in self.transport.due_retransmits(self.now_ns) {
+            extra += self.resend(outbox, to, seq, attempt, packet);
+        }
+        match inner {
+            Step::Continue { busy_ns } => Step::Continue { busy_ns: busy_ns + extra },
+            Step::Sleep { until } => Step::Sleep { until },
+            Step::Block => {
+                if extra > 0 {
+                    Step::Continue { busy_ns: extra }
+                } else if let Some(timer) = self.transport.next_timer_at() {
+                    // `due_retransmits` above consumed every deadline
+                    // <= now, so the timer is strictly in the future.
+                    Step::Sleep { until: SimTime::from_ns(timer) }
+                } else {
+                    Step::Block
+                }
+            }
+            Step::Done => {
+                if had_traffic || self.linger_until.is_none() {
+                    self.linger_until = Some(self.now_ns + self.transport.linger_ns());
+                }
+                let deadline = self.linger_until.expect("linger deadline just set");
+                if extra > 0 {
+                    return Step::Continue { busy_ns: extra };
+                }
+                if self.transport.has_inflight() {
+                    let timer =
+                        self.transport.next_timer_at().expect("inflight packets carry timers");
+                    return Step::Sleep { until: SimTime::from_ns(timer.max(self.now_ns + 1)) };
+                }
+                if self.now_ns >= deadline {
+                    Step::Done
+                } else {
+                    Step::Sleep { until: SimTime::from_ns(deadline) }
+                }
+            }
+        }
+    }
+}
+
+impl Node for RouterNode {
+    type Msg = Frame;
+
+    fn step(
+        &mut self,
+        now: SimTime,
+        inbox: Vec<Envelope<Frame>>,
+        outbox: &mut Outbox<Frame>,
+    ) -> Step {
+        self.now_ns = now.as_ns();
+        let had_traffic = !inbox.is_empty();
+        let mut busy = 0u64;
+        for env in inbox {
+            for packet in self.transport.receive(env.from, env.msg) {
+                busy += self.handle_packet(env.from, packet, outbox);
+            }
+        }
+        let inner = self.step_inner(busy, outbox);
+        self.finish_step(inner, had_traffic, outbox)
     }
 }
 
@@ -895,7 +1016,7 @@ mod tests {
         let mut outbox = Outbox::new();
         let _ = node.handle_packet(3, Packet::ReqLocData { rect: foreign }, &mut outbox);
         assert_eq!(outbox.len(), 1);
-        match outbox.sends()[0].2.clone() {
+        match outbox.sends()[0].2.packet().expect("data frame").clone() {
             Packet::RmtData { rect, deltas, response } => {
                 assert!(response);
                 assert_eq!(rect, Rect::cell(cell));
@@ -962,7 +1083,7 @@ mod tests {
         // Answer every outstanding request with an empty-ish response.
         let sends: Vec<_> = outbox.sends().to_vec();
         for (to, _, packet) in sends {
-            if let Packet::ReqRmtData { rect } = packet {
+            if let Some(Packet::ReqRmtData { rect }) = packet.packet().cloned() {
                 let values = vec![0u16; rect.area() as usize];
                 let _ = node.handle_packet(
                     to,

@@ -150,11 +150,14 @@ pub enum PacketKind {
     WireData,
     /// Termination protocol traffic.
     Control,
+    /// Reliability-layer cumulative acknowledgements (only present when
+    /// the end-to-end reliable-delivery protocol is enabled).
+    Ack,
 }
 
 impl PacketKind {
     /// All kinds, for iteration in reports.
-    pub const ALL: [PacketKind; 8] = [
+    pub const ALL: [PacketKind; 9] = [
         PacketKind::SendLocData,
         PacketKind::SendRmtData,
         PacketKind::ReqRmtData,
@@ -163,6 +166,7 @@ impl PacketKind {
         PacketKind::ReqLocDataResponse,
         PacketKind::WireData,
         PacketKind::Control,
+        PacketKind::Ack,
     ];
 
     fn index(self) -> usize {
@@ -175,15 +179,19 @@ impl PacketKind {
             PacketKind::ReqLocDataResponse => 5,
             PacketKind::WireData => 6,
             PacketKind::Control => 7,
+            PacketKind::Ack => 8,
         }
     }
 }
 
+/// Number of [`PacketKind`] buckets.
+const N_KINDS: usize = PacketKind::ALL.len();
+
 /// Packet and byte counts broken down by [`PacketKind`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PacketCounts {
-    packets: [u64; 8],
-    bytes: [u64; 8],
+    packets: [u64; N_KINDS],
+    bytes: [u64; N_KINDS],
 }
 
 impl PacketCounts {
@@ -192,6 +200,14 @@ impl PacketCounts {
         let i = packet.kind().index();
         self.packets[i] += 1;
         self.bytes[i] += packet.payload_bytes() as u64;
+    }
+
+    /// Records one reliability-layer acknowledgement frame of `bytes`
+    /// payload bytes (acks are frames, not [`Packet`]s).
+    pub fn record_ack(&mut self, bytes: u32) {
+        let i = PacketKind::Ack.index();
+        self.packets[i] += 1;
+        self.bytes[i] += bytes as u64;
     }
 
     /// Packets of `kind` recorded.
@@ -216,7 +232,7 @@ impl PacketCounts {
 
     /// Merges another counter into this one.
     pub fn merge(&mut self, other: &PacketCounts) {
-        for i in 0..8 {
+        for i in 0..N_KINDS {
             self.packets[i] += other.packets[i];
             self.bytes[i] += other.bytes[i];
         }

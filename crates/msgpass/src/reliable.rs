@@ -1,0 +1,502 @@
+//! End-to-end reliable delivery over the (possibly faulty) mesh.
+//!
+//! The paper's mesh network never loses packets, so the router's update
+//! protocol assumes perfect delivery. When the mesh fault layer
+//! ([`locus_mesh::FaultPlan`]) drops, duplicates, or reorders envelopes,
+//! that assumption breaks: a lost `WireGrant` or `Terminate` deadlocks
+//! the whole machine, and a duplicated delta packet corrupts every
+//! replica it lands on. This module adds the classic end-to-end fix —
+//! per-peer **sequence numbers**, **cumulative acknowledgements**, and
+//! **timeout/retransmit with exponential backoff** — as a thin framing
+//! layer between [`crate::node::RouterNode`] and the mesh:
+//!
+//! * every data packet to a peer carries a per-(sender, receiver)
+//!   sequence number ([`Frame::Data`]);
+//! * the receiver delivers in order exactly once, buffering out-of-order
+//!   arrivals and suppressing duplicates by sequence number, and owes a
+//!   cumulative [`Frame::Ack`] after any progress;
+//! * the sender keeps unacknowledged packets in flight and retransmits
+//!   on a timer, doubling the timeout per attempt up to a cap;
+//!   retransmission order is **criticality-first**: control traffic
+//!   (`WireGrant`, `Finished`, `Terminate`) beats data packets because a
+//!   lost control packet stalls the termination protocol, while a lost
+//!   delta merely ages a replica;
+//! * acks are never acked and never retransmitted — a lost ack is
+//!   repaired by the data retransmission it would have suppressed.
+//!
+//! The layer is strictly opt-in: with reliability disabled the transport
+//! wraps packets as [`Frame::Raw`] with zero bookkeeping, and the framed
+//! byte counts equal the unframed ones, so fault-free baselines stay
+//! byte-identical to runs that predate this module.
+
+use std::collections::BTreeMap;
+
+use crate::packet::{Packet, PacketKind};
+
+/// Extra wire bytes for the sequence number of a [`Frame::Data`].
+pub const SEQ_BYTES: u32 = 4;
+
+/// Wire size of a [`Frame::Ack`]: 1 type byte + 4-byte cumulative seq.
+pub const ACK_BYTES: u32 = 5;
+
+/// What actually crosses the mesh when reliability is on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// An unsequenced packet (reliability disabled — the pre-existing
+    /// wire format, byte-for-byte).
+    Raw(Packet),
+    /// A sequenced packet: `seq` is per-(sender, receiver), starting at 0.
+    Data {
+        /// Sequence number within the sender→receiver stream.
+        seq: u32,
+        /// The application packet.
+        packet: Packet,
+    },
+    /// Cumulative acknowledgement: "I have delivered every sequence
+    /// number below `cum_seq` on your stream to me".
+    Ack {
+        /// One past the highest in-order-delivered sequence number.
+        cum_seq: u32,
+    },
+}
+
+impl Frame {
+    /// Application payload size on the wire in bytes.
+    pub fn payload_bytes(&self) -> u32 {
+        match self {
+            Frame::Raw(p) => p.payload_bytes(),
+            Frame::Data { packet, .. } => packet.payload_bytes() + SEQ_BYTES,
+            Frame::Ack { .. } => ACK_BYTES,
+        }
+    }
+
+    /// The inner packet, if this frame carries one.
+    pub fn packet(&self) -> Option<&Packet> {
+        match self {
+            Frame::Raw(p) | Frame::Data { packet: p, .. } => Some(p),
+            Frame::Ack { .. } => None,
+        }
+    }
+}
+
+/// Tuning knobs of the retransmission protocol.
+///
+/// The default timeout looks enormous next to the mesh's ~4 µs packet
+/// latency, but the bottleneck is the *receiver*: disassembly costs
+/// 10 000 ns per byte (§5.1.1 calibration), so a single 500-byte update
+/// occupies its receiver for 5 ms and the ack behind it waits. Timeouts
+/// below that turnaround would retransmit packets that were merely
+/// queued, melting the network under its own repair traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReliableConfig {
+    /// Initial retransmission timeout (ns).
+    pub retransmit_timeout_ns: u64,
+    /// Backoff cap: the timeout doubles per attempt up to this (ns).
+    pub max_timeout_ns: u64,
+    /// Retransmissions per packet before the sender gives up and counts
+    /// a `retries_exhausted` (the watchdog recovers the consequences).
+    pub max_retries: u32,
+    /// How long a finished node lingers awake to re-ack duplicate or
+    /// retransmitted traffic before declaring itself done (ns).
+    pub linger_ns: u64,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            retransmit_timeout_ns: 20_000_000,
+            max_timeout_ns: 160_000_000,
+            max_retries: 10,
+            linger_ns: 20_000_000,
+        }
+    }
+}
+
+impl ReliableConfig {
+    /// Checks the knobs are internally consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.retransmit_timeout_ns == 0 {
+            return Err("retransmit_timeout_ns must be positive".into());
+        }
+        if self.max_timeout_ns < self.retransmit_timeout_ns {
+            return Err("max_timeout_ns must be >= retransmit_timeout_ns".into());
+        }
+        Ok(())
+    }
+}
+
+/// Counters of one node's transport (merged across nodes in the run
+/// outcome).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReliableStats {
+    /// Packets retransmitted after a timeout.
+    pub retransmits: u64,
+    /// Cumulative acks sent.
+    pub acks_sent: u64,
+    /// Received packets discarded as duplicates (seq already delivered
+    /// or already buffered).
+    pub dup_suppressed: u64,
+    /// Received packets that arrived ahead of sequence and were buffered.
+    pub out_of_order: u64,
+    /// Packets abandoned after `max_retries` retransmissions.
+    pub retries_exhausted: u64,
+}
+
+impl ReliableStats {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &ReliableStats) {
+        self.retransmits += other.retransmits;
+        self.acks_sent += other.acks_sent;
+        self.dup_suppressed += other.dup_suppressed;
+        self.out_of_order += other.out_of_order;
+        self.retries_exhausted += other.retries_exhausted;
+    }
+}
+
+/// One unacknowledged packet at the sender.
+#[derive(Clone, Debug)]
+struct Inflight {
+    seq: u32,
+    packet: Packet,
+    /// Retransmissions performed so far (0 = only the original send).
+    attempts: u32,
+    /// Current timeout (doubles per attempt).
+    timeout_ns: u64,
+    /// Absolute time of the next retransmission.
+    next_retry_at: u64,
+}
+
+/// Sender-side state for one peer.
+#[derive(Clone, Debug, Default)]
+struct TxPeer {
+    next_seq: u32,
+    inflight: Vec<Inflight>,
+}
+
+/// Receiver-side state for one peer.
+#[derive(Clone, Debug, Default)]
+struct RxPeer {
+    /// Next sequence number to deliver; everything below is delivered.
+    next_expected: u32,
+    /// Out-of-order arrivals waiting for the gap to fill.
+    buffered: BTreeMap<u32, Packet>,
+    /// Whether a cumulative ack is owed to this peer.
+    ack_due: bool,
+}
+
+/// A retransmission due now: `(to, seq, attempt, packet)`.
+pub type Retransmit = (usize, u32, u32, Packet);
+
+/// One node's end-to-end transport: per-peer sequence/ack/retransmit
+/// state. With `cfg = None` the transport is a zero-cost pass-through.
+#[derive(Debug)]
+pub struct Transport {
+    cfg: Option<ReliableConfig>,
+    tx: Vec<TxPeer>,
+    rx: Vec<RxPeer>,
+    stats: ReliableStats,
+}
+
+impl Transport {
+    /// Builds the transport for a machine of `n_procs` nodes.
+    pub fn new(n_procs: usize, cfg: Option<ReliableConfig>) -> Self {
+        Transport {
+            cfg,
+            tx: vec![TxPeer::default(); n_procs],
+            rx: vec![RxPeer::default(); n_procs],
+            stats: ReliableStats::default(),
+        }
+    }
+
+    /// Whether the reliability protocol is active.
+    pub fn is_reliable(&self) -> bool {
+        self.cfg.is_some()
+    }
+
+    /// The post-completion linger window (0 when reliability is off).
+    pub fn linger_ns(&self) -> u64 {
+        self.cfg.map_or(0, |c| c.linger_ns)
+    }
+
+    /// Frames `packet` for `to`, assigning a sequence number and arming
+    /// the retransmission timer when reliability is on.
+    pub fn wrap(&mut self, to: usize, packet: Packet, now_ns: u64) -> Frame {
+        let Some(cfg) = self.cfg else {
+            return Frame::Raw(packet);
+        };
+        let peer = &mut self.tx[to];
+        let seq = peer.next_seq;
+        peer.next_seq += 1;
+        peer.inflight.push(Inflight {
+            seq,
+            packet: packet.clone(),
+            attempts: 0,
+            timeout_ns: cfg.retransmit_timeout_ns,
+            next_retry_at: now_ns + cfg.retransmit_timeout_ns,
+        });
+        Frame::Data { seq, packet }
+    }
+
+    /// Processes one received frame from `from`, returning the packets
+    /// now deliverable to the application **in sequence order, exactly
+    /// once**. Acks and duplicates return an empty vec.
+    pub fn receive(&mut self, from: usize, frame: Frame) -> Vec<Packet> {
+        match frame {
+            Frame::Raw(p) => vec![p],
+            Frame::Ack { cum_seq } => {
+                self.tx[from].inflight.retain(|f| f.seq >= cum_seq);
+                Vec::new()
+            }
+            Frame::Data { seq, packet } => {
+                let rx = &mut self.rx[from];
+                rx.ack_due = true;
+                if seq < rx.next_expected {
+                    self.stats.dup_suppressed += 1;
+                    return Vec::new();
+                }
+                if seq > rx.next_expected {
+                    if rx.buffered.insert(seq, packet).is_some() {
+                        self.stats.dup_suppressed += 1;
+                    } else {
+                        self.stats.out_of_order += 1;
+                    }
+                    return Vec::new();
+                }
+                let mut out = vec![packet];
+                rx.next_expected += 1;
+                while let Some(p) = rx.buffered.remove(&rx.next_expected) {
+                    out.push(p);
+                    rx.next_expected += 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// Drains the acks owed right now as `(to, cum_seq)` pairs.
+    pub fn take_due_acks(&mut self) -> Vec<(usize, u32)> {
+        let mut out = Vec::new();
+        for (peer, rx) in self.rx.iter_mut().enumerate() {
+            if rx.ack_due {
+                rx.ack_due = false;
+                out.push((peer, rx.next_expected));
+                self.stats.acks_sent += 1;
+            }
+        }
+        out
+    }
+
+    /// Collects the retransmissions due at `now_ns`, arms the next
+    /// timers, and drops packets that exhausted their retries.
+    /// Criticality-first: control packets (wire grants, termination) are
+    /// returned before data packets.
+    pub fn due_retransmits(&mut self, now_ns: u64) -> Vec<Retransmit> {
+        let Some(cfg) = self.cfg else {
+            return Vec::new();
+        };
+        let mut due: Vec<Retransmit> = Vec::new();
+        for (peer, tx) in self.tx.iter_mut().enumerate() {
+            tx.inflight.retain_mut(|f| {
+                if f.next_retry_at > now_ns {
+                    return true;
+                }
+                if f.attempts >= cfg.max_retries {
+                    self.stats.retries_exhausted += 1;
+                    return false;
+                }
+                f.attempts += 1;
+                f.timeout_ns = (f.timeout_ns * 2).min(cfg.max_timeout_ns);
+                f.next_retry_at = now_ns + f.timeout_ns;
+                self.stats.retransmits += 1;
+                due.push((peer, f.seq, f.attempts, f.packet.clone()));
+                true
+            });
+        }
+        due.sort_by_key(|(peer, seq, _, p)| {
+            let rank = if p.kind() == PacketKind::Control { 0u8 } else { 1 };
+            (rank, *peer, *seq)
+        });
+        due
+    }
+
+    /// The earliest pending retransmission deadline, if any packet is in
+    /// flight.
+    pub fn next_timer_at(&self) -> Option<u64> {
+        self.tx.iter().flat_map(|t| t.inflight.iter().map(|f| f.next_retry_at)).min()
+    }
+
+    /// Whether any packet awaits acknowledgement.
+    pub fn has_inflight(&self) -> bool {
+        self.tx.iter().any(|t| !t.inflight.is_empty())
+    }
+
+    /// Whether any cumulative ack is owed.
+    pub fn has_due_acks(&self) -> bool {
+        self.rx.iter().any(|r| r.ack_due)
+    }
+
+    /// Abandons every unacknowledged packet except `Terminate` frames.
+    /// Called when a node learns the run is over: stale data and control
+    /// traffic no longer matter, but the coordinator's own `Terminate`
+    /// fan-out must keep retrying or a worker that lost it never stops.
+    pub fn clear_inflight_except_terminate(&mut self) {
+        for tx in &mut self.tx {
+            tx.inflight.retain(|f| f.packet == Packet::Terminate);
+        }
+    }
+
+    /// This node's transport counters.
+    pub fn stats(&self) -> ReliableStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reliable() -> Transport {
+        Transport::new(4, Some(ReliableConfig::default()))
+    }
+
+    #[test]
+    fn raw_mode_is_a_pass_through() {
+        let mut t = Transport::new(4, None);
+        assert!(!t.is_reliable());
+        let f = t.wrap(1, Packet::Finished, 0);
+        assert_eq!(f, Frame::Raw(Packet::Finished));
+        assert_eq!(f.payload_bytes(), Packet::Finished.payload_bytes());
+        assert_eq!(t.receive(1, f), vec![Packet::Finished]);
+        assert!(!t.has_inflight());
+        assert!(t.due_retransmits(u64::MAX).is_empty());
+        assert!(t.take_due_acks().is_empty());
+    }
+
+    #[test]
+    fn frames_carry_seq_overhead_and_acks_are_small() {
+        let mut t = reliable();
+        let f = t.wrap(1, Packet::Finished, 0);
+        assert_eq!(f, Frame::Data { seq: 0, packet: Packet::Finished });
+        assert_eq!(f.payload_bytes(), Packet::Finished.payload_bytes() + SEQ_BYTES);
+        assert_eq!(Frame::Ack { cum_seq: 9 }.payload_bytes(), ACK_BYTES);
+    }
+
+    #[test]
+    fn in_order_delivery_and_cumulative_ack() {
+        let mut a = reliable();
+        let mut b = reliable();
+        let f0 = a.wrap(1, Packet::WireRequest, 0);
+        let f1 = a.wrap(1, Packet::Finished, 0);
+        assert_eq!(b.receive(0, f0), vec![Packet::WireRequest]);
+        assert_eq!(b.receive(0, f1), vec![Packet::Finished]);
+        let acks = b.take_due_acks();
+        assert_eq!(acks, vec![(0, 2)]);
+        assert_eq!(b.stats().acks_sent, 1, "one cumulative ack covers both");
+        assert!(a.has_inflight());
+        assert!(a.receive(1, Frame::Ack { cum_seq: 2 }).is_empty());
+        assert!(!a.has_inflight());
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_buffered_and_drained() {
+        let mut b = reliable();
+        assert!(b.receive(0, Frame::Data { seq: 1, packet: Packet::Finished }).is_empty());
+        assert_eq!(b.stats().out_of_order, 1);
+        let got = b.receive(0, Frame::Data { seq: 0, packet: Packet::WireRequest });
+        assert_eq!(got, vec![Packet::WireRequest, Packet::Finished]);
+        assert_eq!(b.take_due_acks(), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_but_reacked() {
+        let mut b = reliable();
+        let f = Frame::Data { seq: 0, packet: Packet::Finished };
+        assert_eq!(b.receive(0, f.clone()), vec![Packet::Finished]);
+        b.take_due_acks();
+        assert!(b.receive(0, f).is_empty(), "second copy must not deliver");
+        assert_eq!(b.stats().dup_suppressed, 1);
+        assert_eq!(b.take_due_acks(), vec![(0, 1)], "dup still owes an ack");
+    }
+
+    #[test]
+    fn retransmits_back_off_and_prioritise_control() {
+        let cfg = ReliableConfig {
+            retransmit_timeout_ns: 100,
+            max_timeout_ns: 400,
+            max_retries: 3,
+            linger_ns: 0,
+        };
+        let mut t = Transport::new(4, Some(cfg));
+        let data = Packet::ReqRmtData { rect: locus_circuit::Rect::new(0, 1, 0, 1) };
+        t.wrap(1, data.clone(), 0); // seq 0, data
+        t.wrap(2, Packet::Terminate, 0); // control
+        assert!(t.due_retransmits(50).is_empty(), "nothing due yet");
+        let due = t.due_retransmits(100);
+        assert_eq!(due.len(), 2);
+        assert_eq!(due[0].3, Packet::Terminate, "control retransmits first");
+        assert_eq!(due[1].3, data);
+        assert_eq!(t.stats().retransmits, 2);
+        // Backoff doubled: next due at 100 + 200.
+        assert!(t.due_retransmits(250).is_empty());
+        assert_eq!(t.due_retransmits(300).len(), 2);
+        // Third attempt at 300 + 400 (capped).
+        assert_eq!(t.due_retransmits(700).len(), 2);
+        // Retries exhausted: entries dropped, counted.
+        assert!(t.due_retransmits(u64::MAX).is_empty());
+        assert!(!t.has_inflight());
+        assert_eq!(t.stats().retries_exhausted, 2);
+    }
+
+    #[test]
+    fn ack_clears_only_acknowledged_prefix() {
+        let mut t = reliable();
+        t.wrap(1, Packet::WireRequest, 0);
+        t.wrap(1, Packet::Finished, 0);
+        t.wrap(1, Packet::Terminate, 0);
+        t.receive(1, Frame::Ack { cum_seq: 2 });
+        let due = t.due_retransmits(u64::MAX / 2);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].1, 2, "only seq 2 still in flight");
+    }
+
+    #[test]
+    fn terminate_survives_inflight_clear() {
+        let mut t = reliable();
+        t.wrap(1, Packet::Finished, 0);
+        t.wrap(2, Packet::Terminate, 0);
+        t.clear_inflight_except_terminate();
+        let due = t.due_retransmits(u64::MAX / 2);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].3, Packet::Terminate);
+    }
+
+    #[test]
+    fn next_timer_tracks_earliest_deadline() {
+        let cfg = ReliableConfig { retransmit_timeout_ns: 100, ..ReliableConfig::default() };
+        let mut t = Transport::new(4, Some(cfg));
+        assert_eq!(t.next_timer_at(), None);
+        t.wrap(1, Packet::Finished, 40);
+        t.wrap(2, Packet::Finished, 10);
+        assert_eq!(t.next_timer_at(), Some(110));
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = ReliableStats { retransmits: 1, acks_sent: 2, ..Default::default() };
+        let b = ReliableStats { retransmits: 3, dup_suppressed: 4, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.retransmits, 4);
+        assert_eq!(a.acks_sent, 2);
+        assert_eq!(a.dup_suppressed, 4);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ReliableConfig::default().validate().is_ok());
+        let bad = ReliableConfig { retransmit_timeout_ns: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad =
+            ReliableConfig { retransmit_timeout_ns: 100, max_timeout_ns: 50, ..Default::default() };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -5,13 +5,42 @@ use std::sync::Arc;
 
 use locus_circuit::Circuit;
 use locus_mesh::{Kernel, NetStats};
-use locus_obs::SharedSink;
+use locus_obs::{Event, EventKind, SharedSink, Sink};
 use locus_router::locality::{locality_measure, LocalityMeasure};
-use locus_router::{assign, CostArray, ProcId, QualityMetrics, RegionMap, Route, WorkStats};
+use locus_router::router::route_wire_scratch;
+use locus_router::{
+    assign, CostArray, EvalScratch, ProcId, QualityMetrics, RegionMap, Route, WorkStats,
+};
 
 use crate::config::MsgPassConfig;
 use crate::node::{ReplicaSnapshot, RouterNode};
 use crate::packet::PacketCounts;
+use crate::reliable::ReliableStats;
+
+/// Why a run failed to complete normally (see
+/// [`MsgPassOutcome::degraded`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradedKind {
+    /// Every node went idle with work outstanding — typically a critical
+    /// packet (a `WireGrant`, a blocking-request response, `Finished`,
+    /// `Terminate`) was lost with no reliability layer to repair it, or
+    /// the sender exhausted its retries.
+    Deadlock,
+    /// The kernel's event limit tripped before the protocol converged.
+    EventLimit,
+}
+
+/// Watchdog report of a degraded run: what went wrong and which wires
+/// the simulated machine never finished (they were routed locally by the
+/// watchdog so the outcome still describes a complete circuit).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradedReason {
+    /// What ended the run.
+    pub kind: DegradedKind,
+    /// Wires no processor had routed when the run stopped, in the order
+    /// the watchdog recovered them.
+    pub unrouted_wires: Vec<u32>,
+}
 
 /// Everything measured from one message-passing run — the columns of
 /// Tables 1, 2, 4 and 6 plus diagnostics.
@@ -50,6 +79,15 @@ pub struct MsgPassOutcome {
     pub imbalance: f64,
     /// True if the simulation did not terminate cleanly.
     pub deadlocked: bool,
+    /// `Some` when the run degraded (deadlock or event limit) and the
+    /// watchdog completed it; `None` for a clean run.
+    pub degraded: Option<DegradedReason>,
+    /// Wires the watchdog routed locally because no processor finished
+    /// them (`unrouted_wires.len()` of [`DegradedReason`]).
+    pub watchdog_recoveries: u64,
+    /// Aggregated reliable-transport counters across all nodes (all zero
+    /// when the protocol is disabled).
+    pub reliability: ReliableStats,
 }
 
 /// Runs the message-passing LocusRoute on `circuit` under `config`.
@@ -168,7 +206,9 @@ fn run_inner(
     let mut work = WorkStats::default();
     let mut packets = PacketCounts::default();
     let mut replica_audits: Vec<ReplicaSnapshot> = Vec::new();
+    let mut reliability = ReliableStats::default();
     for (p, node) in outcome.nodes.iter().enumerate() {
+        reliability.merge(&node.reliable_stats());
         replica_audits.extend_from_slice(node.replica_audits());
         occupancy += node.occupancy_factor();
         let by_iter = node.occupancy_by_iteration();
@@ -187,11 +227,54 @@ fn run_inner(
         }
     }
     replica_audits.sort_by_key(|s| (s.at_ns, s.proc));
+
+    // Watchdog: a lost critical packet (without the reliability layer)
+    // or an exhausted retry budget can strand wires unrouted. Rather
+    // than panicking, complete the circuit locally — route the missing
+    // wires against the state the machine did reach — and report the
+    // degradation so callers and experiments can see exactly what broke.
+    let mut unrouted: Vec<u32> = Vec::new();
+    let mut landed = CostArray::new(circuit.channels, circuit.grids);
+    for r in routes.iter().flatten() {
+        landed.add_route(r);
+    }
+    let mut scratch = EvalScratch::default();
     let routes: Vec<Route> = routes
         .into_iter()
         .enumerate()
-        .map(|(w, r)| r.unwrap_or_else(|| panic!("wire {w} was never routed")))
+        .map(|(w, r)| match r {
+            Some(r) => r,
+            None => {
+                unrouted.push(w as u32);
+                let eval = route_wire_scratch(
+                    &landed,
+                    circuit.wire(w),
+                    config.params.channel_overshoot,
+                    &mut scratch,
+                );
+                landed.add_route(&eval.route);
+                eval.route
+            }
+        })
         .collect();
+    let watchdog_recoveries = unrouted.len() as u64;
+    if let Some(s) = &sink {
+        let at_ns = outcome.stats.completion.as_ns();
+        let mut sink = s.lock();
+        for &wire in &unrouted {
+            sink.record(Event { at_ns, node: 0, kind: EventKind::WatchdogRecovery { wire } });
+        }
+    }
+    let degraded = if deadlocked || !unrouted.is_empty() {
+        let kind = if outcome.stats.event_limit_hit {
+            DegradedKind::EventLimit
+        } else {
+            DegradedKind::Deadlock
+        };
+        Some(DegradedReason { kind, unrouted_wires: unrouted })
+    } else {
+        None
+    };
 
     // The true final cost array is determined by the routes themselves.
     let mut truth = CostArray::new(circuit.channels, circuit.grids);
@@ -235,6 +318,9 @@ fn run_inner(
         replica_audits,
         imbalance,
         deadlocked,
+        degraded,
+        watchdog_recoveries,
+        reliability,
     }
 }
 
@@ -501,6 +587,112 @@ mod tests {
             dynamic.time_secs,
             stat.time_secs
         );
+    }
+
+    #[test]
+    fn zero_fault_plan_is_byte_identical_to_no_plan() {
+        use locus_mesh::FaultPlan;
+        let c = locus_circuit::presets::small();
+        let base = small_config(4, UpdateSchedule::sender_initiated(2, 5));
+        let plain = run_msgpass(&c, base);
+        let with_plan = run_msgpass(&c, base.with_faults(FaultPlan::none().with_seed(99)));
+        assert_eq!(plain.quality, with_plan.quality);
+        assert_eq!(plain.net, with_plan.net);
+        assert_eq!(plain.routes, with_plan.routes);
+        assert_eq!(plain.packets, with_plan.packets);
+        assert!(with_plan.degraded.is_none());
+        assert_eq!(with_plan.reliability, ReliableStats::default());
+    }
+
+    #[test]
+    fn reliable_run_survives_packet_loss() {
+        use locus_mesh::FaultPlan;
+        let c = locus_circuit::presets::small();
+        let cfg = small_config(4, UpdateSchedule::sender_initiated(2, 5))
+            .with_faults(FaultPlan::uniform_loss(42, 1_000))
+            .with_reliability();
+        let out = run_msgpass(&c, cfg);
+        assert!(!out.deadlocked, "reliability must repair 10% loss");
+        assert!(out.degraded.is_none(), "{:?}", out.degraded);
+        assert_eq!(out.routes.len(), c.wire_count());
+        assert!(out.net.packets_dropped > 0, "the plan must actually fire");
+        assert!(out.reliability.retransmits > 0, "drops must trigger retransmissions");
+        assert!(out.reliability.acks_sent > 0);
+        // Solution quality survives: the protocol changes timing, never
+        // semantics.
+        let clean = run_msgpass(&c, small_config(4, UpdateSchedule::sender_initiated(2, 5)));
+        let ratio = out.quality.circuit_height as f64 / clean.quality.circuit_height as f64;
+        assert!((0.8..=1.25).contains(&ratio), "quality ratio {ratio}");
+    }
+
+    #[test]
+    fn faulted_reliable_runs_are_deterministic() {
+        use locus_mesh::FaultPlan;
+        let c = locus_circuit::presets::small();
+        let cfg = small_config(4, UpdateSchedule::receiver_initiated(2, 5))
+            .with_faults(FaultPlan::uniform_loss(7, 800).with_duplicates(300, 20_000))
+            .with_reliability();
+        let a = run_msgpass(&c, cfg);
+        let b = run_msgpass(&c, cfg);
+        assert_eq!(a.quality, b.quality);
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.routes, b.routes);
+        assert_eq!(a.reliability, b.reliability);
+    }
+
+    #[test]
+    fn unreliable_total_loss_degrades_but_watchdog_completes() {
+        use locus_mesh::FaultPlan;
+        let c = locus_circuit::presets::small();
+        // 100% loss with no reliability: blocking requesters wait forever
+        // for responses that never come, and the termination protocol
+        // never completes — the classic fault-induced deadlock.
+        let cfg = small_config(4, UpdateSchedule::receiver_initiated_blocking(1, 1))
+            .with_faults(FaultPlan::uniform_loss(1, 10_000));
+        let out = run_msgpass(&c, cfg);
+        assert!(out.deadlocked);
+        let degraded = out.degraded.as_ref().expect("total loss must degrade the run");
+        assert_eq!(degraded.kind, DegradedKind::Deadlock);
+        assert_eq!(degraded.unrouted_wires.len() as u64, out.watchdog_recoveries);
+        assert!(out.watchdog_recoveries > 0, "blocked nodes must strand wires");
+        // The watchdog still delivered a complete circuit.
+        assert_eq!(out.routes.len(), c.wire_count());
+        assert!(out.quality.circuit_height > 0);
+    }
+
+    #[test]
+    fn lost_termination_packets_deadlock_without_stranding_wires() {
+        use locus_mesh::FaultPlan;
+        let c = locus_circuit::presets::small();
+        // Updates never flow; the only traffic is Finished/Terminate, all
+        // of it dropped. Routing completes locally on every node, so the
+        // watchdog has nothing to recover — but the run still deadlocks.
+        let cfg = small_config(4, UpdateSchedule::never())
+            .with_faults(FaultPlan::uniform_loss(3, 10_000));
+        let out = run_msgpass(&c, cfg);
+        assert!(out.deadlocked);
+        let degraded = out.degraded.as_ref().expect("deadlock must be reported");
+        assert_eq!(degraded.kind, DegradedKind::Deadlock);
+        assert!(degraded.unrouted_wires.is_empty(), "all wires routed before the hang");
+        assert_eq!(out.watchdog_recoveries, 0);
+        assert_eq!(out.routes.len(), c.wire_count());
+    }
+
+    #[test]
+    fn reliability_repairs_lost_termination_packets() {
+        use locus_mesh::FaultPlan;
+        let c = locus_circuit::presets::small();
+        // Same total-loss-of-control scenario, but scoped: drop only
+        // traffic addressed to the coordinator (every Finished), with
+        // reliability on. Retransmissions push the protocol through.
+        let scope = locus_mesh::FaultScope { dst: Some(0), ..locus_mesh::FaultScope::all() };
+        let cfg = small_config(4, UpdateSchedule::never())
+            .with_faults(FaultPlan::uniform_loss(5, 5_000).with_scope(scope))
+            .with_reliability();
+        let out = run_msgpass(&c, cfg);
+        assert!(!out.deadlocked, "retransmission must repair lost Finished packets");
+        assert!(out.degraded.is_none());
+        assert_eq!(out.routes.len(), c.wire_count());
     }
 
     #[test]

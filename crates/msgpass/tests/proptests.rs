@@ -1,7 +1,8 @@
 //! Property-based tests for the message-passing building blocks.
 
-use locus_circuit::{GridCell, Rect};
-use locus_msgpass::{DeltaArray, Packet, UpdateSchedule};
+use locus_circuit::{presets, GridCell, Rect};
+use locus_mesh::FaultPlan;
+use locus_msgpass::{run_msgpass, DeltaArray, MsgPassConfig, Packet, UpdateSchedule};
 use proptest::prelude::*;
 
 const CHANNELS: u16 = 8;
@@ -119,5 +120,53 @@ proptest! {
         prop_assert!(schedule.validate().is_ok());
         let zeroed = UpdateSchedule { send_loc_data: Some(0), ..schedule };
         prop_assert!(zeroed.validate().is_err());
+    }
+}
+
+// Full-simulation properties run far fewer cases: each case routes the
+// `small` preset end to end on a four-node mesh.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Resilience: under any seed and any uniform loss rate up to 20%,
+    /// the reliability protocol terminates cleanly (no deadlock, no
+    /// degraded outcome) and routes every wire of the circuit.
+    #[test]
+    fn reliable_delivery_survives_any_loss_seed(
+        seed in any::<u64>(),
+        drop_bp in 0u32..=2000,
+        sender in any::<bool>(),
+    ) {
+        let c = presets::small();
+        let schedule = if sender {
+            UpdateSchedule::sender_initiated(2, 10)
+        } else {
+            UpdateSchedule::receiver_initiated(1, 5)
+        };
+        let config = MsgPassConfig::new(4, schedule)
+            .with_faults(FaultPlan::uniform_loss(seed, drop_bp))
+            .with_reliability();
+        let out = run_msgpass(&c, config);
+        prop_assert!(!out.deadlocked, "seed {seed} drop {drop_bp}bp deadlocked");
+        prop_assert!(out.degraded.is_none(), "degraded: {:?}", out.degraded);
+        prop_assert_eq!(out.routes.len(), c.wire_count());
+    }
+
+    /// A zero-rate fault plan is inert: whatever the seed, the run is
+    /// byte-identical to one with no plan installed at all.
+    #[test]
+    fn zero_rate_fault_plan_is_inert(seed in any::<u64>()) {
+        let c = presets::small();
+        let schedule = UpdateSchedule::sender_initiated(2, 10);
+        let clean = run_msgpass(&c, MsgPassConfig::new(4, schedule));
+        let planned = run_msgpass(
+            &c,
+            MsgPassConfig::new(4, schedule).with_faults(FaultPlan::uniform_loss(seed, 0)),
+        );
+        prop_assert_eq!(clean.quality, planned.quality);
+        prop_assert_eq!(clean.routes, planned.routes);
+        prop_assert_eq!(clean.net.packets, planned.net.packets);
+        prop_assert_eq!(clean.net.payload_bytes, planned.net.payload_bytes);
+        prop_assert_eq!(planned.net.faults_injected(), 0);
     }
 }

@@ -11,6 +11,31 @@
 /// Identifies a mesh node, logical processor, or OS thread.
 pub type NodeId = u32;
 
+/// Which failure the mesh fault layer injected into a delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The envelope was silently discarded after injection.
+    Drop,
+    /// A second copy of the envelope was injected behind the first.
+    Duplicate,
+    /// The envelope's arrival was pushed back by extra latency.
+    Delay,
+    /// The envelope was held long enough for later traffic to overtake it.
+    Reorder,
+}
+
+impl FaultKind {
+    /// Short stable name (used by exporters).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Delay => "delay",
+            FaultKind::Reorder => "reorder",
+        }
+    }
+}
+
 /// What happened.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EventKind {
@@ -121,6 +146,40 @@ pub enum EventKind {
         /// cell last changed).
         mean_age_ns: u64,
     },
+    /// The mesh fault layer injected a failure into a delivery from
+    /// `Event::node`.
+    FaultInjected {
+        /// Destination node of the afflicted envelope.
+        dst: NodeId,
+        /// Application payload bytes of the afflicted envelope.
+        payload_bytes: u32,
+        /// Which failure was injected.
+        fault: FaultKind,
+        /// Extra latency added (delay/reorder holds; 0 for drop/duplicate).
+        extra_ns: u64,
+    },
+    /// The reliability layer re-sent an unacknowledged frame.
+    PacketRetransmitted {
+        /// Destination node.
+        dst: NodeId,
+        /// Sequence number of the retransmitted frame.
+        seq: u32,
+        /// Retransmission attempt (1 = first resend).
+        attempt: u32,
+    },
+    /// The reliability layer sent a cumulative acknowledgement.
+    AckSent {
+        /// Destination node (the original sender being acked).
+        dst: NodeId,
+        /// All sequence numbers below this were received and applied.
+        cum_seq: u32,
+    },
+    /// The watchdog routed a wire locally after the network run ended
+    /// without it (deadlock or event-limit degradation).
+    WatchdogRecovery {
+        /// Wire id recovered.
+        wire: u32,
+    },
 }
 
 impl EventKind {
@@ -140,6 +199,10 @@ impl EventKind {
             EventKind::KernelStats { .. } => "KernelStats",
             EventKind::RaceDetected { .. } => "RaceDetected",
             EventKind::ReplicaAudit { .. } => "ReplicaAudit",
+            EventKind::FaultInjected { .. } => "FaultInjected",
+            EventKind::PacketRetransmitted { .. } => "PacketRetransmitted",
+            EventKind::AckSent { .. } => "AckSent",
+            EventKind::WatchdogRecovery { .. } => "WatchdogRecovery",
         }
     }
 }

@@ -125,6 +125,20 @@ pub fn chrome_trace(events: &[Event]) -> String {
                              \"max_divergence\":{max_divergence},\"mean_age_ns\":{mean_age_ns}}}"
                         )
                     }
+                    EventKind::FaultInjected { dst, payload_bytes, fault, extra_ns } => {
+                        format!(
+                            "{{\"dst\":{dst},\"payload_bytes\":{payload_bytes},\
+                             \"fault\":\"{}\",\"extra_ns\":{extra_ns}}}",
+                            fault.name()
+                        )
+                    }
+                    EventKind::PacketRetransmitted { dst, seq, attempt } => {
+                        format!("{{\"dst\":{dst},\"seq\":{seq},\"attempt\":{attempt}}}")
+                    }
+                    EventKind::AckSent { dst, cum_seq } => {
+                        format!("{{\"dst\":{dst},\"cum_seq\":{cum_seq}}}")
+                    }
+                    EventKind::WatchdogRecovery { wire } => format!("{{\"wire\":{wire}}}"),
                     EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => unreachable!(),
                 };
                 format!(
@@ -200,16 +214,20 @@ pub fn metrics_json(snap: &MetricsSnapshot) -> String {
 fn glyph(kind: &EventKind) -> (char, u8) {
     match kind {
         EventKind::RaceDetected { .. } => ('R', 8),
+        EventKind::WatchdogRecovery { .. } => ('G', 8),
         EventKind::RipUp { .. } => ('X', 7),
+        EventKind::FaultInjected { .. } => ('F', 6),
         EventKind::WireRouted { .. } => ('W', 6),
         EventKind::ChannelContended { .. } => ('C', 5),
         EventKind::PacketSent { .. } => ('S', 4),
+        EventKind::PacketRetransmitted { .. } => ('T', 4),
         EventKind::PacketDelivered { .. } => ('D', 3),
         EventKind::CacheMiss { .. } => ('M', 3),
         EventKind::ReplicaAudit { .. } => ('A', 2),
         EventKind::Invalidation { .. } => ('I', 2),
         EventKind::BusTransfer { .. } => ('B', 1),
         EventKind::KernelStats { .. } => ('K', 1),
+        EventKind::AckSent { .. } => ('a', 1),
         EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => ('|', 0),
     }
 }
@@ -261,8 +279,9 @@ pub fn ascii_timeline(events: &[Event], width: usize) -> String {
         let line: String = row.iter().map(|&(c, _)| c).collect();
         let _ = writeln!(out, "node {n:>3} |{line}|");
     }
-    out.push_str("legend: R race  X ripup  W routed  C contention  S sent  D delivered  ");
-    out.push_str("M miss  A audit  I inval  B bus  | phase\n\n");
+    out.push_str("legend: R race  G watchdog  X ripup  F fault  W routed  C contention  ");
+    out.push_str("S sent  T resent  D delivered  M miss  A audit  I inval  B bus  ");
+    out.push_str("a ack  | phase\n\n");
     let _ = writeln!(
         out,
         "{:>5} {:>8} {:>8} {:>8} {:>12} {:>8}",

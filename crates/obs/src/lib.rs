@@ -36,6 +36,6 @@ pub mod export;
 pub mod metrics;
 pub mod sink;
 
-pub use event::{Event, EventKind, NodeId};
+pub use event::{Event, EventKind, FaultKind, NodeId};
 pub use metrics::{hists, names, Histogram, Metrics, MetricsSnapshot};
 pub use sink::{NullSink, RingBufferSink, SharedSink, Sink};

@@ -68,6 +68,22 @@ pub mod names {
     pub const REPLICA_AUDITS: &str = "replica_audits";
     /// Diverged replica cells summed across audits.
     pub const STALE_CELLS: &str = "stale_cells";
+    /// Faults of any kind injected by the mesh fault layer.
+    pub const FAULTS_INJECTED: &str = "faults_injected";
+    /// Deliveries silently discarded (matches `NetStats::packets_dropped`).
+    pub const PACKETS_DROPPED: &str = "packets_dropped";
+    /// Extra envelope copies injected (matches `NetStats::packets_duplicated`).
+    pub const PACKETS_DUPLICATED: &str = "packets_duplicated";
+    /// Deliveries pushed back by injected latency.
+    pub const PACKETS_DELAYED: &str = "packets_delayed";
+    /// Deliveries held long enough to be overtaken.
+    pub const PACKETS_REORDERED: &str = "packets_reordered";
+    /// Frames re-sent by the reliability layer.
+    pub const PACKETS_RETRANSMITTED: &str = "packets_retransmitted";
+    /// Cumulative acknowledgements sent by the reliability layer.
+    pub const ACKS_SENT: &str = "acks_sent";
+    /// Wires the watchdog routed locally after a degraded network run.
+    pub const WATCHDOG_RECOVERIES: &str = "watchdog_recoveries";
 }
 
 /// Well-known histogram names produced by [`Metrics::observe`].
@@ -313,6 +329,27 @@ impl Metrics {
                 self.add(names::STALE_CELLS, diverged_cells as u64);
                 self.record(hists::STALE_CELLS, diverged_cells as u64);
                 self.record(hists::STALE_AGE_NS, mean_age_ns);
+            }
+            EventKind::FaultInjected { fault, .. } => {
+                self.add(names::FAULTS_INJECTED, 1);
+                self.add(
+                    match fault {
+                        crate::event::FaultKind::Drop => names::PACKETS_DROPPED,
+                        crate::event::FaultKind::Duplicate => names::PACKETS_DUPLICATED,
+                        crate::event::FaultKind::Delay => names::PACKETS_DELAYED,
+                        crate::event::FaultKind::Reorder => names::PACKETS_REORDERED,
+                    },
+                    1,
+                );
+            }
+            EventKind::PacketRetransmitted { .. } => {
+                self.add(names::PACKETS_RETRANSMITTED, 1);
+            }
+            EventKind::AckSent { .. } => {
+                self.add(names::ACKS_SENT, 1);
+            }
+            EventKind::WatchdogRecovery { .. } => {
+                self.add(names::WATCHDOG_RECOVERIES, 1);
             }
         }
     }

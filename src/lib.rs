@@ -63,9 +63,10 @@ pub mod prelude {
     pub use locus_coherence::{
         traffic_by_line_size, CoherenceConfig, CoherenceSim, MemRef, RefKind, Trace,
     };
-    pub use locus_mesh::{MeshConfig, SimTime};
+    pub use locus_mesh::{FaultPlan, FaultScope, MeshConfig, SimTime};
     pub use locus_msgpass::{
-        run_msgpass, run_msgpass_observed, MsgPassConfig, MsgPassOutcome, UpdateSchedule,
+        run_msgpass, run_msgpass_observed, MsgPassConfig, MsgPassEngine, MsgPassOutcome,
+        ReliableConfig, UpdateSchedule,
     };
     pub use locus_obs::{Event, EventKind, Metrics, NullSink, RingBufferSink, SharedSink, Sink};
     pub use locus_router::{

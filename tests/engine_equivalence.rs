@@ -136,6 +136,44 @@ fn parallel_emulator_races_match_detector_and_are_classified() {
 }
 
 #[test]
+fn faulted_engine_at_one_processor_matches_sequential() {
+    use locusroute::msgpass::MsgPassEngine;
+    use locusroute::router::engine::EngineCtx;
+    let circuit = locusroute::circuit::presets::small();
+    let params = RouterParams::default();
+    let reference =
+        build_engine("sequential").unwrap().route(&circuit, &params, &EngineCtx::new(1));
+    // 15% uniform loss with reliability on: one processor has no replica
+    // staleness, so dropped-and-retransmitted packets cannot change the
+    // routing result — only the simulated clock.
+    let faulted = MsgPassEngine::sender().with_fault_plan(FaultPlan::uniform_loss(7, 1500)).route(
+        &circuit,
+        &params,
+        &EngineCtx::new(1),
+    );
+    assert_eq!(faulted.outcome.quality, reference.outcome.quality);
+    assert_eq!(faulted.outcome.routes, reference.outcome.routes);
+}
+
+#[test]
+fn faulted_parallel_runs_are_bitwise_repeatable() {
+    let circuit = locusroute::circuit::presets::small();
+    let cfg = || {
+        MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 10))
+            .with_faults(FaultPlan::uniform_loss(11, 1000).with_duplicates(300, 40_000))
+            .with_reliability()
+    };
+    let m1 = run_msgpass(&circuit, cfg());
+    let m2 = run_msgpass(&circuit, cfg());
+    assert!(!m1.deadlocked, "reliable run must terminate");
+    assert_eq!(m1.quality, m2.quality);
+    assert_eq!(m1.routes, m2.routes);
+    assert_eq!(m1.net, m2.net);
+    assert_eq!(m1.reliability, m2.reliability);
+    assert!(m1.net.faults_injected() > 0, "the plan must actually fire");
+}
+
+#[test]
 fn every_route_covers_its_wire_pins() {
     let circuit = locusroute::circuit::presets::small();
     let msg =

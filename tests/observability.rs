@@ -28,6 +28,49 @@ fn obs_counters_match_netstats_on_16_proc_bnr_e() {
 }
 
 #[test]
+fn fault_counters_match_netstats_and_reliability_stats() {
+    use locusroute::mesh::FaultPlan;
+    let circuit = locusroute::circuit::presets::small();
+    let cfg = MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 10))
+        .with_faults(FaultPlan::uniform_loss(42, 1000).with_duplicates(300, 40_000))
+        .with_reliability();
+    let sink = SharedSink::new();
+    let out = run_msgpass_observed(&circuit, cfg, sink.clone());
+    assert!(!out.deadlocked, "reliable run must terminate");
+    assert!(out.net.faults_injected() > 0, "the plan must actually fire");
+
+    let m = sink.metrics_snapshot();
+    // Sink-derived fault counters agree exactly with the network layer.
+    assert_eq!(m.counter(names::FAULTS_INJECTED), out.net.faults_injected());
+    assert_eq!(m.counter(names::PACKETS_DROPPED), out.net.packets_dropped);
+    assert_eq!(m.counter(names::PACKETS_DUPLICATED), out.net.packets_duplicated);
+    assert_eq!(m.counter(names::PACKETS_SENT), out.net.packets);
+    // Dropped sends consume bandwidth but never arrive.
+    assert_eq!(m.counter(names::PACKETS_DELIVERED), out.net.packets - out.net.packets_dropped);
+    // And with the reliability protocol's own bookkeeping.
+    assert_eq!(m.counter(names::PACKETS_RETRANSMITTED), out.reliability.retransmits);
+    assert_eq!(m.counter(names::ACKS_SENT), out.reliability.acks_sent);
+    assert_eq!(m.counter(names::WATCHDOG_RECOVERIES), 0, "clean run needs no watchdog");
+}
+
+#[test]
+fn watchdog_recoveries_flow_through_the_sink() {
+    use locusroute::mesh::FaultPlan;
+    let circuit = locusroute::circuit::presets::small();
+    // Total loss with no reliability: blocking requesters strand their
+    // wires and the watchdog repairs them at collection time.
+    let cfg = MsgPassConfig::new(4, UpdateSchedule::receiver_initiated_blocking(1, 1))
+        .with_faults(FaultPlan::uniform_loss(1, 10_000));
+    let sink = SharedSink::new();
+    let out = run_msgpass_observed(&circuit, cfg, sink.clone());
+    assert!(out.deadlocked);
+    assert!(out.watchdog_recoveries > 0);
+    let m = sink.metrics_snapshot();
+    assert_eq!(m.counter(names::WATCHDOG_RECOVERIES), out.watchdog_recoveries);
+    assert_eq!(m.counter(names::PACKETS_DROPPED), out.net.packets_dropped);
+}
+
+#[test]
 fn observed_run_matches_unobserved_run() {
     // Instrumentation must never perturb the simulation.
     let circuit = locusroute::circuit::presets::small();
