@@ -6,11 +6,11 @@
 //! ```text
 //! locus-experiments <table1|table2|table3|table4|table5|table6|
 //!                    blocking|mixed|locality|speedup|compare|faults|
-//!                    figure1|figure2|figure3|list|sweeps|all>
+//!                    serve|figure1|figure2|figure3|list|sweeps|all>
 //!                   [--quick] [--threads N] [--out <file>]
 //!                   [--report <file>]
 //!                   [--trace-out <file>] [--metrics-out <file>]
-//! locus-experiments --engine <name> [--procs N] [--quick]
+//! locus-experiments --engine <name> [--circuit <name>] [--procs N] [--quick]
 //! locus-experiments analyze [--engine <name>] [--procs N] [--quick]
 //!                           [--report <file>]
 //! locus-experiments --quality-check
@@ -25,7 +25,12 @@
 //!
 //! `list` prints every experiment id plus every registered routing
 //! engine; `--engine <name>` routes one circuit through a single
-//! registry engine and prints its headline metrics. `--quick` shrinks
+//! registry engine and prints its headline metrics (`--circuit
+//! <tiny|small|bnre|mdc|powerlaw>` picks the preset). `serve` runs the
+//! routing-as-a-service study — a seeded rush-hour workload swept from
+//! underload to past saturation under each backpressure policy — and
+//! writes the byte-identical `BENCH_service.json` (`--report` overrides
+//! the path). `--quick` shrinks
 //! any experiment to a CI-sized configuration (small synthetic circuit,
 //! 4 processors) — `locus-experiments compare --quick` is the CI smoke
 //! step.
@@ -458,6 +463,66 @@ fn run_faults_known(cfg: &RunCfg) {
     run_faults(cfg, None);
 }
 
+/// `serve`: the routing-as-a-service study — offered load × backpressure
+/// policy on the rush-hour workload. `report_out = Some(path)` writes the
+/// byte-identical `BENCH_service.json`.
+fn run_serve(cfg: &RunCfg, report_out: Option<String>) {
+    use locus_service::WorkerPool;
+    let pool = WorkerPool::with_threads(cfg.harness.threads());
+    let study = service_study(&pool, cfg.quick);
+    let data: Vec<Vec<String>> = study
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.load),
+                r.policy.to_string(),
+                format!("{}", r.submitted),
+                format!("{}", r.completed),
+                format!("{}", r.shed),
+                format!("{}", r.rejected),
+                format!("{}", r.p50_wait_ms),
+                format!("{}", r.p95_wait_ms),
+                format!("{}", r.p99_wait_ms),
+                format!("{}", r.p95_service_ms),
+                format!("{:.2}", r.throughput_jps),
+                format!("{:.0}%", r.utilization * 100.0),
+                format!("{:.0}%", r.slo_ok * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "Routing as a service: offered load x backpressure ({} workers, queue {}, {} virtual ms)\n",
+        study.workers, study.queue_capacity, study.duration_ms
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "load", "policy", "subm", "done", "shed", "rej", "p50 wait", "p95 wait",
+                "p99 wait", "p95 svc", "jobs/s", "util", "SLO ok",
+            ],
+            &data
+        )
+    );
+    match study.knee_load {
+        Some(k) => println!(
+            "knee: load {k} is the first swept level whose blocking p95 queue wait \
+             exceeds the {SERVICE_SLO_WAIT_MS} ms SLO"
+        ),
+        None => println!("knee: not reached within the swept loads"),
+    }
+    if let Some(path) = report_out {
+        write_or_die(&path, &service_report_json(&study, cfg.quick));
+        println!("serve: wrote {path}");
+    }
+}
+
+/// [`run_serve`] adapter for the `all` sequence (no report file).
+fn run_serve_known(cfg: &RunCfg) {
+    run_serve(cfg, None);
+}
+
 fn run_compare(cfg: &RunCfg) {
     let c = cfg.circuit();
     let rows = compare_paradigms(&cfg.harness, &c, cfg.procs());
@@ -485,8 +550,23 @@ fn run_list() {
     }
 }
 
+/// Resolves a `--circuit` name to its preset.
+fn circuit_by_name(name: &str) -> locus_circuit::Circuit {
+    match name {
+        "tiny" => presets::tiny(),
+        "small" => presets::small(),
+        "bnre" | "bnrE" => presets::bnr_e(),
+        "mdc" => presets::mdc(),
+        "powerlaw" => presets::power_law(),
+        other => {
+            eprintln!("unknown circuit {other:?}; expected tiny, small, bnre, mdc or powerlaw");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// `--engine <name>`: one run of a single registry engine.
-fn run_engine(cfg: &RunCfg, name: &str, procs: Option<usize>) {
+fn run_engine(cfg: &RunCfg, name: &str, procs: Option<usize>, circuit: Option<String>) {
     let engine = match build_engine(name) {
         Ok(e) => e,
         Err(msg) => {
@@ -494,7 +574,10 @@ fn run_engine(cfg: &RunCfg, name: &str, procs: Option<usize>) {
             std::process::exit(2);
         }
     };
-    let c = cfg.circuit();
+    let c = match circuit {
+        Some(name) => circuit_by_name(&name),
+        None => cfg.circuit(),
+    };
     let procs = procs.unwrap_or_else(|| cfg.procs());
     let ctx = EngineCtx::new(procs).with_traffic();
     let run = engine.route(&c, &RouterParams::default(), &ctx);
@@ -760,6 +843,7 @@ const KNOWN: &[(&str, fn(&RunCfg))] = &[
     ("overshoot", run_overshoot),
     ("contention", run_contention),
     ("faults", run_faults_known),
+    ("serve", run_serve_known),
 ];
 
 fn main() {
@@ -771,6 +855,7 @@ fn main() {
     let trace_out = take_flag(&mut args, "--trace-out");
     let metrics_out = take_flag(&mut args, "--metrics-out");
     let engine_name = take_flag(&mut args, "--engine");
+    let circuit_name = take_flag(&mut args, "--circuit");
     let engine_procs = take_flag(&mut args, "--procs").map(|p| {
         p.parse::<usize>().unwrap_or_else(|_| {
             eprintln!("--procs expects a number, got {p:?}");
@@ -788,8 +873,8 @@ fn main() {
     let quick = take_switch(&mut args, "--quick");
     if let Some(bad) = args.iter().find(|a| a.starts_with("--")) {
         eprintln!(
-            "unknown flag {bad}; expected --quick, --threads N, --engine NAME, --procs N, \
-             --out FILE, --report FILE, --trace-out FILE or --metrics-out FILE"
+            "unknown flag {bad}; expected --quick, --threads N, --engine NAME, --circuit NAME, \
+             --procs N, --out FILE, --report FILE, --trace-out FILE or --metrics-out FILE"
         );
         std::process::exit(2);
     }
@@ -799,6 +884,13 @@ fn main() {
     };
     let cfg = RunCfg { harness, quick };
 
+    if circuit_name.is_some()
+        && (engine_name.is_none() || args.first().map(String::as_str) == Some("analyze"))
+    {
+        eprintln!("--circuit only applies to --engine runs");
+        std::process::exit(2);
+    }
+
     if args.first().map(String::as_str) == Some("analyze") {
         let name = engine_name.as_deref().unwrap_or("shmem-threads");
         run_analyze(&cfg, name, engine_procs, report_out);
@@ -806,7 +898,7 @@ fn main() {
     }
 
     if let Some(name) = engine_name {
-        run_engine(&cfg, &name, engine_procs);
+        run_engine(&cfg, &name, engine_procs, circuit_name);
         return;
     }
 
@@ -814,6 +906,10 @@ fn main() {
     match arg.as_str() {
         "list" => run_list(),
         "faults" => run_faults(&cfg, report_out),
+        "serve" => {
+            let path = report_out.unwrap_or_else(|| "BENCH_service.json".to_string());
+            run_serve(&cfg, Some(path));
+        }
         "sweeps" => run_sweeps(&cfg, &out_path),
         "figure1" => print!("{}", figure1()),
         "figure2" => print!("{}", figure2(4)),
@@ -833,7 +929,7 @@ fn main() {
                 eprintln!(
                     "unknown experiment {other:?}; expected one of table1..table6, blocking, \
                      mixed, locality, speedup, compare, structures, overshoot, contention, \
-                     faults, figure1..figure3, list, sweeps, analyze, all"
+                     faults, serve, figure1..figure3, list, sweeps, analyze, all"
                 );
                 std::process::exit(2);
             }

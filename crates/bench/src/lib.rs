@@ -11,7 +11,12 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod serve;
 pub mod sweep;
 
 pub use experiments::*;
+pub use serve::{
+    service_report_json, service_study, ServiceRow, ServiceStudy, SERVICE_LOADS,
+    SERVICE_LOADS_QUICK, SERVICE_SLO_WAIT_MS,
+};
 pub use sweep::Harness;

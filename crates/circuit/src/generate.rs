@@ -16,6 +16,28 @@ use crate::cells::{Cell, CellRow};
 use crate::circuit::Circuit;
 use crate::wire::{Pin, Wire};
 
+/// Which distribution horizontal wire spans are drawn from.
+///
+/// The paper circuits use a two-population mixture (many short local
+/// nets plus a uniform long tail). Real netlists often show heavier,
+/// scale-free tails instead — Rent's-rule-style interconnect models —
+/// so the generator also offers a truncated discrete Pareto family.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpanModel {
+    /// Historical mixture: `short_fraction` exponential short wires,
+    /// the rest uniform up to `long_max_fraction · grids`.
+    ShortLongMix,
+    /// Power-law (Pareto) spans: `P(span = s) ∝ s^-alpha` for
+    /// `s ≥ min_span`, truncated at the surface width. Smaller `alpha`
+    /// means a heavier tail; typical interconnect fits use 1.5–3.0.
+    PowerLaw {
+        /// Tail exponent (> 1.0; clamped during sampling).
+        alpha: f64,
+        /// Smallest span the distribution produces.
+        min_span: u32,
+    },
+}
+
 /// Tunable parameters of the synthetic circuit generator.
 #[derive(Clone, Debug, PartialEq)]
 pub struct GeneratorConfig {
@@ -40,6 +62,10 @@ pub struct GeneratorConfig {
     pub extra_pin_p: f64,
     /// Mean number of channels spanned by a wire (≥ 1).
     pub mean_channel_span: f64,
+    /// Distribution of horizontal spans. [`SpanModel::ShortLongMix`]
+    /// reproduces the paper circuits; [`SpanModel::PowerLaw`] adds a
+    /// scale-free family (ignores `short_*`/`long_max_fraction`).
+    pub span_model: SpanModel,
 }
 
 impl GeneratorConfig {
@@ -62,6 +88,7 @@ impl GeneratorConfig {
             long_max_fraction: 0.7,
             extra_pin_p: 0.45,
             mean_channel_span: 1.9,
+            span_model: SpanModel::ShortLongMix,
         }
     }
 }
@@ -144,18 +171,32 @@ impl CircuitGenerator {
         Wire::new(id, pins)
     }
 
-    /// Horizontal span: exponential for the short population, uniform for
-    /// the long tail.
+    /// Horizontal span, drawn from the configured [`SpanModel`].
     fn sample_x_span(&mut self) -> u32 {
-        if self.rng.random_bool(self.config.short_fraction) {
-            self.sample_exponential(self.config.short_mean_span)
-        } else {
-            let max = (self.config.grids as f64 * self.config.long_max_fraction) as u32;
-            let lo = self.config.short_mean_span as u32;
-            if max <= lo {
-                max
-            } else {
-                self.rng.random_range(lo..=max)
+        match self.config.span_model {
+            SpanModel::ShortLongMix => {
+                // Exponential for the short population, uniform for the
+                // long tail.
+                if self.rng.random_bool(self.config.short_fraction) {
+                    self.sample_exponential(self.config.short_mean_span)
+                } else {
+                    let max = (self.config.grids as f64 * self.config.long_max_fraction) as u32;
+                    let lo = self.config.short_mean_span as u32;
+                    if max <= lo {
+                        max
+                    } else {
+                        self.rng.random_range(lo..=max)
+                    }
+                }
+            }
+            SpanModel::PowerLaw { alpha, min_span } => {
+                // Inverse-CDF Pareto draw: s = min · u^(-1/(alpha-1)).
+                let alpha = alpha.max(1.01);
+                let u: f64 = self.rng.random();
+                let u = u.max(f64::MIN_POSITIVE);
+                let s = min_span.max(1) as f64 * u.powf(-1.0 / (alpha - 1.0));
+                // Cap before the cast: a tiny u can overshoot u32::MAX.
+                s.min(u32::MAX as f64).round() as u32
             }
         }
     }
@@ -235,5 +276,34 @@ mod tests {
     fn all_wires_have_at_least_two_pins() {
         let c = CircuitGenerator::new(small_config(9)).generate();
         assert!(c.wires.iter().all(|w| w.pins.len() >= 2));
+    }
+
+    #[test]
+    fn power_law_spans_are_heavy_tailed_but_bounded() {
+        let mut cfg = GeneratorConfig::for_surface("plaw", 8, 256, 400, 13);
+        cfg.span_model = SpanModel::PowerLaw { alpha: 1.8, min_span: 4 };
+        let c = CircuitGenerator::new(cfg).generate();
+        c.validate().unwrap();
+        let spans: Vec<u32> = c.wires.iter().map(|w| w.x_span()).collect();
+        // Every span fits the surface: the generator clamps the drawn
+        // span to grids-1, and x_span() reports inclusive width.
+        assert!(spans.iter().all(|&s| s <= 256));
+        // Most mass near the minimum, but a real tail survives the clamp:
+        // P(span <= 8) ≈ 0.43 and P(span >= 128) ≈ 0.06 at these
+        // parameters.
+        let short = spans.iter().filter(|&&s| s <= 8).count();
+        let long = spans.iter().filter(|&&s| s >= 128).count();
+        assert!(short > 120, "expected short-span bulk, got {short}");
+        assert!(long > 10, "expected a heavy tail, got {long}");
+    }
+
+    #[test]
+    fn power_law_generation_is_deterministic() {
+        let mk = || {
+            let mut cfg = GeneratorConfig::for_surface("plaw", 8, 256, 100, 99);
+            cfg.span_model = SpanModel::PowerLaw { alpha: 2.0, min_span: 2 };
+            CircuitGenerator::new(cfg).generate()
+        };
+        assert_eq!(mk().wires, mk().wires);
     }
 }

@@ -40,7 +40,7 @@ pub mod wire;
 
 pub use circuit::Circuit;
 pub use error::CircuitError;
-pub use generate::{CircuitGenerator, GeneratorConfig};
+pub use generate::{CircuitGenerator, GeneratorConfig, SpanModel};
 pub use geometry::{GridCell, Rect};
 pub use stats::CircuitStats;
 pub use wire::{Pin, Wire, WireId};

@@ -14,7 +14,7 @@
 //! §5.3.3 observation (0.91 vs 1.21 mean hops at 16 processors).
 
 use crate::circuit::Circuit;
-use crate::generate::{CircuitGenerator, GeneratorConfig};
+use crate::generate::{CircuitGenerator, GeneratorConfig, SpanModel};
 
 /// Seed for the bnrE stand-in; fixed so every experiment sees the same
 /// circuit.
@@ -78,7 +78,32 @@ pub fn tiny_config() -> GeneratorConfig {
 /// than [`tiny`] but quicker runs than [`bnr_e`]: 8 channels × 128 grids,
 /// 120 wires.
 pub fn small() -> Circuit {
-    CircuitGenerator::new(GeneratorConfig::for_surface("small", 8, 128, 120, 11)).generate()
+    CircuitGenerator::new(small_config()).generate()
+}
+
+/// Generator configuration backing [`small`].
+pub fn small_config() -> GeneratorConfig {
+    GeneratorConfig::for_surface("small", 8, 128, 120, 11)
+}
+
+/// Seed for the power-law stand-in.
+pub const POWER_LAW_SEED: u64 = 0x1989_000B;
+
+/// A scale-free synthetic circuit: 9 channels × 288 grids, 360 wires
+/// whose horizontal spans follow a truncated Pareto(α = 1.8) law.
+///
+/// Neither paper circuit has this shape — it exists to stress routing
+/// under a heavier long-wire tail than the two-population mixture
+/// produces, and it is part of the default service workload mix.
+pub fn power_law() -> Circuit {
+    CircuitGenerator::new(power_law_config()).generate()
+}
+
+/// Generator configuration backing [`power_law`].
+pub fn power_law_config() -> GeneratorConfig {
+    let mut cfg = GeneratorConfig::for_surface("powerlaw-synthetic", 9, 288, 360, POWER_LAW_SEED);
+    cfg.span_model = SpanModel::PowerLaw { alpha: 1.8, min_span: 4 };
+    cfg
 }
 
 #[cfg(test)]
@@ -108,6 +133,30 @@ mod tests {
         assert_eq!(bnr_e().wires, bnr_e().wires);
         assert_eq!(mdc().wires, mdc().wires);
         assert_eq!(tiny().wires, tiny().wires);
+    }
+
+    #[test]
+    fn power_law_matches_declared_shape_and_reproduces() {
+        let c = power_law();
+        assert_eq!(c.channels, 9);
+        assert_eq!(c.grids, 288);
+        assert_eq!(c.wire_count(), 360);
+        c.validate().unwrap();
+        assert_eq!(power_law().wires, c.wires);
+    }
+
+    #[test]
+    fn power_law_tail_outlives_the_mixture_cap() {
+        // The mixture's long population is capped at long_max_fraction
+        // (≤ 0.75) of the surface; the Pareto tail runs to the full
+        // width. Count wires beyond 80% of the surface.
+        let beyond = |c: &Circuit| {
+            let cut = c.grids as u32 * 4 / 5;
+            c.wires.iter().filter(|w| w.x_span() >= cut).count()
+        };
+        assert_eq!(beyond(&bnr_e()), 0, "mixture long tail is capped at 75%");
+        assert_eq!(beyond(&mdc()), 0);
+        assert!(beyond(&power_law()) >= 5, "got {}", beyond(&power_law()));
     }
 
     #[test]

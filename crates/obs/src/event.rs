@@ -180,6 +180,42 @@ pub enum EventKind {
         /// Wire id recovered.
         wire: u32,
     },
+    /// A routing job was admitted into the service's bounded queue.
+    JobEnqueued {
+        /// Job id.
+        job: u32,
+        /// Waiting jobs after this one was queued.
+        queue_depth: u32,
+    },
+    /// A queued routing job was handed to a worker.
+    JobDispatched {
+        /// Job id.
+        job: u32,
+        /// Virtual milliseconds the job waited between arrival and
+        /// dispatch (its queueing delay).
+        queued_ms: u64,
+    },
+    /// A dispatched routing job finished.
+    JobCompleted {
+        /// Job id.
+        job: u32,
+        /// Virtual milliseconds the job spent in service.
+        service_ms: u64,
+    },
+    /// The shed-oldest backpressure policy dropped a queued job to make
+    /// room for a newer arrival.
+    JobShed {
+        /// Job id of the shed (oldest queued) job.
+        job: u32,
+    },
+    /// The reject backpressure policy turned an arrival away at a full
+    /// queue, with a hint for when to retry.
+    JobRejected {
+        /// Job id.
+        job: u32,
+        /// Suggested client back-off before resubmitting (virtual ms).
+        retry_ms: u64,
+    },
 }
 
 impl EventKind {
@@ -203,6 +239,11 @@ impl EventKind {
             EventKind::PacketRetransmitted { .. } => "PacketRetransmitted",
             EventKind::AckSent { .. } => "AckSent",
             EventKind::WatchdogRecovery { .. } => "WatchdogRecovery",
+            EventKind::JobEnqueued { .. } => "JobEnqueued",
+            EventKind::JobDispatched { .. } => "JobDispatched",
+            EventKind::JobCompleted { .. } => "JobCompleted",
+            EventKind::JobShed { .. } => "JobShed",
+            EventKind::JobRejected { .. } => "JobRejected",
         }
     }
 }

@@ -139,6 +139,19 @@ pub fn chrome_trace(events: &[Event]) -> String {
                         format!("{{\"dst\":{dst},\"cum_seq\":{cum_seq}}}")
                     }
                     EventKind::WatchdogRecovery { wire } => format!("{{\"wire\":{wire}}}"),
+                    EventKind::JobEnqueued { job, queue_depth } => {
+                        format!("{{\"job\":{job},\"queue_depth\":{queue_depth}}}")
+                    }
+                    EventKind::JobDispatched { job, queued_ms } => {
+                        format!("{{\"job\":{job},\"queued_ms\":{queued_ms}}}")
+                    }
+                    EventKind::JobCompleted { job, service_ms } => {
+                        format!("{{\"job\":{job},\"service_ms\":{service_ms}}}")
+                    }
+                    EventKind::JobShed { job } => format!("{{\"job\":{job}}}"),
+                    EventKind::JobRejected { job, retry_ms } => {
+                        format!("{{\"job\":{job},\"retry_ms\":{retry_ms}}}")
+                    }
                     EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => unreachable!(),
                 };
                 format!(
@@ -228,6 +241,11 @@ fn glyph(kind: &EventKind) -> (char, u8) {
         EventKind::BusTransfer { .. } => ('B', 1),
         EventKind::KernelStats { .. } => ('K', 1),
         EventKind::AckSent { .. } => ('a', 1),
+        EventKind::JobShed { .. } => ('L', 7),
+        EventKind::JobRejected { .. } => ('r', 5),
+        EventKind::JobCompleted { .. } => ('J', 4),
+        EventKind::JobDispatched { .. } => ('>', 3),
+        EventKind::JobEnqueued { .. } => ('j', 2),
         EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => ('|', 0),
     }
 }
@@ -281,7 +299,7 @@ pub fn ascii_timeline(events: &[Event], width: usize) -> String {
     }
     out.push_str("legend: R race  G watchdog  X ripup  F fault  W routed  C contention  ");
     out.push_str("S sent  T resent  D delivered  M miss  A audit  I inval  B bus  ");
-    out.push_str("a ack  | phase\n\n");
+    out.push_str("a ack  j job-enq  > job-disp  J job-done  L job-shed  r job-rej  | phase\n\n");
     let _ = writeln!(
         out,
         "{:>5} {:>8} {:>8} {:>8} {:>12} {:>8}",

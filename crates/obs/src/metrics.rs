@@ -84,6 +84,16 @@ pub mod names {
     pub const ACKS_SENT: &str = "acks_sent";
     /// Wires the watchdog routed locally after a degraded network run.
     pub const WATCHDOG_RECOVERIES: &str = "watchdog_recoveries";
+    /// Routing jobs admitted into the service queue.
+    pub const JOBS_ENQUEUED: &str = "jobs_enqueued";
+    /// Routing jobs handed to a worker.
+    pub const JOBS_DISPATCHED: &str = "jobs_dispatched";
+    /// Routing jobs that finished service.
+    pub const JOBS_COMPLETED: &str = "jobs_completed";
+    /// Queued jobs dropped by the shed-oldest backpressure policy.
+    pub const JOBS_SHED: &str = "jobs_shed";
+    /// Arrivals turned away by the reject backpressure policy.
+    pub const JOBS_REJECTED: &str = "jobs_rejected";
 }
 
 /// Well-known histogram names produced by [`Metrics::observe`].
@@ -104,6 +114,12 @@ pub mod hists {
     pub const STALE_CELLS: &str = "stale_cells";
     /// Mean staleness age per replica audit (ns).
     pub const STALE_AGE_NS: &str = "stale_age_ns";
+    /// Per-job queueing delay: arrival to dispatch (virtual ms).
+    pub const QUEUE_WAIT_MS: &str = "queue_wait_ms";
+    /// Per-job service latency: dispatch to completion (virtual ms).
+    pub const SERVICE_MS: &str = "service_ms";
+    /// Service queue depth observed at each admission.
+    pub const JOB_QUEUE_DEPTH: &str = "job_queue_depth";
 }
 
 /// Number of log₂ buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
@@ -350,6 +366,24 @@ impl Metrics {
             }
             EventKind::WatchdogRecovery { .. } => {
                 self.add(names::WATCHDOG_RECOVERIES, 1);
+            }
+            EventKind::JobEnqueued { queue_depth, .. } => {
+                self.add(names::JOBS_ENQUEUED, 1);
+                self.record(hists::JOB_QUEUE_DEPTH, queue_depth as u64);
+            }
+            EventKind::JobDispatched { queued_ms, .. } => {
+                self.add(names::JOBS_DISPATCHED, 1);
+                self.record(hists::QUEUE_WAIT_MS, queued_ms);
+            }
+            EventKind::JobCompleted { service_ms, .. } => {
+                self.add(names::JOBS_COMPLETED, 1);
+                self.record(hists::SERVICE_MS, service_ms);
+            }
+            EventKind::JobShed { .. } => {
+                self.add(names::JOBS_SHED, 1);
+            }
+            EventKind::JobRejected { .. } => {
+                self.add(names::JOBS_REJECTED, 1);
             }
         }
     }

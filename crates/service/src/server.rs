@@ -1,0 +1,577 @@
+//! The routing job server: bounded admission queue, backpressure, and a
+//! deterministic virtual-time dispatch simulation.
+//!
+//! A run has two phases. **Execute**: every job in the arrival trace is
+//! routed on the scoped-thread [`WorkerPool`](crate::pool::WorkerPool)
+//! through a [`JobRunner`], producing a deterministic virtual service
+//! time per job (real threads, virtual prices — see
+//! [`runner`](crate::runner)). **Simulate**: a sequential discrete-event
+//! replay walks the arrival trace on the virtual ms clock, admits jobs
+//! through the bounded queue under the configured [`Backpressure`]
+//! policy, dispatches them to `workers` simulated servers, and stamps
+//! every job's enqueue/dispatch/complete times. Because phase 2 depends
+//! only on the trace and the virtual service times, the whole outcome is
+//! byte-identical across runs, hosts, and pool sizes.
+//!
+//! Jobs that end up shed or rejected were still routed in phase 1 —
+//! speculative work the report's `wasted` ratio makes visible.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use locus_obs::{Event, EventKind, Histogram, SharedSink, Sink};
+
+use crate::pool::WorkerPool;
+use crate::runner::{JobExecution, JobRunner};
+use crate::workload::JobSpec;
+
+/// What the server does when a job arrives at a full queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backpressure {
+    /// The arrival waits outside the queue (the submitting client
+    /// blocks) and enters as soon as a slot frees. Nothing is lost;
+    /// queueing delay absorbs the overload.
+    Block,
+    /// The oldest *queued* job is dropped to admit the newcomer —
+    /// freshest-work-wins, bounding staleness under overload.
+    ShedOldest,
+    /// The newcomer is turned away with a retry hint estimating when the
+    /// backlog will drain.
+    Reject,
+}
+
+impl Backpressure {
+    /// Short stable name (used in reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backpressure::Block => "block",
+            Backpressure::ShedOldest => "shed-oldest",
+            Backpressure::Reject => "reject",
+        }
+    }
+}
+
+/// Server shape: simulated worker count, queue bound, and policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Simulated routing servers draining the queue.
+    pub workers: usize,
+    /// Waiting-job bound of the admission queue (≥ 1).
+    pub queue_capacity: usize,
+    /// What to do when the queue is full.
+    pub policy: Backpressure,
+}
+
+impl ServiceConfig {
+    /// A server with `workers` servers, a queue of `queue_capacity`, and
+    /// the given policy.
+    pub fn new(workers: usize, queue_capacity: usize, policy: Backpressure) -> Self {
+        ServiceConfig { workers: workers.max(1), queue_capacity: queue_capacity.max(1), policy }
+    }
+}
+
+/// How one job's pass through the server ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Dispatched and served to completion.
+    Completed {
+        /// Virtual ms the job left the queue for a worker.
+        dispatch_ms: u64,
+        /// Virtual ms service finished.
+        complete_ms: u64,
+        /// Service duration (== `complete_ms - dispatch_ms`).
+        service_ms: u64,
+    },
+    /// Dropped from the queue by [`Backpressure::ShedOldest`].
+    Shed {
+        /// Virtual ms the shed happened (a newer arrival's timestamp).
+        at_ms: u64,
+    },
+    /// Turned away at arrival by [`Backpressure::Reject`].
+    Rejected {
+        /// Suggested client back-off before resubmitting (virtual ms).
+        retry_hint_ms: u64,
+    },
+    /// The runner could not route the job (e.g. unknown engine name).
+    Failed {
+        /// The runner's error.
+        error: String,
+    },
+}
+
+/// One job's record: identity, arrival, and how it ended.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRecord {
+    /// Trace job id.
+    pub id: u32,
+    /// Virtual arrival time (ms).
+    pub arrival_ms: u64,
+    /// How the pass ended.
+    pub outcome: JobOutcome,
+}
+
+impl JobRecord {
+    /// Queueing delay for completed jobs (arrival → dispatch).
+    pub fn queue_wait_ms(&self) -> Option<u64> {
+        match self.outcome {
+            JobOutcome::Completed { dispatch_ms, .. } => Some(dispatch_ms - self.arrival_ms),
+            _ => None,
+        }
+    }
+}
+
+/// The server's own tally, kept independently of obs so the two can be
+/// cross-checked (see `tests/service.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs in the arrival trace.
+    pub submitted: u64,
+    /// Jobs that entered the queue (including via the block vestibule).
+    pub enqueued: u64,
+    /// Jobs handed to a worker.
+    pub dispatched: u64,
+    /// Jobs served to completion.
+    pub completed: u64,
+    /// Jobs dropped by shed-oldest.
+    pub shed: u64,
+    /// Jobs turned away by reject.
+    pub rejected: u64,
+    /// Jobs whose runner errored.
+    pub failed: u64,
+    /// Total busy worker·ms across the run.
+    pub busy_ms: u64,
+}
+
+/// Everything a server run produces.
+#[derive(Clone, Debug)]
+pub struct ServiceOutcome {
+    /// Per-job records in trace order.
+    pub records: Vec<JobRecord>,
+    /// The server's own tally.
+    pub stats: ServiceStats,
+    /// Queueing-delay histogram (dispatched jobs, virtual ms).
+    pub queue_wait: Histogram,
+    /// Service-latency histogram (completed jobs, virtual ms).
+    pub service: Histogram,
+    /// Virtual ms from trace start to the last completion.
+    pub makespan_ms: u64,
+    /// Busy worker·ms over offered worker·ms (0..=1).
+    pub utilization: f64,
+    /// Completed jobs per virtual second.
+    pub throughput_jps: f64,
+}
+
+/// The routing job server; see the [module docs](self).
+pub struct JobServer {
+    cfg: ServiceConfig,
+}
+
+/// Fallback mean service estimate (virtual ms) for retry hints before
+/// any job has been dispatched.
+const RETRY_BOOTSTRAP_MS: u64 = 10;
+
+impl JobServer {
+    /// A server with the given shape.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        JobServer { cfg }
+    }
+
+    /// Runs the full trace: executes every job on `pool` via `runner`,
+    /// then replays admission and dispatch on the virtual clock,
+    /// emitting service events into `sink` when given.
+    ///
+    /// `jobs` must be sorted by `arrival_ms` (as
+    /// [`workload::generate`](crate::workload::generate) produces them).
+    pub fn run(
+        &self,
+        jobs: &[JobSpec],
+        runner: &dyn JobRunner,
+        pool: &WorkerPool,
+        sink: Option<SharedSink>,
+    ) -> ServiceOutcome {
+        let executions = pool.map(jobs.to_vec(), |job| runner.run(&job));
+        self.simulate(jobs, &executions, sink)
+    }
+
+    /// Phase 2 alone: replays admission/dispatch for pre-computed
+    /// executions. Exposed so tests can drive the policies with
+    /// hand-built service times.
+    pub fn simulate(
+        &self,
+        jobs: &[JobSpec],
+        executions: &[Result<JobExecution, String>],
+        sink: Option<SharedSink>,
+    ) -> ServiceOutcome {
+        assert_eq!(jobs.len(), executions.len(), "one execution per job");
+        let mut sink = sink.map(|s| Box::new(s) as Box<dyn Sink>);
+        // Virtual ms → event timestamp ns.
+        let mut emit = |at_ms: u64, node: u32, kind: EventKind| {
+            if let Some(s) = sink.as_mut() {
+                s.record(Event { at_ns: at_ms.saturating_mul(1_000_000), node, kind });
+            }
+        };
+        // Node 0 is the admission frontend; workers are nodes 1..=W.
+        const FRONTEND: u32 = 0;
+
+        let mut stats = ServiceStats { submitted: jobs.len() as u64, ..ServiceStats::default() };
+        let mut records: Vec<Option<JobRecord>> = vec![None; jobs.len()];
+        let mut queue_wait = Histogram::default();
+        let mut service = Histogram::default();
+
+        // Simulation state.
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut vestibule: VecDeque<usize> = VecDeque::new();
+        let mut free_workers: BinaryHeap<Reverse<u32>> =
+            (1..=self.cfg.workers as u32).map(Reverse).collect();
+        // (complete_ms, worker, job index); Reverse for a min-heap, with
+        // worker/job ids as deterministic tie-breaks.
+        let mut completions: BinaryHeap<Reverse<(u64, u32, usize)>> = BinaryHeap::new();
+        let mut makespan_ms = 0u64;
+        let mut dispatched_service_sum = 0u64;
+
+        // Service time of job `i`; runner failures are recorded as Failed
+        // and occupy a worker for 1 virtual ms (the error path is cheap
+        // but not free).
+        let service_ms = |i: usize| match &executions[i] {
+            Ok(exec) => exec.service_ms.max(1),
+            Err(_) => 1,
+        };
+
+        let mut idx = 0usize;
+        while idx < jobs.len() || !completions.is_empty() {
+            // Next arrival vs. next completion; completions at the same
+            // virtual ms are applied first so freed capacity is visible
+            // to the arrival that shares its timestamp.
+            let next_arrival = jobs.get(idx).map(|j| j.arrival_ms);
+            let next_completion = completions.peek().map(|Reverse((t, _, _))| *t);
+            let take_completion = match (next_arrival, next_completion) {
+                (Some(a), Some(c)) => c <= a,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => break,
+            };
+
+            if take_completion {
+                let Reverse((now, worker, job_i)) =
+                    completions.pop().expect("peeked completion exists");
+                let dispatch_ms = match &records[job_i] {
+                    Some(JobRecord {
+                        outcome: JobOutcome::Completed { dispatch_ms, .. }, ..
+                    }) => *dispatch_ms,
+                    _ => unreachable!("completion for undisp. job"),
+                };
+                let dur = now - dispatch_ms;
+                stats.busy_ms += dur;
+                makespan_ms = makespan_ms.max(now);
+                match &executions[job_i] {
+                    Ok(_) => {
+                        stats.completed += 1;
+                        service.record(dur);
+                        emit(
+                            now,
+                            worker,
+                            EventKind::JobCompleted { job: jobs[job_i].id, service_ms: dur },
+                        );
+                    }
+                    Err(e) => {
+                        stats.failed += 1;
+                        records[job_i] = Some(JobRecord {
+                            id: jobs[job_i].id,
+                            arrival_ms: jobs[job_i].arrival_ms,
+                            outcome: JobOutcome::Failed { error: e.clone() },
+                        });
+                    }
+                }
+                free_workers.push(Reverse(worker));
+                // Dispatch frees queue slots, freed slots let blocked
+                // arrivals in, and those may dispatch in turn — iterate
+                // until neither step makes progress.
+                loop {
+                    self.drain(
+                        now,
+                        jobs,
+                        &service_ms,
+                        &mut queue,
+                        &mut free_workers,
+                        &mut completions,
+                        &mut records,
+                        &mut stats,
+                        &mut queue_wait,
+                        &mut dispatched_service_sum,
+                        &mut emit,
+                    );
+                    if queue.len() < self.cfg.queue_capacity && !vestibule.is_empty() {
+                        let waiting = vestibule.pop_front().expect("vestibule non-empty");
+                        self.admit(waiting, now, jobs, &mut queue, &mut stats, &mut emit);
+                    } else {
+                        break;
+                    }
+                }
+                continue;
+            }
+
+            // Arrival.
+            let now = jobs[idx].arrival_ms;
+            let job_i = idx;
+            idx += 1;
+            if queue.len() < self.cfg.queue_capacity {
+                self.admit(job_i, now, jobs, &mut queue, &mut stats, &mut emit);
+            } else {
+                match self.cfg.policy {
+                    Backpressure::Block => {
+                        vestibule.push_back(job_i);
+                    }
+                    Backpressure::ShedOldest => {
+                        let victim = queue.pop_front().expect("full queue has a head");
+                        stats.shed += 1;
+                        records[victim] = Some(JobRecord {
+                            id: jobs[victim].id,
+                            arrival_ms: jobs[victim].arrival_ms,
+                            outcome: JobOutcome::Shed { at_ms: now },
+                        });
+                        emit(now, FRONTEND, EventKind::JobShed { job: jobs[victim].id });
+                        self.admit(job_i, now, jobs, &mut queue, &mut stats, &mut emit);
+                    }
+                    Backpressure::Reject => {
+                        // Estimate the backlog drain time from the mean
+                        // dispatched service so far.
+                        let mean = dispatched_service_sum
+                            .checked_div(stats.dispatched)
+                            .map_or(RETRY_BOOTSTRAP_MS, |m| m.max(1));
+                        let backlog = queue.len() as u64 + self.cfg.workers as u64;
+                        let hint = (backlog * mean / self.cfg.workers as u64).max(1);
+                        stats.rejected += 1;
+                        records[job_i] = Some(JobRecord {
+                            id: jobs[job_i].id,
+                            arrival_ms: now,
+                            outcome: JobOutcome::Rejected { retry_hint_ms: hint },
+                        });
+                        emit(
+                            now,
+                            FRONTEND,
+                            EventKind::JobRejected { job: jobs[job_i].id, retry_ms: hint },
+                        );
+                    }
+                }
+            }
+            self.drain(
+                now,
+                jobs,
+                &service_ms,
+                &mut queue,
+                &mut free_workers,
+                &mut completions,
+                &mut records,
+                &mut stats,
+                &mut queue_wait,
+                &mut dispatched_service_sum,
+                &mut emit,
+            );
+        }
+
+        let records: Vec<JobRecord> =
+            records.into_iter().map(|r| r.expect("every job reaches a terminal outcome")).collect();
+        let offered = (self.cfg.workers as u64 * makespan_ms).max(1);
+        let utilization = stats.busy_ms as f64 / offered as f64;
+        let throughput_jps = if makespan_ms == 0 {
+            0.0
+        } else {
+            stats.completed as f64 / (makespan_ms as f64 / 1_000.0)
+        };
+        ServiceOutcome {
+            records,
+            stats,
+            queue_wait,
+            service,
+            makespan_ms,
+            utilization,
+            throughput_jps,
+        }
+    }
+
+    /// Puts `job_i` into the queue at `now`, counting and emitting.
+    fn admit(
+        &self,
+        job_i: usize,
+        now: u64,
+        jobs: &[JobSpec],
+        queue: &mut VecDeque<usize>,
+        stats: &mut ServiceStats,
+        emit: &mut impl FnMut(u64, u32, EventKind),
+    ) {
+        queue.push_back(job_i);
+        stats.enqueued += 1;
+        emit(
+            now,
+            0,
+            EventKind::JobEnqueued { job: jobs[job_i].id, queue_depth: queue.len() as u32 },
+        );
+    }
+
+    /// Hands queued jobs to free workers, lowest worker id first.
+    #[allow(clippy::too_many_arguments)]
+    fn drain(
+        &self,
+        now: u64,
+        jobs: &[JobSpec],
+        service_ms: &impl Fn(usize) -> u64,
+        queue: &mut VecDeque<usize>,
+        free_workers: &mut BinaryHeap<Reverse<u32>>,
+        completions: &mut BinaryHeap<Reverse<(u64, u32, usize)>>,
+        records: &mut [Option<JobRecord>],
+        stats: &mut ServiceStats,
+        queue_wait: &mut Histogram,
+        dispatched_service_sum: &mut u64,
+        emit: &mut impl FnMut(u64, u32, EventKind),
+    ) {
+        while !queue.is_empty() && !free_workers.is_empty() {
+            let job_i = queue.pop_front().expect("queue non-empty");
+            let Reverse(worker) = free_workers.pop().expect("worker available");
+            let waited = now - jobs[job_i].arrival_ms;
+            let dur = service_ms(job_i);
+            stats.dispatched += 1;
+            *dispatched_service_sum += dur;
+            queue_wait.record(waited);
+            records[job_i] = Some(JobRecord {
+                id: jobs[job_i].id,
+                arrival_ms: jobs[job_i].arrival_ms,
+                outcome: JobOutcome::Completed {
+                    dispatch_ms: now,
+                    complete_ms: now + dur,
+                    service_ms: dur,
+                },
+            });
+            emit(now, worker, EventKind::JobDispatched { job: jobs[job_i].id, queued_ms: waited });
+            completions.push(Reverse((now + dur, worker, job_i)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{CircuitFamily, JobClass};
+
+    /// A runner pricing every job at a fixed virtual cost.
+    struct FixedRunner(u64);
+    impl JobRunner for FixedRunner {
+        fn run(&self, _job: &JobSpec) -> Result<JobExecution, String> {
+            Ok(JobExecution { service_ms: self.0, circuit_height: 1, wires_routed: 1 })
+        }
+    }
+
+    /// `n` arrivals every `gap_ms`, all of the same (irrelevant) class.
+    fn trace(n: usize, gap_ms: u64) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| JobSpec {
+                id: i as u32,
+                arrival_ms: i as u64 * gap_ms,
+                class: JobClass::new(CircuitFamily::Tiny, "sequential", 1),
+                circuit_seed: 0,
+            })
+            .collect()
+    }
+
+    /// Saturation fixture: service 100 ms, arrivals every 10 ms, one
+    /// worker, queue of 2 — offered load 10× capacity.
+    fn saturated(policy: Backpressure) -> ServiceOutcome {
+        let server = JobServer::new(ServiceConfig::new(1, 2, policy));
+        server.run(&trace(20, 10), &FixedRunner(100), &WorkerPool::serial(), None)
+    }
+
+    #[test]
+    fn block_policy_loses_nothing_and_waits_grow() {
+        let out = saturated(Backpressure::Block);
+        assert_eq!(out.stats.completed, 20);
+        assert_eq!(out.stats.shed, 0);
+        assert_eq!(out.stats.rejected, 0);
+        // Job k dispatches at k·100 ms but arrived at k·10 ms: the last
+        // job waits ~19·90 ms. The queue itself never exceeds its bound,
+        // so the wait shows up as queueing delay.
+        let waits: Vec<u64> = out.records.iter().filter_map(JobRecord::queue_wait_ms).collect();
+        assert_eq!(*waits.last().expect("jobs completed"), 19 * 100 - 19 * 10);
+        assert!(waits.windows(2).all(|w| w[0] <= w[1]), "waits must be nondecreasing");
+        assert_eq!(out.makespan_ms, 20 * 100);
+    }
+
+    #[test]
+    fn shed_oldest_bounds_the_queue_and_drops_stale_work() {
+        let out = saturated(Backpressure::ShedOldest);
+        assert!(out.stats.shed > 10, "10x overload should shed most jobs: {:?}", out.stats);
+        assert_eq!(out.stats.completed + out.stats.shed, 20);
+        // Shed victims are the oldest waiters; the very first job is
+        // already in service, so it completes.
+        assert!(matches!(out.records[0].outcome, JobOutcome::Completed { .. }));
+        assert!(matches!(out.records[1].outcome, JobOutcome::Shed { .. }));
+        // Every completed wait is bounded by queue_capacity · service.
+        for w in out.records.iter().filter_map(JobRecord::queue_wait_ms) {
+            assert!(w <= 2 * 100, "wait {w} exceeds the shed bound");
+        }
+    }
+
+    #[test]
+    fn reject_policy_turns_arrivals_away_with_hints() {
+        let out = saturated(Backpressure::Reject);
+        assert!(out.stats.rejected > 10, "{:?}", out.stats);
+        assert_eq!(out.stats.completed + out.stats.rejected, 20);
+        for r in &out.records {
+            if let JobOutcome::Rejected { retry_hint_ms } = r.outcome {
+                assert!(retry_hint_ms >= 1);
+            }
+        }
+        // Hints reflect the measured service time once jobs dispatch:
+        // backlog (2 queued + 1 in service) · 100 ms mean.
+        let hints: Vec<u64> = out
+            .records
+            .iter()
+            .filter_map(|r| match r.outcome {
+                JobOutcome::Rejected { retry_hint_ms } => Some(retry_hint_ms),
+                _ => None,
+            })
+            .collect();
+        assert!(hints.iter().any(|&h| h == 300), "expected a 300 ms hint, got {hints:?}");
+    }
+
+    #[test]
+    fn underload_serves_everything_immediately() {
+        let server = JobServer::new(ServiceConfig::new(2, 4, Backpressure::Reject));
+        let out = server.run(&trace(10, 200), &FixedRunner(50), &WorkerPool::serial(), None);
+        assert_eq!(out.stats.completed, 10);
+        assert_eq!(out.queue_wait.max(), Some(0), "no waiting under light load");
+        assert!(out.utilization < 0.5, "utilization {:.3}", out.utilization);
+    }
+
+    #[test]
+    fn failures_are_recorded_not_panicked() {
+        struct FailingRunner;
+        impl JobRunner for FailingRunner {
+            fn run(&self, job: &JobSpec) -> Result<JobExecution, String> {
+                if job.id % 2 == 0 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(JobExecution { service_ms: 5, circuit_height: 1, wires_routed: 1 })
+                }
+            }
+        }
+        let server = JobServer::new(ServiceConfig::new(1, 4, Backpressure::Block));
+        let out = server.run(&trace(6, 100), &FailingRunner, &WorkerPool::serial(), None);
+        assert_eq!(out.stats.failed, 3);
+        assert_eq!(out.stats.completed, 3);
+        assert!(out
+            .records
+            .iter()
+            .any(|r| matches!(&r.outcome, JobOutcome::Failed { error } if error == "boom")));
+    }
+
+    #[test]
+    fn simulation_is_identical_across_pool_sizes() {
+        let jobs = trace(30, 15);
+        let server = JobServer::new(ServiceConfig::new(2, 3, Backpressure::ShedOldest));
+        let serial = server.run(&jobs, &FixedRunner(40), &WorkerPool::serial(), None);
+        for threads in [2, 8] {
+            let par = server.run(&jobs, &FixedRunner(40), &WorkerPool::with_threads(threads), None);
+            assert_eq!(serial.records, par.records, "threads={threads}");
+            assert_eq!(serial.stats, par.stats);
+        }
+    }
+}

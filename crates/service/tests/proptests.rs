@@ -1,0 +1,93 @@
+//! Determinism properties of the service layer.
+//!
+//! The headline guarantee: a workload seed fully determines the arrival
+//! trace, every admission/shed/reject decision, and the latency
+//! histograms — and none of it depends on how many real threads the
+//! execution pool uses.
+
+use locus_service::{
+    generate, Backpressure, JobExecution, JobRunner, JobServer, JobSpec, ServiceConfig, WorkerPool,
+    WorkloadConfig,
+};
+use proptest::prelude::*;
+
+/// A deterministic stand-in cost model: prices a job purely from its
+/// spec, with enough spread (1..=128 virtual ms) to exercise queueing.
+struct HashRunner;
+
+impl JobRunner for HashRunner {
+    fn run(&self, job: &JobSpec) -> Result<JobExecution, String> {
+        let mut x = job.circuit_seed ^ (job.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        Ok(JobExecution { service_ms: (x % 128) + 1, circuit_height: 1, wires_routed: 1 })
+    }
+}
+
+fn workload(seed: u64, load: f64) -> Vec<JobSpec> {
+    let mut cfg = WorkloadConfig::rush_hour(seed, 15_000, 120.0);
+    cfg.load = load;
+    generate(&cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed ⇒ same arrival trace, byte for byte.
+    #[test]
+    fn identical_seeds_give_identical_traces(seed in 0u64..1_000_000, load in 1u32..6) {
+        let a = workload(seed, load as f64);
+        let b = workload(seed, load as f64);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Same seed ⇒ same admission decisions, stats, and latency
+    /// histograms — regardless of the execution pool's thread count.
+    #[test]
+    fn outcomes_are_identical_across_worker_counts(
+        seed in 0u64..1_000_000,
+        load in 1u32..8,
+        policy_ix in 0usize..3,
+        workers in 1usize..4,
+    ) {
+        let policy = [Backpressure::Block, Backpressure::ShedOldest, Backpressure::Reject]
+            [policy_ix];
+        let jobs = workload(seed, load as f64);
+        let server = JobServer::new(ServiceConfig::new(workers, 4, policy));
+        let reference = server.run(&jobs, &HashRunner, &WorkerPool::serial(), None);
+        for threads in [2usize, 8] {
+            let out = server.run(&jobs, &HashRunner, &WorkerPool::with_threads(threads), None);
+            prop_assert_eq!(&reference.records, &out.records, "threads={}", threads);
+            prop_assert_eq!(&reference.stats, &out.stats);
+            prop_assert_eq!(&reference.queue_wait, &out.queue_wait);
+            prop_assert_eq!(&reference.service, &out.service);
+            prop_assert_eq!(reference.makespan_ms, out.makespan_ms);
+        }
+    }
+
+    /// Conservation: every submitted job reaches exactly one terminal
+    /// state, and the busy time never exceeds what the workers offer.
+    #[test]
+    fn jobs_are_conserved_under_every_policy(
+        seed in 0u64..1_000_000,
+        load in 1u32..10,
+        policy_ix in 0usize..3,
+    ) {
+        let policy = [Backpressure::Block, Backpressure::ShedOldest, Backpressure::Reject]
+            [policy_ix];
+        let jobs = workload(seed, load as f64);
+        let server = JobServer::new(ServiceConfig::new(2, 3, policy));
+        let out = server.run(&jobs, &HashRunner, &WorkerPool::serial(), None);
+        let s = out.stats;
+        prop_assert_eq!(s.submitted, jobs.len() as u64);
+        prop_assert_eq!(s.completed + s.shed + s.rejected + s.failed, s.submitted);
+        prop_assert_eq!(s.completed, out.service.count());
+        prop_assert!(s.busy_ms <= 2 * out.makespan_ms);
+        prop_assert!(out.utilization <= 1.0 + 1e-9);
+        match policy {
+            Backpressure::Block => prop_assert_eq!(s.shed + s.rejected, 0),
+            Backpressure::ShedOldest => prop_assert_eq!(s.rejected, 0),
+            Backpressure::Reject => prop_assert_eq!(s.shed, 0),
+        }
+    }
+}

@@ -21,6 +21,9 @@
 //!   Chrome-trace / metrics-JSON / ASCII-timeline exporters.
 //! * [`analysis`] — vector-clock race detection over coherence traces,
 //!   replica-staleness auditing, and the workspace concurrency lint.
+//! * [`service`] — routing as a service: seeded workload generation,
+//!   a bounded-queue job server with backpressure, and latency/SLO
+//!   accounting over the engine registry.
 //! * [`engines`] — name → constructor registry over every
 //!   [`RoutingEngine`](locus_router::RoutingEngine) in the workspace.
 //!
@@ -50,6 +53,7 @@ pub use locus_mesh as mesh;
 pub use locus_msgpass as msgpass;
 pub use locus_obs as obs;
 pub use locus_router as router;
+pub use locus_service as service;
 pub use locus_shmem as shmem;
 
 /// Commonly used items, re-exported for convenience.
@@ -73,6 +77,9 @@ pub mod prelude {
         assign, AssignmentStrategy, QualityMetrics, RegionMap, RouterParams, SequentialRouter,
     };
     pub use locus_router::{EngineCtx, EngineRun, RoutingEngine};
+    pub use locus_service::{
+        Backpressure, EngineRunner, JobServer, ServiceConfig, WorkerPool, WorkloadConfig,
+    };
     pub use locus_shmem::{Scheduling, ShmemConfig, ShmemEmulator, ThreadedRouter};
 
     pub use crate::engines::{build_engine, registry, EngineEntry};
