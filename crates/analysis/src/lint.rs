@@ -79,6 +79,7 @@ const LINT_SELF: &str = "crates/analysis/src/lint.rs";
 /// Files whose atomics the race analysis audits.
 const ATOMICS_ALLOWED: &[&str] = &[
     "crates/shmem/src/parallel.rs",
+    "crates/shmem/src/shard.rs",
     "crates/router/src/engine.rs",
     "crates/bench/src/sweep.rs",
     "crates/service/src/pool.rs",

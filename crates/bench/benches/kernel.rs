@@ -12,16 +12,54 @@
 //! * `optimized` — the span kernel on `CostArray`'s prefix-sum fast path:
 //!   the *after* number;
 //! * `optimized_ripup_commit` — the fast path with a rip-up/commit write
-//!   pair per connection, so cache invalidation cost is included.
+//!   pair per connection, so incremental prefix patching is on the
+//!   measured path (writes clamp a watermark; the next span query
+//!   re-extends only the dirtied suffix);
+//! * `ripup_commit_scratch` — the same write traffic with the winning
+//!   routes pre-materialized and evaluation going through a reused
+//!   segment buffer: the pure steady-state eval + write cycle, which the
+//!   preflight assertion proves performs **zero heap allocations**.
 //!
 //! Each iteration evaluates the whole connection mix; divide the printed
 //! median by the mix size (8) for ns per `best_route` call.
+//!
+//! Before the criterion runs, the harness (a) asserts the zero-alloc
+//! property via a counting global allocator and (b) prints a prefix-cache
+//! counter snapshot (hits/rebuilds/patches/invalidations/fallbacks) for a
+//! fixed 1000-cycle rip-up/commit workload — the numbers recorded in
+//! `BENCH_kernel.json`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use locus_circuit::{GridCell, Pin};
 use locus_router::segment::Connection;
-use locus_router::twobend::{best_route, best_route_reference};
-use locus_router::{CostArray, CostView};
+use locus_router::twobend::{best_route, best_route_into, best_route_reference};
+use locus_router::{CostArray, CostView, Route, Segment};
+
+/// Counts heap allocations so the preflight can prove the steady-state
+/// rip-up/commit cycle allocates nothing.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Forces the per-cell default span implementations (the path taken by
 /// instrumented views such as the shmem emulator's traced view).
@@ -72,6 +110,69 @@ fn connections(channels: u16, grids: u16) -> Vec<Connection> {
     ]
 }
 
+/// The winning route of every connection in the mix, materialized once.
+/// add + remove restores the surface, so the winners are loop-invariant.
+fn winners(costs: &CostArray, conns: &[Connection]) -> Vec<Route> {
+    let mut segs: Vec<Segment> = Vec::with_capacity(3);
+    conns
+        .iter()
+        .map(|&k| {
+            segs.clear();
+            best_route_into(costs, k, 1, &mut segs);
+            Route::from_segments(segs.clone())
+        })
+        .collect()
+}
+
+/// Proves the steady-state eval + rip-up/commit cycle allocates nothing:
+/// evaluation goes through a reused segment buffer, writes patch the
+/// prefix caches in place, and the surface returns to its start state
+/// every cycle.
+fn assert_steady_state_cycle_allocates_nothing(name: &str, channels: u16, grids: u16) {
+    let mut costs = surface(channels, grids);
+    let conns = connections(channels, grids);
+    let routes = winners(&costs, &conns);
+    let mut segs: Vec<Segment> = Vec::with_capacity(8);
+    // One warm lap: caches built, segment buffer at steady capacity.
+    for (r, &k) in routes.iter().zip(&conns) {
+        segs.clear();
+        best_route_into(&costs, k, 1, &mut segs);
+        costs.add_route(r);
+        costs.remove_route(r);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..1000 {
+        for (r, &k) in routes.iter().zip(&conns) {
+            segs.clear();
+            black_box(best_route_into(&costs, k, 1, &mut segs).cost);
+            costs.add_route(r);
+            costs.remove_route(r);
+        }
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(allocs, 0, "{name}: steady-state eval + rip-up/commit must not allocate");
+    eprintln!("zero_alloc_{name}: 0 allocations over 1000 rip-up/commit cycles");
+}
+
+/// Prints the prefix-cache counter snapshot for a fixed 1000-cycle
+/// rip-up/commit workload (the numbers recorded in BENCH_kernel.json).
+fn print_prefix_counters(name: &str, channels: u16, grids: u16) {
+    let mut costs = surface(channels, grids);
+    let conns = connections(channels, grids);
+    for _ in 0..1000 {
+        for &k in &conns {
+            let e = best_route(&costs, k, 1);
+            costs.add_route(&e.route);
+            costs.remove_route(&e.route);
+        }
+    }
+    let s = costs.prefix_stats();
+    eprintln!(
+        "prefix_counters_{name}: hits={} rebuilds={} patches={} invalidations={} fallbacks={}",
+        s.hits, s.rebuilds, s.patches, s.invalidations, s.fallbacks
+    );
+}
+
 fn bench_surface(c: &mut Criterion, name: &str, channels: u16, grids: u16) {
     let costs = surface(channels, grids);
     let conns = connections(channels, grids);
@@ -120,9 +221,29 @@ fn bench_surface(c: &mut Criterion, name: &str, channels: u16, grids: u16) {
             black_box(acc)
         })
     });
+
+    c.bench_function(&format!("kernel_{name}_ripup_commit_scratch"), |b| {
+        let mut costs = surface(channels, grids);
+        let routes = winners(&costs, &conns);
+        let mut segs: Vec<Segment> = Vec::with_capacity(8);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (r, &k) in routes.iter().zip(&conns) {
+                segs.clear();
+                acc += best_route_into(&costs, k, 1, &mut segs).cost;
+                costs.add_route(r);
+                costs.remove_route(r);
+            }
+            black_box(acc)
+        })
+    });
 }
 
 fn bench(c: &mut Criterion) {
+    for (name, channels, grids) in [("bnre", 10u16, 341u16), ("mdc", 12, 386)] {
+        assert_steady_state_cycle_allocates_nothing(name, channels, grids);
+        print_prefix_counters(name, channels, grids);
+    }
     bench_surface(c, "bnre", 10, 341);
     bench_surface(c, "mdc", 12, 386);
 }

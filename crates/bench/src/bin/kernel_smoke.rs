@@ -1,0 +1,168 @@
+//! CI smoke check for the evaluation-kernel write path.
+//!
+//! Usage: `cargo run --release -p locus-bench --bin kernel-smoke [BENCH_kernel.json]`
+//!
+//! Re-measures the `optimized_with_ripup_commit` workload (the span
+//! kernel plus an add/remove write pair per connection — the surface the
+//! incremental prefix-patching work optimizes) on both bench surfaces
+//! and fails (exit 1) if either regresses more than 25% against the
+//! numbers committed in `BENCH_kernel.json`.
+//!
+//! CI runners and the machine that produced the committed numbers run at
+//! different speeds, so the comparison is normalized: the eval-only
+//! `optimized` kernel is measured alongside and the ratio
+//! `measured_optimized / committed_optimized` divides the rip-up/commit
+//! measurement before the threshold applies. A uniformly slower machine
+//! cancels out; only a change in the *relative* cost of the write path
+//! trips the check.
+
+use locus_circuit::{GridCell, Pin};
+use locus_router::segment::Connection;
+use locus_router::twobend::best_route;
+use locus_router::CostArray;
+use std::time::Instant;
+
+const THRESHOLD: f64 = 1.25;
+const WARMUP: u32 = 200;
+const SAMPLES: usize = 500;
+
+/// The kernel bench's congested surface (keep in sync with
+/// `benches/kernel.rs`).
+fn surface(channels: u16, grids: u16) -> CostArray {
+    let mut costs = CostArray::new(channels, grids);
+    for c in 0..channels {
+        for x in 0..grids {
+            costs.set(GridCell::new(c, x), ((x as u32 * 7 + c as u32 * 3) % 5) as u16);
+        }
+    }
+    costs
+}
+
+/// The kernel bench's fixed 8-connection mix (keep in sync with
+/// `benches/kernel.rs`).
+fn connections(channels: u16, grids: u16) -> Vec<Connection> {
+    let g = grids as u32;
+    let top = channels - 1;
+    let pin = |c: u16, x: u32| Pin::new(c.min(top), x.min(g - 1) as u16);
+    vec![
+        Connection { from: pin(2, g * 30 / 100), to: pin(top - 2, g * 39 / 100) },
+        Connection { from: pin(0, g * 3 / 100), to: pin(top, g * 26 / 100) },
+        Connection { from: pin(3, g * 60 / 100), to: pin(5, g * 63 / 100) },
+        Connection { from: pin(1, g * 15 / 100), to: pin(top - 1, g * 50 / 100) },
+        Connection { from: pin(4, g * 88 / 100), to: pin(4, g - 1) },
+        Connection { from: pin(0, g * 73 / 100), to: pin(top, g * 73 / 100) },
+        Connection { from: pin(2, 0), to: pin(top - 2, g * 18 / 100) },
+        Connection {
+            from: pin(channels / 2, g * 35 / 100),
+            to: pin(channels / 2 + 1, g * 37 / 100),
+        },
+    ]
+}
+
+/// Median ns per `best_route` call for the eval-only workload.
+fn measure_eval(channels: u16, grids: u16) -> f64 {
+    let costs = surface(channels, grids);
+    let conns = connections(channels, grids);
+    let mut samples = Vec::with_capacity(SAMPLES);
+    let lap = |costs: &CostArray| {
+        let mut acc = 0u64;
+        for &k in &conns {
+            acc += best_route(costs, k, 1).cost;
+        }
+        std::hint::black_box(acc);
+    };
+    for _ in 0..WARMUP {
+        lap(&costs);
+    }
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        lap(&costs);
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    median(&mut samples) / conns.len() as f64
+}
+
+/// Median ns per `best_route` call for the eval + rip-up/commit cycle.
+fn measure_ripup_commit(channels: u16, grids: u16) -> f64 {
+    let mut costs = surface(channels, grids);
+    let conns = connections(channels, grids);
+    let mut samples = Vec::with_capacity(SAMPLES);
+    let mut lap = |costs: &mut CostArray| {
+        let mut acc = 0u64;
+        for &k in &conns {
+            let e = best_route(costs, k, 1);
+            acc += e.cost;
+            costs.add_route(&e.route);
+            costs.remove_route(&e.route);
+        }
+        std::hint::black_box(acc);
+    };
+    for _ in 0..WARMUP {
+        lap(&mut costs);
+    }
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        lap(&mut costs);
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    median(&mut samples) / conns.len() as f64
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Extracts `"field": <number>` from the surface object named `key` in
+/// the committed artifact. The scan is anchored at the surface key so a
+/// field name shared by both surfaces resolves to the right one.
+fn committed(json: &str, key: &str, field: &str) -> f64 {
+    let start = json
+        .find(&format!("\"{key}\""))
+        .unwrap_or_else(|| panic!("surface {key:?} not found in BENCH_kernel.json"));
+    let tail = &json[start..];
+    let f = tail
+        .find(&format!("\"{field}\""))
+        .unwrap_or_else(|| panic!("field {field:?} not found under surface {key:?}"));
+    let after = &tail[f..];
+    let colon = after.find(':').expect("malformed field");
+    let rest = after[colon + 1..].trim_start();
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end]
+        .trim()
+        .parse::<f64>()
+        .unwrap_or_else(|e| panic!("field {field:?} under {key:?} is not a number: {e}"))
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernel.json".to_string());
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+
+    let mut failed = false;
+    for (key, channels, grids) in [("bnre", 10u16, 341u16), ("mdc", 12, 386)] {
+        let committed_eval = committed(&json, key, "after_optimized_ns_per_call");
+        let committed_rc = committed(&json, key, "optimized_with_ripup_commit_ns_per_call");
+        let measured_eval = measure_eval(channels, grids);
+        let measured_rc = measure_ripup_commit(channels, grids);
+        let machine = measured_eval / committed_eval;
+        let normalized = measured_rc / machine;
+        let limit = committed_rc * THRESHOLD;
+        let verdict = if normalized <= limit { "ok" } else { "REGRESSED" };
+        println!(
+            "kernel-smoke {key}: ripup_commit measured {measured_rc:.0} ns/call \
+             (machine factor {machine:.2}x, normalized {normalized:.0}) \
+             vs committed {committed_rc:.0}, limit {limit:.0} -> {verdict}"
+        );
+        if normalized > limit {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!(
+            "kernel-smoke: optimized_with_ripup_commit regressed >25% vs {path}; \
+             fix the regression or re-run the kernel bench and update the artifact"
+        );
+        std::process::exit(1);
+    }
+    println!("kernel-smoke: write path within 25% of committed numbers");
+}

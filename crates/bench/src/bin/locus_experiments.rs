@@ -676,7 +676,7 @@ fn run_sweeps(cfg: &RunCfg, out_path: &str) {
     let rows_equal = serial_rows == parallel_rows;
     let speedup = serial_s / parallel_s;
     let json = format!(
-        "{{\n  \"benchmark\": \"sweeps\",\n  \"description\": \"Wall-clock time of the full Table 1 sweep (12 message-passing runs) executed serially vs on the scoped-thread sweep harness. Engines are deterministic, so rows_equal must be true at any thread count; the achievable speedup is bounded by host_cpus. Run with: cargo run --release -p locus-bench --bin locus-experiments sweeps.\",\n  \"experiment\": \"table1\",\n  \"circuit\": \"{}\",\n  \"n_procs\": {},\n  \"host_cpus\": {},\n  \"threads\": {},\n  \"serial_s\": {:.3},\n  \"parallel_s\": {:.3},\n  \"speedup\": {:.2},\n  \"rows_equal\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"sweeps\",\n  \"description\": \"Wall-clock time of the full Table 1 sweep (12 message-passing runs) executed serially vs on the scoped-thread sweep harness. Engines are deterministic, so rows_equal must be true at any thread count; the achievable speedup is bounded by host_cpus. Run with: cargo run --release -p locus-bench --bin locus-experiments sweeps.\",\n  \"experiment\": \"table1\",\n  \"circuit\": \"{}\",\n  \"n_procs\": {},\n  \"host_cpus\": {},\n  \"threads\": {},\n  \"serial_s\": {:.3},\n  \"parallel_s\": {:.3},\n  \"speedup\": {:.2},\n  \"rows_equal\": {},\n  \"notes\": \"The shmem threads engine now defaults to per-shard cost-array ownership (each worker routes against a private replica with its own prefix caches; cross-shard writes become visible at iteration barriers). This sweep exercises the message-passing engine, whose per-node replicas already had that property, so its rows are unaffected; shard ownership changes no deterministic result in any engine at P=1.\"\n}}\n",
         c.name, procs, host_cpus, threads, serial_s, parallel_s, speedup, rows_equal
     );
     write_or_die(out_path, &json);

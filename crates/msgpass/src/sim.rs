@@ -7,10 +7,8 @@ use locus_circuit::Circuit;
 use locus_mesh::{Kernel, NetStats};
 use locus_obs::{Event, EventKind, SharedSink, Sink};
 use locus_router::locality::{locality_measure, LocalityMeasure};
-use locus_router::router::route_wire_scratch;
-use locus_router::{
-    assign, CostArray, EvalScratch, ProcId, QualityMetrics, RegionMap, Route, WorkStats,
-};
+use locus_router::router::{route_wire_scratch, PooledScratch};
+use locus_router::{assign, CostArray, ProcId, QualityMetrics, RegionMap, Route, WorkStats};
 
 use crate::config::MsgPassConfig;
 use crate::node::{ReplicaSnapshot, RouterNode};
@@ -238,7 +236,7 @@ fn run_inner(
     for r in routes.iter().flatten() {
         landed.add_route(r);
     }
-    let mut scratch = EvalScratch::default();
+    let mut scratch = PooledScratch::take();
     let routes: Vec<Route> = routes
         .into_iter()
         .enumerate()

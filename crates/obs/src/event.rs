@@ -116,12 +116,28 @@ pub enum EventKind {
     KernelStats {
         /// Candidate routes examined over the whole run.
         candidates: u64,
-        /// Span queries answered from a valid prefix-sum cache line.
+        /// Span queries answered from a fully valid prefix-sum cache line.
         prefix_hits: u64,
-        /// Prefix-sum cache lines rebuilt on a dirty query.
+        /// Prefix-sum cache lines built cold (never materialized before).
         prefix_rebuilds: u64,
-        /// Cache-line invalidations caused by cost-array writes.
+        /// Prefix-sum cache lines incrementally patched past their
+        /// watermark instead of rebuilt.
+        prefix_patches: u64,
+        /// Watermark clamps caused by cost-array writes.
         prefix_invalidations: u64,
+        /// Row-maximum rescans forced by a write lowering the maximum.
+        prefix_fallbacks: u64,
+        /// Route evaluations that took the per-cell span fallback (the
+        /// view lacked fast spans); nonzero means the run was not on the
+        /// optimized kernel path.
+        percell_evals: u64,
+    },
+    /// First time in a run a route evaluation fell back to per-cell span
+    /// queries (emitted once so traced/instrumented runs cannot
+    /// masquerade as optimized ones).
+    PercellFallback {
+        /// Wire whose evaluation first took the fallback.
+        wire: u32,
     },
     /// The race analyser confirmed an unsynchronized conflicting access
     /// pair on a cost-array cell (one event per deduplicated race).
@@ -233,6 +249,7 @@ impl EventKind {
             EventKind::PhaseBegin { .. } => "PhaseBegin",
             EventKind::PhaseEnd { .. } => "PhaseEnd",
             EventKind::KernelStats { .. } => "KernelStats",
+            EventKind::PercellFallback { .. } => "PercellFallback",
             EventKind::RaceDetected { .. } => "RaceDetected",
             EventKind::ReplicaAudit { .. } => "ReplicaAudit",
             EventKind::FaultInjected { .. } => "FaultInjected",

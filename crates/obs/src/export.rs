@@ -110,12 +110,19 @@ pub fn chrome_trace(events: &[Event]) -> String {
                         candidates,
                         prefix_hits,
                         prefix_rebuilds,
+                        prefix_patches,
                         prefix_invalidations,
+                        prefix_fallbacks,
+                        percell_evals,
                     } => format!(
                         "{{\"candidates\":{candidates},\"prefix_hits\":{prefix_hits},\
                          \"prefix_rebuilds\":{prefix_rebuilds},\
-                         \"prefix_invalidations\":{prefix_invalidations}}}"
+                         \"prefix_patches\":{prefix_patches},\
+                         \"prefix_invalidations\":{prefix_invalidations},\
+                         \"prefix_fallbacks\":{prefix_fallbacks},\
+                         \"percell_evals\":{percell_evals}}}"
                     ),
+                    EventKind::PercellFallback { wire } => format!("{{\"wire\":{wire}}}"),
                     EventKind::RaceDetected { addr, wire, benign } => {
                         format!("{{\"addr\":{addr},\"wire\":{wire},\"benign\":{benign}}}")
                     }
@@ -240,6 +247,7 @@ fn glyph(kind: &EventKind) -> (char, u8) {
         EventKind::Invalidation { .. } => ('I', 2),
         EventKind::BusTransfer { .. } => ('B', 1),
         EventKind::KernelStats { .. } => ('K', 1),
+        EventKind::PercellFallback { .. } => ('P', 5),
         EventKind::AckSent { .. } => ('a', 1),
         EventKind::JobShed { .. } => ('L', 7),
         EventKind::JobRejected { .. } => ('r', 5),

@@ -54,10 +54,19 @@ pub mod names {
     pub const KERNEL_CANDIDATES: &str = "kernel_candidates";
     /// Span queries served from a valid prefix-sum cache line.
     pub const PREFIX_CACHE_HITS: &str = "prefix_cache_hits";
-    /// Prefix-sum cache lines rebuilt.
+    /// Prefix-sum cache lines built cold (never materialized before).
     pub const PREFIX_CACHE_REBUILDS: &str = "prefix_cache_rebuilds";
-    /// Prefix-sum cache lines invalidated by writes.
+    /// Prefix-sum cache lines incrementally patched past their watermark.
+    pub const PREFIX_CACHE_PATCHES: &str = "prefix_cache_patches";
+    /// Watermark clamps caused by cost-array writes.
     pub const PREFIX_CACHE_INVALIDATIONS: &str = "prefix_cache_invalidations";
+    /// Row-maximum rescans forced by a write lowering the maximum.
+    pub const PREFIX_CACHE_FALLBACKS: &str = "prefix_cache_fallbacks";
+    /// Route evaluations that took the per-cell span fallback.
+    pub const PERCELL_EVALS: &str = "percell_evals";
+    /// Runs that fell back to per-cell spans at least once (one per
+    /// `PercellFallback` event).
+    pub const PERCELL_FALLBACKS: &str = "percell_fallbacks";
     /// Unsynchronized conflicting access pairs confirmed by the analyser.
     pub const RACES_DETECTED: &str = "races_detected";
     /// Detected races classified as benign (same route either way).
@@ -329,12 +338,21 @@ impl Metrics {
                 candidates,
                 prefix_hits,
                 prefix_rebuilds,
+                prefix_patches,
                 prefix_invalidations,
+                prefix_fallbacks,
+                percell_evals,
             } => {
                 self.add(names::KERNEL_CANDIDATES, candidates);
                 self.add(names::PREFIX_CACHE_HITS, prefix_hits);
                 self.add(names::PREFIX_CACHE_REBUILDS, prefix_rebuilds);
+                self.add(names::PREFIX_CACHE_PATCHES, prefix_patches);
                 self.add(names::PREFIX_CACHE_INVALIDATIONS, prefix_invalidations);
+                self.add(names::PREFIX_CACHE_FALLBACKS, prefix_fallbacks);
+                self.add(names::PERCELL_EVALS, percell_evals);
+            }
+            EventKind::PercellFallback { .. } => {
+                self.add(names::PERCELL_FALLBACKS, 1);
             }
             EventKind::RaceDetected { benign, .. } => {
                 self.add(names::RACES_DETECTED, 1);

@@ -126,6 +126,12 @@ pub struct IterationDriver {
     work: WorkStats,
     occupancy_current: u64,
     occupancy_by_iteration: Vec<u64>,
+    /// Connections evaluated through the per-cell span fallback (kept out
+    /// of [`WorkStats`] so work ledgers stay comparable across engines
+    /// whose span paths legitimately differ).
+    percell_evals: u64,
+    /// Whether the one-time `PercellFallback` event has been emitted.
+    percell_flagged: bool,
 }
 
 impl IterationDriver {
@@ -138,6 +144,8 @@ impl IterationDriver {
             work: WorkStats::default(),
             occupancy_current: 0,
             occupancy_by_iteration: Vec::new(),
+            percell_evals: 0,
+            percell_flagged: false,
         }
     }
 
@@ -260,6 +268,16 @@ impl IterationDriver {
         cost_at_decision: u64,
         stamp: Stamp,
     ) -> Route {
+        if eval.percell_evals > 0 {
+            self.percell_evals += eval.percell_evals;
+            if !self.percell_flagged {
+                // One event per run: a traced/per-cell run announces itself
+                // the first time an evaluation skips the span kernel.
+                self.percell_flagged = true;
+                let at = self.resolve(stamp);
+                self.obs.emit(at, EventKind::PercellFallback { wire: wire as u32 });
+            }
+        }
         self.account(&eval, cost_at_decision);
         let at = self.resolve(stamp);
         self.obs
@@ -278,7 +296,10 @@ impl IterationDriver {
                     candidates: self.work.candidates,
                     prefix_hits: prefix.hits,
                     prefix_rebuilds: prefix.rebuilds,
+                    prefix_patches: prefix.patches,
                     prefix_invalidations: prefix.invalidations,
+                    prefix_fallbacks: prefix.fallbacks,
+                    percell_evals: self.percell_evals,
                 },
             );
         }
@@ -296,6 +317,11 @@ impl IterationDriver {
     /// Work performed so far.
     pub fn work(&self) -> &WorkStats {
         &self.work
+    }
+
+    /// Connections evaluated through the per-cell span fallback so far.
+    pub fn percell_evals(&self) -> u64 {
+        self.percell_evals
     }
 
     /// Occupancy accumulated in the (still open) current iteration.

@@ -1,5 +1,8 @@
 //! The reference sequential router and the shared per-wire routing step.
 
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
 use locus_circuit::{Circuit, Pin, Wire};
 use locus_obs::{NullSink, Sink};
 
@@ -26,6 +29,9 @@ pub struct WireEvaluation {
     pub cells_examined: u64,
     /// Number of two-pin connections.
     pub connections: u64,
+    /// Connections evaluated through the per-cell span fallback (the view
+    /// lacked [`CostView::fast_spans`]); 0 on the optimized kernel path.
+    pub percell_evals: u64,
 }
 
 /// Routes `wire` against `view`: decomposes it into two-pin connections,
@@ -37,19 +43,72 @@ pub struct WireEvaluation {
 /// node to its replica and delta array, the shared-memory emulator to the
 /// (instrumented) shared array.
 pub fn route_wire<V: CostView + ?Sized>(view: &V, wire: &Wire, overshoot: u16) -> WireEvaluation {
-    route_wire_scratch(view, wire, overshoot, &mut EvalScratch::default())
+    let mut scratch = PooledScratch::take();
+    route_wire_scratch(view, wire, overshoot, &mut scratch)
 }
 
 /// Reusable buffers for the routing kernel. Hold one per routing thread
 /// (or per message-passing node) and pass it to [`route_wire_scratch`]:
 /// after the first few wires the buffers reach steady-state capacity and
 /// the evaluation loop performs no allocations besides the winning
-/// [`Route`] itself.
+/// [`Route`] itself. [`PooledScratch`] hands out warm instances from a
+/// thread-local free list for callers without a natural place to park one.
 #[derive(Default)]
 pub struct EvalScratch {
     pins: Vec<Pin>,
     connections: Vec<Connection>,
     segments: Vec<Segment>,
+}
+
+thread_local! {
+    /// Per-thread free list of warmed-up [`EvalScratch`] buffers.
+    static SCRATCH_POOL: RefCell<Vec<EvalScratch>> = const { RefCell::new(Vec::new()) };
+}
+
+/// How many idle scratch buffers a thread keeps; beyond this, returned
+/// buffers are dropped (one per concurrent evaluation depth is plenty).
+const SCRATCH_POOL_CAP: usize = 8;
+
+/// A pooled [`EvalScratch`]: taken from the current thread's free list on
+/// [`PooledScratch::take`] and returned to it on drop, so repeated
+/// [`route_wire`] calls on one thread reuse steady-state buffers instead
+/// of reallocating them per call.
+pub struct PooledScratch {
+    inner: Option<EvalScratch>,
+}
+
+impl PooledScratch {
+    /// A warm scratch from this thread's pool (or a fresh one).
+    pub fn take() -> Self {
+        let inner = SCRATCH_POOL.with(|pool| pool.borrow_mut().pop()).unwrap_or_default();
+        PooledScratch { inner: Some(inner) }
+    }
+}
+
+impl Drop for PooledScratch {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.inner.take() {
+            SCRATCH_POOL.with(|pool| {
+                let mut pool = pool.borrow_mut();
+                if pool.len() < SCRATCH_POOL_CAP {
+                    pool.push(scratch);
+                }
+            });
+        }
+    }
+}
+
+impl Deref for PooledScratch {
+    type Target = EvalScratch;
+    fn deref(&self) -> &EvalScratch {
+        self.inner.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl DerefMut for PooledScratch {
+    fn deref_mut(&mut self) -> &mut EvalScratch {
+        self.inner.as_mut().expect("scratch present until drop")
+    }
 }
 
 /// [`route_wire`] with caller-provided scratch buffers; see
@@ -73,12 +132,16 @@ pub fn route_wire_scratch<V: CostView + ?Sized>(
         candidates += core.candidates as u64;
         cells_examined += core.cells_examined;
     }
+    let n_connections = connections.len() as u64;
     WireEvaluation {
         route: Route::from_segments(segments.clone()),
         cost,
         candidates,
         cells_examined,
-        connections: connections.len() as u64,
+        connections: n_connections,
+        // fast_spans is a per-view constant, so either every connection
+        // took the optimized span kernel or every one fell back.
+        percell_evals: if view.fast_spans() { 0 } else { n_connections },
     }
 }
 
@@ -130,7 +193,7 @@ impl<'a> SequentialRouter<'a> {
         let SequentialRouter { circuit, params, sink } = self;
         let mut cost = CostArray::new(circuit.channels, circuit.grids);
         let mut driver = IterationDriver::new(circuit.wire_count()).with_obs(ObsEmitter::new(sink));
-        let mut scratch = EvalScratch::default();
+        let mut scratch = PooledScratch::take();
 
         for _iteration in 0..params.iterations {
             driver.phase_begin(Stamp::WorkCells);

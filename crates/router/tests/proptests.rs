@@ -226,6 +226,12 @@ proptest! {
             prop_assert_eq!(cached.vertical_cost(x, 0, CHANNELS - 1), naive_v);
             let naive_max = (0..GRIDS).map(|xx| cached.get(GridCell::new(c, xx))).max().unwrap();
             prop_assert_eq!(cached.channel_tracks(c), naive_max);
+            // Patched prefix lines must be byte-identical to a fresh
+            // rebuild — `validate_prefix_caches` recomputes every valid
+            // prefix entry and row maximum from the cells and compares.
+            if let Err(e) = cached.validate_prefix_caches() {
+                prop_assert!(false, "cache divergence after op {}: {}", i, e);
+            }
         }
         // Final state: every span agrees with a fresh per-cell scan.
         for c in 0..CHANNELS {
@@ -240,6 +246,9 @@ proptest! {
             .map(|c| (0..GRIDS).map(|x| cached.get(GridCell::new(c, x))).max().unwrap() as u64)
             .sum();
         prop_assert_eq!(cached.circuit_height(), naive_height);
+        if let Err(e) = cached.validate_prefix_caches() {
+            prop_assert!(false, "final cache divergence: {}", e);
+        }
     }
 
     #[test]

@@ -27,8 +27,8 @@ use locus_circuit::{Circuit, GridCell, WireId};
 use locus_coherence::{MemRef, RefKind, Trace};
 use locus_obs::{NullSink, Sink};
 use locus_router::engine::{IterationDriver, ObsEmitter, Stamp, WireFeed};
-use locus_router::router::{route_wire_scratch, WireEvaluation};
-use locus_router::{CostArray, CostView, EvalScratch, ProcId, QualityMetrics, Route, WorkStats};
+use locus_router::router::{route_wire_scratch, PooledScratch, WireEvaluation};
+use locus_router::{CostArray, CostView, ProcId, QualityMetrics, Route, WorkStats};
 
 use crate::cell_addr;
 use crate::config::ShmemConfig;
@@ -152,9 +152,10 @@ impl<'a> ShmemEmulator<'a> {
             .map(|_| ProcState { clock: 0, pending: None, queue_pos: 0, at_barrier: false })
             .collect();
         // Logical processors are multiplexed on one OS thread, so one
-        // scratch serves them all; evaluation itself reads through the
-        // per-cell `TracedView` path, keeping the reference trace exact.
-        let mut scratch = EvalScratch::default();
+        // pooled scratch serves them all; evaluation itself reads through
+        // the per-cell `TracedView` path, keeping the reference trace
+        // exact.
+        let mut scratch = PooledScratch::take();
 
         for iteration in 0..cfg.params.iterations {
             let last_iteration = iteration + 1 == cfg.params.iterations;

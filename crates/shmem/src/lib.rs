@@ -27,6 +27,7 @@ pub mod config;
 pub mod emul;
 pub mod engine;
 pub mod parallel;
+pub(crate) mod shard;
 
 pub use config::{Scheduling, ShmemConfig};
 pub use emul::{ShmemEmulator, ShmemOutcome};

@@ -7,12 +7,20 @@
 //! distributed-loop shared counter or a static assignment, and processors
 //! meet at a barrier between iterations.
 //!
-//! Thread interleavings make runs nondeterministic, so this engine backs
-//! the wall-clock speedup demonstration only; all table values come from
-//! the deterministic emulator in [`crate::emul`]. Each thread routes
-//! through its own [`IterationDriver`] ledger (route slots live outside
-//! the drivers, shared under per-wire mutexes); ledgers are merged after
-//! the join.
+//! Thread interleavings make runs nondeterministic in the default
+//! distributed-loop schedule, so this engine backs the wall-clock
+//! speedup demonstration only; all table values come from the
+//! deterministic emulator in [`crate::emul`]. (Under a static assignment
+//! with shard ownership — see [`crate::shard`] — runs *are* bitwise
+//! repeatable at any thread count.) Each thread routes through its own
+//! [`IterationDriver`] ledger (route slots live outside the drivers,
+//! shared under per-wire mutexes); ledgers are merged after the join.
+//!
+//! Untraced runs default to **per-shard cost-array ownership**: each
+//! worker evaluates against a private replica with its own prefix caches
+//! (fast spans, no false sharing) refreshed from the shared atomic truth
+//! at iteration barriers. Traced runs keep the live per-cell shared-read
+//! path so the recorded reference stream stays byte-exact.
 
 use std::cell::{Cell, RefCell};
 use std::sync::Barrier;
@@ -22,61 +30,13 @@ use locus_circuit::{Circuit, GridCell};
 use locus_coherence::{MemRef, RefKind, Trace};
 use locus_obs::SharedSink;
 use locus_router::engine::{IterationDriver, ObsEmitter, Stamp, WireFeed};
-use locus_router::router::route_wire_scratch;
-use locus_router::{CostArray, CostView, EvalScratch, QualityMetrics, Route, WorkStats};
+use locus_router::router::{route_wire_scratch, PooledScratch};
+use locus_router::{CostArray, CostView, PrefixStats, QualityMetrics, Route, WorkStats};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU16, Ordering};
 
 use crate::cell_addr;
 use crate::config::ShmemConfig;
-
-/// The shared cost array in atomics; plain `Relaxed` loads and stores —
-/// the data-race-free Rust rendering of the paper's unlocked array.
-struct AtomicCostArray {
-    channels: u16,
-    grids: u16,
-    cells: Vec<AtomicU16>,
-}
-
-impl AtomicCostArray {
-    fn new(channels: u16, grids: u16) -> Self {
-        let n = channels as usize * grids as usize;
-        let mut cells = Vec::with_capacity(n);
-        cells.resize_with(n, || AtomicU16::new(0));
-        AtomicCostArray { channels, grids, cells }
-    }
-
-    #[inline]
-    fn index(&self, cell: GridCell) -> usize {
-        cell.channel as usize * self.grids as usize + cell.x as usize
-    }
-
-    fn add_route(&self, route: &Route) {
-        for &cell in route.cells() {
-            self.cells[self.index(cell)].fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    fn remove_route(&self, route: &Route) {
-        for &cell in route.cells() {
-            // Saturating decrement: a plain `fetch_sub` can wrap a cell
-            // that a concurrent rip-up already drove to zero all the way
-            // to 65535, poisoning every later cost evaluation. The RMW
-            // keeps the cell pinned at zero instead, and debug builds
-            // flag the occurrence (the race analyser classifies it as
-            // quality-affecting from the trace).
-            let prev = self.cells[self.index(cell)]
-                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)))
-                .expect("saturating decrement cannot fail");
-            debug_assert!(
-                prev != 0,
-                "rip-up underflow: channel {} x {} decremented past zero",
-                cell.channel,
-                cell.x
-            );
-        }
-    }
-}
+use crate::shard::{AtomicCostArray, ShardWorker};
 
 /// Wraps the shared atomic array with per-read trace recording for one
 /// thread. Reads go through the per-cell [`CostView::cost_at`] default
@@ -102,7 +62,7 @@ impl TracingView<'_> {
             MemRef::new(
                 self.now_ns(),
                 self.proc,
-                cell_addr(cell.channel, cell.x, self.inner.grids),
+                cell_addr(cell.channel, cell.x, self.inner.grids()),
                 RefKind::Write,
             )
             .with_epoch(self.epoch.get())
@@ -114,10 +74,10 @@ impl TracingView<'_> {
 
 impl CostView for TracingView<'_> {
     fn channels(&self) -> u16 {
-        self.inner.channels
+        self.inner.channels()
     }
     fn grids(&self) -> u16 {
-        self.inner.grids
+        self.inner.grids()
     }
     #[inline]
     fn cost_at(&self, cell: GridCell) -> u32 {
@@ -125,26 +85,13 @@ impl CostView for TracingView<'_> {
             MemRef::new(
                 self.now_ns(),
                 self.proc,
-                cell_addr(cell.channel, cell.x, self.inner.grids),
+                cell_addr(cell.channel, cell.x, self.inner.grids()),
                 RefKind::Read,
             )
             .with_epoch(self.epoch.get())
             .with_wire(self.wire.get()),
         );
         self.inner.cost_at(cell)
-    }
-}
-
-impl CostView for AtomicCostArray {
-    fn channels(&self) -> u16 {
-        self.channels
-    }
-    fn grids(&self) -> u16 {
-        self.grids
-    }
-    #[inline]
-    fn cost_at(&self, cell: GridCell) -> u32 {
-        self.cells[self.index(cell)].load(Ordering::Relaxed) as u32
     }
 }
 
@@ -211,6 +158,10 @@ impl<'a> ThreadedRouter<'a> {
         let barrier = Barrier::new(n_threads);
         let ledgers: Mutex<Vec<(WorkStats, Vec<u64>)>> = Mutex::new(Vec::new());
         let collect_trace = self.config.collect_trace;
+        // Traced runs must record the exact per-cell read stream, so they
+        // keep the live shared-read path; everything else evaluates
+        // against worker-owned replicas (see `crate::shard`).
+        let shard_ownership = self.config.shard_ownership && !collect_trace;
         let thread_traces: Mutex<Vec<Trace>> = Mutex::new(Vec::new());
 
         let start = Instant::now();
@@ -225,7 +176,9 @@ impl<'a> ThreadedRouter<'a> {
                 let circuit = self.circuit;
                 let obs = self.obs.clone();
                 scope.spawn(move || {
-                    let mut scratch = EvalScratch::default();
+                    let mut scratch = PooledScratch::take();
+                    let mut worker =
+                        shard_ownership.then(|| ShardWorker::new(circuit.channels, circuit.grids));
                     let emitter = match obs {
                         Some(sink) => ObsEmitter::new(Box::new(sink)),
                         None => ObsEmitter::disabled(),
@@ -246,6 +199,15 @@ impl<'a> ThreadedRouter<'a> {
                     };
                     for (iteration, feed) in feeds.iter().enumerate() {
                         traced.epoch.set(iteration as u32);
+                        if let Some(w) = worker.as_mut() {
+                            // Snapshot the shared truth — quiet here: the
+                            // previous iteration's exit barrier ordered
+                            // every write before this point — then meet
+                            // the other workers so nobody starts writing
+                            // while a snapshot is still being taken.
+                            w.refresh(shared);
+                            barrier.wait();
+                        }
                         let mut cursor = 0usize;
                         if t == 0 {
                             driver.phase_begin(now());
@@ -255,7 +217,10 @@ impl<'a> ThreadedRouter<'a> {
                             let mut slot = routes[wire_id].lock();
                             if let Some(old) = slot.take() {
                                 driver.rip_up_external(wire_id, &old, now());
-                                shared.remove_route(&old);
+                                match worker.as_mut() {
+                                    Some(w) => w.rip_up(shared, &old),
+                                    None => shared.remove_route(&old),
+                                }
                                 if collect_trace {
                                     for &cell in old.cells() {
                                         traced.record_write(cell, -1);
@@ -269,6 +234,13 @@ impl<'a> ThreadedRouter<'a> {
                                     overshoot,
                                     &mut scratch,
                                 )
+                            } else if let Some(w) = worker.as_ref() {
+                                route_wire_scratch(
+                                    &w.local,
+                                    circuit.wire(wire_id),
+                                    overshoot,
+                                    &mut scratch,
+                                )
                             } else {
                                 route_wire_scratch(
                                     shared,
@@ -278,11 +250,20 @@ impl<'a> ThreadedRouter<'a> {
                                 )
                             };
                             // Same occupancy definition as the other
-                            // engines: merged-route cost at routing time
-                            // (concurrent writes make this approximate,
-                            // like everything here).
-                            let at_decision = shared.route_cost(&eval.route);
-                            shared.add_route(&eval.route);
+                            // engines: merged-route cost at routing time.
+                            // A sharded worker prices against its own
+                            // replica (the view it decided on); otherwise
+                            // against the live shared array (concurrent
+                            // writes make that approximate, like
+                            // everything here).
+                            let at_decision = match worker.as_ref() {
+                                Some(w) => w.local.route_cost(&eval.route),
+                                None => shared.route_cost(&eval.route),
+                            };
+                            match worker.as_mut() {
+                                Some(w) => w.commit(shared, &eval.route),
+                                None => shared.add_route(&eval.route),
+                            }
                             if collect_trace {
                                 for &cell in eval.route.cells() {
                                     traced.record_write(cell, 1);
@@ -296,6 +277,11 @@ impl<'a> ThreadedRouter<'a> {
                         }
                         driver.close_iteration();
                     }
+                    let prefix = match worker.as_ref() {
+                        Some(w) => w.local.prefix_stats(),
+                        None => PrefixStats::default(),
+                    };
+                    driver.kernel_stats(now(), prefix);
                     ledgers.lock().push((*driver.work(), driver.occupancy_by_iteration().to_vec()));
                     if collect_trace {
                         thread_traces.lock().push(local.into_inner());
@@ -431,5 +417,31 @@ mod tests {
             .with_static_assignment(AssignmentStrategy::Locality { threshold_cost: Some(30) });
         let out = ThreadedRouter::new(&c, cfg).run();
         assert_eq!(out.routes.len(), c.wire_count());
+    }
+
+    #[test]
+    fn shard_ownership_with_static_assignment_is_deterministic() {
+        // Worker replicas only see other workers' routes at iteration
+        // barriers, so with a fixed wire assignment every decision is a
+        // function of the schedule alone — bitwise repeatable at any P.
+        let c = presets::small();
+        let cfg = ShmemConfig::new(4).with_static_assignment(AssignmentStrategy::RoundRobin);
+        let a = ThreadedRouter::new(&c, cfg).run();
+        let b = ThreadedRouter::new(&c, cfg).run();
+        assert_eq!(a.routes, b.routes);
+        assert_eq!(a.quality, b.quality);
+        assert_eq!(a.occupancy_by_iteration, b.occupancy_by_iteration);
+    }
+
+    #[test]
+    fn shard_ownership_can_be_disabled() {
+        let c = presets::small();
+        let out = ThreadedRouter::new(&c, ShmemConfig::new(2).without_shard_ownership()).run();
+        assert_eq!(out.routes.len(), c.wire_count());
+        let mut truth = CostArray::new(c.channels, c.grids);
+        for r in &out.routes {
+            truth.add_route(r);
+        }
+        assert_eq!(truth.circuit_height(), out.quality.circuit_height);
     }
 }
