@@ -87,7 +87,7 @@ fn measure_ripup_commit(channels: u16, grids: u16) -> f64 {
     let mut costs = surface(channels, grids);
     let conns = connections(channels, grids);
     let mut samples = Vec::with_capacity(SAMPLES);
-    let mut lap = |costs: &mut CostArray| {
+    let lap = |costs: &mut CostArray| {
         let mut acc = 0u64;
         for &k in &conns {
             let e = best_route(costs, k, 1);

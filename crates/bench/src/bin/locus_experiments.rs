@@ -6,9 +6,9 @@
 //! ```text
 //! locus-experiments <table1|table2|table3|table4|table5|table6|
 //!                    blocking|mixed|locality|speedup|compare|faults|
-//!                    serve|figure1|figure2|figure3|list|sweeps|all>
+//!                    serve|memory|figure1|figure2|figure3|list|sweeps|all>
 //!                   [--quick] [--threads N] [--out <file>]
-//!                   [--report <file>]
+//!                   [--report <file>] [--memory <backend>]
 //!                   [--trace-out <file>] [--metrics-out <file>]
 //! locus-experiments --engine <name> [--circuit <name>] [--procs N] [--quick]
 //! locus-experiments analyze [--engine <name>] [--procs N] [--quick]
@@ -30,7 +30,12 @@
 //! routing-as-a-service study — a seeded rush-hour workload swept from
 //! underload to past saturation under each backpressure policy — and
 //! writes the byte-identical `BENCH_service.json` (`--report` overrides
-//! the path). `--quick` shrinks
+//! the path). `memory` replays each circuit's shared-memory trace
+//! through every registered memory-system backend (bus-wbi, bus-wt,
+//! directory, dls) and writes `BENCH_memory.json`; `--memory <backend>`
+//! (alias `--protocol`) restricts the study to one backend, and on
+//! `table3` reruns the line-size sweep through that backend — e.g.
+//! `table3 --memory bus-wt` is the write-through ablation. `--quick` shrinks
 //! any experiment to a CI-sized configuration (small synthetic circuit,
 //! 4 processors) — `locus-experiments compare --quick` is the CI smoke
 //! step.
@@ -69,6 +74,9 @@ use locusroute::router::RouterParams;
 struct RunCfg {
     harness: Harness,
     quick: bool,
+    /// `--memory <backend>` (alias `--protocol`): restrict memory-system
+    /// experiments to one registered backend.
+    memory_backend: Option<String>,
 }
 
 impl RunCfg {
@@ -231,7 +239,17 @@ fn run_mixed(cfg: &RunCfg) {
 
 fn run_table3(cfg: &RunCfg) {
     let c = cfg.circuit();
-    let rows = table3(&cfg.harness, &c, cfg.procs(), &[4, 8, 16, 32]);
+    let (rows, protocol) = match &cfg.memory_backend {
+        Some(backend) => {
+            let rows =
+                table3_backend(&c, cfg.procs(), &[4, 8, 16, 32], backend).unwrap_or_else(|msg| {
+                    eprintln!("{msg}");
+                    std::process::exit(2);
+                });
+            (rows, backend.as_str())
+        }
+        None => (table3(&cfg.harness, &c, cfg.procs(), &[4, 8, 16, 32]), "WBI"),
+    };
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -243,7 +261,7 @@ fn run_table3(cfg: &RunCfg) {
             ]
         })
         .collect();
-    println!("Table 3: shared-memory traffic vs cache line size ({}, WBI)\n", cfg.setting());
+    println!("Table 3: shared-memory traffic vs cache line size ({}, {protocol})\n", cfg.setting());
     println!(
         "{}",
         render_table(
@@ -523,6 +541,74 @@ fn run_serve_known(cfg: &RunCfg) {
     run_serve(cfg, None);
 }
 
+/// `memory`: the memory-system backend study — every registered backend
+/// replays the same per-circuit shared-memory trace over the same mesh
+/// machine. `--memory <backend>` restricts the table to one backend;
+/// `report_out = Some(path)` writes `BENCH_memory.json`.
+fn run_memory(cfg: &RunCfg, report_out: Option<String>) {
+    use locus_coherence::memory_registry;
+    let a = cfg.circuit();
+    let b = cfg.circuit2();
+    let mut rows = memory_study(&cfg.harness, &[&a, &b], cfg.procs(), MEMORY_STUDY_LINE_SIZE);
+    if let Some(backend) = &cfg.memory_backend {
+        if !memory_registry().iter().any(|e| e.name == backend.as_str()) {
+            let known: Vec<&str> = memory_registry().iter().map(|e| e.name).collect();
+            eprintln!("unknown memory backend {backend:?}; expected one of {known:?}");
+            std::process::exit(2);
+        }
+        rows.retain(|r| r.backend == backend.as_str());
+    }
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.circuit.clone(),
+                r.backend.to_string(),
+                format!("{:.2}", r.mbytes),
+                format!("{:.0}%", r.write_fraction * 100.0),
+                format!("{}", r.coherence_events),
+                format!("{:.2}", r.inval_mbytes),
+                format!("{:.3}", r.fifo_wait_ns as f64 / 1.0e6),
+                format!("{:.0}", r.fifo_critical_mean_ns),
+                format!("{:.0}", r.prio_critical_mean_ns),
+                format!("{:.3}", r.critical_wait_saved_ns as f64 / 1.0e6),
+            ]
+        })
+        .collect();
+    println!(
+        "Memory-system backends: identical traces, {}-byte lines ({} procs)\n",
+        MEMORY_STUDY_LINE_SIZE,
+        cfg.procs()
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Ckt.",
+                "backend",
+                "MBytes",
+                "wr-caused",
+                "coh. events",
+                "inval MB",
+                "FIFO wait (ms)",
+                "crit ns (FIFO)",
+                "crit ns (prio)",
+                "saved (ms)",
+            ],
+            &data
+        )
+    );
+    if let Some(path) = report_out {
+        write_or_die(&path, &memory_report_json(&rows, cfg.procs(), MEMORY_STUDY_LINE_SIZE));
+        println!("memory: wrote {path}");
+    }
+}
+
+/// [`run_memory`] adapter for the `all` sequence (no report file).
+fn run_memory_known(cfg: &RunCfg) {
+    run_memory(cfg, None);
+}
+
 fn run_compare(cfg: &RunCfg) {
     let c = cfg.circuit();
     let rows = compare_paradigms(&cfg.harness, &c, cfg.procs());
@@ -546,6 +632,10 @@ fn run_list() {
     }
     println!("\nengines (--engine <name>):");
     for e in registry() {
+        println!("  {:<17} {}", e.name, e.summary);
+    }
+    println!("\nmemory backends (--memory <name>):");
+    for e in locus_coherence::memory_registry() {
         println!("  {:<17} {}", e.name, e.summary);
     }
 }
@@ -844,6 +934,7 @@ const KNOWN: &[(&str, fn(&RunCfg))] = &[
     ("contention", run_contention),
     ("faults", run_faults_known),
     ("serve", run_serve_known),
+    ("memory", run_memory_known),
 ];
 
 fn main() {
@@ -870,11 +961,14 @@ fn main() {
     });
     let out_path = take_flag(&mut args, "--out").unwrap_or_else(|| "BENCH_sweeps.json".to_string());
     let report_out = take_flag(&mut args, "--report");
+    let memory_backend =
+        take_flag(&mut args, "--memory").or_else(|| take_flag(&mut args, "--protocol"));
     let quick = take_switch(&mut args, "--quick");
     if let Some(bad) = args.iter().find(|a| a.starts_with("--")) {
         eprintln!(
             "unknown flag {bad}; expected --quick, --threads N, --engine NAME, --circuit NAME, \
-             --procs N, --out FILE, --report FILE, --trace-out FILE or --metrics-out FILE"
+             --procs N, --out FILE, --report FILE, --memory BACKEND, --trace-out FILE or \
+             --metrics-out FILE"
         );
         std::process::exit(2);
     }
@@ -882,7 +976,7 @@ fn main() {
         Some(n) => Harness::with_threads(n),
         None => Harness::auto(),
     };
-    let cfg = RunCfg { harness, quick };
+    let cfg = RunCfg { harness, quick, memory_backend };
 
     if circuit_name.is_some()
         && (engine_name.is_none() || args.first().map(String::as_str) == Some("analyze"))
@@ -910,6 +1004,10 @@ fn main() {
             let path = report_out.unwrap_or_else(|| "BENCH_service.json".to_string());
             run_serve(&cfg, Some(path));
         }
+        "memory" => {
+            let path = report_out.unwrap_or_else(|| "BENCH_memory.json".to_string());
+            run_memory(&cfg, Some(path));
+        }
         "sweeps" => run_sweeps(&cfg, &out_path),
         "figure1" => print!("{}", figure1()),
         "figure2" => print!("{}", figure2(4)),
@@ -929,7 +1027,7 @@ fn main() {
                 eprintln!(
                     "unknown experiment {other:?}; expected one of table1..table6, blocking, \
                      mixed, locality, speedup, compare, structures, overshoot, contention, \
-                     faults, serve, figure1..figure3, list, sweeps, analyze, all"
+                     faults, serve, memory, figure1..figure3, list, sweeps, analyze, all"
                 );
                 std::process::exit(2);
             }

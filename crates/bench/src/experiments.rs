@@ -11,7 +11,10 @@
 
 use crate::sweep::Harness;
 use locus_circuit::Circuit;
-use locus_coherence::{traffic_by_line_size, Trace};
+use locus_coherence::{
+    memory_registry, traffic_by_backend, traffic_by_line_size, MemoryConfig, MemoryModelEntry,
+    MemoryOutcome, Trace,
+};
 use locus_msgpass::{
     run_msgpass, run_msgpass_observed, MsgPassConfig, MsgPassOutcome, PacketStructure,
     UpdateSchedule,
@@ -205,6 +208,140 @@ pub fn table3(
             invalidations: stats.invalidations,
         }
     })
+}
+
+/// **Table 3 generalized** — the same line-size sweep replayed through
+/// one registered memory backend ([`traffic_by_backend`]). With
+/// `backend = "bus-wbi"` the rows are byte-identical to [`table3`];
+/// `"bus-wt"` is the write-through ablation the CLI's `--memory` flag
+/// exposes.
+pub fn table3_backend(
+    circuit: &Circuit,
+    n_procs: usize,
+    line_sizes: &[u32],
+    backend: &str,
+) -> Result<Vec<LineSizeRow>, String> {
+    let trace = shared_memory_trace(circuit, n_procs);
+    let rows = traffic_by_backend(backend, &trace, line_sizes)?;
+    Ok(rows
+        .into_iter()
+        .map(|(line_size, out)| LineSizeRow {
+            line_size,
+            mbytes: out.stats.mbytes(),
+            write_fraction: out.stats.write_fraction(),
+            invalidations: out.stats.invalidations,
+        })
+        .collect())
+}
+
+/// A row of the memory-system backend study: one registered backend
+/// replaying one circuit's shared-memory trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemoryRow {
+    /// Circuit name.
+    pub circuit: String,
+    /// Registered backend name (`bus-wbi`, `bus-wt`, `directory`, `dls`).
+    pub backend: &'static str,
+    /// Megabytes of protocol data traffic.
+    pub mbytes: f64,
+    /// Fraction of bytes caused by writes.
+    pub write_fraction: f64,
+    /// Invalidations + refetches (0 for `dls`).
+    pub coherence_events: u64,
+    /// Megabytes of invalidation transport (bus rows price a broadcast,
+    /// directory rows unicast point-to-point, `dls` sends none).
+    pub inval_mbytes: f64,
+    /// Total queueing wait under FIFO service, all requests (ns).
+    pub fifo_wait_ns: u64,
+    /// Mean wait of critical (rip-up/commit) requests under FIFO (ns).
+    pub fifo_critical_mean_ns: f64,
+    /// Mean wait of critical requests under critical-first service (ns).
+    pub prio_critical_mean_ns: f64,
+    /// Total critical wait removed by critical-first service (ns).
+    pub critical_wait_saved_ns: u64,
+}
+
+fn memory_row(circuit: String, out: &MemoryOutcome) -> MemoryRow {
+    MemoryRow {
+        circuit,
+        backend: out.backend,
+        mbytes: out.stats.mbytes(),
+        write_fraction: out.stats.write_fraction(),
+        coherence_events: out.coherence_events(),
+        inval_mbytes: out.invalidation_traffic_bytes as f64 / 1.0e6,
+        fifo_wait_ns: out.fifo.all().total_wait_ns,
+        fifo_critical_mean_ns: out.fifo.critical.mean_wait_ns(),
+        prio_critical_mean_ns: out.critical_first.critical.mean_wait_ns(),
+        critical_wait_saved_ns: out.critical_wait_saved_ns(),
+    }
+}
+
+/// The cache line size the memory study prices every backend at (the
+/// paper's Table 3 headline point).
+pub const MEMORY_STUDY_LINE_SIZE: u32 = 8;
+
+/// **Memory-system study** — every backend in [`memory_registry`] replays
+/// the *same* shared-memory reference trace per circuit (one traced
+/// emulator run each, so all backends see byte-identical input) priced
+/// over the same mesh machine. Reports protocol data traffic,
+/// invalidation transport (broadcast vs point-to-point vs none), and
+/// FIFO vs criticality-aware queueing of the rip-up/commit requests.
+pub fn memory_study(
+    harness: &Harness,
+    circuits: &[&Circuit],
+    n_procs: usize,
+    line_size: u32,
+) -> Vec<MemoryRow> {
+    let mut rows = Vec::new();
+    for &circuit in circuits {
+        let trace = shared_memory_trace(circuit, n_procs);
+        let entries: Vec<&'static MemoryModelEntry> = memory_registry().iter().collect();
+        rows.extend(harness.map(entries, |entry| {
+            let model = (entry.build)(MemoryConfig::paper(n_procs as u32, line_size));
+            memory_row(circuit.name.clone(), &model.run(&trace))
+        }));
+    }
+    rows
+}
+
+/// Machine-readable JSON for the memory study (`memory --report`,
+/// committed as `BENCH_memory.json`).
+pub fn memory_report_json(rows: &[MemoryRow], procs: usize, line_size: u32) -> String {
+    let mut out = String::with_capacity(512 + rows.len() * 256);
+    out.push_str("{\n");
+    out.push_str(
+        "  \"description\": \"Every registered memory-system backend replaying the same \
+         shared-memory reference trace per circuit (infinite caches, so all traffic is \
+         coherence traffic). mbytes is protocol data traffic; inval_mbytes prices the \
+         invalidation transport (bus rows broadcast, directory rows unicast, dls none). \
+         The *_wait columns resolve the identical request log through FIFO and \
+         critical-first service: critical requests are the router's rip-up/commit stores. \
+         Regenerate with: cargo run --release -p locus-bench --bin locus-experiments memory\",\n",
+    );
+    out.push_str(&format!("  \"procs\": {procs},\n"));
+    out.push_str(&format!("  \"line_size\": {line_size},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"circuit\": \"{}\", \"backend\": \"{}\", \"mbytes\": {:.6}, \
+             \"write_fraction\": {:.4}, \"coherence_events\": {}, \"inval_mbytes\": {:.6}, \
+             \"fifo_wait_ns\": {}, \"fifo_critical_mean_ns\": {:.1}, \
+             \"prio_critical_mean_ns\": {:.1}, \"critical_wait_saved_ns\": {}}}{}\n",
+            r.circuit,
+            r.backend,
+            r.mbytes,
+            r.write_fraction,
+            r.coherence_events,
+            r.inval_mbytes,
+            r.fifo_wait_ns,
+            r.fifo_critical_mean_ns,
+            r.prio_critical_mean_ns,
+            r.critical_wait_saved_ns,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// A Table 4 row: message-passing locality sweep.
@@ -795,6 +932,58 @@ mod tests {
                 r.line_size,
                 r.write_fraction
             );
+        }
+    }
+
+    #[test]
+    fn table3_backend_bus_wbi_matches_table3_and_bus_wt_is_reachable() {
+        let c = presets::small();
+        let legacy = table3(&h(), &c, QUICK_PROCS, &[4, 8, 32]);
+        let wbi = table3_backend(&c, QUICK_PROCS, &[4, 8, 32], "bus-wbi").expect("registered");
+        assert_eq!(legacy, wbi, "bus-wbi sweep must be byte-identical to the legacy Table 3");
+        let wt = table3_backend(&c, QUICK_PROCS, &[8], "bus-wt").expect("registered");
+        assert!(
+            wt[0].mbytes > wbi[1].mbytes,
+            "write-through pays a bus word on every store, so it must out-traffic WBI: \
+             {} vs {}",
+            wt[0].mbytes,
+            wbi[1].mbytes
+        );
+        assert!(table3_backend(&c, QUICK_PROCS, &[8], "nope").is_err());
+    }
+
+    #[test]
+    fn memory_study_covers_every_backend_and_priority_never_hurts_critical() {
+        let c = presets::small();
+        let rows = memory_study(&h(), &[&c], QUICK_PROCS, MEMORY_STUDY_LINE_SIZE);
+        assert_eq!(rows.len(), locus_coherence::memory_registry().len());
+        let by = |name: &str| rows.iter().find(|r| r.backend == name).unwrap();
+        // WBI-semantics backends agree on data traffic; transport differs.
+        assert_eq!(by("bus-wbi").mbytes, by("directory").mbytes);
+        assert!(by("directory").inval_mbytes <= by("bus-wbi").inval_mbytes);
+        // DLS caches nothing, so it has no coherence events or
+        // invalidation transport at all.
+        assert_eq!(by("dls").coherence_events, 0);
+        assert_eq!(by("dls").inval_mbytes, 0.0);
+        for r in &rows {
+            assert!(
+                r.prio_critical_mean_ns <= r.fifo_critical_mean_ns,
+                "{}: critical-first must not slow critical requests: {r:?}",
+                r.backend
+            );
+        }
+        let again = memory_study(&h(), &[&c], QUICK_PROCS, MEMORY_STUDY_LINE_SIZE);
+        assert_eq!(rows, again, "the study must be exactly reproducible");
+    }
+
+    #[test]
+    fn memory_report_json_is_valid_and_names_every_backend() {
+        let c = presets::tiny();
+        let rows = memory_study(&h(), &[&c], QUICK_PROCS, MEMORY_STUDY_LINE_SIZE);
+        let json = memory_report_json(&rows, QUICK_PROCS, MEMORY_STUDY_LINE_SIZE);
+        locus_obs::export::validate_json(&json).expect("report must be valid JSON");
+        for e in locus_coherence::memory_registry() {
+            assert!(json.contains(e.name), "report must mention {}", e.name);
         }
     }
 

@@ -1,16 +1,45 @@
-//! Trace analyses: the line-size sweep of Table 3.
+//! Trace analyses: the line-size sweep of Table 3, for the legacy WBI
+//! bus and for any registered memory backend.
 
+use crate::model::{build_memory_model, MemoryConfig, MemoryOutcome};
 use crate::protocol::{CoherenceConfig, CoherenceSim, TrafficStats};
 use crate::trace::Trace;
 
 /// Runs the WBI protocol over `trace` once per line size and returns
 /// `(line_size, stats)` pairs — the rows of Table 3.
+///
+/// This is the paper's original sweep and stays pinned to the snooped
+/// WBI bus; [`traffic_by_backend`] generalizes it to any registered
+/// backend with byte-identical results for `bus-wbi`.
 pub fn traffic_by_line_size(trace: &Trace, line_sizes: &[u32]) -> Vec<(u32, TrafficStats)> {
     line_sizes
         .iter()
         .map(|&ls| {
             let stats = CoherenceSim::new(CoherenceConfig::with_line_size(ls)).run(trace);
             (ls, stats)
+        })
+        .collect()
+}
+
+/// Runs the registered backend `backend` over `trace` once per line size
+/// and returns `(line_size, outcome)` rows — Table 3 generalized to any
+/// memory system. The processor count is taken from the trace (largest
+/// referencing processor + 1), so identical traces are priced over
+/// identical machines regardless of backend.
+///
+/// Returns an error naming the known backends when `backend` is not
+/// registered.
+pub fn traffic_by_backend(
+    backend: &str,
+    trace: &Trace,
+    line_sizes: &[u32],
+) -> Result<Vec<(u32, MemoryOutcome)>, String> {
+    let n_procs = trace.refs().iter().map(|r| r.proc + 1).max().unwrap_or(1);
+    line_sizes
+        .iter()
+        .map(|&ls| {
+            let model = build_memory_model(backend, MemoryConfig::paper(n_procs, ls))?;
+            Ok((ls, model.run(trace)))
         })
         .collect()
 }
@@ -73,6 +102,31 @@ mod tests {
         let rows = traffic_by_line_size(&Trace::new(), &[4, 8]);
         for (_, stats) in rows {
             assert_eq!(stats.total_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn backend_sweep_on_bus_wbi_matches_the_legacy_sweep() {
+        let trace = churn_trace();
+        let legacy = traffic_by_line_size(&trace, &[4, 8, 16, 32]);
+        let general = traffic_by_backend("bus-wbi", &trace, &[4, 8, 16, 32]).expect("registered");
+        assert_eq!(legacy.len(), general.len());
+        for ((ls_a, stats), (ls_b, outcome)) in legacy.iter().zip(general.iter()) {
+            assert_eq!(ls_a, ls_b);
+            assert_eq!(*stats, outcome.stats, "line {ls_a}");
+        }
+    }
+
+    #[test]
+    fn backend_sweep_rejects_unknown_backends() {
+        assert!(traffic_by_backend("nope", &churn_trace(), &[8]).is_err());
+    }
+
+    #[test]
+    fn dls_rows_are_flat_across_line_sizes() {
+        let rows = traffic_by_backend("dls", &churn_trace(), &[4, 8, 16, 32]).expect("registered");
+        for w in rows.windows(2) {
+            assert_eq!(w[0].1.stats.total_bytes, w[1].1.stats.total_bytes);
         }
     }
 }

@@ -18,11 +18,24 @@
 //!    why the paper measures >80% of bytes as write-caused.
 //!
 //! [`analyze::traffic_by_line_size`] reproduces Table 3's line-size sweep.
+//!
+//! The WBI bus is one backend of several: the [`model`] module holds the
+//! [`model::MemoryModel`] trait and a name→constructor registry with the
+//! snooped bus (`bus-wbi`, `bus-wt`), a directory-based MSI protocol
+//! (`directory`), and a directoryless shared LLC (`dls`), all priced over
+//! the mesh machine with FIFO and criticality-aware contention.
 
 pub mod analyze;
+pub mod model;
 pub mod protocol;
 pub mod trace;
 
-pub use analyze::traffic_by_line_size;
-pub use protocol::{CoherenceConfig, CoherenceSim, Protocol, TrafficStats};
-pub use trace::{MemRef, RefKind, Trace};
+pub use analyze::{traffic_by_backend, traffic_by_line_size};
+pub use model::{
+    build_memory_model, memory_registry, model_for_config, BusModel, DirectoryModel, DlsModel,
+    MemoryConfig, MemoryModel, MemoryModelEntry, MemoryOutcome, ProcCounts,
+};
+pub use protocol::{
+    CoherenceConfig, CoherenceSim, DirectoryParams, DlsParams, Protocol, TrafficStats,
+};
+pub use trace::{Criticality, MemRef, RefKind, Trace};

@@ -7,12 +7,58 @@ use locus_obs::{Event as ObsEvent, EventKind as ObsKind, NullSink, Sink};
 
 use crate::trace::{RefKind, Trace};
 
-/// The coherence protocol family to simulate.
+/// Parameters of the directory-based MSI backend: line state lives at an
+/// address-interleaved *home node* which unicasts invalidations to the
+/// actual holders instead of broadcasting on a snooped bus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DirectoryParams {
+    /// Number of home nodes the directory is interleaved over; home `h`
+    /// lives on mesh node `h % n_nodes`. Usually the processor count
+    /// (one directory slice per tile).
+    pub home_tiles: u32,
+}
+
+impl DirectoryParams {
+    /// One directory slice per processor tile.
+    pub fn per_tile(n_procs: u32) -> Self {
+        assert!(n_procs > 0, "directory needs at least one home tile");
+        DirectoryParams { home_tiles: n_procs }
+    }
+}
+
+impl Default for DirectoryParams {
+    fn default() -> Self {
+        DirectoryParams::per_tile(16)
+    }
+}
+
+/// Parameters of the DLS-style directoryless shared LLC (arXiv:1206.4753):
+/// shared data is never privately cached — every access goes to the
+/// line's address-interleaved home tile, so no invalidations or refetches
+/// ever happen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DlsParams {
+    /// Consecutive lines mapped to the same home tile before the
+    /// interleaving moves to the next (1 = line-granular interleaving).
+    pub interleave_lines: u32,
+}
+
+impl Default for DlsParams {
+    fn default() -> Self {
+        DlsParams { interleave_lines: 1 }
+    }
+}
+
+/// The coherence protocol family to simulate. Backend-specific knobs
+/// travel inside the variant, so adding a backend never grows unrelated
+/// flat fields on [`CoherenceConfig`].
 ///
 /// The paper evaluates Write-Back-with-Invalidate (citing Archibald &
 /// Baer's comparative study); the write-through variant is provided as an
 /// ablation — it is the other classic point in that study's design space
 /// and shows why write-back was the sensible choice for this workload.
+/// The directory and DLS variants are serviced by the [`crate::model`]
+/// registry, not by the bus simulator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Protocol {
     /// Write-Back with Invalidate: first write to a clean line announces
@@ -23,6 +69,31 @@ pub enum Protocol {
     /// Write-through: *every* write puts a word on the bus and
     /// invalidates other copies; lines are never dirty.
     WriteThrough,
+    /// Directory-based MSI: WBI line semantics, but invalidations are
+    /// unicast from the line's home node to the actual holders.
+    Directory(DirectoryParams),
+    /// Directoryless shared LLC: no private copies of shared lines, every
+    /// access is a word transfer to the line's home tile.
+    DirectorylessLlc(DlsParams),
+}
+
+impl Protocol {
+    /// Whether the protocol runs on the snooped bus simulator
+    /// ([`CoherenceSim`]); the other variants need the mesh-priced
+    /// backends in [`crate::model`].
+    pub fn is_bus(&self) -> bool {
+        matches!(self, Protocol::WriteBackInvalidate | Protocol::WriteThrough)
+    }
+
+    /// The registry name of the backend that services this protocol.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            Protocol::WriteBackInvalidate => "bus-wbi",
+            Protocol::WriteThrough => "bus-wt",
+            Protocol::Directory(_) => "directory",
+            Protocol::DirectorylessLlc(_) => "dls",
+        }
+    }
 }
 
 /// Protocol parameters.
@@ -47,6 +118,18 @@ impl CoherenceConfig {
     /// Switches to the write-through ablation protocol.
     pub fn write_through(mut self) -> Self {
         self.protocol = Protocol::WriteThrough;
+        self
+    }
+
+    /// Switches to the directory-based MSI protocol.
+    pub fn directory(mut self, params: DirectoryParams) -> Self {
+        self.protocol = Protocol::Directory(params);
+        self
+    }
+
+    /// Switches to the directoryless shared-LLC protocol.
+    pub fn dls(mut self, params: DlsParams) -> Self {
+        self.protocol = Protocol::DirectorylessLlc(params);
         self
     }
 }
@@ -120,7 +203,16 @@ pub struct CoherenceSim {
 
 impl CoherenceSim {
     /// Creates a simulator.
+    ///
+    /// # Panics
+    /// Panics if `config.protocol` is not a bus protocol — the directory
+    /// and DLS variants are serviced by [`crate::model::model_for_config`].
     pub fn new(config: CoherenceConfig) -> Self {
+        assert!(
+            config.protocol.is_bus(),
+            "CoherenceSim only simulates bus protocols; build `{}` via the model registry",
+            config.protocol.backend_name()
+        );
         CoherenceSim {
             config,
             lines: HashMap::new(),

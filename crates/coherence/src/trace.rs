@@ -20,6 +20,26 @@ pub enum RefKind {
     Write,
 }
 
+/// How urgently the memory system must service a reference.
+///
+/// The router's accesses split into two classes: rip-up/commit stores on
+/// the wire currently being routed gate every other processor's view of
+/// the cost array (the route decision is unusable until they land), while
+/// candidate-sweep loads are speculative, prefetch-like traffic — most
+/// candidates lose. Criticality-aware backends service [`Critical`]
+/// requests ahead of queued [`Background`] ones (arXiv:1606.05933).
+///
+/// [`Critical`]: Criticality::Critical
+/// [`Background`]: Criticality::Background
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+pub enum Criticality {
+    /// Speculative / streaming traffic; can absorb queueing delay.
+    #[default]
+    Background,
+    /// The issuing processor (and its readers) are blocked on this.
+    Critical,
+}
+
 /// One shared-data reference.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct MemRef {
@@ -41,6 +61,8 @@ pub struct MemRef {
     /// Signed value change applied by a write (+1 commit, -1 rip-up);
     /// zero for reads.
     pub delta: i8,
+    /// Service-priority class of the reference (see [`Criticality`]).
+    pub crit: Criticality,
 }
 
 impl MemRef {
@@ -50,7 +72,16 @@ impl MemRef {
     /// A reference with no synchronization context (epoch 0, no wire,
     /// zero delta) — the paper's minimal (time, proc, addr, kind) record.
     pub fn new(time: u64, proc: u32, addr: u32, kind: RefKind) -> Self {
-        MemRef { time, proc, addr, kind, epoch: 0, wire: Self::NO_WIRE, delta: 0 }
+        MemRef {
+            time,
+            proc,
+            addr,
+            kind,
+            epoch: 0,
+            wire: Self::NO_WIRE,
+            delta: 0,
+            crit: Criticality::Background,
+        }
     }
 
     /// Sets the barrier epoch.
@@ -69,6 +100,18 @@ impl MemRef {
     pub fn with_delta(mut self, delta: i8) -> Self {
         self.delta = delta;
         self
+    }
+
+    /// Sets the service-priority class.
+    pub fn with_criticality(mut self, crit: Criticality) -> Self {
+        self.crit = crit;
+        self
+    }
+
+    /// Whether the reference is service-critical.
+    #[inline]
+    pub fn is_critical(&self) -> bool {
+        self.crit == Criticality::Critical
     }
 }
 
@@ -227,10 +270,17 @@ mod tests {
         assert_eq!(plain.epoch, 0);
         assert_eq!(plain.wire, MemRef::NO_WIRE);
         assert_eq!(plain.delta, 0);
-        let full = plain.with_epoch(3).with_wire(17).with_delta(-1);
+        assert_eq!(plain.crit, Criticality::Background);
+        assert!(!plain.is_critical());
+        let full = plain
+            .with_epoch(3)
+            .with_wire(17)
+            .with_delta(-1)
+            .with_criticality(Criticality::Critical);
         assert_eq!(full.epoch, 3);
         assert_eq!(full.wire, 17);
         assert_eq!(full.delta, -1);
+        assert!(full.is_critical());
         // Builders leave the base triple untouched.
         assert_eq!((full.time, full.proc, full.addr, full.kind), (10, 1, 4, RefKind::Read));
     }

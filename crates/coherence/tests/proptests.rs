@@ -1,6 +1,10 @@
-//! Property-based tests for the WBI coherence model.
+//! Property-based tests for the WBI coherence model and the registered
+//! memory-system backends.
 
-use locus_coherence::{CoherenceConfig, CoherenceSim, MemRef, RefKind, Trace};
+use locus_coherence::{
+    build_memory_model, memory_registry, CoherenceConfig, CoherenceSim, Criticality, MemRef,
+    MemoryConfig, RefKind, Trace,
+};
 use proptest::prelude::*;
 
 fn arb_trace(max_procs: u32, max_addr: u32) -> impl Strategy<Value = Trace> {
@@ -108,5 +112,89 @@ proptest! {
         prop_assert_eq!(stats.line_fetches, pairs.len() as u64);
         prop_assert_eq!(stats.word_writes, 0);
         prop_assert_eq!(stats.write_caused_bytes, 0);
+    }
+
+    #[test]
+    fn every_backend_agrees_on_per_proc_counts(trace in arb_trace(6, 128), line in 0u32..3) {
+        // The backends disagree on traffic, never on what the processors
+        // did: per-processor read/write counts are a property of the
+        // trace alone.
+        let line_size = 4u32 << line;
+        let n_procs = trace.refs().iter().map(|r| r.proc + 1).max().unwrap_or(1);
+        let mut per_backend = Vec::new();
+        for e in memory_registry() {
+            let out = (e.build)(MemoryConfig::paper(n_procs, line_size)).run(&trace);
+            let reads: u64 = out.per_proc.iter().map(|p| p.reads).sum();
+            let writes: u64 = out.per_proc.iter().map(|p| p.writes).sum();
+            prop_assert_eq!(reads + writes, trace.len() as u64, "{}", e.name);
+            per_backend.push((e.name, out.per_proc));
+        }
+        for pair in per_backend.windows(2) {
+            prop_assert_eq!(
+                &pair[0].1, &pair[1].1,
+                "{} and {} disagree on per-proc counts", pair[0].0, pair[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn single_processor_traces_have_no_coherence_traffic_on_any_backend(
+        trace in arb_trace(1, 128),
+        line in 0u32..3,
+    ) {
+        // With one processor there is nobody to invalidate: every backend
+        // must report zero coherence events and zero invalidation
+        // transport, whatever the line size.
+        for e in memory_registry() {
+            let out = (e.build)(MemoryConfig::paper(1, 4u32 << line)).run(&trace);
+            prop_assert_eq!(out.coherence_events(), 0, "{}", e.name);
+            prop_assert_eq!(out.invalidation_traffic_bytes, 0, "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn directory_unicast_never_exceeds_bus_broadcast(
+        trace in arb_trace(8, 64),
+        line in 0u32..3,
+    ) {
+        // The directory sends each invalidation to the actual holders
+        // only; the bus broadcasts every announced write to all P-1
+        // other caches. Same line semantics, so data traffic is
+        // identical and the unicast transport can never cost more.
+        let line_size = 4u32 << line;
+        let n_procs = trace.refs().iter().map(|r| r.proc + 1).max().unwrap_or(1);
+        let cfg = MemoryConfig::paper(n_procs, line_size);
+        let bus = build_memory_model("bus-wbi", cfg).unwrap().run(&trace);
+        let dir = build_memory_model("directory", cfg).unwrap().run(&trace);
+        prop_assert_eq!(bus.stats.clone(), dir.stats.clone());
+        prop_assert!(dir.invalidation_traffic_bytes <= bus.invalidation_traffic_bytes);
+    }
+
+    #[test]
+    fn criticality_tags_affect_scheduling_not_traffic(
+        refs in proptest::collection::vec((0u32..6, 0u32..64, any::<bool>(), any::<bool>()), 1..300),
+    ) {
+        // Tagging requests critical reorders the service queue; it must
+        // never change what the memory system transfers, and
+        // critical-first service must never leave critical requests
+        // waiting longer than FIFO did.
+        let mut plain = Trace::new();
+        let mut tagged = Trace::new();
+        for (i, &(proc, addr, is_write, crit)) in refs.iter().enumerate() {
+            let kind = if is_write { RefKind::Write } else { RefKind::Read };
+            let r = MemRef::new(i as u64, proc, addr * 2, kind);
+            plain.push(r);
+            tagged.push(if crit { r.with_criticality(Criticality::Critical) } else { r });
+        }
+        for e in memory_registry() {
+            let a = (e.build)(MemoryConfig::paper(6, 8)).run(&plain);
+            let b = (e.build)(MemoryConfig::paper(6, 8)).run(&tagged);
+            prop_assert_eq!(a.stats.clone(), b.stats.clone(), "{}", e.name);
+            prop_assert_eq!(a.invalidation_traffic_bytes, b.invalidation_traffic_bytes);
+            prop_assert!(
+                b.critical_first.critical.total_wait_ns <= b.fifo.critical.total_wait_ns,
+                "{}: critical-first hurt critical requests", e.name
+            );
+        }
     }
 }

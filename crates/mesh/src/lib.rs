@@ -17,6 +17,7 @@
 //! statistics ([`NetStats`]) corresponding to the "MBytes Xfrd." and
 //! "Time (s)" columns of the paper's tables.
 
+pub mod arbiter;
 pub mod config;
 pub mod fault;
 pub mod kernel;
@@ -25,6 +26,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
+pub use arbiter::{Arbiter, ResolvedContention, ServicePolicy, ServiceRequest, WaitStats};
 pub use config::MeshConfig;
 pub use fault::{Fault, FaultInjector, FaultPlan, FaultScope};
 pub use kernel::{Kernel, SimOutcome};

@@ -40,6 +40,24 @@ impl Topology {
         Topology { rows, cols }
     }
 
+    /// The near-square mesh that holds `n` processors: rows is the
+    /// largest divisor of `n` that is ≤ √n (so 16 → 4×4, 12 → 3×4,
+    /// primes degrade to 1×n). Matches the region-tiling factorization
+    /// the shared-memory router uses, so memory backends price hops over
+    /// the same machine shape.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn for_procs(n: usize) -> Self {
+        assert!(n > 0, "mesh must hold at least one processor");
+        let mut rows = (n as f64).sqrt() as usize;
+        while rows > 1 && !n.is_multiple_of(rows) {
+            rows -= 1;
+        }
+        let rows = rows.max(1);
+        Topology::new(rows, n / rows)
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn n_nodes(&self) -> usize {
@@ -106,6 +124,19 @@ impl Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn for_procs_matches_region_tiling() {
+        assert_eq!(Topology::for_procs(1), Topology::new(1, 1));
+        assert_eq!(Topology::for_procs(4), Topology::new(2, 2));
+        assert_eq!(Topology::for_procs(6), Topology::new(2, 3));
+        assert_eq!(Topology::for_procs(12), Topology::new(3, 4));
+        assert_eq!(Topology::for_procs(16), Topology::new(4, 4));
+        assert_eq!(Topology::for_procs(7), Topology::new(1, 7));
+        for n in 1..=64 {
+            assert_eq!(Topology::for_procs(n).n_nodes(), n);
+        }
+    }
 
     #[test]
     fn coords_roundtrip() {

@@ -101,6 +101,18 @@ pub enum EventKind {
         /// Bytes moved.
         bytes: u32,
     },
+    /// A memory-system backend sent a request to a contended service
+    /// point (the bus, a directory home node, an LLC home tile).
+    MemRequest {
+        /// The service point the request queued on (bus = 0, otherwise a
+        /// home node/tile id).
+        resource: u32,
+        /// Payload bytes the request moves.
+        bytes: u32,
+        /// Whether the request is on the router's critical path (rip-up /
+        /// commit stores) rather than speculative sweep traffic.
+        critical: bool,
+    },
     /// A named phase (iteration, assignment, …) began on `Event::node`.
     PhaseBegin {
         /// Phase name; rendered as a duration slice in Chrome traces.
@@ -246,6 +258,7 @@ impl EventKind {
             EventKind::CacheMiss { .. } => "CacheMiss",
             EventKind::Invalidation { .. } => "Invalidation",
             EventKind::BusTransfer { .. } => "BusTransfer",
+            EventKind::MemRequest { .. } => "MemRequest",
             EventKind::PhaseBegin { .. } => "PhaseBegin",
             EventKind::PhaseEnd { .. } => "PhaseEnd",
             EventKind::KernelStats { .. } => "KernelStats",

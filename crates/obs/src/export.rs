@@ -106,6 +106,12 @@ pub fn chrome_trace(events: &[Event]) -> String {
                         format!("{{\"addr\":{addr},\"copies\":{copies}}}")
                     }
                     EventKind::BusTransfer { bytes } => format!("{{\"bytes\":{bytes}}}"),
+                    EventKind::MemRequest { resource, bytes, critical } => {
+                        format!(
+                            "{{\"resource\":{resource},\"bytes\":{bytes},\
+                             \"critical\":{critical}}}"
+                        )
+                    }
                     EventKind::KernelStats {
                         candidates,
                         prefix_hits,
@@ -246,6 +252,7 @@ fn glyph(kind: &EventKind) -> (char, u8) {
         EventKind::ReplicaAudit { .. } => ('A', 2),
         EventKind::Invalidation { .. } => ('I', 2),
         EventKind::BusTransfer { .. } => ('B', 1),
+        EventKind::MemRequest { .. } => ('m', 1),
         EventKind::KernelStats { .. } => ('K', 1),
         EventKind::PercellFallback { .. } => ('P', 5),
         EventKind::AckSent { .. } => ('a', 1),

@@ -46,6 +46,13 @@ pub mod names {
     pub const BUS_TRANSFERS: &str = "bus_transfers";
     /// Bytes moved on the bus (matches `TrafficStats::total_bytes`).
     pub const BUS_BYTES: &str = "bus_bytes";
+    /// Requests issued to memory-system service points (bus, directory
+    /// home nodes, LLC home tiles).
+    pub const MEM_REQUESTS: &str = "mem_requests";
+    /// Memory-system requests flagged critical (rip-up/commit stores).
+    pub const MEM_CRITICAL_REQUESTS: &str = "mem_critical_requests";
+    /// Payload bytes moved by memory-system requests.
+    pub const MEM_REQUEST_BYTES: &str = "mem_request_bytes";
     /// Phases begun.
     pub const PHASES_BEGUN: &str = "phases_begun";
     /// Phases ended.
@@ -129,6 +136,8 @@ pub mod hists {
     pub const SERVICE_MS: &str = "service_ms";
     /// Service queue depth observed at each admission.
     pub const JOB_QUEUE_DEPTH: &str = "job_queue_depth";
+    /// Payload bytes per memory-system request.
+    pub const MEM_REQUEST_BYTES: &str = "mem_request_bytes";
 }
 
 /// Number of log₂ buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
@@ -331,6 +340,14 @@ impl Metrics {
             EventKind::BusTransfer { bytes } => {
                 self.add(names::BUS_TRANSFERS, 1);
                 self.add(names::BUS_BYTES, bytes as u64);
+            }
+            EventKind::MemRequest { bytes, critical, .. } => {
+                self.add(names::MEM_REQUESTS, 1);
+                if critical {
+                    self.add(names::MEM_CRITICAL_REQUESTS, 1);
+                }
+                self.add(names::MEM_REQUEST_BYTES, bytes as u64);
+                self.record(hists::MEM_REQUEST_BYTES, bytes as u64);
             }
             EventKind::PhaseBegin { .. } => self.add(names::PHASES_BEGUN, 1),
             EventKind::PhaseEnd { .. } => self.add(names::PHASES_ENDED, 1),

@@ -16,6 +16,14 @@
 //! * processors meet at a **barrier** between iterations (§3: "processes
 //!   are blocked at a barrier until all the processors are finished").
 //!
+//! Trace criticality: rip-up and commit stores are tagged
+//! [`Criticality::Critical`] — they gate every other processor's view of
+//! the cost array and the wire's route decision is unusable until they
+//! land — while candidate-sweep evaluation reads stay
+//! [`Criticality::Background`] (speculative, prefetch-like; most
+//! candidates lose). Criticality-aware memory backends use the tags to
+//! service critical requests first.
+//!
 //! Route slots, work accounting, per-iteration occupancy, and event
 //! emission live in the shared [`IterationDriver`]; this module owns only
 //! what is emulator-specific — logical clocks, the evaluate/commit split,
@@ -24,7 +32,7 @@
 use std::cell::{Cell, RefCell};
 
 use locus_circuit::{Circuit, GridCell, WireId};
-use locus_coherence::{MemRef, RefKind, Trace};
+use locus_coherence::{Criticality, MemRef, RefKind, Trace};
 use locus_obs::{NullSink, Sink};
 use locus_router::engine::{IterationDriver, ObsEmitter, Stamp, WireFeed};
 use locus_router::router::{route_wire_scratch, PooledScratch, WireEvaluation};
@@ -202,7 +210,8 @@ impl<'a> ShmemEmulator<'a> {
                                 )
                                 .with_epoch(iteration as u32)
                                 .with_wire(pend.wire as u32)
-                                .with_delta(1),
+                                .with_delta(1)
+                                .with_criticality(Criticality::Critical),
                             );
                         }
                         t += cfg.cell_write_ns;
@@ -245,7 +254,8 @@ impl<'a> ShmemEmulator<'a> {
                                 )
                                 .with_epoch(iteration as u32)
                                 .with_wire(wire_id as u32)
-                                .with_delta(-1),
+                                .with_delta(-1)
+                                .with_criticality(Criticality::Critical),
                             );
                         }
                         t += cfg.cell_write_ns;
@@ -389,6 +399,22 @@ mod tests {
         // Addresses must stay within the shared cost array.
         let max_addr = (c.channels as u32 * c.grids as u32) * 2;
         assert!(trace.refs().iter().all(|r| r.addr < max_addr));
+    }
+
+    #[test]
+    fn trace_tags_stores_critical_and_sweep_reads_background() {
+        let c = presets::tiny();
+        let out = ShmemEmulator::new(&c, ShmemConfig::new(2).with_trace()).run();
+        let trace = out.trace.expect("trace requested");
+        for r in trace.refs() {
+            match r.kind {
+                RefKind::Write => {
+                    assert!(r.is_critical(), "rip-up/commit stores are critical");
+                    assert_ne!(r.delta, 0, "every store carries its signed delta");
+                }
+                RefKind::Read => assert!(!r.is_critical(), "sweep reads are background"),
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! * [`msgpass`] — the message-passing LocusRoute implementation.
 //! * [`shmem`] — the shared-memory implementation (traced emulator and
 //!   real threaded executor).
-//! * [`coherence`] — Write-Back-with-Invalidate bus-traffic model.
+//! * [`coherence`] — memory-system models over shared-data reference
+//!   traces: the Write-Back-with-Invalidate bus, a write-through
+//!   ablation, directory-based MSI, and a directoryless shared LLC,
+//!   behind one [`MemoryModel`](locus_coherence::MemoryModel) registry.
 //! * [`obs`] — unified observability: typed events, metrics registry,
 //!   Chrome-trace / metrics-JSON / ASCII-timeline exporters.
 //! * [`analysis`] — vector-clock race detection over coherence traces,
@@ -65,9 +68,13 @@ pub mod prelude {
         Circuit, CircuitGenerator, GeneratorConfig, GridCell, Pin, Rect, Wire,
     };
     pub use locus_coherence::{
-        traffic_by_line_size, CoherenceConfig, CoherenceSim, MemRef, RefKind, Trace,
+        build_memory_model, memory_registry, traffic_by_backend, traffic_by_line_size,
+        CoherenceConfig, CoherenceSim, Criticality, MemRef, MemoryConfig, MemoryModel,
+        MemoryOutcome, RefKind, Trace,
     };
-    pub use locus_mesh::{FaultPlan, FaultScope, MeshConfig, SimTime};
+    pub use locus_mesh::{
+        Arbiter, FaultPlan, FaultScope, MeshConfig, ServicePolicy, ServiceRequest, SimTime,
+    };
     pub use locus_msgpass::{
         run_msgpass, run_msgpass_observed, MsgPassConfig, MsgPassEngine, MsgPassOutcome,
         ReliableConfig, UpdateSchedule,
