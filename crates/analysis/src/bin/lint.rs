@@ -1,19 +1,34 @@
-//! `lint` — the workspace concurrency lint, as a CI-runnable binary.
+//! `lint` — the workspace static-analysis pass, as a CI-runnable binary.
 //!
 //! ```text
-//! cargo run -p locus-analysis --bin lint [WORKSPACE_ROOT]
+//! cargo run -p locus-analysis --bin lint [WORKSPACE_ROOT] \
+//!     [--json FILE] [--baseline FILE] [--write-baseline] [--rules]
 //! ```
 //!
-//! Scans every library source file for the rules documented in
-//! [`locus_analysis::lint`] and exits nonzero on any violation. With no
-//! argument the workspace root is discovered by walking up from the
-//! current directory to the first `Cargo.toml` containing a
+//! Tokenizes every library source file, runs the rule registry
+//! documented in [`locus_analysis::rules`], and ratchets the result
+//! against the committed baseline (`lint-baseline.json` at the
+//! workspace root): the run fails on any finding beyond the baseline,
+//! on any unused suppression, or when fewer files were scanned than the
+//! baseline floor records.
+//!
+//! * `--json FILE` writes the machine-readable findings artifact.
+//! * `--baseline FILE` reads the baseline from a different path.
+//! * `--write-baseline` regenerates the baseline from this run and
+//!   exits successfully (use after deliberately accepting findings).
+//! * `--rules` lists the registered rules and exits.
+//!
+//! With no root argument the workspace root is discovered by walking up
+//! from the current directory to the first `Cargo.toml` containing a
 //! `[workspace]` table, falling back to the compile-time crate path.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use locus_analysis::baseline::{ratchet, Baseline};
 use locus_analysis::lint::lint_workspace;
+use locus_analysis::report::lint_findings_json;
+use locus_analysis::rules::registry;
 
 fn discover_root() -> PathBuf {
     if let Ok(cwd) = std::env::current_dir() {
@@ -33,8 +48,52 @@ fn discover_root() -> PathBuf {
         .to_path_buf()
 }
 
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { root: None, json: None, baseline: None, write_baseline: false, list_rules: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--rules" => args.list_rules = true,
+            other if !other.starts_with('-') && args.root.is_none() => {
+                args.root = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(discover_root);
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for rule in registry() {
+            println!("{:22} {}", rule.name(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = args.root.unwrap_or_else(discover_root);
     let outcome = match lint_workspace(&root) {
         Ok(outcome) => outcome,
         Err(e) => {
@@ -42,22 +101,81 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if outcome.is_clean() {
+
+    let baseline_path = args.baseline.unwrap_or_else(|| root.join("lint-baseline.json"));
+    if args.write_baseline {
+        let text = Baseline::from_outcome(&outcome).render();
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
         println!(
-            "concurrency lint: {} files scanned under {}, 0 violations",
+            "lint: baseline written to {} ({} files, {} baselined finding(s))",
+            baseline_path.display(),
             outcome.files_scanned,
-            root.display()
+            outcome.violations.len()
         );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("lint: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => {
+            eprintln!(
+                "lint: no baseline at {} — ratcheting against empty",
+                baseline_path.display()
+            );
+            Baseline::default()
+        }
+    };
+    let verdict = ratchet(&baseline, &outcome);
+
+    if let Some(json_path) = &args.json {
+        let json = lint_findings_json(&outcome, &verdict);
+        if let Err(e) = std::fs::write(json_path, json) {
+            eprintln!("lint: cannot write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for v in &outcome.violations {
+        eprintln!("{v}");
+    }
+    for row in &verdict.new {
+        eprintln!(
+            "lint: NEW {}: [{}] {} finding(s), {} baselined",
+            row.file, row.rule, row.current, row.baselined
+        );
+    }
+    for row in &verdict.fixed {
+        eprintln!(
+            "lint: fixed {}: [{}] {} -> {} — regenerate with --write-baseline to ratchet down",
+            row.file, row.rule, row.baselined, row.current
+        );
+    }
+    if let Some((current, floor)) = verdict.floor_breach {
+        eprintln!(
+            "lint: file floor breached: scanned {current}, baseline floor {floor} — \
+             the workspace walk lost files"
+        );
+    }
+    let status = if verdict.passes() { "ok" } else { "FAIL" };
+    println!(
+        "static analysis: {} files scanned under {}, {} finding(s) ({} suppressed) — {status}",
+        outcome.files_scanned,
+        root.display(),
+        outcome.violations.len(),
+        outcome.suppressed
+    );
+    if verdict.passes() {
         ExitCode::SUCCESS
     } else {
-        for v in &outcome.violations {
-            eprintln!("{v}");
-        }
-        eprintln!(
-            "concurrency lint: {} violation(s) in {} files",
-            outcome.violations.len(),
-            outcome.files_scanned
-        );
         ExitCode::FAILURE
     }
 }

@@ -373,9 +373,9 @@ mod tests {
         let traced = trace_sequential(&c, params);
         let reference = SequentialRouter::new(&c, params).run();
         assert_eq!(traced.routes, reference.routes);
-        assert!(traced.trace.len() > 0);
+        assert!(!traced.trace.is_empty());
         assert!(traced.trace.is_sorted());
-        assert_eq!(traced.trace.write_count() > 0, true);
+        assert!(traced.trace.write_count() > 0);
     }
 
     #[test]

@@ -1,0 +1,500 @@
+//! A hand-rolled Rust lexer for the static-analysis pass.
+//!
+//! The workspace carries no external parser (the same dependency-free
+//! ethos as the hand-rolled JSON in [`crate::report`]), so the lint's
+//! token stream comes from this module: a single forward scan that
+//! understands everything that used to fool the plain-text scanner —
+//! normal and raw strings (any `#` depth), byte strings, char literals
+//! vs. lifetimes, nested block comments, raw identifiers, and numeric
+//! literals. `"SeqCst"` inside a string is a [`TokKind::Str`] token,
+//! not an identifier, so no rule can trip on it.
+//!
+//! The lexer is *not* a parser: it produces a flat token sequence with
+//! byte spans and leaves grammar to the rules, which only ever match
+//! short token sequences (`Ordering` `::` `SeqCst`) or single
+//! identifiers. Fidelity matters at the token boundary, not beyond it.
+//!
+//! Every token records its byte span in the source; [`Tokens`] maps
+//! spans back to 1-based lines for diagnostics. Lexing is total over
+//! valid Rust: the self-hosting test in [`crate::lint`] tokenizes every
+//! workspace source file and demands zero errors, and the proptests
+//! inject rule keywords into comments and strings to pin down that they
+//! never surface as code tokens.
+
+/// Classification of one lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers; see
+    /// [`Tokens::ident_text`] for `r#`-stripping).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// A char or byte-char literal (`'x'`, `b'\n'`), quotes included.
+    Char,
+    /// Any string literal — normal, raw, byte, raw byte — delimiters
+    /// included.
+    Str,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// A `//` comment (also `///` and `//!` docs), newline excluded.
+    LineComment,
+    /// A `/* ... */` comment, nesting handled.
+    BlockComment,
+    /// Any other punctuation; `::` is emitted as one two-byte token so
+    /// path rules can match it directly.
+    Punct,
+}
+
+/// One token: kind plus byte span into the source.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// A lexing failure: unterminated string/comment/char literal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line where the offending token started.
+    pub line: usize,
+    /// What was being lexed when the input ran out.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: unterminated {}", self.line, self.what)
+    }
+}
+
+/// A lexed file: the source, its tokens, and a line table.
+#[derive(Debug)]
+pub struct Tokens<'s> {
+    src: &'s str,
+    toks: Vec<Tok>,
+    /// Byte offset of the start of each line (line_starts[0] == 0).
+    line_starts: Vec<usize>,
+}
+
+impl<'s> Tokens<'s> {
+    /// The token slice.
+    pub fn toks(&self) -> &[Tok] {
+        &self.toks
+    }
+
+    /// The source text.
+    pub fn src(&self) -> &'s str {
+        self.src
+    }
+
+    /// Raw text of a token.
+    pub fn text(&self, t: &Tok) -> &'s str {
+        &self.src[t.start..t.end]
+    }
+
+    /// Identifier text with any `r#` raw-identifier prefix stripped, so
+    /// `r#SeqCst` cannot evade an identifier rule.
+    pub fn ident_text(&self, t: &Tok) -> &'s str {
+        let text = self.text(t);
+        if t.kind == TokKind::Ident {
+            text.strip_prefix("r#").unwrap_or(text)
+        } else {
+            text
+        }
+    }
+
+    /// 1-based line containing a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    /// The full text of a 1-based line, trimmed.
+    pub fn line_text(&self, line: usize) -> &'s str {
+        let lo = self.line_starts.get(line - 1).copied().unwrap_or(0);
+        let hi = self.line_starts.get(line).copied().unwrap_or(self.src.len());
+        self.src[lo..hi].trim_end_matches(['\n', '\r']).trim()
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Width in bytes of the UTF-8 character starting at `b[i]`.
+fn char_width(b: &[u8], i: usize) -> usize {
+    match b[i] {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    b: &'s [u8],
+    i: usize,
+    toks: Vec<Tok>,
+}
+
+impl<'s> Lexer<'s> {
+    fn err(&self, start: usize, what: &'static str) -> LexError {
+        let line = 1 + self.src[..start].bytes().filter(|&c| c == b'\n').count();
+        LexError { line, what }
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize) {
+        self.toks.push(Tok { kind, start, end: self.i });
+    }
+
+    /// Consumes a `//` comment (terminator excluded).
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.push(TokKind::LineComment, start);
+    }
+
+    /// Consumes a `/* ... */` comment, honouring nesting.
+    fn block_comment(&mut self) -> Result<(), LexError> {
+        let start = self.i;
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'/' && self.b.get(self.i + 1) == Some(&b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.b.get(self.i + 1) == Some(&b'/') {
+                depth -= 1;
+                self.i += 2;
+                if depth == 0 {
+                    self.push(TokKind::BlockComment, start);
+                    return Ok(());
+                }
+            } else {
+                self.i += 1;
+            }
+        }
+        Err(self.err(start, "block comment"))
+    }
+
+    /// Consumes a normal (escaped) string body; `self.i` must sit on
+    /// the opening quote.
+    fn quoted_string(&mut self, start: usize) -> Result<(), LexError> {
+        self.i += 1; // opening quote
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    self.i += 1;
+                    self.push(TokKind::Str, start);
+                    return Ok(());
+                }
+                _ => self.i += 1,
+            }
+        }
+        Err(self.err(start, "string literal"))
+    }
+
+    /// Consumes a raw string body; `self.i` must sit on the first `#`
+    /// or the opening quote. Returns false if this is not actually a
+    /// raw string opener (e.g. `r#ident`).
+    fn raw_string(&mut self, start: usize) -> Result<bool, LexError> {
+        let mut j = self.i;
+        let mut hashes = 0usize;
+        while j < self.b.len() && self.b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if self.b.get(j) != Some(&b'"') {
+            return Ok(false);
+        }
+        self.i = j + 1;
+        while self.i < self.b.len() {
+            let tail = &self.b[self.i + 1..];
+            if self.b[self.i] == b'"'
+                && tail.len() >= hashes
+                && tail[..hashes].iter().all(|&c| c == b'#')
+            {
+                self.i += 1 + hashes;
+                self.push(TokKind::Str, start);
+                return Ok(true);
+            }
+            self.i += 1;
+        }
+        Err(self.err(start, "raw string literal"))
+    }
+
+    /// Consumes a char/byte-char literal; `self.i` must sit on the
+    /// opening `'` and the caller must have decided this is not a
+    /// lifetime.
+    fn char_literal(&mut self, start: usize) -> Result<(), LexError> {
+        self.i += 1; // opening quote
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'\'' => {
+                    self.i += 1;
+                    self.push(TokKind::Char, start);
+                    return Ok(());
+                }
+                b'\n' => break, // char literals cannot span lines
+                _ => self.i += char_width(self.b, self.i),
+            }
+        }
+        Err(self.err(start, "char literal"))
+    }
+
+    /// Consumes an identifier body starting at `self.i`.
+    fn ident(&mut self, start: usize) {
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        self.push(TokKind::Ident, start);
+    }
+
+    /// `'` disambiguation: lifetime/label vs. char literal.
+    fn tick(&mut self) -> Result<(), LexError> {
+        let start = self.i;
+        let next = self.b.get(self.i + 1).copied();
+        match next {
+            Some(c) if is_ident_start(c) => {
+                // Scan the identifier; a trailing quote makes it a char
+                // literal ('a'), otherwise it is a lifetime ('a).
+                let mut j = self.i + 2;
+                while j < self.b.len() && is_ident_continue(self.b[j]) {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'') {
+                    self.char_literal(start)
+                } else {
+                    self.i = j;
+                    self.push(TokKind::Lifetime, start);
+                    Ok(())
+                }
+            }
+            Some(_) => self.char_literal(start),
+            None => Err(self.err(start, "char literal")),
+        }
+    }
+
+    /// Consumes a numeric literal: digits in any base with `_`
+    /// separators and alphabetic suffixes, plus a fraction part when a
+    /// digit follows the dot (so `0..n` stays three tokens).
+    fn number(&mut self, start: usize) {
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        if self.i + 1 < self.b.len()
+            && self.b[self.i] == b'.'
+            && self.b[self.i + 1].is_ascii_digit()
+        {
+            self.i += 1;
+            while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                self.i += 1;
+            }
+        }
+        self.push(TokKind::Num, start);
+    }
+
+    fn run(mut self) -> Result<Vec<Tok>, LexError> {
+        // A shebang line is not Rust tokens.
+        if self.b.starts_with(b"#!") && self.b.get(2) != Some(&b'[') {
+            while self.i < self.b.len() && self.b[self.i] != b'\n' {
+                self.i += 1;
+            }
+        }
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            let start = self.i;
+            if c.is_ascii_whitespace() {
+                self.i += 1;
+            } else if c == b'/' && self.b.get(self.i + 1) == Some(&b'/') {
+                self.line_comment();
+            } else if c == b'/' && self.b.get(self.i + 1) == Some(&b'*') {
+                self.block_comment()?;
+            } else if c == b'"' {
+                self.quoted_string(start)?;
+            } else if c == b'r' {
+                // r"..." / r#"..."# / r#ident / plain ident.
+                self.i += 1;
+                if matches!(self.b.get(self.i), Some(&b'"') | Some(&b'#'))
+                    && self.raw_string(start)?
+                {
+                    continue;
+                }
+                if self.b.get(self.i) == Some(&b'#') {
+                    self.i += 1; // raw identifier: r#type
+                }
+                self.ident(start);
+            } else if c == b'b' {
+                // b"..." / br"..." / b'x' / plain ident.
+                match self.b.get(self.i + 1) {
+                    Some(&b'"') => {
+                        self.i += 1;
+                        self.quoted_string(start)?;
+                    }
+                    Some(&b'\'') => {
+                        self.i += 1;
+                        self.char_literal(start)?;
+                    }
+                    Some(&b'r') => {
+                        self.i += 2;
+                        if !self.raw_string(start)? {
+                            self.ident(start);
+                        }
+                    }
+                    _ => {
+                        self.i += 1;
+                        self.ident(start);
+                    }
+                }
+            } else if is_ident_start(c) {
+                self.i += 1;
+                self.ident(start);
+            } else if c.is_ascii_digit() {
+                self.number(start);
+            } else if c == b'\'' {
+                self.tick()?;
+            } else if c == b':' && self.b.get(self.i + 1) == Some(&b':') {
+                self.i += 2;
+                self.push(TokKind::Punct, start);
+            } else {
+                self.i += char_width(self.b, self.i);
+                self.push(TokKind::Punct, start);
+            }
+        }
+        Ok(self.toks)
+    }
+}
+
+/// Tokenizes one source file.
+pub fn lex(src: &str) -> Result<Tokens<'_>, LexError> {
+    let toks = Lexer { src, b: src.as_bytes(), i: 0, toks: Vec::new() }.run()?;
+    let mut line_starts = vec![0usize];
+    line_starts.extend(src.bytes().enumerate().filter(|&(_, c)| c == b'\n').map(|(i, _)| i + 1));
+    Ok(Tokens { src, toks, line_starts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        let t = lex(src).expect("lexes");
+        t.toks().iter().map(|k| (k.kind, t.text(k).to_string())).collect()
+    }
+
+    #[test]
+    fn keywords_in_strings_are_string_tokens() {
+        let ks = kinds(r#"let s = "Ordering::SeqCst";"#);
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Str && t.contains("SeqCst")));
+        assert!(!ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "SeqCst"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        for src in [r##"r"x" "##, r###"r#".unwrap()"# "###, "r##\"a\"#b\"## "] {
+            let ks = kinds(src);
+            assert_eq!(ks[0].0, TokKind::Str, "{src:?} -> {ks:?}");
+            assert_eq!(ks.len(), 1, "{src:?} -> {ks:?}");
+        }
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let ks = kinds(r##"b"bytes" b'x' br#"raw"# b128"##);
+        assert_eq!(ks[0].0, TokKind::Str);
+        assert_eq!(ks[1].0, TokKind::Char);
+        assert_eq!(ks[2].0, TokKind::Str);
+        assert_eq!(ks[3], (TokKind::Ident, "b128".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(ks[0].0, TokKind::BlockComment);
+        assert_eq!(ks[1], (TokKind::Ident, "x".to_string()));
+        assert!(lex("/* /* unclosed */").is_err());
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("&'a str; 'x'; '\\n'; '\\''; ' '; 'static");
+        let lifes: Vec<_> =
+            ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| t.clone()).collect();
+        let chars: Vec<_> =
+            ks.iter().filter(|(k, _)| *k == TokKind::Char).map(|(_, t)| t.clone()).collect();
+        assert_eq!(lifes, ["'a", "'static"]);
+        assert_eq!(chars, ["'x'", "'\\n'", "'\\''", "' '"]);
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let ks = kinds("Ordering::SeqCst");
+        let texts: Vec<_> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["Ordering", "::", "SeqCst"]);
+    }
+
+    #[test]
+    fn raw_identifiers_normalize() {
+        let src = "r#type r#SeqCst";
+        let t = lex(src).expect("lexes");
+        let idents: Vec<_> = t.toks().iter().map(|k| t.ident_text(k)).collect();
+        assert_eq!(idents, ["type", "SeqCst"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let texts: Vec<String> =
+            kinds("0..10 1.5 0x1f_u64 1e9 x.0").into_iter().map(|(_, t)| t).collect();
+        assert_eq!(texts, ["0", ".", ".", "10", "1.5", "0x1f_u64", "1e9", "x", ".", "0"]);
+    }
+
+    #[test]
+    fn line_table_maps_offsets() {
+        let t = lex("a\nbb\nccc\n").expect("lexes");
+        assert_eq!(t.line_of(0), 1);
+        assert_eq!(t.line_of(2), 2);
+        assert_eq!(t.line_of(5), 3);
+        assert_eq!(t.line_text(2), "bb");
+    }
+
+    #[test]
+    fn unterminated_tokens_error_with_line() {
+        let e = lex("fn f() {}\nlet s = \"open").expect_err("unterminated");
+        assert_eq!(e.line, 2);
+        assert_eq!(e.what, "string literal");
+        // `'x` at EOF is a lifetime token, not an unterminated char —
+        // but a started escape sequence is unambiguously a char literal.
+        assert!(lex("let c = 'x").is_ok());
+        assert!(lex("let c = '\\n").is_err());
+        assert!(lex("r#\"open").is_err());
+    }
+
+    #[test]
+    fn tokens_cover_source_with_whitespace_gaps() {
+        let src = "fn main() { let s = r#\"x\"#; /* c */ } // done\n";
+        let t = lex(src).expect("lexes");
+        let mut prev = 0usize;
+        for tok in t.toks() {
+            assert!(tok.start >= prev, "overlap at {tok:?}");
+            assert!(
+                src[prev..tok.start].chars().all(char::is_whitespace),
+                "gap {:?} not whitespace",
+                &src[prev..tok.start]
+            );
+            prev = tok.end;
+        }
+        assert!(src[prev..].chars().all(char::is_whitespace));
+    }
+}

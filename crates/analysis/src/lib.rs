@@ -22,26 +22,41 @@
 //!   into cells × age staleness histograms.
 //!
 //! [`harness`] ties the pillars to named engines (`sequential`,
-//! `shmem-emul`, `shmem-threads`, `msgpass-*`), [`report`] serializes
-//! hand-rolled JSON for CI artifacts, and [`lint`] enforces the
-//! workspace concurrency discipline (`cargo run -p locus-analysis
-//! --bin lint`).
+//! `shmem-emul`, `shmem-threads`, `msgpass-*`), and [`report`]
+//! serializes hand-rolled JSON for CI artifacts.
+//!
+//! The fourth pillar is the **workspace static-analysis pass** (`cargo
+//! run -p locus-analysis --bin lint`): a hand-rolled Rust lexer
+//! ([`lexer`]) feeds token streams to a rule registry ([`rules`]) whose
+//! confinement rules key on real module identity resolved from the
+//! `mod` tree ([`modtree`]), with inline suppressions ([`suppress`])
+//! and a committed ratchet baseline ([`baseline`]). [`lint`] is the
+//! orchestrating pass.
 
+pub mod baseline;
 pub mod classify;
 pub mod harness;
+pub mod lexer;
 pub mod lint;
+pub mod modtree;
 pub mod race;
 pub mod report;
+pub mod rules;
 pub mod staleness;
+pub mod suppress;
 pub mod vclock;
 
+pub use baseline::{ratchet, Baseline, Ratchet};
 pub use classify::{addr_cell, classify_races, ClassifiedRace, RaceClass};
 pub use harness::{
     analyze_engine, audit_staleness, emit_race_events, trace_sequential, AnalysisReport,
     SequentialTrace,
 };
-pub use lint::{lint_workspace, LintOutcome, Violation};
+pub use lexer::{lex, LexError, Tok, TokKind, Tokens};
+pub use lint::{lint_workspace, scan_source, FileScan, LintOutcome, Violation};
+pub use modtree::{map_workspace, ModInfo, ModTree};
 pub use race::{detect, DetectionResult, RaceKind, RacePair};
-pub use report::{race_report_json, staleness_report_json};
+pub use report::{lint_findings_json, race_report_json, staleness_report_json};
+pub use rules::{registry, Rule};
 pub use staleness::StalenessReport;
 pub use vclock::VectorClock;

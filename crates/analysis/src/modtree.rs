@@ -1,0 +1,322 @@
+//! Workspace module-tree mapping.
+//!
+//! Confinement rules ("atomics only in audited modules") used to key on
+//! file-path substrings, which conflates module identity with file
+//! layout: renaming `src/parallel.rs` to `src/threads/mod.rs` would
+//! have silently widened or narrowed an allowlist. This module resolves
+//! real module identity instead: for every crate in the workspace it
+//! lexes the crate root, follows `mod name;` declarations to `name.rs`
+//! or `name/mod.rs` (the standard resolution rule), and records each
+//! file's full module path (`locus_shmem::parallel`). Binary targets
+//! (`src/bin/*.rs`, plus the crate's declared `[[bin]]` paths) are
+//! tagged so rules that exempt binaries key on target kind, not a
+//! `/bin/` substring.
+//!
+//! Files that no `mod` chain reaches (dead files, or declarations the
+//! mapper cannot see) still get a *fallback* identity derived from
+//! their path so every scanned file has a module, but they are marked
+//! unreached; the workspace self-test asserts the real tree reaches
+//! every library file, so a dangling file cannot quietly escape a
+//! confinement rule.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, TokKind};
+
+/// What the mapper knows about one source file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModInfo {
+    /// Full module path, e.g. `locus_shmem::parallel` (for binaries:
+    /// `locus_bench::bin::locus_experiments`).
+    pub module: String,
+    /// The owning crate, e.g. `locus_shmem`.
+    pub krate: String,
+    /// Whether the file is a binary target root.
+    pub is_bin: bool,
+    /// Whether a `mod` chain from the crate root reaches this file
+    /// (binaries are roots themselves and count as reached).
+    pub reached: bool,
+}
+
+impl ModInfo {
+    /// Fallback identity for a file nothing declares, derived from the
+    /// workspace-relative path using the workspace's naming convention:
+    /// `crates/foo/src/bar.rs` → `locus_foo::bar`, facade `src/bar.rs`
+    /// → `locusroute::bar`. Real declarations always win; this exists
+    /// so synthetic paths in unit tests and dead files still carry a
+    /// plausible identity.
+    pub fn fallback(rel: &Path) -> ModInfo {
+        let comps: Vec<String> =
+            rel.components().map(|c| c.as_os_str().to_string_lossy().into_owned()).collect();
+        let is_bin = comps.iter().any(|c| c == "bin");
+        let in_crates = comps.first().is_some_and(|c| c == "crates");
+        let mut parts: Vec<String> =
+            if in_crates { Vec::new() } else { vec!["locusroute".to_string()] };
+        for (i, c) in comps.iter().enumerate() {
+            if c == "crates" || c == "src" {
+                continue;
+            }
+            let stem = c.strip_suffix(".rs").unwrap_or(c);
+            if stem == "lib" || stem == "main" || stem == "mod" {
+                continue;
+            }
+            let part = stem.replace('-', "_");
+            if in_crates && i == 1 {
+                parts.push(format!("locus_{part}"));
+            } else {
+                parts.push(part);
+            }
+        }
+        let krate = parts.first().cloned().unwrap_or_else(|| "unknown".to_string());
+        ModInfo { module: parts.join("::"), krate, is_bin, reached: false }
+    }
+}
+
+/// The file → module map for one workspace.
+#[derive(Debug, Default)]
+pub struct ModTree {
+    map: BTreeMap<PathBuf, ModInfo>,
+}
+
+impl ModTree {
+    /// Looks a workspace-relative path up, falling back to a
+    /// path-derived identity for unknown files.
+    pub fn info(&self, rel: &Path) -> ModInfo {
+        self.map.get(rel).cloned().unwrap_or_else(|| ModInfo::fallback(rel))
+    }
+
+    /// All mapped files, in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&PathBuf, &ModInfo)> {
+        self.map.iter()
+    }
+
+    /// Mapped files the crate roots do not reach (excluding fallbacks
+    /// never inserted).
+    pub fn unreached(&self) -> Vec<&PathBuf> {
+        self.map.iter().filter(|(_, m)| !m.reached).map(|(p, _)| p).collect()
+    }
+}
+
+/// Reads a crate name from its manifest, underscored; falls back to the
+/// directory name.
+fn crate_name(dir: &Path) -> String {
+    let manifest = dir.join("Cargo.toml");
+    if let Ok(text) = fs::read_to_string(&manifest) {
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    if let Some(name) = rest.trim().strip_prefix('"') {
+                        if let Some(end) = name.find('"') {
+                            return name[..end].replace('-', "_");
+                        }
+                    }
+                }
+            }
+            // Only the [package] table's name counts; stop at the next table.
+            if line.starts_with('[') && line != "[package]" {
+                break;
+            }
+        }
+    }
+    dir.file_name()
+        .map(|n| n.to_string_lossy().replace('-', "_"))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The `mod x;` declarations of one file (top-level, outside `#[cfg(test)]`
+/// spans — a test-gated `mod` has no file on a non-test build).
+fn mod_decls(src: &str) -> Vec<String> {
+    let Ok(toks) = lex(src) else { return Vec::new() };
+    let code: Vec<usize> = (0..toks.toks().len())
+        .filter(|&i| !matches!(toks.toks()[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let in_test = crate::rules::test_spans(&toks, &code);
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    for (k, &i) in code.iter().enumerate() {
+        let t = &toks.toks()[i];
+        match toks.text(t) {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            "mod" if depth == 0 && t.kind == TokKind::Ident && !in_test[i] => {
+                if let (Some(&ni), Some(&si)) = (code.get(k + 1), code.get(k + 2)) {
+                    let name = &toks.toks()[ni];
+                    if name.kind == TokKind::Ident && toks.text(&toks.toks()[si]) == ";" {
+                        out.push(toks.ident_text(name).to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+struct Mapper<'a> {
+    root: &'a Path,
+    map: BTreeMap<PathBuf, ModInfo>,
+}
+
+impl Mapper<'_> {
+    /// Follows `file`'s `mod` declarations; `module` is the path of the
+    /// module the file defines, `owning_dir` the directory its children
+    /// live in.
+    fn follow(
+        &mut self,
+        file: &Path,
+        owning_dir: &Path,
+        module: Vec<String>,
+        krate: &str,
+        is_bin: bool,
+    ) {
+        let Ok(src) = fs::read_to_string(file) else { return };
+        let rel = file.strip_prefix(self.root).unwrap_or(file).to_path_buf();
+        self.map.insert(
+            rel,
+            ModInfo { module: module.join("::"), krate: krate.to_string(), is_bin, reached: true },
+        );
+        for child in mod_decls(&src) {
+            let flat = owning_dir.join(format!("{child}.rs"));
+            let nested = owning_dir.join(&child).join("mod.rs");
+            let (child_file, child_dir) = if flat.is_file() {
+                (flat, owning_dir.join(&child))
+            } else if nested.is_file() {
+                (nested, owning_dir.join(&child))
+            } else {
+                continue;
+            };
+            let mut child_module = module.clone();
+            child_module.push(child.clone());
+            self.follow(&child_file, &child_dir, child_module, krate, is_bin);
+        }
+    }
+
+    /// Maps one crate rooted at `dir`.
+    fn map_crate(&mut self, dir: &Path) {
+        let name = crate_name(dir);
+        let src = dir.join("src");
+        let lib = src.join("lib.rs");
+        if lib.is_file() {
+            self.follow(&lib, &src, vec![name.clone()], &name, false);
+        }
+        let main = src.join("main.rs");
+        if main.is_file() {
+            self.follow(&main, &src, vec![name.clone()], &name, true);
+        }
+        let bin_dir = src.join("bin");
+        if bin_dir.is_dir() {
+            let Ok(entries) = fs::read_dir(&bin_dir) else { return };
+            let mut bins: Vec<PathBuf> = entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+                .collect();
+            bins.sort();
+            for bin in bins {
+                let stem = bin
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().replace('-', "_"))
+                    .unwrap_or_else(|| "bin".to_string());
+                let module = vec![name.clone(), "bin".to_string(), stem];
+                self.follow(&bin, &bin_dir, module, &name, true);
+            }
+        }
+    }
+}
+
+/// Maps every crate in the workspace at `root` (the facade crate plus
+/// each `crates/*` member; `vendor/` is never mapped or scanned).
+pub fn map_workspace(root: &Path) -> io::Result<ModTree> {
+    let mut mapper = Mapper { root, map: BTreeMap::new() };
+    mapper.map_crate(root);
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut dirs: Vec<PathBuf> =
+            fs::read_dir(&crates)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        dirs.sort();
+        for dir in dirs {
+            if dir.is_dir() {
+                mapper.map_crate(&dir);
+            }
+        }
+    }
+    Ok(ModTree { map: mapper.map })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workspace_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/analysis sits two levels below the workspace root")
+            .to_path_buf()
+    }
+
+    #[test]
+    fn maps_real_module_identities() {
+        let tree = map_workspace(&workspace_root()).expect("workspace maps");
+        let par = tree.info(Path::new("crates/shmem/src/parallel.rs"));
+        assert_eq!(par.module, "locus_shmem::parallel");
+        assert_eq!(par.krate, "locus_shmem");
+        assert!(!par.is_bin);
+        assert!(par.reached);
+
+        let shard = tree.info(Path::new("crates/shmem/src/shard.rs"));
+        assert_eq!(shard.module, "locus_shmem::shard", "pub(crate) mod resolves too");
+
+        let facade = tree.info(Path::new("src/engines.rs"));
+        assert_eq!(facade.module, "locusroute::engines");
+    }
+
+    #[test]
+    fn binaries_are_tagged_by_target_kind() {
+        let tree = map_workspace(&workspace_root()).expect("workspace maps");
+        let lint = tree.info(Path::new("crates/analysis/src/bin/lint.rs"));
+        assert!(lint.is_bin);
+        assert_eq!(lint.krate, "locus_analysis");
+        let exp = tree.info(Path::new("crates/bench/src/bin/locus_experiments.rs"));
+        assert!(exp.is_bin);
+        assert_eq!(exp.module, "locus_bench::bin::locus_experiments");
+    }
+
+    #[test]
+    fn every_workspace_library_file_is_reached() {
+        // A file no `mod` chain reaches would fall back to a path-derived
+        // identity and could drift out of its confinement rules; the
+        // real tree must reach everything.
+        let tree = map_workspace(&workspace_root()).expect("workspace maps");
+        assert!(tree.unreached().is_empty(), "unreached source files: {:?}", tree.unreached());
+        assert!(tree.iter().count() > 80, "expected the whole workspace to map");
+    }
+
+    #[test]
+    fn fallback_identity_derives_from_path() {
+        let m = ModInfo::fallback(Path::new("crates/widget/src/gears/spin.rs"));
+        assert_eq!(m.module, "locus_widget::gears::spin");
+        assert_eq!(m.krate, "locus_widget");
+        assert!(!m.reached);
+        let b = ModInfo::fallback(Path::new("crates/widget/src/bin/tool.rs"));
+        assert!(b.is_bin);
+        let f = ModInfo::fallback(Path::new("src/engines.rs"));
+        assert_eq!(f.module, "locusroute::engines");
+    }
+
+    #[test]
+    fn mod_decls_skip_test_gated_and_inline_modules() {
+        let src = "\
+pub mod real;
+pub(crate) mod also_real;
+mod inline { mod nested_decl; }
+#[cfg(test)]
+mod tests;
+";
+        assert_eq!(mod_decls(src), ["real", "also_real"]);
+    }
+}

@@ -21,7 +21,7 @@
 //! `(address, epoch, processor pair, access kinds)`, not once per
 //! dynamic occurrence.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use locus_coherence::{MemRef, RefKind, Trace};
 
@@ -159,8 +159,8 @@ pub fn detect(trace: &Trace) -> DetectionResult {
     let mut clock: Vec<u64> = vec![0; n_procs];
     let mut vc: Vec<VectorClock> = vec![VectorClock::new(n_procs); n_procs];
     let mut current_epoch = 0u32;
-    let mut shadow: HashMap<u32, Shadow> = HashMap::new();
-    let mut seen: HashSet<RaceKey> = HashSet::new();
+    let mut shadow: BTreeMap<u32, Shadow> = BTreeMap::new();
+    let mut seen: BTreeSet<RaceKey> = BTreeSet::new();
 
     for &i in &order {
         let r = refs[i];
@@ -225,7 +225,7 @@ pub fn detect(trace: &Trace) -> DetectionResult {
 
 fn push_race(
     races: &mut Vec<RacePair>,
-    seen: &mut HashSet<RaceKey>,
+    seen: &mut BTreeSet<RaceKey>,
     prior: Access,
     r: MemRef,
     idx: usize,

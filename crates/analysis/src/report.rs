@@ -4,8 +4,10 @@
 //! `locus_obs::export`, this module hand-rolls the small, flat JSON the
 //! CI artifact and downstream tooling consume. Keys are stable API.
 
+use crate::baseline::Ratchet;
 use crate::classify::addr_cell;
 use crate::harness::AnalysisReport;
+use crate::lint::LintOutcome;
 use crate::race::RaceKind;
 use crate::staleness::StalenessReport;
 
@@ -99,6 +101,62 @@ pub fn staleness_report_json(s: &StalenessReport, engine: &str, procs: usize) ->
     out
 }
 
+/// Serializes a lint run plus its ratchet verdict — the CI artifact
+/// (`lint-findings.json`).
+pub fn lint_findings_json(outcome: &LintOutcome, ratchet: &Ratchet) -> String {
+    let mut out = String::with_capacity(512 + outcome.violations.len() * 160);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", outcome.files_scanned));
+    out.push_str(&format!("  \"suppressed\": {},\n", outcome.suppressed));
+    out.push_str(&format!("  \"ratchet_passes\": {},\n", ratchet.passes()));
+    match ratchet.floor_breach {
+        Some((current, floor)) => out.push_str(&format!(
+            "  \"floor\": {{ \"held\": false, \"current\": {current}, \"baseline\": {floor} }},\n"
+        )),
+        None => out.push_str(&format!(
+            "  \"floor\": {{ \"held\": true, \"slack\": {} }},\n",
+            ratchet.floor_slack
+        )),
+    }
+    out.push_str("  \"findings\": [\n");
+    for (i, v) in outcome.violations.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"excerpt\": \"{}\" }}{}\n",
+            esc(&v.file.to_string_lossy()),
+            v.line,
+            v.rule,
+            esc(&v.excerpt),
+            if i + 1 < outcome.violations.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"new\": [\n");
+    for (i, row) in ratchet.new.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"file\": \"{}\", \"rule\": \"{}\", \"baselined\": {}, \"current\": {} }}{}\n",
+            esc(&row.file),
+            row.rule,
+            row.baselined,
+            row.current,
+            if i + 1 < ratchet.new.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"fixed\": [\n");
+    for (i, row) in ratchet.fixed.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"file\": \"{}\", \"rule\": \"{}\", \"baselined\": {}, \"current\": {} }}{}\n",
+            esc(&row.file),
+            row.rule,
+            row.baselined,
+            row.current,
+            if i + 1 < ratchet.fixed.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +181,34 @@ mod tests {
         for key in ["\"engine\"", "\"synchronized_pairs\"", "\"quality_affecting\"", "\"pairs\""] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn lint_findings_json_is_valid_for_clean_and_dirty_runs() {
+        use crate::baseline::{ratchet, Baseline};
+        use crate::lint::Violation;
+        use std::path::PathBuf;
+
+        let clean = LintOutcome { files_scanned: 90, suppressed: 1, violations: Vec::new() };
+        let base = Baseline::from_outcome(&clean);
+        let json = lint_findings_json(&clean, &ratchet(&base, &clean));
+        validate_json(&json).expect("clean findings must be valid JSON");
+        assert!(json.contains("\"ratchet_passes\": true"));
+
+        let dirty = LintOutcome {
+            files_scanned: 90,
+            suppressed: 0,
+            violations: vec![Violation {
+                file: PathBuf::from("crates/demo/src/lib.rs"),
+                line: 7,
+                rule: "no-unwrap",
+                excerpt: "let x = \"quoted \\\" excerpt\".parse().unwrap();".to_string(),
+            }],
+        };
+        let json = lint_findings_json(&dirty, &ratchet(&base, &dirty));
+        validate_json(&json).expect("dirty findings (with quotes in excerpt) must be valid JSON");
+        assert!(json.contains("\"ratchet_passes\": false"));
+        assert!(json.contains("\"rule\": \"no-unwrap\""));
     }
 
     #[test]

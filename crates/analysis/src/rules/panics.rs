@@ -1,0 +1,127 @@
+//! Abort-path rules: no `.unwrap()` in library code, no panic-family
+//! macros in the message-passing protocol.
+
+use super::{FileCtx, Rule, NO_PANIC_CRATE};
+use crate::lint::Violation;
+
+/// `.unwrap()` is banned in library code: use `expect` with a message
+/// stating the invariant. Binary targets may unwrap.
+pub struct NoUnwrap;
+
+impl Rule for NoUnwrap {
+    fn name(&self) -> &'static str {
+        "no-unwrap"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no .unwrap() in library code; expect with the invariant instead (binaries exempt)"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+        if ctx.module.is_bin {
+            return;
+        }
+        for ci in 0..ctx.code.len() {
+            if ctx.in_test(ci) {
+                continue;
+            }
+            if ctx.seq(ci, &[".", "unwrap", "(", ")"]) {
+                ctx.flag(ci, self.name(), out);
+            }
+        }
+    }
+}
+
+/// Panic-family macros banned in the `locus_msgpass` library tree: the
+/// reliability protocol turns lost packets into `DegradedReason`
+/// outcomes, and a panic anywhere on that path would void the
+/// guarantee.
+pub struct NoPanicInProtocol;
+
+/// Macros that abort.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+impl Rule for NoPanicInProtocol {
+    fn name(&self) -> &'static str {
+        "no-panic-in-protocol"
+    }
+
+    fn describe(&self) -> &'static str {
+        "panic-family macros banned in msgpass library paths; faults must degrade, not abort"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+        if ctx.module.krate != NO_PANIC_CRATE || ctx.module.is_bin {
+            return;
+        }
+        for ci in 0..ctx.code.len() {
+            if ctx.in_test(ci) {
+                continue;
+            }
+            let text = ctx.ctext(ci);
+            if PANIC_MACROS.contains(&text) && ctx.seq(ci + 1, &["!"]) {
+                ctx.flag(ci, self.name(), out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint::scan_source;
+    use std::path::Path;
+
+    fn lib(src: &str) -> Vec<(&'static str, usize)> {
+        scan_source(Path::new("crates/demo/src/lib.rs"), src)
+            .violations
+            .iter()
+            .map(|v| (v.rule, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_banned_in_libraries_allowed_in_bins() {
+        let src = "fn f() { let _ = compute().unwrap(); }\n";
+        assert_eq!(lib(src), [("no-unwrap", 1)]);
+        assert!(scan_source(Path::new("crates/demo/src/bin/tool.rs"), src).violations.is_empty());
+        // unwrap_or and friends are fine; so are docs and strings.
+        assert!(lib("fn f() { let _ = compute().unwrap_or(1); }\n").is_empty());
+        assert!(lib("/// call .unwrap() at your peril\nfn f() {}\n").is_empty());
+        assert!(lib("fn f() -> &'static str { \".unwrap()\" }\n").is_empty());
+    }
+
+    #[test]
+    fn post_test_module_code_is_scanned_again() {
+        // Regression for the old scanner's false exemption: everything
+        // below the first top-level `#[cfg(test)]` was skipped, so a
+        // library unwrap *after* a bottom-of-file test module was never
+        // seen. The token-span scoper catches it.
+        let src = "\
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    fn t() { let _ = compute().unwrap(); }
+}
+fn after_tests() { let _ = compute().unwrap(); }
+";
+        assert_eq!(lib(src), [("no-unwrap", 6)], "only the post-module unwrap, at its line");
+    }
+
+    #[test]
+    fn panics_banned_in_msgpass_library_paths() {
+        let src = "fn f() { panic!(\"lost packet\"); }\nfn g() { unreachable!(); }\n";
+        let v = scan_source(Path::new("crates/msgpass/src/reliable.rs"), src).violations;
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "no-panic-in-protocol"));
+        // Other crates, msgpass test modules, and strings are exempt.
+        assert!(lib(src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { panic!(\"boom\"); } }\n";
+        assert!(scan_source(Path::new("crates/msgpass/src/node.rs"), test_src)
+            .violations
+            .is_empty());
+        let str_src = "fn f() -> &'static str { \"panic!(\" }\n";
+        assert!(scan_source(Path::new("crates/msgpass/src/node.rs"), str_src)
+            .violations
+            .is_empty());
+    }
+}

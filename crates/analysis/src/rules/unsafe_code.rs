@@ -1,0 +1,63 @@
+//! Unsafe confinement.
+//!
+//! The workspace is 100% safe Rust — the kernel's speed comes from
+//! prefix-sum structure, not from pointer tricks — and the allowlist
+//! ([`super::UNSAFE_MODULES`]) is deliberately empty. Any future
+//! `unsafe` block must be added there explicitly, which makes the
+//! decision reviewable instead of incidental.
+
+use super::{FileCtx, Rule, UNSAFE_MODULES};
+use crate::lint::Violation;
+
+/// Flags the `unsafe` keyword outside the (empty) allowlist.
+pub struct UnsafeConfinement;
+
+impl Rule for UnsafeConfinement {
+    fn name(&self) -> &'static str {
+        "unsafe-confinement"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unsafe outside the explicit allowlist (currently empty)"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+        if ctx.module_in(UNSAFE_MODULES) {
+            return;
+        }
+        for ci in 0..ctx.code.len() {
+            if ctx.in_test(ci) {
+                continue;
+            }
+            if ctx.ctext(ci) == "unsafe" {
+                ctx.flag(ci, self.name(), out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint::scan_source;
+    use std::path::Path;
+
+    #[test]
+    fn unsafe_is_flagged_everywhere_even_in_bins() {
+        let src = "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        let v = scan_source(Path::new("crates/demo/src/lib.rs"), src).violations;
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unsafe-confinement");
+        assert_eq!(
+            scan_source(Path::new("crates/demo/src/bin/tool.rs"), src).violations.len(),
+            1,
+            "binaries get no unsafe exemption"
+        );
+        // Mentions in docs and strings are inert.
+        assert!(scan_source(
+            Path::new("crates/demo/src/lib.rs"),
+            "/// not unsafe at all\nfn f() -> &'static str { \"unsafe\" }\n"
+        )
+        .violations
+        .is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Inline lint suppressions.
+//!
+//! A finding can be waived at its site with a comment:
+//!
+//! ```text
+//! Instant::now() // lint: allow(determinism)
+//! ```
+//!
+//! or, for a whole line, with a standalone comment directly above it:
+//!
+//! ```text
+//! // lint: allow(no-unwrap, determinism)
+//! let t = map.get(&k).unwrap();
+//! ```
+//!
+//! A suppression names its rules explicitly — there is no blanket
+//! `allow(*)` — and must *earn its keep*: one that matches no finding
+//! is itself reported as an `unused-suppression` violation, so stale
+//! waivers cannot accumulate as the code under them improves. (The
+//! ratchet would otherwise let a dormant suppression silently re-arm
+//! years later.) `unused-suppression` findings cannot themselves be
+//! suppressed.
+
+use crate::lexer::{TokKind, Tokens};
+use crate::lint::Violation;
+use std::path::Path;
+
+/// One parsed suppression comment.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// 1-based line of the comment itself.
+    pub line: usize,
+    /// The line whose findings it suppresses (its own line when inline
+    /// after code, the next line when standalone).
+    pub applies_to: usize,
+    /// Rules it names.
+    pub rules: Vec<String>,
+    /// The comment text, for unused-suppression excerpts.
+    pub excerpt: String,
+}
+
+/// Extracts suppressions from a file's comment tokens.
+pub fn collect(toks: &Tokens<'_>) -> Vec<Suppression> {
+    let all = toks.toks();
+    let mut out = Vec::new();
+    for (i, t) in all.iter().enumerate() {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let body = toks
+            .text(t)
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_end_matches('/')
+            .trim_end_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix("lint:") else { continue };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else { continue };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else { continue };
+        let Some(end) = rest.find(')') else { continue };
+        let rules: Vec<String> = rest[..end]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        let line = toks.line_of(t.start);
+        // Inline if any code token precedes the comment on its line.
+        let inline = all[..i]
+            .iter()
+            .rev()
+            .take_while(|p| toks.line_of(p.start) == line)
+            .any(|p| !matches!(p.kind, TokKind::LineComment | TokKind::BlockComment));
+        let applies_to = if inline { line } else { line + 1 };
+        out.push(Suppression { line, applies_to, rules, excerpt: body.to_string() });
+    }
+    out
+}
+
+/// Applies suppressions to raw findings: returns the surviving
+/// violations (with `unused-suppression` findings appended) plus the
+/// number of findings suppressed.
+pub fn apply(
+    rel: &Path,
+    raw: Vec<Violation>,
+    mut sups: Vec<Suppression>,
+) -> (Vec<Violation>, usize) {
+    let mut used = vec![false; sups.len()];
+    let mut kept = Vec::with_capacity(raw.len());
+    let mut suppressed = 0usize;
+    for v in raw {
+        let hit = sups
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.applies_to == v.line && s.rules.iter().any(|r| r == v.rule));
+        match hit {
+            Some((i, _)) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => kept.push(v),
+        }
+    }
+    for (i, s) in sups.drain(..).enumerate() {
+        if !used[i] {
+            kept.push(Violation {
+                file: rel.to_path_buf(),
+                line: s.line,
+                rule: "unused-suppression",
+                excerpt: s.excerpt,
+            });
+        }
+    }
+    kept.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint::scan_source;
+    use std::path::Path;
+
+    fn demo(src: &str) -> crate::lint::FileScan {
+        scan_source(Path::new("crates/demo/src/lib.rs"), src)
+    }
+
+    #[test]
+    fn inline_suppression_waives_same_line() {
+        let scan = demo("fn f() { let _ = c().unwrap(); } // lint: allow(no-unwrap)\n");
+        assert!(scan.violations.is_empty(), "{:?}", scan.violations);
+        assert_eq!(scan.suppressed, 1);
+    }
+
+    #[test]
+    fn standalone_suppression_waives_next_line() {
+        let scan = demo("// lint: allow(no-unwrap)\nfn f() { let _ = c().unwrap(); }\n");
+        assert!(scan.violations.is_empty(), "{:?}", scan.violations);
+        assert_eq!(scan.suppressed, 1);
+    }
+
+    #[test]
+    fn suppression_is_rule_specific() {
+        // The suppression names the wrong rule: the finding survives
+        // AND the suppression reports as unused.
+        let scan = demo("fn f() { let _ = c().unwrap(); } // lint: allow(determinism)\n");
+        let rules: Vec<&str> = scan.violations.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, ["no-unwrap", "unused-suppression"], "{:?}", scan.violations);
+    }
+
+    #[test]
+    fn unused_suppressions_are_findings() {
+        let scan = demo("// lint: allow(no-seqcst)\nfn clean() {}\n");
+        assert_eq!(scan.violations.len(), 1);
+        assert_eq!(scan.violations[0].rule, "unused-suppression");
+        assert_eq!(scan.violations[0].line, 1);
+    }
+
+    #[test]
+    fn one_suppression_covers_multiple_rules_and_findings() {
+        let src = "\
+// lint: allow(no-unwrap, determinism)
+fn f(m: &M) { let _ = m.get(0).unwrap(); let _ = Instant::now(); }
+";
+        let scan = demo(src);
+        assert!(scan.violations.is_empty(), "{:?}", scan.violations);
+        assert_eq!(scan.suppressed, 2);
+    }
+
+    #[test]
+    fn a_gap_line_breaks_the_standalone_binding() {
+        let scan = demo("// lint: allow(no-unwrap)\n\nfn f() { let _ = c().unwrap(); }\n");
+        let rules: Vec<&str> = scan.violations.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, ["unused-suppression", "no-unwrap"], "{:?}", scan.violations);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the lexer and the token-level rules.
+//!
+//! The load-bearing property: rule verdicts are a function of the
+//! *token stream*, not the raw text. Injecting comments and string
+//! literals whose contents spell out rule-triggering patterns
+//! (`Ordering::SeqCst`, `.unwrap()`, `HashMap`, ...) into a clean
+//! source file must neither break the lexer nor change the (empty)
+//! finding set — the exact failure mode of the old line-scanning lint,
+//! which matched substrings anywhere on a line.
+
+use locus_analysis::lexer::lex;
+use locus_analysis::lint::scan_source;
+use proptest::prelude::*;
+use std::path::Path;
+
+/// A clean library source template with slots between items where
+/// injected text can land without creating real violations.
+const TEMPLATE_LINES: &[&str] = &[
+    "pub struct Grid { cells: Vec<u32> }",
+    "impl Grid {",
+    "    pub fn cost(&self, i: usize) -> u32 { self.cells[i] }",
+    "    pub fn bump(&mut self, i: usize) { self.cells[i] += 1; }",
+    "}",
+    "pub fn widen(g: &Grid) -> u32 { g.cost(0).saturating_add(3) }",
+    "pub const LANES: usize = 4;",
+];
+
+/// Every keyword the rules key on, as payloads to smuggle into inert
+/// positions. None of these may trip anything when quoted or commented.
+const PAYLOADS: &[&str] = &[
+    "Ordering::SeqCst",
+    "std::sync::atomic::AtomicU32::new(0)",
+    ".unwrap()",
+    "thread::spawn(move || {})",
+    "HashMap<u32, u32> and HashSet too",
+    "Instant::now() and SystemTime::now()",
+    "std::env::var(\\\"HOME\\\")",
+    "panic!(\"boom\") unreachable!() todo!()",
+    "unsafe { transmute }",
+    "#[cfg(test)] mod tests",
+];
+
+/// The inert wrappers: line comment, block comment, doc comment, plain
+/// string, raw string (which even survives embedded quotes).
+fn wrap(payload: &str, mode: usize) -> String {
+    match mode % 5 {
+        0 => format!("// {payload}"),
+        1 => format!("/* {payload} */"),
+        2 => format!("/// docs: {payload}"),
+        3 => format!("pub const SNIPPET: &str = \"{payload}\";"),
+        _ => format!("pub const RAW: &str = r#\"{} \"quoted\" \"#;", payload.replace("\\\"", "\"")),
+    }
+}
+
+/// Assembles a source file with each (slot, payload, mode) injection
+/// applied. Consts injected twice would collide, so each injected const
+/// gets a unique suffix.
+fn assemble(injections: &[(usize, usize, usize)]) -> String {
+    let mut lines: Vec<String> = TEMPLATE_LINES.iter().map(|s| s.to_string()).collect();
+    // Inject at top level only (after the impl block: slots 0, 5, 6, 7
+    // map to line boundaries outside braces).
+    let slots = [0usize, 5, 6, 7];
+    let mut by_slot: Vec<Vec<String>> = vec![Vec::new(); slots.len()];
+    for (k, &(slot, payload, mode)) in injections.iter().enumerate() {
+        let text = wrap(PAYLOADS[payload % PAYLOADS.len()], mode)
+            .replace("SNIPPET", &format!("SNIPPET_{k}"))
+            .replace("RAW", &format!("RAW_{k}"));
+        by_slot[slot % slots.len()].push(text);
+    }
+    for (i, slot_line) in slots.iter().enumerate().rev() {
+        for text in by_slot[i].iter().rev() {
+            lines.insert(*slot_line, text.clone());
+        }
+    }
+    lines.join("\n") + "\n"
+}
+
+proptest! {
+    #[test]
+    fn quoted_and_commented_keywords_never_trip_rules(
+        injections in proptest::collection::vec(
+            (0usize..4, 0usize..10, 0usize..5),
+            0..12,
+        )
+    ) {
+        let src = assemble(&injections);
+        let toks = lex(&src);
+        prop_assert!(toks.is_ok(), "lexer failed on:\n{src}");
+        let scan = scan_source(Path::new("crates/demo/src/lib.rs"), &src);
+        prop_assert!(
+            scan.violations.is_empty(),
+            "injected inert text produced findings {:?} in:\n{src}",
+            scan.violations
+        );
+        prop_assert_eq!(scan.suppressed, 0);
+    }
+
+    #[test]
+    fn lexing_is_stable_under_comment_insertion(
+        injections in proptest::collection::vec(
+            (0usize..4, 0usize..10, 0usize..3),  // comment wrappers only
+            1..8,
+        )
+    ) {
+        // Comments never change the code-token sequence: the stream of
+        // non-comment token texts must match the clean template's.
+        let clean = TEMPLATE_LINES.join("\n") + "\n";
+        let noisy = assemble(&injections);
+        let code_texts = |src: &str| -> Vec<String> {
+            let toks = lex(src).expect("template lexes");
+            toks.toks()
+                .iter()
+                .filter(|t| !matches!(
+                    t.kind,
+                    locus_analysis::lexer::TokKind::LineComment
+                        | locus_analysis::lexer::TokKind::BlockComment
+                ))
+                .map(|t| toks.text(t).to_string())
+                .collect()
+        };
+        prop_assert_eq!(code_texts(&clean), code_texts(&noisy), "in:\n{}", noisy);
+    }
+}

@@ -44,7 +44,7 @@
 //! traffic (arXiv:1606.05933). Criticality comes from the trace: the
 //! emulator tags rip-up/commit stores [`Criticality::Critical`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use locus_mesh::{
     Arbiter, MeshConfig, ResolvedContention, ServicePolicy, ServiceRequest, Topology,
@@ -347,7 +347,7 @@ impl MemoryModel for DirectoryModel {
         let line_size = self.cfg.coherence.line_size;
         let word = self.cfg.coherence.word_bytes as u64;
         let pricer = Pricer::new(&self.cfg);
-        let mut lines: HashMap<u32, DirLine> = HashMap::new();
+        let mut lines: BTreeMap<u32, DirLine> = BTreeMap::new();
         let mut stats = TrafficStats::default();
         let mut unicast_bytes = 0u64;
         let mut acc = RunAcc::new(self.cfg.n_procs, sink);

@@ -1,7 +1,7 @@
 //! The Write-Back-with-Invalidate protocol state machine and bus-byte
 //! accounting.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use locus_obs::{Event as ObsEvent, EventKind as ObsKind, NullSink, Sink};
 
@@ -192,7 +192,7 @@ struct LineState {
 /// bus, Write-Back-with-Invalidate.
 pub struct CoherenceSim {
     config: CoherenceConfig,
-    lines: HashMap<u32, LineState>,
+    lines: BTreeMap<u32, LineState>,
     stats: TrafficStats,
     sink: Box<dyn Sink>,
     obs_on: bool,
@@ -215,7 +215,7 @@ impl CoherenceSim {
         );
         CoherenceSim {
             config,
-            lines: HashMap::new(),
+            lines: BTreeMap::new(),
             stats: TrafficStats::default(),
             sink: Box::new(NullSink),
             obs_on: false,

@@ -164,7 +164,9 @@ impl<'a> ThreadedRouter<'a> {
         let shard_ownership = self.config.shard_ownership && !collect_trace;
         let thread_traces: Mutex<Vec<Trace>> = Mutex::new(Vec::new());
 
-        let start = Instant::now();
+        // Wall-clock here is the measurement itself (it feeds the
+        // reported route timings), not hidden nondeterminism.
+        let start = Instant::now(); // lint: allow(determinism)
         std::thread::scope(|scope| {
             for t in 0..n_threads {
                 let shared = &shared;
