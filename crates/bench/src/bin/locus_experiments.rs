@@ -6,7 +6,7 @@
 //! ```text
 //! locus-experiments <table1|table2|table3|table4|table5|table6|
 //!                    blocking|mixed|locality|speedup|compare|faults|
-//!                    serve|memory|figure1|figure2|figure3|list|sweeps|all>
+//!                    serve|chaos|memory|figure1|figure2|figure3|list|sweeps|all>
 //!                   [--quick] [--threads N] [--out <file>]
 //!                   [--report <file>] [--memory <backend>]
 //!                   [--trace-out <file>] [--metrics-out <file>]
@@ -30,7 +30,12 @@
 //! routing-as-a-service study — a seeded rush-hour workload swept from
 //! underload to past saturation under each backpressure policy — and
 //! writes the byte-identical `BENCH_service.json` (`--report` overrides
-//! the path). `memory` replays each circuit's shared-memory trace
+//! the path). `chaos` runs the node-failure chaos grid — one
+//! deterministic crash, restart, coordinator loss, or stall injected
+//! mid-run into the message-passing engine with checkpoint/restore
+//! recovery on — verifies every scenario terminates with all wires
+//! routed and reproduces bitwise, and writes `BENCH_resilience.json`.
+//! `memory` replays each circuit's shared-memory trace
 //! through every registered memory-system backend (bus-wbi, bus-wt,
 //! directory, dls) and writes `BENCH_memory.json`; `--memory <backend>`
 //! (alias `--protocol`) restricts the study to one backend, and on
@@ -541,6 +546,80 @@ fn run_serve_known(cfg: &RunCfg) {
     run_serve(cfg, None);
 }
 
+/// `chaos`: the node-failure chaos grid — a single mid-run crash,
+/// crash-with-restart, coordinator loss, or stall injected into the
+/// message-passing engine with checkpoint/restore recovery on.
+/// `report_out = Some(path)` writes the byte-identical
+/// `BENCH_resilience.json`. Exits nonzero if any scenario degraded,
+/// left a wire to the watchdog, or failed the repeat-identical check.
+fn run_chaos(cfg: &RunCfg, report_out: Option<String>) {
+    let study = chaos_study(&cfg.harness, cfg.quick);
+    for p in &study.probes {
+        println!(
+            "probe: {} ({} procs) clean {:.3}s (routing {:.3}s) -> heartbeat {} ms, suspect window {} ms",
+            p.circuit,
+            p.procs,
+            p.base_time_s,
+            p.routing_s,
+            p.heartbeat_ns / 1_000_000,
+            p.heartbeat_ns * p.suspect_after as u64 / 1_000_000,
+        );
+    }
+    let data: Vec<Vec<String>> = study
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.circuit.clone(),
+                r.scenario.to_string(),
+                format!("{}", r.checkpoint_every),
+                format!("{}", r.fault_frac),
+                format!("{}", r.ckt_ht),
+                format!("{:.3}", r.time_s),
+                format!("{:.2}x", r.time_vs_clean),
+                format!("{:.2}x", r.mbytes_vs_clean),
+                format!("{}", r.checkpoints),
+                format!("{}", r.declared_dead),
+                format!("{}", r.reassigned),
+                format!("{}", r.rollbacks),
+                format!("{}", r.failovers),
+                format!("{}", r.duplicates),
+                if r.ok() { "ok".to_string() } else { "FAIL".to_string() },
+            ]
+        })
+        .collect();
+    println!(
+        "\nChaos grid: single node fault x checkpoint interval (recovery on, repeat-verified)\n"
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "circuit", "scenario", "ckpt", "at", "ckt ht", "time s", "vs clean", "mb vs",
+                "ckpts", "dead", "reassign", "rollbk", "failover", "dup", "status",
+            ],
+            &data
+        )
+    );
+    if let Some(path) = report_out {
+        write_or_die(&path, &chaos_report_json(&study, cfg.quick));
+        println!("chaos: wrote {path}");
+    }
+    if !study.all_ok() {
+        eprintln!("chaos: FAILED — a scenario degraded, lost a wire, or did not reproduce");
+        std::process::exit(1);
+    }
+    println!(
+        "chaos: all {} scenarios terminated with every wire routed, bitwise-repeatable",
+        study.rows.len()
+    );
+}
+
+/// [`run_chaos`] adapter for the `all` sequence (no report file).
+fn run_chaos_known(cfg: &RunCfg) {
+    run_chaos(cfg, None);
+}
+
 /// `memory`: the memory-system backend study — every registered backend
 /// replays the same per-circuit shared-memory trace over the same mesh
 /// machine. `--memory <backend>` restricts the table to one backend;
@@ -934,6 +1013,7 @@ const KNOWN: &[(&str, fn(&RunCfg))] = &[
     ("contention", run_contention),
     ("faults", run_faults_known),
     ("serve", run_serve_known),
+    ("chaos", run_chaos_known),
     ("memory", run_memory_known),
 ];
 
@@ -1004,6 +1084,10 @@ fn main() {
             let path = report_out.unwrap_or_else(|| "BENCH_service.json".to_string());
             run_serve(&cfg, Some(path));
         }
+        "chaos" => {
+            let path = report_out.unwrap_or_else(|| "BENCH_resilience.json".to_string());
+            run_chaos(&cfg, Some(path));
+        }
         "memory" => {
             let path = report_out.unwrap_or_else(|| "BENCH_memory.json".to_string());
             run_memory(&cfg, Some(path));
@@ -1027,7 +1111,7 @@ fn main() {
                 eprintln!(
                     "unknown experiment {other:?}; expected one of table1..table6, blocking, \
                      mixed, locality, speedup, compare, structures, overshoot, contention, \
-                     faults, serve, memory, figure1..figure3, list, sweeps, analyze, all"
+                     faults, serve, chaos, memory, figure1..figure3, list, sweeps, analyze, all"
                 );
                 std::process::exit(2);
             }

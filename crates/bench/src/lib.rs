@@ -9,11 +9,16 @@
 //! reproduction target. `EXPERIMENTS.md` records paper-vs-measured values
 //! for every experiment id.
 
+pub mod chaos;
 pub mod experiments;
 pub mod fmt;
 pub mod serve;
 pub mod sweep;
 
+pub use chaos::{
+    chaos_report_json, chaos_study, ChaosProbe, ChaosRow, ChaosStudy, CHAOS_CHECKPOINT_INTERVALS,
+    CHAOS_CRASH_FRACTIONS,
+};
 pub use experiments::*;
 pub use serve::{
     service_report_json, service_study, ServiceRow, ServiceStudy, SERVICE_LOADS,

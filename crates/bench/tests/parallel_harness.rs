@@ -7,7 +7,7 @@ use locus_circuit::presets;
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 4 })]
 
     /// The satellite property: parallel-sweep Table 1 rows equal the
     /// serial-sweep rows for every pool size.

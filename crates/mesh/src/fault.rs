@@ -29,6 +29,73 @@ use crate::topology::NodeId;
 /// Rates are per-ten-thousand; this is the 100% value.
 pub const BP_SCALE: u32 = 10_000;
 
+/// Maximum node-scoped faults one plan can carry (a fixed-size array
+/// keeps [`FaultPlan`] `Copy + Eq`).
+pub const MAX_NODE_FAULTS: usize = 4;
+
+/// A scheduled node-level failure: fail-stop, fail-recover, or
+/// fail-slow. Unlike the link faults, node faults fire at fixed
+/// simulated times taken straight from the plan — they consume no
+/// randomness, so they compose with the seeded link-fault stream
+/// without perturbing it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeFault {
+    /// Fail-stop: the node goes down at `at_ns` and never comes back.
+    /// All in-flight and future packets to or from it are lost.
+    Crash {
+        /// Crash time (ns).
+        at_ns: u64,
+    },
+    /// Fail-recover: down at `at_ns`, back up `downtime_ns` later with
+    /// its local state intact (the kernel calls
+    /// [`crate::Node::on_restart`] so the actor can roll back to a
+    /// checkpoint).
+    CrashRestart {
+        /// Crash time (ns).
+        at_ns: u64,
+        /// How long the node stays down.
+        downtime_ns: u64,
+    },
+    /// Fail-slow: from `at_ns` for `duration_ns`, every step's service
+    /// cost (receive overhead, application work, per-send processing) is
+    /// multiplied by `factor`.
+    Stall {
+        /// Stall onset (ns).
+        at_ns: u64,
+        /// Service-cost multiplier (≥ 1; 1 is a no-op).
+        factor: u32,
+        /// How long the stall lasts.
+        duration_ns: u64,
+    },
+}
+
+impl NodeFault {
+    /// Whether the afflicted node is down (crashed, not yet restarted)
+    /// at time `t_ns`.
+    pub fn down_at(&self, t_ns: u64) -> bool {
+        match *self {
+            NodeFault::Crash { at_ns } => t_ns >= at_ns,
+            NodeFault::CrashRestart { at_ns, downtime_ns } => {
+                t_ns >= at_ns && t_ns < at_ns.saturating_add(downtime_ns)
+            }
+            NodeFault::Stall { .. } => false,
+        }
+    }
+
+    /// The service-cost multiplier this fault imposes at time `t_ns`
+    /// (1 when inactive).
+    pub fn stall_factor_at(&self, t_ns: u64) -> u64 {
+        match *self {
+            NodeFault::Stall { at_ns, factor, duration_ns }
+                if t_ns >= at_ns && t_ns < at_ns.saturating_add(duration_ns) =>
+            {
+                factor.max(1) as u64
+            }
+            _ => 1,
+        }
+    }
+}
+
 /// Which envelopes a [`FaultPlan`] applies to. `None`/full-range fields
 /// match everything.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,6 +163,9 @@ pub struct FaultPlan {
     pub reorder_hold_ns: u64,
     /// Which envelopes the plan applies to.
     pub scope: FaultScope,
+    /// Scheduled node-level failures: `(node, fault)` pairs, at most
+    /// [`MAX_NODE_FAULTS`] of them. `None` slots are inert.
+    pub node_faults: [Option<(u32, NodeFault)>; MAX_NODE_FAULTS],
 }
 
 impl FaultPlan {
@@ -111,6 +181,7 @@ impl FaultPlan {
             reorder_bp: 0,
             reorder_hold_ns: 200_000,
             scope: FaultScope::all(),
+            node_faults: [None; MAX_NODE_FAULTS],
         }
     }
 
@@ -155,13 +226,60 @@ impl FaultPlan {
         self
     }
 
-    /// Whether the plan can never fire. Idle plans are skipped entirely
-    /// by the kernel.
-    pub fn is_idle(&self) -> bool {
-        self.drop_bp == 0 && self.duplicate_bp == 0 && self.delay_bp == 0 && self.reorder_bp == 0
+    /// Returns `self` with `fault` scheduled on `node` in the first free
+    /// slot.
+    ///
+    /// # Panics
+    /// Panics when all [`MAX_NODE_FAULTS`] slots are taken.
+    pub fn with_node_fault(mut self, node: u32, fault: NodeFault) -> Self {
+        let slot = self
+            .node_faults
+            .iter_mut()
+            .find(|s| s.is_none())
+            .unwrap_or_else(|| panic!("FaultPlan holds at most {MAX_NODE_FAULTS} node faults"));
+        *slot = Some((node, fault));
+        self
     }
 
-    /// Checks that every rate is a valid probability (≤ 10 000 bp).
+    /// Whether the plan can never fire (no link-fault rates and no node
+    /// faults). Idle plans are skipped entirely by the kernel.
+    pub fn is_idle(&self) -> bool {
+        self.drop_bp == 0
+            && self.duplicate_bp == 0
+            && self.delay_bp == 0
+            && self.reorder_bp == 0
+            && self.node_faults.iter().all(Option::is_none)
+    }
+
+    /// Whether any node fault is scheduled.
+    pub fn has_node_faults(&self) -> bool {
+        self.node_faults.iter().any(Option::is_some)
+    }
+
+    /// The scheduled node faults, in slot order.
+    pub fn node_faults(&self) -> impl Iterator<Item = (u32, NodeFault)> + '_ {
+        self.node_faults.iter().filter_map(|s| *s)
+    }
+
+    /// Whether `node` is down (crashed and not yet restarted) at `t_ns`
+    /// under this plan. A pure function of the plan, so both the kernel
+    /// and post-run analysis agree on down intervals.
+    pub fn node_down_at(&self, node: u32, t_ns: u64) -> bool {
+        self.node_faults().any(|(n, f)| n == node && f.down_at(t_ns))
+    }
+
+    /// The combined service-cost multiplier on `node` at `t_ns` (1 when
+    /// no stall is active).
+    pub fn stall_factor_at(&self, node: u32, t_ns: u64) -> u64 {
+        self.node_faults()
+            .filter(|&(n, _)| n == node)
+            .map(|(_, f)| f.stall_factor_at(t_ns))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Checks that every rate is a valid probability (≤ 10 000 bp) and
+    /// every node fault is well-formed.
     pub fn validate(&self) -> Result<(), String> {
         for (name, bp) in [
             ("drop_bp", self.drop_bp),
@@ -171,6 +289,20 @@ impl FaultPlan {
         ] {
             if bp > BP_SCALE {
                 return Err(format!("FaultPlan::{name} = {bp} exceeds {BP_SCALE} basis points"));
+            }
+        }
+        for (node, fault) in self.node_faults() {
+            match fault {
+                NodeFault::CrashRestart { downtime_ns: 0, .. } => {
+                    return Err(format!("node {node}: CrashRestart downtime must be nonzero"));
+                }
+                NodeFault::Stall { factor: 0, .. } => {
+                    return Err(format!("node {node}: Stall factor must be ≥ 1"));
+                }
+                NodeFault::Stall { duration_ns: 0, .. } => {
+                    return Err(format!("node {node}: Stall duration must be nonzero"));
+                }
+                _ => {}
             }
         }
         Ok(())
@@ -298,6 +430,64 @@ mod tests {
         let drops = (0..n).filter(|_| inj.decide(0, 1, 16) == Some(Fault::Drop)).count();
         let rate = drops as f64 / n as f64;
         assert!((0.08..0.12).contains(&rate), "10% nominal, got {rate:.4}");
+    }
+
+    #[test]
+    fn node_faults_make_a_plan_non_idle() {
+        let p = FaultPlan::none().with_node_fault(2, NodeFault::Crash { at_ns: 1_000 });
+        assert!(!p.is_idle(), "a node-fault-only plan must not be idle");
+        assert!(p.has_node_faults());
+        assert!(p.validate().is_ok());
+        assert_eq!(p.node_faults().count(), 1);
+    }
+
+    #[test]
+    fn down_intervals_follow_the_schedule() {
+        let p = FaultPlan::none()
+            .with_node_fault(0, NodeFault::Crash { at_ns: 100 })
+            .with_node_fault(1, NodeFault::CrashRestart { at_ns: 50, downtime_ns: 25 });
+        assert!(!p.node_down_at(0, 99));
+        assert!(p.node_down_at(0, 100));
+        assert!(p.node_down_at(0, u64::MAX), "fail-stop never recovers");
+        assert!(!p.node_down_at(1, 49));
+        assert!(p.node_down_at(1, 50));
+        assert!(p.node_down_at(1, 74));
+        assert!(!p.node_down_at(1, 75), "restarted at at_ns + downtime_ns");
+        assert!(!p.node_down_at(2, 100), "unafflicted node is never down");
+    }
+
+    #[test]
+    fn stall_factor_applies_only_inside_the_window() {
+        let p = FaultPlan::none()
+            .with_node_fault(3, NodeFault::Stall { at_ns: 10, factor: 4, duration_ns: 20 });
+        assert_eq!(p.stall_factor_at(3, 9), 1);
+        assert_eq!(p.stall_factor_at(3, 10), 4);
+        assert_eq!(p.stall_factor_at(3, 29), 4);
+        assert_eq!(p.stall_factor_at(3, 30), 1);
+        assert_eq!(p.stall_factor_at(0, 15), 1, "other nodes unaffected");
+        assert!(!p.node_down_at(3, 15), "a stalled node is slow, not down");
+    }
+
+    #[test]
+    fn malformed_node_faults_are_rejected() {
+        let zero_down = FaultPlan::none()
+            .with_node_fault(0, NodeFault::CrashRestart { at_ns: 5, downtime_ns: 0 });
+        assert!(zero_down.validate().is_err());
+        let zero_factor = FaultPlan::none()
+            .with_node_fault(0, NodeFault::Stall { at_ns: 5, factor: 0, duration_ns: 10 });
+        assert!(zero_factor.validate().is_err());
+        let zero_duration = FaultPlan::none()
+            .with_node_fault(0, NodeFault::Stall { at_ns: 5, factor: 2, duration_ns: 0 });
+        assert!(zero_duration.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn node_fault_slots_are_bounded() {
+        let mut p = FaultPlan::none();
+        for i in 0..=MAX_NODE_FAULTS as u32 {
+            p = p.with_node_fault(i, NodeFault::Crash { at_ns: 1 });
+        }
     }
 
     #[test]

@@ -33,6 +33,16 @@ enum EventKind<M> {
         epoch: u64,
     },
     Deliver(Envelope<M>),
+    /// The node-fault plan takes the node down (fail-stop, or the down
+    /// phase of fail-recover).
+    NodeDown {
+        will_restart: bool,
+    },
+    /// The node-fault plan brings the node back up after a
+    /// `CrashRestart` downtime.
+    NodeUp {
+        downtime_ns: u64,
+    },
 }
 
 struct Event<M> {
@@ -70,6 +80,10 @@ enum Status {
     Sleeping,
     /// Program complete.
     Done,
+    /// Down under a node fault. Terminal unless a restart is scheduled;
+    /// a permanently crashed node does not count as a deadlock by itself
+    /// (the application layer decides whether its work was recovered).
+    Crashed,
 }
 
 /// Result of running a simulation to completion.
@@ -104,6 +118,9 @@ pub struct Kernel<N: Node> {
     /// Fault decision engine; `None` when the plan is idle, so
     /// fault-free runs take exactly the pre-fault-layer code path.
     injector: Option<FaultInjector>,
+    /// Cached `config.faults.has_node_faults()`: the per-delivery down
+    /// checks are skipped entirely when no node fault is scheduled.
+    node_faults_on: bool,
     stats: NetStats,
     event_limit: u64,
     sink: Box<dyn Sink>,
@@ -137,11 +154,42 @@ impl<N: Node> Kernel<N> {
             seq: 0,
             wake_epoch: vec![0; n],
             injector,
+            node_faults_on: config.faults.has_node_faults(),
             stats: NetStats::new(n),
             event_limit: 200_000_000,
             sink: Box::new(NullSink),
             obs_on: false,
         };
+        // Node-fault events go in before the initial wakes so a crash
+        // scheduled at a node's wake time wins the (time, seq) tie and
+        // the node never steps while down.
+        for (node, fault) in config.faults.node_faults() {
+            let node = node as usize;
+            assert!(node < n, "node fault targets nonexistent node {node}");
+            match fault {
+                crate::fault::NodeFault::Crash { at_ns } => {
+                    kernel.push(
+                        SimTime::from_ns(at_ns),
+                        node,
+                        EventKind::NodeDown { will_restart: false },
+                    );
+                }
+                crate::fault::NodeFault::CrashRestart { at_ns, downtime_ns } => {
+                    kernel.push(
+                        SimTime::from_ns(at_ns),
+                        node,
+                        EventKind::NodeDown { will_restart: true },
+                    );
+                    kernel.push(
+                        SimTime::from_ns(at_ns.saturating_add(downtime_ns)),
+                        node,
+                        EventKind::NodeUp { downtime_ns },
+                    );
+                }
+                // Stalls are a pure time-window query in `on_wake`.
+                crate::fault::NodeFault::Stall { .. } => {}
+            }
+        }
         for node in 0..n {
             kernel.push_wake(SimTime::ZERO, node);
         }
@@ -203,10 +251,18 @@ impl<N: Node> Kernel<N> {
                     // Stale wakes (superseded by a delivery or a newer
                     // timer) are dropped.
                 }
+                EventKind::NodeDown { will_restart } => {
+                    self.on_node_down(ev.at, ev.node, will_restart)
+                }
+                EventKind::NodeUp { downtime_ns } => self.on_node_up(ev.at, ev.node, downtime_ns),
             }
         }
 
-        let deadlocked = event_limit_hit || self.status.iter().any(|&s| s != Status::Done);
+        // A permanently crashed node is terminal, not deadlocked: the
+        // application layer decides (via `crashed` and its own routed-wire
+        // accounting) whether the run degraded.
+        let deadlocked = event_limit_hit
+            || self.status.iter().any(|&s| !matches!(s, Status::Done | Status::Crashed));
         self.stats.deadlocked = deadlocked;
         self.stats.event_limit_hit = event_limit_hit;
         self.stats.completion =
@@ -216,6 +272,21 @@ impl<N: Node> Kernel<N> {
     }
 
     fn on_deliver(&mut self, at: SimTime, node: NodeId, env: Envelope<N::Msg>) {
+        if self.node_faults_on {
+            // Outbound suppression: the packet left a node that was
+            // already down when the send was issued (a crash interrupts
+            // a send burst mid-flight, and a down node emits nothing —
+            // not even acks). Inbound: a down endpoint loses all
+            // in-flight and arriving traffic.
+            let out_suppressed =
+                self.config.faults.node_down_at(env.from as u32, env.sent_at.as_ns());
+            let in_down = self.config.faults.node_down_at(node as u32, at.as_ns());
+            if out_suppressed || in_down {
+                self.stats.packets_lost_to_crash =
+                    self.stats.packets_lost_to_crash.saturating_add(1);
+                return;
+            }
+        }
         if self.obs_on {
             let kind = ObsKind::PacketDelivered {
                 src: env.from as u32,
@@ -241,6 +312,16 @@ impl<N: Node> Kernel<N> {
             self.status[node]
         );
 
+        // Fail-slow: an active stall window multiplies every service
+        // cost of the step (receive overhead, application work, and the
+        // per-send processing below).
+        let stall = if self.node_faults_on {
+            self.config.faults.stall_factor_at(node as u32, now.as_ns())
+        } else {
+            1
+        };
+        let send_pt = self.config.process_time_ns.saturating_mul(stall);
+
         // Receive overhead: ProcessTime to copy each packet off the
         // network plus per-byte disassembly.
         let msgs = std::mem::take(&mut self.inbox[node]);
@@ -249,12 +330,13 @@ impl<N: Node> Kernel<N> {
             let wire = env.bytes as u64 + self.config.header_bytes as u64;
             recv_ns += self.config.process_time_ns + self.config.recv_per_byte_ns * wire;
         }
+        recv_ns = recv_ns.saturating_mul(stall);
 
         let mut outbox = Outbox::new();
         let step = self.nodes[node].step(now, msgs, &mut outbox);
 
         let busy_ns = match step {
-            Step::Continue { busy_ns } => busy_ns,
+            Step::Continue { busy_ns } => busy_ns.saturating_mul(stall),
             _ => 0,
         };
 
@@ -266,7 +348,7 @@ impl<N: Node> Kernel<N> {
         for (i, (to, bytes, msg)) in outbox.sends.into_iter().enumerate() {
             assert_ne!(to, node, "node {node} attempted a self-send");
             assert!(to < self.topo.n_nodes(), "send to nonexistent node {to}");
-            let start = send_base + (i as u64 + 1) * self.config.process_time_ns;
+            let start = send_base + (i as u64 + 1) * send_pt;
             let arrival = self.inject(node, to, bytes, start);
             let fault = match &mut self.injector {
                 Some(inj) => inj.decide(node, to, bytes),
@@ -282,7 +364,7 @@ impl<N: Node> Kernel<N> {
             }
         }
 
-        let total_busy = recv_ns + busy_ns + n_sends * self.config.process_time_ns;
+        let total_busy = recv_ns + busy_ns + n_sends * send_pt;
         self.stats.busy_ns[node] += total_busy;
         let free = now + total_busy;
         self.free_at[node] = free;
@@ -316,6 +398,46 @@ impl<N: Node> Kernel<N> {
                 self.stats.done_at[node] = free;
             }
         }
+    }
+
+    /// Takes `node` down under a node fault: its queued inbox is lost,
+    /// pending wakes are invalidated, and (via the plan-based down check
+    /// in [`Kernel::on_deliver`]) all in-flight and future traffic to or
+    /// from it is discarded until a restart.
+    fn on_node_down(&mut self, at: SimTime, node: NodeId, will_restart: bool) {
+        if self.status[node] == Status::Done {
+            // The program already finished; crashing a ghost is a no-op.
+            return;
+        }
+        let lost = self.inbox[node].len() as u64;
+        self.inbox[node].clear();
+        self.stats.packets_lost_to_crash = self.stats.packets_lost_to_crash.saturating_add(lost);
+        // Invalidate any queued wake so the node cannot step while down.
+        self.wake_epoch[node] += 1;
+        self.status[node] = Status::Crashed;
+        self.stats.node_crashes += 1;
+        self.stats.crashed[node] = true;
+        if self.obs_on {
+            self.emit(at, node, ObsKind::NodeCrashed { will_restart });
+        }
+    }
+
+    /// Brings a crashed node back up: the actor's `on_restart` hook runs
+    /// (rolling back to its checkpoint), then the node is rescheduled.
+    fn on_node_up(&mut self, at: SimTime, node: NodeId, downtime_ns: u64) {
+        if self.status[node] != Status::Crashed {
+            // The crash was a no-op (the node had already finished).
+            return;
+        }
+        self.nodes[node].on_restart(at);
+        self.status[node] = Status::Scheduled;
+        self.free_at[node] = at;
+        self.stats.node_restarts += 1;
+        self.stats.crashed[node] = false;
+        if self.obs_on {
+            self.emit(at, node, ObsKind::NodeRestarted { downtime_ns });
+        }
+        self.push_wake(at, node);
     }
 
     /// Applies one fault decision to an envelope whose injection (at
@@ -671,10 +793,148 @@ mod tests {
         let cfg = MeshConfig { rows: 1, cols: 3, ..MeshConfig::ametek(1, 3) };
         let mk = || vec![OneShot::sender(2, 100), OneShot::sender(2, 64), OneShot::receiver(2)];
         let plain = Kernel::new(cfg, mk()).run();
-        let planned = Kernel::new(cfg.with_faults(FaultPlan::uniform_loss(99, 0)), mk()).run();
+        // Zero rates AND an empty node-fault list: inert by construction.
+        let plan = FaultPlan::uniform_loss(99, 0);
+        assert!(plan.node_faults.iter().all(Option::is_none));
+        assert!(plan.is_idle());
+        let planned = Kernel::new(cfg.with_faults(plan), mk()).run();
         assert_eq!(plain.stats, planned.stats);
         assert_eq!(plain.events_processed, planned.events_processed);
         assert_eq!(plain.nodes[2].received_at, planned.nodes[2].received_at);
+    }
+
+    #[test]
+    fn crashed_receiver_loses_inbound_and_is_terminal_not_deadlocked() {
+        use crate::fault::{FaultPlan, NodeFault};
+        let plan = FaultPlan::none().with_node_fault(1, NodeFault::Crash { at_ns: 1 });
+        let cfg = two_node_config().with_faults(plan);
+        let nodes = vec![OneShot::sender(1, 42), OneShot::receiver(1)];
+        let out = Kernel::new(cfg, nodes).run();
+        assert_eq!(out.stats.node_crashes, 1);
+        assert_eq!(out.stats.node_restarts, 0);
+        assert_eq!(out.stats.crashed, vec![false, true]);
+        assert_eq!(out.stats.packets_lost_to_crash, 1, "the delivery hit a down endpoint");
+        assert!(out.nodes[1].received_at.is_empty());
+        assert!(
+            !out.stats.deadlocked,
+            "sender finished and the crash is terminal — not a deadlock"
+        );
+    }
+
+    #[test]
+    fn crash_restart_invokes_the_restart_hook_at_the_deadline() {
+        use crate::fault::{FaultPlan, NodeFault};
+        /// Sleeps until restarted, then completes (`wait: false`
+        /// completes on its first step).
+        struct RestartProbe {
+            wait: bool,
+            restarted_at: Option<SimTime>,
+            done_at: Option<SimTime>,
+        }
+        impl Node for RestartProbe {
+            type Msg = ();
+            fn step(&mut self, now: SimTime, _: Vec<Envelope<()>>, _: &mut Outbox<()>) -> Step {
+                if !self.wait || self.restarted_at.is_some() {
+                    self.done_at = Some(now);
+                    return Step::Done;
+                }
+                Step::Sleep { until: now + 1_000_000_000 }
+            }
+            fn on_restart(&mut self, now: SimTime) {
+                self.restarted_at = Some(now);
+            }
+        }
+        let plan = FaultPlan::none()
+            .with_node_fault(0, NodeFault::CrashRestart { at_ns: 10_000, downtime_ns: 5_000 });
+        let cfg = two_node_config().with_faults(plan);
+        let probe = |wait| RestartProbe { wait, restarted_at: None, done_at: None };
+        let out = Kernel::new(cfg, vec![probe(true), probe(false)]).run();
+        assert_eq!(out.stats.node_crashes, 1);
+        assert_eq!(out.stats.node_restarts, 1);
+        assert_eq!(out.stats.crashed, vec![false, false]);
+        assert_eq!(out.nodes[0].restarted_at, Some(SimTime::from_ns(15_000)));
+        assert_eq!(out.nodes[0].done_at, Some(SimTime::from_ns(15_000)));
+        assert!(out.nodes[1].restarted_at.is_none(), "only the faulted node restarts");
+    }
+
+    #[test]
+    fn stall_multiplies_service_costs() {
+        use crate::fault::{FaultPlan, NodeFault};
+        let mk = || vec![OneShot::sender(1, 12), OneShot::receiver(1)];
+        let clean = Kernel::new(two_node_config().without_contention(), mk()).run();
+        let plan = FaultPlan::none().with_node_fault(
+            0,
+            NodeFault::Stall { at_ns: 0, factor: 10, duration_ns: 1_000_000_000 },
+        );
+        let cfg = two_node_config().without_contention().with_faults(plan);
+        let stalled = Kernel::new(cfg, mk()).run();
+        // The sender's single send costs 10x ProcessTime, pushing the
+        // arrival back by 9x ProcessTime.
+        assert_eq!(stalled.stats.busy_ns[0], 10 * cfg.process_time_ns);
+        assert_eq!(
+            stalled.nodes[1].received_at[0] - clean.nodes[1].received_at[0],
+            SimTime::from_ns(9 * cfg.process_time_ns)
+        );
+        assert!(!stalled.stats.deadlocked);
+    }
+
+    /// Regression test for outbound suppression (`FaultScope` satellite):
+    /// a node that crashes mid-burst must not get its still-unsent
+    /// packets onto the wire — a down node emits nothing, not even acks.
+    #[test]
+    fn crash_suppresses_outbound_packets_issued_while_down() {
+        use crate::fault::{FaultPlan, NodeFault};
+        /// Sends 5 packets in one step (when active), then completes.
+        struct Burst {
+            active: bool,
+        }
+        impl Node for Burst {
+            type Msg = ();
+            fn step(&mut self, _: SimTime, _: Vec<Envelope<()>>, o: &mut Outbox<()>) -> Step {
+                if self.active {
+                    for _ in 0..5 {
+                        o.send(1, 8, ());
+                    }
+                }
+                Step::Done
+            }
+        }
+        let cfg_plain = two_node_config().without_contention();
+        // Sends are issued at (i+1) * ProcessTime; crash between the 2nd
+        // and 3rd so exactly 3 are suppressed.
+        let crash_at = 2 * cfg_plain.process_time_ns + cfg_plain.process_time_ns / 2;
+        let plan = FaultPlan::none().with_node_fault(0, NodeFault::Crash { at_ns: crash_at });
+        let cfg = cfg_plain.with_faults(plan);
+        let out = Kernel::new(cfg, vec![Burst { active: true }, Burst { active: false }]).run();
+        assert_eq!(out.stats.packets, 5, "all five injections consumed bandwidth");
+        assert_eq!(out.stats.packets_lost_to_crash, 3, "sends issued while down are suppressed");
+        assert_eq!(
+            out.stats.packets - out.stats.packets_lost_to_crash,
+            2,
+            "only pre-crash sends arrive"
+        );
+    }
+
+    #[test]
+    fn node_faulted_runs_are_deterministic_and_observable() {
+        use crate::fault::{FaultPlan, NodeFault};
+        use locus_obs::{names, SharedSink};
+        // Crash the receiver while it is still waiting (the senders
+        // finish within ~2 µs; crashing a finished node is a no-op).
+        let plan = FaultPlan::uniform_loss(11, 1_000)
+            .with_node_fault(2, NodeFault::CrashRestart { at_ns: 4_000, downtime_ns: 2_000 })
+            .with_node_fault(0, NodeFault::Stall { at_ns: 0, factor: 2, duration_ns: 8_000 });
+        let cfg = MeshConfig { rows: 1, cols: 3, ..MeshConfig::ametek(1, 3) }.with_faults(plan);
+        let mk = || vec![OneShot::sender(2, 100), OneShot::sender(2, 64), OneShot::receiver(1)];
+        let sink = SharedSink::new();
+        let a = Kernel::new(cfg, mk()).with_sink(Box::new(sink.clone())).run();
+        let b = Kernel::new(cfg, mk()).run();
+        assert_eq!(a.stats, b.stats);
+        let m = sink.metrics_snapshot();
+        assert_eq!(m.counter(names::NODE_CRASHES), a.stats.node_crashes);
+        assert_eq!(m.counter(names::NODE_RESTARTS), a.stats.node_restarts);
+        assert_eq!(a.stats.node_crashes, 1);
+        assert_eq!(a.stats.node_restarts, 1);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod topology;
 
 pub use arbiter::{Arbiter, ResolvedContention, ServicePolicy, ServiceRequest, WaitStats};
 pub use config::MeshConfig;
-pub use fault::{Fault, FaultInjector, FaultPlan, FaultScope};
+pub use fault::{Fault, FaultInjector, FaultPlan, FaultScope, NodeFault};
 pub use kernel::{Kernel, SimOutcome};
 pub use node::{Envelope, Node, Outbox, Step};
 pub use stats::NetStats;

@@ -105,6 +105,14 @@ pub trait Node {
         inbox: Vec<Envelope<Self::Msg>>,
         outbox: &mut Outbox<Self::Msg>,
     ) -> Step;
+
+    /// Called once when the node comes back up after a
+    /// [`crate::fault::NodeFault::CrashRestart`] downtime, before its
+    /// first post-restart [`Node::step`]. The actor keeps its local
+    /// state (volatile memory is modelled as surviving in checkpointed
+    /// form); implementations roll back to their last checkpoint here.
+    /// The default is a no-op.
+    fn on_restart(&mut self, _now: SimTime) {}
 }
 
 #[cfg(test)]

@@ -43,6 +43,17 @@ pub struct NetStats {
     pub packets_delayed: u64,
     /// Deliveries held for overtaking by the fault layer.
     pub packets_reordered: u64,
+    /// Node crashes injected by the node-fault layer (fail-stop and the
+    /// down phase of fail-recover).
+    pub node_crashes: u64,
+    /// Crashed nodes that came back up.
+    pub node_restarts: u64,
+    /// Deliveries lost because an endpoint was down: inbound packets to
+    /// a crashed node plus outbound packets a node had in flight when it
+    /// crashed.
+    pub packets_lost_to_crash: u64,
+    /// Which nodes ended the run crashed (down and never restarted).
+    pub crashed: Vec<bool>,
 }
 
 impl NetStats {
@@ -53,6 +64,7 @@ impl NetStats {
             payload_bytes_by_node: vec![0; n],
             busy_ns: vec![0; n],
             done_at: vec![SimTime::ZERO; n],
+            crashed: vec![false; n],
             ..Default::default()
         }
     }

@@ -45,6 +45,66 @@ pub enum WireSource {
     Dynamic,
 }
 
+/// Checkpoint/restart and failure-detection knobs of the recovery layer.
+///
+/// With recovery on, every node periodically serializes its durable
+/// state (its owned cost-array shard plus per-wire progress) to modelled
+/// stable storage, heartbeats the coordinator, and participates in
+/// coordinator-driven failure handling: a node silent for
+/// `suspect_after` heartbeat periods is declared dead, its unfinished
+/// wires (past its last reported checkpoint) are reassigned to live
+/// nodes, and a dead coordinator is replaced by the lowest live rank.
+/// All of it is deterministic — the schedule depends only on simulated
+/// time — so recovered runs replay bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Wires routed between checkpoints. A final checkpoint is always
+    /// taken when a node finishes its assignment, and every adopted
+    /// (reassigned) wire is checkpointed as soon as it is routed.
+    pub checkpoint_every: u32,
+    /// Heartbeat period (ns): workers beat to the coordinator and the
+    /// coordinator beats back to every worker.
+    pub heartbeat_ns: u64,
+    /// Silence threshold, in heartbeat periods, before a peer is
+    /// declared dead.
+    pub suspect_after: u32,
+    /// Modelled cost of serializing one checkpoint byte to stable
+    /// store (ns/byte).
+    pub checkpoint_per_byte_ns: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            checkpoint_every: 8,
+            heartbeat_ns: 10_000_000,
+            suspect_after: 5,
+            checkpoint_per_byte_ns: 50,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Checks the knobs are internally consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.checkpoint_every == 0 {
+            return Err("checkpoint_every must be >= 1".into());
+        }
+        if self.heartbeat_ns == 0 {
+            return Err("heartbeat_ns must be positive".into());
+        }
+        if self.suspect_after == 0 {
+            return Err("suspect_after must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// The silence window after which a peer is presumed dead (ns).
+    pub fn suspect_window_ns(&self) -> u64 {
+        self.heartbeat_ns.saturating_mul(self.suspect_after as u64)
+    }
+}
+
 /// Everything that defines one message-passing experiment.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MsgPassConfig {
@@ -96,6 +156,12 @@ pub struct MsgPassConfig {
     /// which assumes the network never loses packets; enable it whenever
     /// `faults` can drop or duplicate traffic.
     pub reliability: Option<ReliableConfig>,
+    /// Checkpoint/restore recovery with heartbeat failure detection.
+    /// `None` (default) runs the protocol exactly as it existed before
+    /// the recovery layer; enable it whenever `faults` can crash nodes.
+    /// Requires reliability, static wire assignment, a single routing
+    /// iteration, and a non-blocking schedule.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl MsgPassConfig {
@@ -119,6 +185,7 @@ impl MsgPassConfig {
             audit_every: None,
             faults: FaultPlan::none(),
             reliability: None,
+            recovery: None,
         }
     }
 
@@ -181,6 +248,19 @@ impl MsgPassConfig {
         self
     }
 
+    /// Returns `self` with checkpoint/restore recovery at its default
+    /// tuning (a single iteration is forced; recovery requires it).
+    pub fn with_recovery(self) -> Self {
+        self.with_recovery_config(RecoveryConfig::default())
+    }
+
+    /// Returns `self` with checkpoint/restore recovery tuned by `cfg`.
+    pub fn with_recovery_config(mut self, cfg: RecoveryConfig) -> Self {
+        self.recovery = Some(cfg);
+        self.params = self.params.with_iterations(1);
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), String> {
         if self.n_procs == 0 {
@@ -216,6 +296,29 @@ impl MsgPassConfig {
         self.faults.validate()?;
         if let Some(r) = &self.reliability {
             r.validate()?;
+        }
+        if let Some(rc) = &self.recovery {
+            rc.validate()?;
+            if self.reliability.is_none() {
+                return Err("recovery requires the reliability layer (checkpoint, reassignment \
+                     and failover traffic must survive loss)"
+                    .into());
+            }
+            if self.wire_source != WireSource::Static {
+                return Err("recovery requires static wire assignment (reassignment recomputes \
+                     the dead node's static wire list)"
+                    .into());
+            }
+            if self.params.iterations != 1 {
+                return Err("recovery supports exactly one routing iteration (rollback across \
+                     rip-up iterations is not modelled)"
+                    .into());
+            }
+            if self.schedule.blocking {
+                return Err("recovery is incompatible with the blocking receiver-initiated \
+                     schedule (a request to a dead owner would block forever)"
+                    .into());
+            }
         }
         self.schedule.validate()
     }
@@ -271,6 +374,41 @@ mod tests {
         let mut c = MsgPassConfig::new(4, UpdateSchedule::receiver_initiated(1, 5));
         c.request_ahead = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn recovery_constraints_are_enforced() {
+        let ok = MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 10))
+            .with_reliability()
+            .with_recovery();
+        ok.validate().unwrap();
+        assert_eq!(ok.params.iterations, 1, "recovery forces a single iteration");
+
+        let no_rel = MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 10)).with_recovery();
+        assert!(no_rel.validate().is_err(), "recovery without reliability must be rejected");
+
+        let mut multi_iter = ok;
+        multi_iter.params = RouterParams::default().with_iterations(2);
+        assert!(multi_iter.validate().is_err());
+
+        let blocking = MsgPassConfig::new(4, UpdateSchedule::receiver_initiated_blocking(1, 1))
+            .with_reliability()
+            .with_recovery();
+        assert!(blocking.validate().is_err());
+
+        let mut dynamic = MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 10))
+            .with_dynamic_wires()
+            .with_reliability();
+        dynamic.recovery = Some(RecoveryConfig::default());
+        assert!(dynamic.validate().is_err());
+
+        let bad = RecoveryConfig { checkpoint_every: 0, ..RecoveryConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = RecoveryConfig { heartbeat_ns: 0, ..RecoveryConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = RecoveryConfig { suspect_after: 0, ..RecoveryConfig::default() };
+        assert!(bad.validate().is_err());
+        assert_eq!(RecoveryConfig::default().suspect_window_ns(), 50_000_000);
     }
 
     #[test]

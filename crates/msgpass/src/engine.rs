@@ -77,6 +77,7 @@ impl RoutingEngine for MsgPassEngine {
             },
             mbytes: Some(out.mbytes),
             time_secs: Some(out.time_secs),
+            degraded: out.degraded.is_some(),
         }
     }
 }

@@ -37,10 +37,10 @@ pub mod reliable;
 pub mod schedule;
 pub mod sim;
 
-pub use config::{MsgPassConfig, PacketStructure, WireSource};
+pub use config::{MsgPassConfig, PacketStructure, RecoveryConfig, WireSource};
 pub use delta::DeltaArray;
 pub use engine::MsgPassEngine;
-pub use node::{ReplicaSnapshot, RouterNode};
+pub use node::{RecoveryStats, ReplicaSnapshot, RouterNode};
 pub use packet::{Packet, PacketCounts, PacketKind, WireEvent};
 pub use reliable::{Frame, ReliableConfig, ReliableStats, Transport};
 pub use schedule::UpdateSchedule;

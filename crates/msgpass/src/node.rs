@@ -8,6 +8,7 @@
 //! `Finished` to node 0, which broadcasts `Terminate` once all reports
 //! are in — finished nodes keep serving requests until then).
 
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 use locus_circuit::{Circuit, Rect, WireId};
@@ -15,7 +16,7 @@ use locus_mesh::{Envelope, Node, Outbox, SimTime, Step};
 use locus_obs::{EventKind, SharedSink};
 use locus_router::engine::{IterationDriver, ObsEmitter, Stamp};
 use locus_router::router::route_wire_scratch;
-use locus_router::{CostArray, EvalScratch, ProcId, RegionMap, Route, WorkStats};
+use locus_router::{assign, CostArray, EvalScratch, ProcId, RegionMap, Route, WorkStats};
 
 use crate::config::{MsgPassConfig, PacketStructure, WireSource};
 use crate::delta::DeltaArray;
@@ -55,6 +56,50 @@ impl ReplicaSnapshot {
         } else {
             self.stale_age_sum_ns / self.diverged_cells as u64
         }
+    }
+}
+
+/// Recovery-protocol counters for one node. All zero when
+/// [`MsgPassConfig::recovery`] is off; merged across nodes into the
+/// run outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Checkpoints taken (periodic, at-finish, and per adopted wire).
+    pub checkpoints_taken: u64,
+    /// Total serialized checkpoint bytes (charged to simulated time).
+    pub checkpoint_bytes: u64,
+    /// Heartbeat rounds sent (coordinator: one broadcast counts once).
+    pub heartbeats_sent: u64,
+    /// Peers this node declared dead after a silent suspect window.
+    pub nodes_declared_dead: u64,
+    /// Orphaned wires the coordinator redistributed to live nodes.
+    pub wires_reassigned: u64,
+    /// Reassigned wires this node adopted (self-targets included).
+    pub wires_adopted: u64,
+    /// Restart rollbacks performed (one per restart with lost work).
+    pub rollbacks: u64,
+    /// Routes ripped back out because they post-dated the checkpoint.
+    pub wires_rolled_back: u64,
+    /// Coordinator takeovers this node performed.
+    pub coordinator_failovers: u64,
+    /// Wires routed by more than one node (resolved first-writer-wins
+    /// at collection; counted there, not per node).
+    pub duplicate_routes: u64,
+}
+
+impl RecoveryStats {
+    /// Accumulates `other` into `self` field by field.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.checkpoints_taken += other.checkpoints_taken;
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.heartbeats_sent += other.heartbeats_sent;
+        self.nodes_declared_dead += other.nodes_declared_dead;
+        self.wires_reassigned += other.wires_reassigned;
+        self.wires_adopted += other.wires_adopted;
+        self.rollbacks += other.rollbacks;
+        self.wires_rolled_back += other.wires_rolled_back;
+        self.coordinator_failovers += other.coordinator_failovers;
+        self.duplicate_routes += other.duplicate_routes;
     }
 }
 
@@ -121,9 +166,55 @@ pub struct RouterNode {
 
     // Termination protocol.
     finished_routing: bool,
+    /// Virtual time of the step that completed this node's last routing
+    /// work (static assignment or adopted backlog). The run-level
+    /// maximum is the routing span — everything past it is update
+    /// exchange, checkpoint, and termination tail.
+    routing_done_ns: u64,
     finished_sent: bool,
     finished_seen: usize,
     terminate: bool,
+
+    // Recovery protocol (all inert when `config.recovery` is `None`).
+    /// Who this node currently believes coordinates termination and
+    /// reassignment (starts at [`COORDINATOR`]; moves on failover).
+    coordinator: ProcId,
+    /// Simulated time at which the next heartbeat round is due.
+    next_heartbeat_at: u64,
+    /// Last simulated time any envelope arrived from each peer.
+    last_heard: Vec<u64>,
+    /// Peers declared dead (never resurrected within a run).
+    presumed_dead: Vec<bool>,
+    /// Dead peers whose orphaned wires were already redistributed.
+    reassigned: Vec<bool>,
+    /// Coordinator only: peers that reported all their work finished.
+    finished_flags: Vec<bool>,
+    /// Coordinator only: each peer's last checkpointed progress (wires
+    /// into its static assignment that are durable).
+    ckpt_known: Vec<u32>,
+    /// Own durable progress: wires into `my_wires` covered by the last
+    /// checkpoint (work past it dies with a crash).
+    ckpt_progress: u32,
+    /// Wires adopted from dead peers, awaiting routing.
+    adopted: VecDeque<WireId>,
+    /// The complete static assignment (every processor's wire list),
+    /// recomputed locally so any node can redistribute a dead peer's
+    /// wires without asking anyone. `Some` iff recovery is on.
+    full_assignment: Option<Vec<Vec<WireId>>>,
+    /// Coordinator only: wires this node granted to each peer through
+    /// `Reassign`. If a grantee later dies, these orphans are not in its
+    /// static assignment, so they must be re-granted from this ledger.
+    granted_log: Vec<Vec<WireId>>,
+    /// Computation time owed but not yet charged to the simulated clock.
+    /// Under recovery a long busy interval is drained in heartbeat-sized
+    /// chunks so the node keeps heartbeating (and acking) while it
+    /// computes — the discrete-event analogue of an interrupt-driven
+    /// network stack. Charging a whole wire's routing time atomically
+    /// would silence the node past the suspect window on large circuits
+    /// and get it falsely declared dead.
+    pending_busy: u64,
+    /// Recovery counters.
+    recovery_stats: RecoveryStats,
 
     // Metrics.
     sent: PacketCounts,
@@ -154,6 +245,8 @@ impl RouterNode {
         let n_procs = regions.n_procs();
         let (channels, grids) = regions.surface();
         let n_wires = my_wires.len();
+        let full_assignment =
+            config.recovery.map(|_| assign(&circuit, &regions, config.assignment).wires_per_proc);
         RouterNode {
             proc,
             my_region: regions.region(proc),
@@ -183,9 +276,23 @@ impl RouterNode {
             outstanding: 0,
             reqs_from: vec![0; n_procs],
             finished_routing: false,
+            routing_done_ns: 0,
             finished_sent: false,
             finished_seen: 0,
             terminate: false,
+            coordinator: COORDINATOR,
+            next_heartbeat_at: 0,
+            last_heard: vec![0; n_procs],
+            presumed_dead: vec![false; n_procs],
+            reassigned: vec![false; n_procs],
+            finished_flags: vec![false; n_procs],
+            ckpt_known: vec![0; n_procs],
+            ckpt_progress: 0,
+            adopted: VecDeque::new(),
+            full_assignment,
+            granted_log: vec![Vec::new(); n_procs],
+            pending_busy: 0,
+            recovery_stats: RecoveryStats::default(),
             sent: PacketCounts::default(),
             transport: Transport::new(n_procs, config.reliability),
             linger_until: None,
@@ -213,6 +320,7 @@ impl RouterNode {
     /// (candidates swept; the replica's prefix-cache activity).
     fn mark_finished_routing(&mut self) {
         self.finished_routing = true;
+        self.routing_done_ns = self.now_ns;
         if self.driver.obs_on() {
             let ps = self.replica.prefix_stats();
             self.driver.kernel_stats(Stamp::At(self.now_ns), ps);
@@ -252,6 +360,37 @@ impl RouterNode {
     /// protocol is disabled).
     pub fn reliable_stats(&self) -> crate::reliable::ReliableStats {
         self.transport.stats()
+    }
+
+    /// This node's recovery counters (all zero when recovery is off).
+    /// Virtual time of this node's last completed routing work.
+    pub fn routing_done_ns(&self) -> u64 {
+        self.routing_done_ns
+    }
+
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery_stats
+    }
+
+    /// Wires into this node's static assignment covered by its last
+    /// checkpoint (its durable progress).
+    pub fn checkpoint_progress(&self) -> u32 {
+        self.ckpt_progress
+    }
+
+    /// Final routes as [`RouterNode::routes`], but truncated to the last
+    /// checkpoint when this node `crashed`: routes committed after it
+    /// were volatile and died with the node (an adopter re-routed those
+    /// wires). Adopted-wire routes are checkpointed as they commit, so
+    /// they always survive.
+    pub fn surviving_routes(&self, crashed: bool) -> impl Iterator<Item = (WireId, &Route)> + '_ {
+        let limit = if crashed { self.ckpt_progress as usize } else { self.my_wires.len() };
+        self.my_wires
+            .iter()
+            .take(limit)
+            .zip(self.driver.slots())
+            .filter_map(|(&w, r)| r.as_ref().map(|r| (w, r)))
+            .chain(self.driver.dynamic_routes().iter().map(|(w, r)| (*w, r)))
     }
 
     /// The node's final replica (for divergence diagnostics).
@@ -347,6 +486,19 @@ impl RouterNode {
         debug_assert_ne!(to, self.proc);
         self.sent.record(&packet);
         let frame = self.transport.wrap(to, packet, self.now_ns);
+        let bytes = frame.payload_bytes();
+        outbox.send(to, bytes, frame);
+        bytes as u64 * self.config.send_per_byte_ns
+    }
+
+    /// Queues `packet` unframed ([`Frame::Raw`]), bypassing the
+    /// reliability protocol. Heartbeats ride raw: they are periodic, so
+    /// a lost one is repaired by the next, and they must not occupy
+    /// retransmission state (a dead peer would accumulate it forever).
+    fn send_raw(&mut self, outbox: &mut Outbox<Frame>, to: ProcId, packet: Packet) -> u64 {
+        debug_assert_ne!(to, self.proc);
+        self.sent.record(&packet);
+        let frame = Frame::Raw(packet);
         let bytes = frame.payload_bytes();
         outbox.send(to, bytes, frame);
         bytes as u64 * self.config.send_per_byte_ns
@@ -518,11 +670,76 @@ impl RouterNode {
                 }
             }
             Packet::Finished => {
-                debug_assert_eq!(self.proc, COORDINATOR);
-                self.finished_seen += 1;
+                if self.config.recovery.is_some() {
+                    if self.proc == self.coordinator {
+                        self.finished_flags[from] = true;
+                    }
+                    // Otherwise: a report addressed to this node while it
+                    // was coordinator-apparent, since superseded; the
+                    // sender will re-report via StatusReport.
+                } else {
+                    debug_assert_eq!(self.proc, COORDINATOR);
+                    self.finished_seen += 1;
+                }
             }
             Packet::Terminate => {
                 self.terminate = true;
+            }
+            Packet::Heartbeat => {
+                // Liveness is tracked per envelope in `step`. Beyond
+                // that, only coordinators broadcast heartbeats, so one
+                // from a lower rank than the believed coordinator is a
+                // competing claim that wins (the successor rule elects
+                // the lowest live rank): a split brain from cascaded
+                // false suspicions re-converges on the lowest claimant,
+                // and a deposed-but-alive coordinator demotes itself
+                // here. The adopter re-reports its finish state so the
+                // restored coordinator's ledger completes.
+                if self.config.recovery.is_some() && from < self.coordinator {
+                    self.presumed_dead[from] = false;
+                    self.coordinator = from;
+                    self.finished_sent = false;
+                }
+            }
+            Packet::Checkpoint { progress, bytes: _ } => {
+                if self.proc == self.coordinator {
+                    self.ckpt_known[from] = self.ckpt_known[from].max(progress);
+                }
+            }
+            Packet::Reassign { wires } => {
+                self.recovery_stats.wires_adopted += wires.len() as u64;
+                self.adopted.extend(wires.iter().map(|&w| w as WireId));
+                // Fresh work un-finishes this node; it re-reports once
+                // the adopted queue drains.
+                self.finished_sent = false;
+            }
+            Packet::NewCoordinator => {
+                if from != self.proc {
+                    // Every rank below the announcer must be dead or the
+                    // announcer would not have won the succession.
+                    for p in 0..from {
+                        if p != self.proc {
+                            self.presumed_dead[p] = true;
+                        }
+                    }
+                    self.coordinator = from;
+                    busy += self.send(
+                        outbox,
+                        from,
+                        Packet::StatusReport {
+                            progress: self.ckpt_progress,
+                            finished: self.finished_routing && self.adopted.is_empty(),
+                        },
+                    );
+                }
+            }
+            Packet::StatusReport { progress, finished } => {
+                if self.proc == self.coordinator {
+                    self.ckpt_known[from] = self.ckpt_known[from].max(progress);
+                    if finished {
+                        self.finished_flags[from] = true;
+                    }
+                }
             }
         }
         busy
@@ -726,6 +943,7 @@ impl RouterNode {
 
         // Advance the program counter.
         self.wire_idx += 1;
+        let progressed = self.wire_idx as u32;
         if self.wire_idx == self.my_wires.len() {
             self.driver.phase_end(stamp);
             self.driver.close_iteration();
@@ -734,6 +952,203 @@ impl RouterNode {
             self.request_cursor = 0;
             if self.iteration == self.config.params.iterations {
                 self.mark_finished_routing();
+            }
+        }
+        if let Some(rc) = self.config.recovery {
+            // Validation pins recovery to a single iteration, so
+            // `progressed` is this node's total static progress. The
+            // at-finish checkpoint makes a finished-then-crashed node's
+            // full route set durable.
+            if self.finished_routing || progressed.is_multiple_of(rc.checkpoint_every) {
+                busy += self.take_checkpoint(progressed, outbox);
+            }
+        }
+        busy
+    }
+}
+
+impl RouterNode {
+    /// Persists the node's routing state: charges the serialized size of
+    /// its owned cost shard plus the progress record to simulated time,
+    /// advances the durable progress mark, and ships the progress record
+    /// to the coordinator so reassignment after a crash starts from here.
+    fn take_checkpoint(&mut self, progress: u32, outbox: &mut Outbox<Frame>) -> u64 {
+        let rc = self.config.recovery.expect("checkpoint requires recovery");
+        // Owned shard at 2 bytes per cell, plus an 8-byte progress record.
+        let bytes = self.my_region.area() * 2 + 8;
+        let mut busy = bytes * rc.checkpoint_per_byte_ns;
+        self.ckpt_progress = progress;
+        self.recovery_stats.checkpoints_taken += 1;
+        self.recovery_stats.checkpoint_bytes += bytes;
+        self.driver
+            .emit_event(Stamp::At(self.now_ns), EventKind::CheckpointTaken { bytes: bytes as u32 });
+        if self.proc == self.coordinator {
+            self.ckpt_known[self.proc] = progress;
+        } else {
+            busy += self.send(
+                outbox,
+                self.coordinator,
+                Packet::Checkpoint { progress, bytes: bytes as u32 },
+            );
+        }
+        busy
+    }
+
+    /// One recovery round: emit a due heartbeat, declare silent peers
+    /// dead, and (as a worker) fail over when the coordinator has gone
+    /// silent. Pure no-op when recovery is off.
+    fn recovery_tick(&mut self, outbox: &mut Outbox<Frame>) -> u64 {
+        let Some(rc) = self.config.recovery else {
+            return 0;
+        };
+        let mut busy = 0u64;
+        // Succession invariant: the coordinator is the lowest live
+        // rank. A node that finds itself ranked *below* its believed
+        // coordinator got there through crossed failover claims — the
+        // higher rank declared this node dead while it was merely
+        // slow. This node is alive and lower, so the role is its;
+        // announcing the claim demotes the higher claimant.
+        if self.proc < self.coordinator {
+            self.coordinator = self.proc;
+            busy += self.become_coordinator(outbox);
+        }
+        if self.now_ns >= self.next_heartbeat_at {
+            self.next_heartbeat_at = self.now_ns + rc.heartbeat_ns;
+            self.recovery_stats.heartbeats_sent += 1;
+            if self.proc == self.coordinator {
+                // Broadcast to presumed-dead peers too: heartbeats are
+                // raw and cheap, a truly dead peer just drops them, and
+                // a falsely-suspected rival coordinator must hear this
+                // claim to demote itself (split-brain convergence).
+                for p in 0..self.regions.n_procs() {
+                    if p != self.proc {
+                        busy += self.send_raw(outbox, p, Packet::Heartbeat);
+                    }
+                }
+            } else {
+                busy += self.send_raw(outbox, self.coordinator, Packet::Heartbeat);
+            }
+        }
+        let window = rc.suspect_window_ns();
+        if self.proc == self.coordinator {
+            for p in 0..self.regions.n_procs() {
+                if p == self.proc || self.presumed_dead[p] {
+                    continue;
+                }
+                if self.now_ns.saturating_sub(self.last_heard[p]) > window {
+                    self.presumed_dead[p] = true;
+                    self.recovery_stats.nodes_declared_dead += 1;
+                    busy += self.reassign_wires_of(p, outbox);
+                }
+            }
+        } else if !self.presumed_dead[self.coordinator]
+            && self.now_ns.saturating_sub(self.last_heard[self.coordinator]) > window
+        {
+            // The coordinator has gone silent: the successor is the
+            // lowest presumed-live rank. Workers only ever suspect
+            // coordinators, so every live node's successor converges.
+            self.presumed_dead[self.coordinator] = true;
+            self.recovery_stats.nodes_declared_dead += 1;
+            let successor = (0..self.regions.n_procs())
+                .find(|&p| !self.presumed_dead[p])
+                .expect("this node itself is alive");
+            self.coordinator = successor;
+            if successor == self.proc {
+                busy += self.become_coordinator(outbox);
+            }
+        }
+        busy
+    }
+
+    /// Takes over coordinator duty: announce to every peer (the deposed
+    /// coordinator included — if it later restarts, the retransmitted
+    /// announcement demotes it), collect status reports, and
+    /// redistribute every known-dead peer's orphans.
+    fn become_coordinator(&mut self, outbox: &mut Outbox<Frame>) -> u64 {
+        let mut busy = 0u64;
+        self.recovery_stats.coordinator_failovers += 1;
+        self.driver.emit_event(
+            Stamp::At(self.now_ns),
+            EventKind::CoordinatorFailover { new_coordinator: self.proc as u32 },
+        );
+        // Fresh detection baseline: as a worker this node only heard
+        // peers through data traffic, so its silence clocks are stale by
+        // up to a routing stretch. Without a grace period the new
+        // coordinator instantly declares every quiet-but-live worker
+        // dead and orphans whatever had been granted to them.
+        for t in self.last_heard.iter_mut() {
+            *t = self.now_ns;
+        }
+        // Redistribute before announcing: streams are FIFO, so each
+        // adopter holds its new work before it answers `NewCoordinator`,
+        // and its `StatusReport` cannot claim a finish it no longer has.
+        // The dead coordinator's checkpoint ledger died with it, so its
+        // orphans are redistributed from `ckpt_known` — zero unless it
+        // ever reported here, which re-routes already-durable work; the
+        // duplicates resolve first-writer-wins at collection.
+        for d in 0..self.regions.n_procs() {
+            if self.presumed_dead[d] && !self.reassigned[d] {
+                busy += self.reassign_wires_of(d, outbox);
+            }
+        }
+        for p in 0..self.regions.n_procs() {
+            if p != self.proc {
+                busy += self.send(outbox, p, Packet::NewCoordinator);
+            }
+        }
+        busy
+    }
+
+    /// Redistributes the dead peer's post-checkpoint wires round-robin
+    /// over the live nodes (this node included). Idempotent per peer.
+    fn reassign_wires_of(&mut self, dead: ProcId, outbox: &mut Outbox<Frame>) -> u64 {
+        if self.reassigned[dead] {
+            return 0;
+        }
+        self.reassigned[dead] = true;
+        let mut orphans: Vec<WireId> = {
+            let plan = self.full_assignment.as_ref().expect("recovery implies a full assignment");
+            let from = self.ckpt_known[dead] as usize;
+            plan[dead].get(from..).map(<[WireId]>::to_vec).unwrap_or_default()
+        };
+        // Wires this coordinator previously granted to the dead node are
+        // in nobody's static assignment; re-grant them all — the ones
+        // the dead node did route are durable (dynamic routes survive a
+        // crash) and resolve as duplicates, first-writer-wins.
+        orphans.extend(std::mem::take(&mut self.granted_log[dead]));
+        if orphans.is_empty() {
+            return 0;
+        }
+        let targets: Vec<ProcId> =
+            (0..self.regions.n_procs()).filter(|&p| p != dead && !self.presumed_dead[p]).collect();
+        let mut buckets: Vec<Vec<WireId>> = vec![Vec::new(); targets.len()];
+        for (i, &w) in orphans.iter().enumerate() {
+            buckets[i % targets.len()].push(w);
+        }
+        let mut busy = 0u64;
+        for (t, wires) in targets.into_iter().zip(buckets) {
+            if wires.is_empty() {
+                continue;
+            }
+            self.recovery_stats.wires_reassigned += wires.len() as u64;
+            for &w in &wires {
+                self.driver.emit_event(
+                    Stamp::At(self.now_ns),
+                    EventKind::WireReassigned { wire: w as u32, from: dead as u32, to: t as u32 },
+                );
+            }
+            if t == self.proc {
+                self.recovery_stats.wires_adopted += wires.len() as u64;
+                self.adopted.extend(wires);
+                self.finished_sent = false;
+            } else {
+                self.finished_flags[t] = false;
+                self.granted_log[t].extend(wires.iter().copied());
+                busy += self.send(
+                    outbox,
+                    t,
+                    Packet::Reassign { wires: wires.iter().map(|&w| w as u32).collect() },
+                );
             }
         }
         busy
@@ -815,20 +1230,49 @@ impl RouterNode {
     /// and routing work. Inbox traffic has already been unframed and
     /// applied; `busy` carries its processing time.
     fn step_inner(&mut self, mut busy: u64, outbox: &mut Outbox<Frame>) -> Step {
-        // Termination protocol.
-        if self.finished_routing && !self.finished_sent {
-            self.finished_sent = true;
-            if self.proc != COORDINATOR {
-                busy += self.send(outbox, COORDINATOR, Packet::Finished);
+        // Recovery bookkeeping first: heartbeats, failure detection,
+        // failover (no-op when recovery is off or the run is over).
+        if !self.terminate {
+            busy += self.recovery_tick(outbox);
+        }
+
+        // Work adopted from a dead peer comes before the termination
+        // protocol: an adopting node is not finished.
+        if self.finished_routing && !self.terminate {
+            if let Some(w) = self.adopted.pop_front() {
+                busy += self.route_granted_wire(w, outbox);
+                self.routing_done_ns = self.now_ns;
+                // Adopted routes are made durable as they commit (the
+                // progress mark is unchanged; this persists the shard).
+                busy += self.take_checkpoint(self.ckpt_progress, outbox);
+                return Step::Continue { busy_ns: busy };
             }
         }
-        if self.proc == COORDINATOR
-            && self.finished_routing
-            && !self.terminate
-            && self.finished_seen == self.regions.n_procs() - 1
-        {
-            for p in 1..self.regions.n_procs() {
-                busy += self.send(outbox, p, Packet::Terminate);
+
+        // Termination protocol.
+        let ready = self.finished_routing && self.adopted.is_empty();
+        if ready && !self.finished_sent {
+            self.finished_sent = true;
+            if self.proc != self.coordinator {
+                busy += self.send(outbox, self.coordinator, Packet::Finished);
+            }
+        }
+        let all_reported = if self.config.recovery.is_some() {
+            (0..self.regions.n_procs())
+                .filter(|&p| p != self.proc)
+                .all(|p| self.finished_flags[p] || self.presumed_dead[p])
+        } else {
+            self.finished_seen == self.regions.n_procs() - 1
+        };
+        if self.proc == self.coordinator && ready && !self.terminate && all_reported {
+            // Broadcast to presumed-dead peers too: a stalled-but-alive
+            // node falsely declared dead still needs to stop, and the
+            // reliable layer bounds the cost against a truly dead one
+            // by exhausting its retries.
+            for p in 0..self.regions.n_procs() {
+                if p != self.proc {
+                    busy += self.send(outbox, p, Packet::Terminate);
+                }
             }
             self.terminate = true;
         }
@@ -925,14 +1369,97 @@ impl Node for RouterNode {
     ) -> Step {
         self.now_ns = now.as_ns();
         let had_traffic = !inbox.is_empty();
+        let recovery_on = self.config.recovery.is_some();
         let mut busy = 0u64;
         for env in inbox {
+            if recovery_on {
+                // Any traffic proves the sender alive — acks and raw
+                // heartbeats included, which never reach `handle_packet`.
+                self.last_heard[env.from] = self.now_ns;
+            }
             for packet in self.transport.receive(env.from, env.msg) {
                 busy += self.handle_packet(env.from, packet, outbox);
             }
         }
-        let inner = self.step_inner(busy, outbox);
-        self.finish_step(inner, had_traffic, outbox)
+        let inner = if recovery_on && !self.terminate && self.pending_busy > 0 {
+            // Mid-computation: stay responsive (heartbeat, detect, ack,
+            // retransmit) but start no new routing work until the banked
+            // busy time below drains.
+            let tick = self.recovery_tick(outbox);
+            Step::Continue { busy_ns: busy + tick }
+        } else {
+            self.step_inner(busy, outbox)
+        };
+        let out = self.finish_step(inner, had_traffic, outbox);
+        if !recovery_on || self.terminate {
+            // A `Terminate` mid-drain abandons the banked remainder: the
+            // run is over and nobody is measuring this node any more.
+            self.pending_busy = 0;
+            return out;
+        }
+        let out = match out {
+            // Drain computation in chunks short enough that the node
+            // steps (and so heartbeats) well inside the suspect window
+            // no matter how expensive a single wire is.
+            Step::Continue { busy_ns } => {
+                let chunk = (self.config.recovery.expect("recovery is on").heartbeat_ns / 2).max(1);
+                let total = self.pending_busy + busy_ns;
+                let charged = total.min(chunk);
+                self.pending_busy = total - charged;
+                Step::Continue { busy_ns: charged }
+            }
+            other => other,
+        };
+        // Never sleep or block past the next heartbeat: a silent node
+        // would be declared dead, and a sleeping coordinator would never
+        // notice a dead worker.
+        let hb = SimTime::from_ns(self.next_heartbeat_at.max(self.now_ns + 1));
+        match out {
+            Step::Block => Step::Sleep { until: hb },
+            Step::Sleep { until } => Step::Sleep { until: until.min(hb) },
+            other => other,
+        }
+    }
+
+    fn on_restart(&mut self, now: SimTime) {
+        self.now_ns = now.as_ns();
+        if self.config.recovery.is_none() {
+            return;
+        }
+        // Routing state past the last checkpoint was volatile and died
+        // with the crash: rip those routes back out of the shared truth
+        // and the local view, and rewind the program counter. (The
+        // durable prefix — replica shard and progress — reloads from the
+        // checkpoint; the transport survives because peers retransmit
+        // anything unacknowledged.)
+        let stamp = Stamp::At(self.now_ns);
+        let lo = self.ckpt_progress as usize;
+        let hi = self.wire_idx;
+        for idx in (lo..hi).rev() {
+            let wire_id = self.my_wires[idx];
+            if let Some(old) = self.driver.rip_up(idx, wire_id, stamp) {
+                self.oracle.lock().expect("oracle lock").remove_route(&old);
+                self.touch_truth(&old);
+                for &cell in old.cells() {
+                    self.apply_cell_change(cell, -1);
+                }
+            }
+        }
+        if hi > lo {
+            self.recovery_stats.rollbacks += 1;
+            self.recovery_stats.wires_rolled_back += (hi - lo) as u64;
+        }
+        self.wire_idx = lo;
+        self.request_cursor = self.request_cursor.min(lo);
+        // In-flight computation died with the crash.
+        self.pending_busy = 0;
+        // A fresh boot owes everyone a heartbeat, and grants every peer
+        // a fresh silence clock — the old one stopped while this node
+        // was down and would indict peers that never went quiet.
+        self.next_heartbeat_at = self.now_ns;
+        for h in &mut self.last_heard {
+            *h = self.now_ns;
+        }
     }
 }
 

@@ -96,6 +96,39 @@ pub enum Packet {
     Finished,
     /// Control: the coordinator saw every `Finished`; everyone may stop.
     Terminate,
+    /// Recovery: liveness beacon. Workers beat to the coordinator, the
+    /// coordinator beats back. Sent unsequenced (a lost heartbeat is
+    /// repaired by the next one, and a retransmitted heartbeat would be
+    /// stale evidence).
+    Heartbeat,
+    /// Recovery: "my first `progress` assigned wires are durable". The
+    /// checkpoint body (the sender's cost-array shard plus per-wire
+    /// progress, `bytes` serialized bytes) goes to modelled local stable
+    /// store; only this progress report crosses the network.
+    Checkpoint {
+        /// Wires of the sender's static assignment now checkpointed.
+        progress: u32,
+        /// Serialized checkpoint size (for accounting).
+        bytes: u32,
+    },
+    /// Recovery: the coordinator hands a dead node's unfinished wires to
+    /// a live adopter.
+    Reassign {
+        /// Wire ids the receiver must route.
+        wires: Vec<u32>,
+    },
+    /// Recovery: the sender has taken over as coordinator after the old
+    /// one was presumed dead. Receivers re-aim their termination and
+    /// checkpoint traffic and answer with a [`Packet::StatusReport`].
+    NewCoordinator,
+    /// Recovery: a worker's state summary for a freshly failed-over
+    /// coordinator rebuilding its tables.
+    StatusReport {
+        /// Wires of the sender's static assignment checkpointed so far.
+        progress: u32,
+        /// Whether the sender has finished all its routing work.
+        finished: bool,
+    },
 }
 
 impl Packet {
@@ -111,6 +144,11 @@ impl Packet {
             Packet::WireRequest => 1,
             Packet::WireGrant { .. } => 5,
             Packet::Finished | Packet::Terminate => 1,
+            Packet::Heartbeat => 2,
+            Packet::Checkpoint { .. } => 9,
+            Packet::Reassign { wires } => 1 + 4 * wires.len() as u32,
+            Packet::NewCoordinator => 1,
+            Packet::StatusReport { .. } => 6,
         }
     }
 
@@ -126,6 +164,11 @@ impl Packet {
             Packet::WireData { .. } => PacketKind::WireData,
             Packet::WireRequest | Packet::WireGrant { .. } => PacketKind::Control,
             Packet::Finished | Packet::Terminate => PacketKind::Control,
+            Packet::Heartbeat
+            | Packet::Checkpoint { .. }
+            | Packet::Reassign { .. }
+            | Packet::NewCoordinator
+            | Packet::StatusReport { .. } => PacketKind::Recovery,
         }
     }
 }
@@ -153,11 +196,15 @@ pub enum PacketKind {
     /// Reliability-layer cumulative acknowledgements (only present when
     /// the end-to-end reliable-delivery protocol is enabled).
     Ack,
+    /// Recovery-layer traffic: heartbeats, checkpoint reports, wire
+    /// reassignments, coordinator failover (only present when the
+    /// checkpoint/restore recovery layer is enabled).
+    Recovery,
 }
 
 impl PacketKind {
     /// All kinds, for iteration in reports.
-    pub const ALL: [PacketKind; 9] = [
+    pub const ALL: [PacketKind; 10] = [
         PacketKind::SendLocData,
         PacketKind::SendRmtData,
         PacketKind::ReqRmtData,
@@ -167,6 +214,7 @@ impl PacketKind {
         PacketKind::WireData,
         PacketKind::Control,
         PacketKind::Ack,
+        PacketKind::Recovery,
     ];
 
     fn index(self) -> usize {
@@ -180,6 +228,7 @@ impl PacketKind {
             PacketKind::WireData => 6,
             PacketKind::Control => 7,
             PacketKind::Ack => 8,
+            PacketKind::Recovery => 9,
         }
     }
 }
@@ -277,6 +326,24 @@ mod tests {
         let p = Packet::WireData { events: vec![ev] };
         assert_eq!(p.payload_bytes(), 9 + 19);
         assert_eq!(p.kind(), PacketKind::WireData);
+    }
+
+    #[test]
+    fn recovery_packets_size_and_classify() {
+        assert_eq!(Packet::Heartbeat.payload_bytes(), 2);
+        assert_eq!(Packet::Checkpoint { progress: 3, bytes: 500 }.payload_bytes(), 9);
+        assert_eq!(Packet::Reassign { wires: vec![1, 2, 3] }.payload_bytes(), 1 + 12);
+        assert_eq!(Packet::NewCoordinator.payload_bytes(), 1);
+        assert_eq!(Packet::StatusReport { progress: 7, finished: true }.payload_bytes(), 6);
+        for p in [
+            Packet::Heartbeat,
+            Packet::Checkpoint { progress: 0, bytes: 0 },
+            Packet::Reassign { wires: vec![] },
+            Packet::NewCoordinator,
+            Packet::StatusReport { progress: 0, finished: false },
+        ] {
+            assert_eq!(p.kind(), PacketKind::Recovery, "{p:?}");
+        }
     }
 
     #[test]

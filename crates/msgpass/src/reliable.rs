@@ -313,7 +313,13 @@ impl Transport {
             });
         }
         due.sort_by_key(|(peer, seq, _, p)| {
-            let rank = if p.kind() == PacketKind::Control { 0u8 } else { 1 };
+            // Control and recovery traffic first: a lost grant, Terminate
+            // or Reassign stalls the whole machine, while a lost delta
+            // merely ages a replica.
+            let rank = match p.kind() {
+                PacketKind::Control | PacketKind::Recovery => 0u8,
+                _ => 1,
+            };
             (rank, *peer, *seq)
         });
         due

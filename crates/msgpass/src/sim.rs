@@ -11,7 +11,7 @@ use locus_router::router::{route_wire_scratch, PooledScratch};
 use locus_router::{assign, CostArray, ProcId, QualityMetrics, RegionMap, Route, WorkStats};
 
 use crate::config::MsgPassConfig;
-use crate::node::{ReplicaSnapshot, RouterNode};
+use crate::node::{RecoveryStats, ReplicaSnapshot, RouterNode};
 use crate::packet::PacketCounts;
 use crate::reliable::ReliableStats;
 
@@ -50,6 +50,15 @@ pub struct MsgPassOutcome {
     pub net: NetStats,
     /// "Time (s)": simulated completion time.
     pub time_secs: f64,
+    /// Virtual time at which the last processor completed its last
+    /// routing work — the routing span. Everything between this and
+    /// `time_secs` is cost-update exchange, checkpointing, and the
+    /// termination protocol.
+    pub routing_done_secs: f64,
+    /// Per-processor routing-completion times (`routing_done_secs` is
+    /// the maximum). The spread is the static assignment's load
+    /// imbalance expressed in simulated time.
+    pub routing_done_secs_by_proc: Vec<f64>,
     /// "MBytes Xfrd.": application payload megabytes moved.
     pub mbytes: f64,
     /// Final route of every wire.
@@ -86,6 +95,9 @@ pub struct MsgPassOutcome {
     /// Aggregated reliable-transport counters across all nodes (all zero
     /// when the protocol is disabled).
     pub reliability: ReliableStats,
+    /// Aggregated recovery counters across all nodes (all zero when
+    /// [`MsgPassConfig::recovery`] is off).
+    pub recovery: RecoveryStats,
 }
 
 /// Runs the message-passing LocusRoute on `circuit` under `config`.
@@ -205,8 +217,15 @@ fn run_inner(
     let mut packets = PacketCounts::default();
     let mut replica_audits: Vec<ReplicaSnapshot> = Vec::new();
     let mut reliability = ReliableStats::default();
+    let mut recovery = RecoveryStats::default();
+    let mut routing_done_ns = 0u64;
+    let mut routing_done_secs_by_proc = Vec::with_capacity(outcome.nodes.len());
+    let recovery_on = config.recovery.is_some();
     for (p, node) in outcome.nodes.iter().enumerate() {
         reliability.merge(&node.reliable_stats());
+        recovery.merge(&node.recovery_stats());
+        routing_done_ns = routing_done_ns.max(node.routing_done_ns());
+        routing_done_secs_by_proc.push(node.routing_done_ns() as f64 / 1e9);
         replica_audits.extend_from_slice(node.replica_audits());
         occupancy += node.occupancy_factor();
         let by_iter = node.occupancy_by_iteration();
@@ -218,8 +237,18 @@ fn run_inner(
         }
         work += *node.work();
         packets.merge(node.sent_counts());
-        for (w, r) in node.routes() {
-            debug_assert!(routes[w].is_none(), "wire {w} routed by two processors");
+        // A crashed node's post-checkpoint routes died with it; under
+        // recovery a wire may also legitimately have been routed twice
+        // (its owner was falsely or belatedly declared dead and an
+        // adopter re-routed it) — the first writer in node order wins,
+        // deterministically. Without recovery, double-routing is a bug.
+        let crashed = recovery_on && outcome.stats.crashed[p];
+        for (w, r) in node.surviving_routes(crashed) {
+            if routes[w].is_some() {
+                debug_assert!(recovery_on, "wire {w} routed by two processors");
+                recovery.duplicate_routes += 1;
+                continue;
+            }
             routes[w] = Some(r.clone());
             proc_of_wire[w] = p;
         }
@@ -303,6 +332,8 @@ fn run_inner(
     MsgPassOutcome {
         quality,
         time_secs: outcome.stats.completion.as_secs_f64(),
+        routing_done_secs: routing_done_ns as f64 / 1e9,
+        routing_done_secs_by_proc,
         mbytes: outcome.stats.mbytes_transferred(),
         net: outcome.stats,
         routes,
@@ -319,6 +350,7 @@ fn run_inner(
         degraded,
         watchdog_recoveries,
         reliability,
+        recovery,
     }
 }
 
@@ -592,14 +624,22 @@ mod tests {
         use locus_mesh::FaultPlan;
         let c = locus_circuit::presets::small();
         let base = small_config(4, UpdateSchedule::sender_initiated(2, 5));
+        let plan = FaultPlan::none().with_seed(99);
+        assert!(!plan.has_node_faults(), "an empty plan carries no node faults");
         let plain = run_msgpass(&c, base);
-        let with_plan = run_msgpass(&c, base.with_faults(FaultPlan::none().with_seed(99)));
+        let with_plan = run_msgpass(&c, base.with_faults(plan));
         assert_eq!(plain.quality, with_plan.quality);
         assert_eq!(plain.net, with_plan.net);
         assert_eq!(plain.routes, with_plan.routes);
         assert_eq!(plain.packets, with_plan.packets);
         assert!(with_plan.degraded.is_none());
         assert_eq!(with_plan.reliability, ReliableStats::default());
+        // Recovery off and no node faults: every recovery counter and
+        // crash counter stays inert by construction.
+        assert_eq!(with_plan.recovery, RecoveryStats::default());
+        assert_eq!(with_plan.net.node_crashes, 0);
+        assert_eq!(with_plan.net.node_restarts, 0);
+        assert_eq!(with_plan.net.packets_lost_to_crash, 0);
     }
 
     #[test]
@@ -691,6 +731,138 @@ mod tests {
         assert!(!out.deadlocked, "retransmission must repair lost Finished packets");
         assert!(out.degraded.is_none());
         assert_eq!(out.routes.len(), c.wire_count());
+    }
+
+    // --- Recovery protocol (checkpoint / restart / reassign / failover) ---
+
+    use crate::config::RecoveryConfig;
+
+    /// Recovery knobs for the test circuit. The suspect window must
+    /// comfortably exceed the longest single-step busy stretch (one
+    /// wire's routing work, ~11 ms simulated here), or a node deep in
+    /// computation reads as dead.
+    fn fast_recovery() -> RecoveryConfig {
+        RecoveryConfig {
+            checkpoint_every: 4,
+            heartbeat_ns: 20_000_000,
+            suspect_after: 3,
+            checkpoint_per_byte_ns: 1,
+        }
+    }
+
+    fn recovery_config(n_procs: usize) -> MsgPassConfig {
+        small_config(n_procs, UpdateSchedule::sender_initiated(2, 5))
+            .with_reliability()
+            .with_recovery_config(fast_recovery())
+    }
+
+    /// Completion time of a clean run under `cfg`, for placing crashes
+    /// mid-run.
+    fn clean_completion_ns(cfg: MsgPassConfig) -> u64 {
+        let c = locus_circuit::presets::small();
+        let out = run_msgpass(&c, cfg);
+        assert!(!out.deadlocked);
+        out.net.completion.as_ns()
+    }
+
+    #[test]
+    fn recovery_on_clean_run_checkpoints_and_terminates() {
+        let c = locus_circuit::presets::small();
+        let out = run_msgpass(&c, recovery_config(4));
+        assert!(!out.deadlocked);
+        assert!(out.degraded.is_none(), "{:?}", out.degraded);
+        assert_eq!(out.watchdog_recoveries, 0);
+        assert!(out.recovery.checkpoints_taken > 0, "periodic checkpoints must fire");
+        assert!(out.recovery.checkpoint_bytes > 0);
+        assert!(out.recovery.heartbeats_sent > 0, "heartbeats must flow");
+        assert_eq!(out.recovery.nodes_declared_dead, 0, "no one died");
+        assert_eq!(out.recovery.wires_reassigned, 0);
+        assert_eq!(out.recovery.coordinator_failovers, 0);
+        // Checkpoint traffic rides the Recovery packet kind.
+        assert!(out.packets.packets(PacketKind::Recovery) > 0);
+        let again = run_msgpass(&c, recovery_config(4));
+        assert_eq!(out.routes, again.routes);
+        assert_eq!(out.net, again.net);
+        assert_eq!(out.recovery, again.recovery);
+    }
+
+    #[test]
+    fn worker_crash_restart_rolls_back_and_completes() {
+        use locus_mesh::{FaultPlan, NodeFault};
+        let c = locus_circuit::presets::small();
+        let mid = clean_completion_ns(recovery_config(4)) / 2;
+        // Short downtime: the worker restarts inside the suspect window,
+        // rolls back to its checkpoint, and quietly re-routes — no
+        // death sentence, no reassignment.
+        let cfg = recovery_config(4).with_faults(
+            FaultPlan::none()
+                .with_node_fault(2, NodeFault::CrashRestart { at_ns: mid, downtime_ns: 50_000 }),
+        );
+        let out = run_msgpass(&c, cfg);
+        assert!(!out.deadlocked, "restart recovery must terminate");
+        assert!(out.degraded.is_none(), "{:?}", out.degraded);
+        assert_eq!(out.watchdog_recoveries, 0, "the protocol, not the watchdog, recovers");
+        assert_eq!(out.net.node_crashes, 1);
+        assert_eq!(out.net.node_restarts, 1);
+        assert_eq!(out.recovery.rollbacks, 1, "post-checkpoint work must roll back");
+        assert!(out.recovery.wires_rolled_back > 0);
+        assert_eq!(out.recovery.nodes_declared_dead, 0, "downtime < suspect window");
+        assert_eq!(out.routes.len(), c.wire_count());
+        // Bounded re-work: only wires past the last checkpoint re-route.
+        assert!(out.recovery.wires_rolled_back < fast_recovery().checkpoint_every as u64 + 1);
+        let again = run_msgpass(&c, cfg);
+        assert_eq!(out.routes, again.routes);
+        assert_eq!(out.net, again.net);
+        assert_eq!(out.recovery, again.recovery);
+    }
+
+    #[test]
+    fn dead_worker_wires_are_reassigned_to_live_nodes() {
+        use locus_mesh::{FaultPlan, NodeFault};
+        let c = locus_circuit::presets::small();
+        let mid = clean_completion_ns(recovery_config(4)) / 2;
+        let cfg = recovery_config(4)
+            .with_faults(FaultPlan::none().with_node_fault(3, NodeFault::Crash { at_ns: mid }));
+        let out = run_msgpass(&c, cfg);
+        assert!(!out.deadlocked, "reassignment must terminate the run");
+        assert!(out.degraded.is_none(), "{:?}", out.degraded);
+        assert_eq!(out.watchdog_recoveries, 0, "the protocol, not the watchdog, recovers");
+        assert_eq!(out.net.node_crashes, 1);
+        assert_eq!(out.recovery.nodes_declared_dead, 1);
+        assert!(out.recovery.wires_reassigned > 0, "orphans must be redistributed");
+        assert_eq!(out.recovery.wires_adopted, out.recovery.wires_reassigned);
+        // Every wire is routed, and the dead node owns none of the
+        // post-checkpoint ones.
+        assert_eq!(out.routes.len(), c.wire_count());
+        let routed_by_dead = out.proc_of_wire.iter().filter(|&&p| p == 3).count();
+        assert!(
+            routed_by_dead as u32 <= out.recovery.checkpoints_taken as u32 * 4 + 4,
+            "only the dead node's durable prefix may stand"
+        );
+        let again = run_msgpass(&c, cfg);
+        assert_eq!(out.routes, again.routes);
+        assert_eq!(out.net, again.net);
+        assert_eq!(out.recovery, again.recovery);
+    }
+
+    #[test]
+    fn coordinator_crash_fails_over_to_next_rank() {
+        use locus_mesh::{FaultPlan, NodeFault};
+        let c = locus_circuit::presets::small();
+        let mid = clean_completion_ns(recovery_config(4)) / 2;
+        let cfg = recovery_config(4)
+            .with_faults(FaultPlan::none().with_node_fault(0, NodeFault::Crash { at_ns: mid }));
+        let out = run_msgpass(&c, cfg);
+        assert!(!out.deadlocked, "failover must terminate the run");
+        assert!(out.degraded.is_none(), "{:?}", out.degraded);
+        assert_eq!(out.watchdog_recoveries, 0);
+        assert_eq!(out.recovery.coordinator_failovers, 1, "rank 1 takes over exactly once");
+        assert!(out.recovery.wires_reassigned > 0, "the dead coordinator's wires move");
+        assert_eq!(out.routes.len(), c.wire_count());
+        let again = run_msgpass(&c, cfg);
+        assert_eq!(out.routes, again.routes);
+        assert_eq!(out.net, again.net);
+        assert_eq!(out.recovery, again.recovery);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Property-based tests for the message-passing building blocks.
 
 use locus_circuit::{presets, GridCell, Rect};
-use locus_mesh::FaultPlan;
-use locus_msgpass::{run_msgpass, DeltaArray, MsgPassConfig, Packet, UpdateSchedule};
+use locus_mesh::{FaultPlan, NodeFault};
+use locus_msgpass::{
+    run_msgpass, DeltaArray, MsgPassConfig, MsgPassOutcome, Packet, RecoveryConfig, UpdateSchedule,
+};
 use proptest::prelude::*;
 
 const CHANNELS: u16 = 8;
@@ -126,7 +128,7 @@ proptest! {
 // Full-simulation properties run far fewer cases: each case routes the
 // `small` preset end to end on a four-node mesh.
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 8 })]
 
     /// Resilience: under any seed and any uniform loss rate up to 20%,
     /// the reliability protocol terminates cleanly (no deadlock, no
@@ -168,5 +170,91 @@ proptest! {
         prop_assert_eq!(clean.net.packets, planned.net.packets);
         prop_assert_eq!(clean.net.payload_bytes, planned.net.payload_bytes);
         prop_assert_eq!(planned.net.faults_injected(), 0);
+    }
+}
+
+/// Four-node recovery configuration for the invariant proptests. The
+/// suspect window (3 × 20 ms) comfortably exceeds the longest
+/// single-step busy stretch on the `small` preset (~11 ms of routing
+/// work per wire).
+fn recovery_config() -> MsgPassConfig {
+    MsgPassConfig::new(4, UpdateSchedule::sender_initiated(2, 10))
+        .with_reliability()
+        .with_recovery_config(RecoveryConfig {
+            checkpoint_every: 4,
+            heartbeat_ns: 20_000_000,
+            suspect_after: 3,
+            checkpoint_per_byte_ns: 1,
+        })
+}
+
+/// Bitwise-equality fingerprint of a recovery run.
+fn same_outcome(a: &MsgPassOutcome, b: &MsgPassOutcome) -> bool {
+    a.routes == b.routes
+        && a.quality == b.quality
+        && a.recovery == b.recovery
+        && a.time_secs.to_bits() == b.time_secs.to_bits()
+        && a.net.packets == b.net.packets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// Recovery invariant, single fault: whatever node crashes at
+    /// whatever point — fail-stop or fail-recover — the run terminates
+    /// cleanly with every wire routed by the recovery protocol itself
+    /// (no watchdog), and a repeat execution is bitwise identical.
+    #[test]
+    fn single_crash_recovers_every_wire(
+        node in 0u32..4,
+        at_ns in 1_000_000u64..400_000_000,
+        restarts in any::<bool>(),
+        downtime_ns in 1_000_000u64..200_000_000,
+    ) {
+        let c = presets::small();
+        let fault = if restarts {
+            NodeFault::CrashRestart { at_ns, downtime_ns }
+        } else {
+            NodeFault::Crash { at_ns }
+        };
+        let config = recovery_config()
+            .with_faults(FaultPlan::none().with_node_fault(node, fault));
+        let out = run_msgpass(&c, config);
+        prop_assert!(!out.deadlocked, "node {node} at {at_ns} deadlocked");
+        prop_assert!(out.degraded.is_none(), "degraded: {:?}", out.degraded);
+        prop_assert_eq!(out.watchdog_recoveries, 0);
+        prop_assert_eq!(out.routes.len(), c.wire_count());
+        let again = run_msgpass(&c, config);
+        prop_assert!(same_outcome(&out, &again), "repeat diverged");
+    }
+
+    /// Recovery invariant, double fault: two crashes on distinct nodes
+    /// at arbitrary times still terminate with every wire present, and
+    /// the run stays bitwise repeatable. (Adversarial timings may leave
+    /// a short stranded tail to the watchdog; single faults never do.)
+    #[test]
+    fn double_crash_terminates_deterministically(
+        a_at in 1_000_000u64..400_000_000,
+        b_at in 1_000_000u64..400_000_000,
+        pair_idx in 0usize..4,
+        restart_b in any::<bool>(),
+    ) {
+        const PAIRS: [(u32, u32); 4] = [(0, 1), (0, 3), (1, 2), (2, 3)];
+        let c = presets::small();
+        let (a, b) = PAIRS[pair_idx];
+        let b_fault = if restart_b {
+            NodeFault::CrashRestart { at_ns: b_at, downtime_ns: 80_000_000 }
+        } else {
+            NodeFault::Crash { at_ns: b_at }
+        };
+        let plan = FaultPlan::none()
+            .with_node_fault(a, NodeFault::Crash { at_ns: a_at })
+            .with_node_fault(b, b_fault);
+        let config = recovery_config().with_faults(plan);
+        let out = run_msgpass(&c, config);
+        prop_assert!(!out.deadlocked, "{a}@{a_at} + {b}@{b_at} deadlocked");
+        prop_assert_eq!(out.routes.len(), c.wire_count());
+        let again = run_msgpass(&c, config);
+        prop_assert!(same_outcome(&out, &again), "repeat diverged");
     }
 }

@@ -244,6 +244,53 @@ pub enum EventKind {
         /// Suggested client back-off before resubmitting (virtual ms).
         retry_ms: u64,
     },
+    /// The node-fault layer crashed `Event::node` (fail-stop or the down
+    /// phase of fail-recover); its in-flight traffic is lost.
+    NodeCrashed {
+        /// Whether a restart is scheduled (fail-recover) or the node is
+        /// down for the rest of the run (fail-stop).
+        will_restart: bool,
+    },
+    /// A crashed node came back up and resumed from its local state.
+    NodeRestarted {
+        /// How long the node was down.
+        downtime_ns: u64,
+    },
+    /// A message-passing node checkpointed its routing state and shipped
+    /// the progress record to the coordinator.
+    CheckpointTaken {
+        /// Serialized checkpoint size charged to the network.
+        bytes: u32,
+    },
+    /// The coordinator reassigned a dead node's unfinished wire to a
+    /// live node.
+    WireReassigned {
+        /// Wire id.
+        wire: u32,
+        /// The dead node that owned the wire.
+        from: NodeId,
+        /// The live node adopting it.
+        to: NodeId,
+    },
+    /// A worker took over coordinator duty after deciding every lower
+    /// rank is dead.
+    CoordinatorFailover {
+        /// The new coordinator (lowest presumed-live rank).
+        new_coordinator: NodeId,
+    },
+    /// The service retried a job whose engine run came back degraded.
+    JobRetried {
+        /// Job id.
+        job: u32,
+        /// Retry attempt (1 = first retry).
+        attempt: u32,
+    },
+    /// The service circuit breaker opened for a job class after its
+    /// failure rate crossed the threshold.
+    BreakerTripped {
+        /// Opaque id of the tripped job class.
+        class: u32,
+    },
 }
 
 impl EventKind {
@@ -274,6 +321,13 @@ impl EventKind {
             EventKind::JobCompleted { .. } => "JobCompleted",
             EventKind::JobShed { .. } => "JobShed",
             EventKind::JobRejected { .. } => "JobRejected",
+            EventKind::NodeCrashed { .. } => "NodeCrashed",
+            EventKind::NodeRestarted { .. } => "NodeRestarted",
+            EventKind::CheckpointTaken { .. } => "CheckpointTaken",
+            EventKind::WireReassigned { .. } => "WireReassigned",
+            EventKind::CoordinatorFailover { .. } => "CoordinatorFailover",
+            EventKind::JobRetried { .. } => "JobRetried",
+            EventKind::BreakerTripped { .. } => "BreakerTripped",
         }
     }
 }

@@ -165,6 +165,23 @@ pub fn chrome_trace(events: &[Event]) -> String {
                     EventKind::JobRejected { job, retry_ms } => {
                         format!("{{\"job\":{job},\"retry_ms\":{retry_ms}}}")
                     }
+                    EventKind::NodeCrashed { will_restart } => {
+                        format!("{{\"will_restart\":{will_restart}}}")
+                    }
+                    EventKind::NodeRestarted { downtime_ns } => {
+                        format!("{{\"downtime_ns\":{downtime_ns}}}")
+                    }
+                    EventKind::CheckpointTaken { bytes } => format!("{{\"bytes\":{bytes}}}"),
+                    EventKind::WireReassigned { wire, from, to } => {
+                        format!("{{\"wire\":{wire},\"from\":{from},\"to\":{to}}}")
+                    }
+                    EventKind::CoordinatorFailover { new_coordinator } => {
+                        format!("{{\"new_coordinator\":{new_coordinator}}}")
+                    }
+                    EventKind::JobRetried { job, attempt } => {
+                        format!("{{\"job\":{job},\"attempt\":{attempt}}}")
+                    }
+                    EventKind::BreakerTripped { class } => format!("{{\"class\":{class}}}"),
                     EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => unreachable!(),
                 };
                 format!(
@@ -261,6 +278,13 @@ fn glyph(kind: &EventKind) -> (char, u8) {
         EventKind::JobCompleted { .. } => ('J', 4),
         EventKind::JobDispatched { .. } => ('>', 3),
         EventKind::JobEnqueued { .. } => ('j', 2),
+        EventKind::NodeCrashed { .. } => ('!', 9),
+        EventKind::NodeRestarted { .. } => ('^', 9),
+        EventKind::CoordinatorFailover { .. } => ('O', 9),
+        EventKind::WireReassigned { .. } => ('N', 8),
+        EventKind::CheckpointTaken { .. } => ('c', 2),
+        EventKind::JobRetried { .. } => ('y', 5),
+        EventKind::BreakerTripped { .. } => ('Z', 8),
         EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => ('|', 0),
     }
 }

@@ -110,6 +110,23 @@ pub mod names {
     pub const JOBS_SHED: &str = "jobs_shed";
     /// Arrivals turned away by the reject backpressure policy.
     pub const JOBS_REJECTED: &str = "jobs_rejected";
+    /// Node crashes injected by the node-fault layer (matches
+    /// `NetStats::node_crashes`).
+    pub const NODE_CRASHES: &str = "node_crashes";
+    /// Crashed nodes that came back up (matches `NetStats::node_restarts`).
+    pub const NODE_RESTARTS: &str = "node_restarts";
+    /// Checkpoints taken by message-passing nodes.
+    pub const CHECKPOINTS_TAKEN: &str = "checkpoints_taken";
+    /// Serialized checkpoint bytes charged to the network.
+    pub const CHECKPOINT_BYTES: &str = "checkpoint_bytes";
+    /// Wires reassigned from dead nodes to live adopters.
+    pub const WIRES_REASSIGNED: &str = "wires_reassigned";
+    /// Coordinator failovers (a worker assumed coordinator duty).
+    pub const COORDINATOR_FAILOVERS: &str = "coordinator_failovers";
+    /// Jobs retried by the service after a degraded engine run.
+    pub const JOBS_RETRIED: &str = "jobs_retried";
+    /// Circuit-breaker trips (a job class was quarantined).
+    pub const BREAKER_TRIPS: &str = "breaker_trips";
 }
 
 /// Well-known histogram names produced by [`Metrics::observe`].
@@ -419,6 +436,28 @@ impl Metrics {
             }
             EventKind::JobRejected { .. } => {
                 self.add(names::JOBS_REJECTED, 1);
+            }
+            EventKind::NodeCrashed { .. } => {
+                self.add(names::NODE_CRASHES, 1);
+            }
+            EventKind::NodeRestarted { .. } => {
+                self.add(names::NODE_RESTARTS, 1);
+            }
+            EventKind::CheckpointTaken { bytes } => {
+                self.add(names::CHECKPOINTS_TAKEN, 1);
+                self.add(names::CHECKPOINT_BYTES, bytes as u64);
+            }
+            EventKind::WireReassigned { .. } => {
+                self.add(names::WIRES_REASSIGNED, 1);
+            }
+            EventKind::CoordinatorFailover { .. } => {
+                self.add(names::COORDINATOR_FAILOVERS, 1);
+            }
+            EventKind::JobRetried { .. } => {
+                self.add(names::JOBS_RETRIED, 1);
+            }
+            EventKind::BreakerTripped { .. } => {
+                self.add(names::BREAKER_TRIPS, 1);
             }
         }
     }

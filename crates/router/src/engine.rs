@@ -454,6 +454,10 @@ pub struct EngineRun {
     /// Modelled (simulated) or wall-clock seconds, when the engine has a
     /// clock; the sequential engine has none.
     pub time_secs: Option<f64>,
+    /// True when the run needed a watchdog or recovery intervention to
+    /// finish (e.g. a message-passing deadlock break or node failover);
+    /// the result is usable but earned under duress.
+    pub degraded: bool,
 }
 
 /// A routing engine as an interchangeable value: one of the paper's two
@@ -480,7 +484,7 @@ impl RoutingEngine for SequentialEngine {
         if let Some(sink) = &ctx.sink {
             router = router.with_sink(Box::new(sink.clone()));
         }
-        EngineRun { outcome: router.run(), mbytes: None, time_secs: None }
+        EngineRun { outcome: router.run(), mbytes: None, time_secs: None, degraded: false }
     }
 }
 

@@ -40,6 +40,7 @@ pub mod workload;
 pub use pool::WorkerPool;
 pub use runner::{EngineFactory, EngineRunner, JobExecution, JobRunner, DEFAULT_CELLS_PER_MS};
 pub use server::{
-    Backpressure, JobOutcome, JobRecord, JobServer, ServiceConfig, ServiceOutcome, ServiceStats,
+    Backpressure, HealthPolicy, JobOutcome, JobRecord, JobServer, ServiceConfig, ServiceOutcome,
+    ServiceStats, WorkerState,
 };
 pub use workload::{generate, Burst, CircuitFamily, JobClass, JobSpec, WorkloadConfig};

@@ -21,6 +21,9 @@ pub struct JobExecution {
     pub circuit_height: u64,
     /// Wires routed (including re-routes across iterations).
     pub wires_routed: u64,
+    /// True when the engine run finished degraded (watchdog or recovery
+    /// intervention). Health policies treat degraded runs as retryable.
+    pub degraded: bool,
 }
 
 /// Routes one job. Implementations must be deterministic functions of
@@ -81,6 +84,7 @@ impl JobRunner for EngineRunner {
             service_ms,
             circuit_height: run.outcome.quality.circuit_height,
             wires_routed: run.outcome.work.wires_routed,
+            degraded: run.degraded,
         })
     }
 }

@@ -60,13 +60,134 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// What to do when the queue is full.
     pub policy: Backpressure,
+    /// Health management (retries, quarantine, circuit breaker); `None`
+    /// leaves the legacy dispatch byte-identical.
+    pub health: Option<HealthPolicy>,
 }
 
 impl ServiceConfig {
     /// A server with `workers` servers, a queue of `queue_capacity`, and
-    /// the given policy.
+    /// the given policy. Health management starts disabled.
     pub fn new(workers: usize, queue_capacity: usize, policy: Backpressure) -> Self {
-        ServiceConfig { workers: workers.max(1), queue_capacity: queue_capacity.max(1), policy }
+        ServiceConfig {
+            workers: workers.max(1),
+            queue_capacity: queue_capacity.max(1),
+            policy,
+            health: None,
+        }
+    }
+
+    /// Returns `self` with health management enabled under `policy`.
+    pub fn with_health(mut self, policy: HealthPolicy) -> Self {
+        self.health = Some(policy);
+        self
+    }
+}
+
+/// Thresholds for service health management. Everything is measured on
+/// the virtual clock, so enabling a policy keeps replay byte-identical
+/// across hosts and pool sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// A completed job slower than this (virtual ms) counts as a
+    /// deadline miss against the worker that served it.
+    pub deadline_ms: u64,
+    /// Retry budget per job for failed or degraded runs.
+    pub max_retries: u32,
+    /// Base of the exponential retry backoff: retry `k` waits
+    /// `base · 2^(k−1)` plus a deterministic jitter in `[0, base)`.
+    pub backoff_base_ms: u64,
+    /// Virtual ms a quarantined worker sits out (also how long a tripped
+    /// breaker stays open).
+    pub quarantine_ms: u64,
+    /// Consecutive bad jobs (failed, degraded, or deadline-missed) that
+    /// quarantine a worker.
+    pub failure_quarantine: u32,
+    /// Rolling attempt window over which each job class's failure rate
+    /// is judged.
+    pub breaker_window: u32,
+    /// Percentage of bad attempts in a full window that trips the
+    /// class's circuit breaker.
+    pub breaker_threshold_pct: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            deadline_ms: 1_000,
+            max_retries: 2,
+            backoff_base_ms: 50,
+            quarantine_ms: 500,
+            failure_quarantine: 3,
+            breaker_window: 8,
+            breaker_threshold_pct: 50,
+        }
+    }
+}
+
+/// A worker's health as the policy sees it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WorkerState {
+    /// No recent bad jobs.
+    #[default]
+    Healthy,
+    /// At least one recent bad job; still serving.
+    Degraded,
+    /// Sitting out a quarantine window; receives no work.
+    Quarantined,
+}
+
+/// Deterministic jitter for retry backoff: a splitmix64-style hash of
+/// (job id, attempt), so the schedule reproduces on any host.
+fn jitter(job: u32, attempt: u32) -> u64 {
+    let mut z = (((job as u64) << 32) | attempt as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mutable health-management state for one simulate() pass.
+struct HealthRt {
+    policy: HealthPolicy,
+    /// Retry attempts used per job (0 = first run only).
+    attempts: Vec<u32>,
+    /// Consecutive bad jobs per worker (index 0 = frontend, unused).
+    consec_bad: Vec<u32>,
+    /// Current state per worker (index 0 = frontend, unused).
+    state: Vec<WorkerState>,
+    /// Job index → class id (dense, discovered in trace order).
+    class_of: Vec<u32>,
+    /// Rolling attempt-outcome window per class (`true` = bad).
+    window: Vec<VecDeque<bool>>,
+    /// Virtual ms until which each class's breaker stays open.
+    open_until: Vec<u64>,
+}
+
+impl HealthRt {
+    /// True when `class`'s breaker is open at `now`.
+    fn breaker_open(&self, class: u32, now: u64) -> bool {
+        now < self.open_until[class as usize]
+    }
+
+    /// Feeds one attempt outcome into `class`'s window; returns true
+    /// when this attempt trips the breaker.
+    fn feed_breaker(&mut self, class: u32, bad: bool, now: u64) -> bool {
+        let w = &mut self.window[class as usize];
+        w.push_back(bad);
+        if w.len() > self.policy.breaker_window as usize {
+            w.pop_front();
+        }
+        if w.len() < self.policy.breaker_window as usize {
+            return false;
+        }
+        let bad_count = w.iter().filter(|&&b| b).count() as u32;
+        if bad_count * 100 >= self.policy.breaker_threshold_pct * self.policy.breaker_window {
+            self.open_until[class as usize] = now + self.policy.quarantine_ms;
+            self.window[class as usize].clear();
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -140,6 +261,19 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Total busy worker·ms across the run.
     pub busy_ms: u64,
+    /// Retry attempts scheduled by the health policy.
+    pub retried: u64,
+    /// Completed jobs that overran the policy deadline.
+    pub deadline_misses: u64,
+    /// Times a worker entered quarantine.
+    pub quarantines: u64,
+    /// Times a class's circuit breaker tripped.
+    pub breaker_trips: u64,
+    /// Jobs failed fast at dispatch because their class's breaker was
+    /// open.
+    pub breaker_fast_fails: u64,
+    /// Jobs that completed but whose engine run was degraded.
+    pub degraded_completions: u64,
 }
 
 /// Everything a server run produces.
@@ -159,6 +293,9 @@ pub struct ServiceOutcome {
     pub utilization: f64,
     /// Completed jobs per virtual second.
     pub throughput_jps: f64,
+    /// Final health state per worker (index 0 = frontend, always
+    /// healthy); all-healthy when no policy is set.
+    pub worker_health: Vec<WorkerState>,
 }
 
 /// The routing job server; see the [module docs](self).
@@ -226,8 +363,39 @@ impl JobServer {
         // (complete_ms, worker, job index); Reverse for a min-heap, with
         // worker/job ids as deterministic tie-breaks.
         let mut completions: BinaryHeap<Reverse<(u64, u32, usize)>> = BinaryHeap::new();
+        // (retry_at_ms, job index): failed/degraded jobs waiting out
+        // their backoff before re-entering the queue.
+        let mut retries: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        // (release_at_ms, worker): quarantined workers waiting to
+        // rejoin the free pool.
+        let mut releases: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
         let mut makespan_ms = 0u64;
         let mut dispatched_service_sum = 0u64;
+
+        // Health-management state; `None` leaves every legacy code path
+        // untouched (the heaps above stay empty).
+        let mut health_rt: Option<HealthRt> = self.cfg.health.map(|policy| {
+            let mut classes: Vec<crate::workload::JobClass> = Vec::new();
+            let class_of = jobs
+                .iter()
+                .map(|j| match classes.iter().position(|c| *c == j.class) {
+                    Some(k) => k as u32,
+                    None => {
+                        classes.push(j.class);
+                        (classes.len() - 1) as u32
+                    }
+                })
+                .collect();
+            HealthRt {
+                policy,
+                attempts: vec![0; jobs.len()],
+                consec_bad: vec![0; self.cfg.workers + 1],
+                state: vec![WorkerState::Healthy; self.cfg.workers + 1],
+                class_of,
+                window: vec![VecDeque::new(); classes.len()],
+                open_until: vec![0; classes.len()],
+            }
+        });
 
         // Service time of job `i`; runner failures are recorded as Failed
         // and occupy a worker for 1 virtual ms (the error path is cheap
@@ -238,20 +406,24 @@ impl JobServer {
         };
 
         let mut idx = 0usize;
-        while idx < jobs.len() || !completions.is_empty() {
-            // Next arrival vs. next completion; completions at the same
-            // virtual ms are applied first so freed capacity is visible
-            // to the arrival that shares its timestamp.
+        loop {
+            // Pick the earliest pending event. Ties are resolved by a
+            // fixed priority — completion, quarantine release, retry,
+            // arrival — so freed capacity is visible to whatever shares
+            // its timestamp and replay stays deterministic.
             let next_arrival = jobs.get(idx).map(|j| j.arrival_ms);
             let next_completion = completions.peek().map(|Reverse((t, _, _))| *t);
-            let take_completion = match (next_arrival, next_completion) {
-                (Some(a), Some(c)) => c <= a,
-                (None, Some(_)) => true,
-                (Some(_), None) => false,
-                (None, None) => break,
+            let next_release = releases.peek().map(|Reverse((t, _))| *t);
+            let next_retry = retries.peek().map(|Reverse((t, _))| *t);
+            let Some(best) = [next_completion, next_release, next_retry, next_arrival]
+                .into_iter()
+                .flatten()
+                .min()
+            else {
+                break;
             };
 
-            if take_completion {
+            if next_completion == Some(best) {
                 let Reverse((now, worker, job_i)) =
                     completions.pop().expect("peeked completion exists");
                 let dispatch_ms = match &records[job_i] {
@@ -263,26 +435,81 @@ impl JobServer {
                 let dur = now - dispatch_ms;
                 stats.busy_ms += dur;
                 makespan_ms = makespan_ms.max(now);
-                match &executions[job_i] {
-                    Ok(_) => {
-                        stats.completed += 1;
-                        service.record(dur);
-                        emit(
-                            now,
-                            worker,
-                            EventKind::JobCompleted { job: jobs[job_i].id, service_ms: dur },
-                        );
+
+                // Health bookkeeping: classify the attempt, feed the
+                // class breaker, maybe schedule a retry, maybe
+                // quarantine the worker.
+                let bad_run = match &executions[job_i] {
+                    Ok(exec) => exec.degraded,
+                    Err(_) => true,
+                };
+                let mut retried = false;
+                let mut quarantined = false;
+                if let Some(rt) = health_rt.as_mut() {
+                    let class = rt.class_of[job_i];
+                    if rt.feed_breaker(class, bad_run, now) {
+                        stats.breaker_trips += 1;
+                        emit(now, FRONTEND, EventKind::BreakerTripped { class });
                     }
-                    Err(e) => {
-                        stats.failed += 1;
-                        records[job_i] = Some(JobRecord {
-                            id: jobs[job_i].id,
-                            arrival_ms: jobs[job_i].arrival_ms,
-                            outcome: JobOutcome::Failed { error: e.clone() },
-                        });
+                    if bad_run && rt.attempts[job_i] < rt.policy.max_retries {
+                        rt.attempts[job_i] += 1;
+                        let attempt = rt.attempts[job_i];
+                        let base = rt.policy.backoff_base_ms.max(1);
+                        let backoff = base.saturating_mul(1u64 << u64::from(attempt - 1).min(16));
+                        let delay = backoff + jitter(jobs[job_i].id, attempt) % base;
+                        retries.push(Reverse((now + delay, job_i)));
+                        stats.retried += 1;
+                        emit(now, worker, EventKind::JobRetried { job: jobs[job_i].id, attempt });
+                        retried = true;
+                    }
+                    let deadline_miss = executions[job_i].is_ok() && dur > rt.policy.deadline_ms;
+                    if deadline_miss {
+                        stats.deadline_misses += 1;
+                    }
+                    let w = worker as usize;
+                    if bad_run || deadline_miss {
+                        rt.consec_bad[w] += 1;
+                        if rt.consec_bad[w] >= rt.policy.failure_quarantine {
+                            rt.state[w] = WorkerState::Quarantined;
+                            rt.consec_bad[w] = 0;
+                            stats.quarantines += 1;
+                            releases.push(Reverse((now + rt.policy.quarantine_ms, worker)));
+                            quarantined = true;
+                        } else {
+                            rt.state[w] = WorkerState::Degraded;
+                        }
+                    } else {
+                        rt.consec_bad[w] = 0;
+                        rt.state[w] = WorkerState::Healthy;
                     }
                 }
-                free_workers.push(Reverse(worker));
+                if !retried {
+                    match &executions[job_i] {
+                        Ok(exec) => {
+                            stats.completed += 1;
+                            if exec.degraded {
+                                stats.degraded_completions += 1;
+                            }
+                            service.record(dur);
+                            emit(
+                                now,
+                                worker,
+                                EventKind::JobCompleted { job: jobs[job_i].id, service_ms: dur },
+                            );
+                        }
+                        Err(e) => {
+                            stats.failed += 1;
+                            records[job_i] = Some(JobRecord {
+                                id: jobs[job_i].id,
+                                arrival_ms: jobs[job_i].arrival_ms,
+                                outcome: JobOutcome::Failed { error: e.clone() },
+                            });
+                        }
+                    }
+                }
+                if !quarantined {
+                    free_workers.push(Reverse(worker));
+                }
                 // Dispatch frees queue slots, freed slots let blocked
                 // arrivals in, and those may dispatch in turn — iterate
                 // until neither step makes progress.
@@ -298,6 +525,7 @@ impl JobServer {
                         &mut stats,
                         &mut queue_wait,
                         &mut dispatched_service_sum,
+                        &mut health_rt,
                         &mut emit,
                     );
                     if queue.len() < self.cfg.queue_capacity && !vestibule.is_empty() {
@@ -307,6 +535,61 @@ impl JobServer {
                         break;
                     }
                 }
+                continue;
+            }
+
+            if next_release == Some(best) {
+                // A quarantined worker rejoins the free pool, healthy.
+                let Reverse((now, worker)) = releases.pop().expect("peeked release exists");
+                if let Some(rt) = health_rt.as_mut() {
+                    rt.state[worker as usize] = WorkerState::Healthy;
+                }
+                free_workers.push(Reverse(worker));
+                loop {
+                    self.drain(
+                        now,
+                        jobs,
+                        &service_ms,
+                        &mut queue,
+                        &mut free_workers,
+                        &mut completions,
+                        &mut records,
+                        &mut stats,
+                        &mut queue_wait,
+                        &mut dispatched_service_sum,
+                        &mut health_rt,
+                        &mut emit,
+                    );
+                    if queue.len() < self.cfg.queue_capacity && !vestibule.is_empty() {
+                        let waiting = vestibule.pop_front().expect("vestibule non-empty");
+                        self.admit(waiting, now, jobs, &mut queue, &mut stats, &mut emit);
+                    } else {
+                        break;
+                    }
+                }
+                continue;
+            }
+
+            if next_retry == Some(best) {
+                // A backed-off job re-enters the queue. Retries bypass
+                // admission control: the breaker, not the queue bound,
+                // is the overload valve for repeated failures.
+                let Reverse((now, job_i)) = retries.pop().expect("peeked retry exists");
+                self.admit(job_i, now, jobs, &mut queue, &mut stats, &mut emit);
+                self.drain(
+                    now,
+                    jobs,
+                    &service_ms,
+                    &mut queue,
+                    &mut free_workers,
+                    &mut completions,
+                    &mut records,
+                    &mut stats,
+                    &mut queue_wait,
+                    &mut dispatched_service_sum,
+                    &mut health_rt,
+                    &mut emit,
+                );
                 continue;
             }
 
@@ -365,6 +648,7 @@ impl JobServer {
                 &mut stats,
                 &mut queue_wait,
                 &mut dispatched_service_sum,
+                &mut health_rt,
                 &mut emit,
             );
         }
@@ -378,6 +662,10 @@ impl JobServer {
         } else {
             stats.completed as f64 / (makespan_ms as f64 / 1_000.0)
         };
+        let worker_health = match &health_rt {
+            Some(rt) => rt.state.clone(),
+            None => vec![WorkerState::Healthy; self.cfg.workers + 1],
+        };
         ServiceOutcome {
             records,
             stats,
@@ -386,6 +674,7 @@ impl JobServer {
             makespan_ms,
             utilization,
             throughput_jps,
+            worker_health,
         }
     }
 
@@ -422,10 +711,28 @@ impl JobServer {
         stats: &mut ServiceStats,
         queue_wait: &mut Histogram,
         dispatched_service_sum: &mut u64,
+        health_rt: &mut Option<HealthRt>,
         emit: &mut impl FnMut(u64, u32, EventKind),
     ) {
         while !queue.is_empty() && !free_workers.is_empty() {
             let job_i = queue.pop_front().expect("queue non-empty");
+            // A job whose class breaker is open fails fast without
+            // occupying a worker.
+            if let Some(rt) = health_rt.as_mut() {
+                let class = rt.class_of[job_i];
+                if rt.breaker_open(class, now) {
+                    stats.failed += 1;
+                    stats.breaker_fast_fails += 1;
+                    records[job_i] = Some(JobRecord {
+                        id: jobs[job_i].id,
+                        arrival_ms: jobs[job_i].arrival_ms,
+                        outcome: JobOutcome::Failed {
+                            error: format!("circuit breaker open for class {class}"),
+                        },
+                    });
+                    continue;
+                }
+            }
             let Reverse(worker) = free_workers.pop().expect("worker available");
             let waited = now - jobs[job_i].arrival_ms;
             let dur = service_ms(job_i);
@@ -456,7 +763,12 @@ mod tests {
     struct FixedRunner(u64);
     impl JobRunner for FixedRunner {
         fn run(&self, _job: &JobSpec) -> Result<JobExecution, String> {
-            Ok(JobExecution { service_ms: self.0, circuit_height: 1, wires_routed: 1 })
+            Ok(JobExecution {
+                service_ms: self.0,
+                circuit_height: 1,
+                wires_routed: 1,
+                degraded: false,
+            })
         }
     }
 
@@ -529,7 +841,7 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(hints.iter().any(|&h| h == 300), "expected a 300 ms hint, got {hints:?}");
+        assert!(hints.contains(&300), "expected a 300 ms hint, got {hints:?}");
     }
 
     #[test]
@@ -546,10 +858,15 @@ mod tests {
         struct FailingRunner;
         impl JobRunner for FailingRunner {
             fn run(&self, job: &JobSpec) -> Result<JobExecution, String> {
-                if job.id % 2 == 0 {
+                if job.id.is_multiple_of(2) {
                     Err("boom".to_string())
                 } else {
-                    Ok(JobExecution { service_ms: 5, circuit_height: 1, wires_routed: 1 })
+                    Ok(JobExecution {
+                        service_ms: 5,
+                        circuit_height: 1,
+                        wires_routed: 1,
+                        degraded: false,
+                    })
                 }
             }
         }
@@ -573,5 +890,141 @@ mod tests {
             assert_eq!(serial.records, par.records, "threads={threads}");
             assert_eq!(serial.stats, par.stats);
         }
+    }
+
+    /// A runner whose even-id jobs come back degraded.
+    struct DegradedRunner(u64);
+    impl JobRunner for DegradedRunner {
+        fn run(&self, job: &JobSpec) -> Result<JobExecution, String> {
+            Ok(JobExecution {
+                service_ms: self.0,
+                circuit_height: 1,
+                wires_routed: 1,
+                degraded: job.id.is_multiple_of(2),
+            })
+        }
+    }
+
+    fn lenient_health() -> HealthPolicy {
+        // Generous thresholds so individual tests can tighten exactly
+        // the knob under study.
+        HealthPolicy {
+            deadline_ms: 1_000_000,
+            max_retries: 2,
+            backoff_base_ms: 20,
+            quarantine_ms: 200,
+            failure_quarantine: 1_000,
+            breaker_window: 1_000,
+            breaker_threshold_pct: 100,
+        }
+    }
+
+    #[test]
+    fn health_none_is_byte_identical_to_legacy() {
+        // ServiceConfig::new leaves health off; the outcome must carry
+        // the all-healthy placeholder and no health stats.
+        let out = saturated(Backpressure::Block);
+        assert_eq!(out.worker_health, vec![WorkerState::Healthy; 2]);
+        assert_eq!(out.stats.retried, 0);
+        assert_eq!(out.stats.quarantines, 0);
+        assert_eq!(out.stats.breaker_trips, 0);
+    }
+
+    #[test]
+    fn degraded_jobs_are_retried_with_backoff() {
+        let policy = lenient_health();
+        let server =
+            JobServer::new(ServiceConfig::new(2, 8, Backpressure::Block).with_health(policy));
+        let out = server.run(&trace(6, 100), &DegradedRunner(10), &WorkerPool::serial(), None);
+        // Even ids (3 of them) are degraded and exhaust 2 retries each.
+        assert_eq!(out.stats.retried, 6, "{:?}", out.stats);
+        assert_eq!(out.stats.completed, 6);
+        assert_eq!(out.stats.degraded_completions, 3);
+        // Every job still ends Completed (degraded runs finish).
+        assert!(out.records.iter().all(|r| matches!(r.outcome, JobOutcome::Completed { .. })));
+        // Retried jobs complete later than their first attempt would:
+        // arrival + service + backoff at minimum.
+        for r in &out.records {
+            if r.id % 2 == 0 {
+                if let JobOutcome::Completed { complete_ms, .. } = r.outcome {
+                    assert!(
+                        complete_ms >= r.arrival_ms + 10 + policy.backoff_base_ms,
+                        "job {} completed at {complete_ms} without visible backoff",
+                        r.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_misses_quarantine_a_worker() {
+        let mut policy = lenient_health();
+        policy.deadline_ms = 50; // every 100 ms job misses
+        policy.failure_quarantine = 3;
+        policy.quarantine_ms = 1_000;
+        let server =
+            JobServer::new(ServiceConfig::new(1, 20, Backpressure::Block).with_health(policy));
+        let out = server.run(&trace(8, 10), &FixedRunner(100), &WorkerPool::serial(), None);
+        assert!(out.stats.deadline_misses >= 8 - 2, "{:?}", out.stats);
+        assert!(out.stats.quarantines >= 1, "{:?}", out.stats);
+        // Quarantine pauses service, so the makespan stretches past the
+        // no-policy 8·100 ms.
+        assert!(out.makespan_ms > 800, "makespan {}", out.makespan_ms);
+        // All jobs still complete once the worker is released.
+        assert_eq!(out.stats.completed, 8);
+    }
+
+    #[test]
+    fn failing_class_trips_the_breaker_and_fails_fast() {
+        struct AlwaysFails;
+        impl JobRunner for AlwaysFails {
+            fn run(&self, _job: &JobSpec) -> Result<JobExecution, String> {
+                Err("boom".to_string())
+            }
+        }
+        let mut policy = lenient_health();
+        policy.max_retries = 0;
+        policy.breaker_window = 4;
+        policy.breaker_threshold_pct = 75;
+        policy.quarantine_ms = 10_000; // breaker stays open to the end
+        let server =
+            JobServer::new(ServiceConfig::new(2, 20, Backpressure::Block).with_health(policy));
+        let out = server.run(&trace(16, 5), &AlwaysFails, &WorkerPool::serial(), None);
+        assert!(out.stats.breaker_trips >= 1, "{:?}", out.stats);
+        assert!(out.stats.breaker_fast_fails >= 1, "{:?}", out.stats);
+        assert_eq!(out.stats.completed, 0);
+        assert_eq!(out.stats.failed, 16);
+        assert!(out.records.iter().any(
+            |r| matches!(&r.outcome, JobOutcome::Failed { error } if error.contains("breaker"))
+        ));
+    }
+
+    #[test]
+    fn health_simulation_is_identical_across_pool_sizes() {
+        let mut policy = lenient_health();
+        policy.deadline_ms = 30;
+        policy.failure_quarantine = 2;
+        policy.breaker_window = 6;
+        policy.breaker_threshold_pct = 60;
+        let jobs = trace(30, 15);
+        let server =
+            JobServer::new(ServiceConfig::new(2, 3, Backpressure::ShedOldest).with_health(policy));
+        let serial = server.run(&jobs, &DegradedRunner(40), &WorkerPool::serial(), None);
+        for threads in [2, 8] {
+            let par =
+                server.run(&jobs, &DegradedRunner(40), &WorkerPool::with_threads(threads), None);
+            assert_eq!(serial.records, par.records, "threads={threads}");
+            assert_eq!(serial.stats, par.stats);
+            assert_eq!(serial.worker_health, par.worker_health);
+        }
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_and_spread() {
+        let a = jitter(1, 1);
+        assert_eq!(a, jitter(1, 1));
+        assert_ne!(jitter(1, 1), jitter(1, 2));
+        assert_ne!(jitter(1, 1), jitter(2, 1));
     }
 }

@@ -20,7 +20,12 @@ impl JobRunner for HashRunner {
         let mut x = job.circuit_seed ^ (job.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         x ^= x >> 33;
         x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-        Ok(JobExecution { service_ms: (x % 128) + 1, circuit_height: 1, wires_routed: 1 })
+        Ok(JobExecution {
+            service_ms: (x % 128) + 1,
+            circuit_height: 1,
+            wires_routed: 1,
+            degraded: false,
+        })
     }
 }
 

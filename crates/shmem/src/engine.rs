@@ -49,6 +49,7 @@ impl RoutingEngine for EmulEngine {
             },
             mbytes,
             time_secs: Some(out.time_secs),
+            degraded: false,
         }
     }
 }
@@ -79,6 +80,7 @@ impl RoutingEngine for ThreadsEngine {
             },
             mbytes: None,
             time_secs: Some(out.wall.as_secs_f64()),
+            degraded: false,
         }
     }
 }

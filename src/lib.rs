@@ -73,11 +73,12 @@ pub mod prelude {
         MemoryOutcome, RefKind, Trace,
     };
     pub use locus_mesh::{
-        Arbiter, FaultPlan, FaultScope, MeshConfig, ServicePolicy, ServiceRequest, SimTime,
+        Arbiter, FaultPlan, FaultScope, MeshConfig, NodeFault, ServicePolicy, ServiceRequest,
+        SimTime,
     };
     pub use locus_msgpass::{
         run_msgpass, run_msgpass_observed, MsgPassConfig, MsgPassEngine, MsgPassOutcome,
-        ReliableConfig, UpdateSchedule,
+        RecoveryConfig, ReliableConfig, UpdateSchedule,
     };
     pub use locus_obs::{Event, EventKind, Metrics, NullSink, RingBufferSink, SharedSink, Sink};
     pub use locus_router::{
@@ -85,7 +86,8 @@ pub mod prelude {
     };
     pub use locus_router::{EngineCtx, EngineRun, RoutingEngine};
     pub use locus_service::{
-        Backpressure, EngineRunner, JobServer, ServiceConfig, WorkerPool, WorkloadConfig,
+        Backpressure, EngineRunner, HealthPolicy, JobServer, ServiceConfig, WorkerPool,
+        WorkerState, WorkloadConfig,
     };
     pub use locus_shmem::{Scheduling, ShmemConfig, ShmemEmulator, ThreadedRouter};
 

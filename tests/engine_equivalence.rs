@@ -189,6 +189,33 @@ fn faulted_engine_at_one_processor_matches_sequential() {
 }
 
 #[test]
+fn recovery_armed_crash_free_run_matches_sequential_at_one_processor() {
+    // Recovery machinery armed but never fired: checkpoints and
+    // heartbeats are charged to the simulated clock only, so the
+    // routing result must stay bit-identical to sequential. Recovery
+    // pins the run to one iteration, so the reference gets one too.
+    let circuit = locusroute::circuit::presets::small();
+    let params = RouterParams::default().with_iterations(1);
+    let seq = SequentialRouter::new(&circuit, params).run();
+    let cfg = MsgPassConfig::new(1, UpdateSchedule::never())
+        .with_reliability()
+        .with_recovery_config(RecoveryConfig {
+            checkpoint_every: 4,
+            heartbeat_ns: 20_000_000,
+            suspect_after: 3,
+            checkpoint_per_byte_ns: 1,
+        });
+    let out = run_msgpass(&circuit, cfg);
+    assert!(!out.deadlocked);
+    assert_eq!(out.quality, seq.quality, "recovery-armed P=1 != sequential");
+    assert_eq!(out.routes, seq.routes);
+    assert!(out.recovery.checkpoints_taken > 0, "checkpointing must actually run");
+    assert_eq!(out.recovery.nodes_declared_dead, 0, "nobody dies in a crash-free run");
+    assert_eq!(out.recovery.coordinator_failovers, 0);
+    assert_eq!(out.watchdog_recoveries, 0);
+}
+
+#[test]
 fn faulted_parallel_runs_are_bitwise_repeatable() {
     let circuit = locusroute::circuit::presets::small();
     let cfg = || {
